@@ -1,0 +1,63 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures by calling
+the corresponding driver in :mod:`repro.experiments` and printing the rows or
+series the paper reports.  The drivers are full training/evaluation runs, so
+each benchmark executes exactly once (``rounds=1``) — the interesting output
+is the printed table, not the wall-clock statistics.
+
+The scale can be adjusted through the ``REPRO_BENCH_SCALE`` environment
+variable (``smoke``, ``fast`` — the default — or ``full``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.config import SCALE_FAST, SCALE_FULL, SCALE_SMOKE, ExperimentScale
+
+
+def _select_scale() -> ExperimentScale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "fast").lower()
+    if name == "smoke":
+        return SCALE_SMOKE
+    if name == "full":
+        return SCALE_FULL
+    return SCALE_FAST
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    """Scale used by the MNIST-like (LeNet / MLP) benchmarks."""
+    return _select_scale()
+
+
+@pytest.fixture(scope="session")
+def bench_scale_conv() -> ExperimentScale:
+    """Reduced scale for the CIFAR-like conv networks (VGG-9 / ResNet-20).
+
+    Convolutional training dominates the benchmark wall-clock, so the CIFAR
+    benchmarks use a smaller dataset and fewer epochs than the LeNet ones
+    unless the full scale is requested explicitly.
+    """
+    scale = _select_scale()
+    if scale is SCALE_FULL:
+        return scale
+    return replace(scale, samples_per_class=max(20, scale.samples_per_class * 2 // 3),
+                   epochs=max(2, scale.epochs - 2))
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Execute a driver exactly once under pytest-benchmark."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def print_header(title: str) -> None:
+    """Print a section header so benchmark output reads like the paper artefact."""
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)

@@ -1,0 +1,43 @@
+"""Ablation benchmarks on the periphery-matrix design choices (DESIGN.md §5).
+
+These go beyond the paper's own evaluation: they check that the decomposition
+machinery generalises to any valid periphery matrix, and quantify how
+sensitive ACM training is to the ordering of the coupled output columns.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_header, run_once
+from repro.experiments import run_column_order_ablation, run_periphery_ablation
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_periphery_matrix_family(benchmark, bench_scale):
+    """ACM vs random valid periphery matrices at equal hardware overhead."""
+    result = run_once(
+        benchmark, run_periphery_ablation,
+        num_random=3, num_outputs=16, num_inputs=24, scale=bench_scale,
+    )
+    print_header("Ablation  periphery-matrix family (decomposition + 3-bit training)")
+    for label, error in result.decomposition_error.items():
+        print(f"decomposition max |S@M - W| for {label:9s}: {error:.2e}")
+    for mapping, error in result.test_error.items():
+        print(f"3-bit training test error with {mapping:4s}: {error:6.2f}%")
+    # Every valid periphery matrix must decompose exactly.
+    assert all(error < 1e-6 for error in result.decomposition_error.values())
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_acm_column_ordering(benchmark, bench_scale):
+    """Sensitivity of ACM training accuracy to the output-column coupling order."""
+    result = run_once(
+        benchmark, run_column_order_ablation, seeds=(1, 2, 3), quantizer_bits=3,
+        scale=bench_scale,
+    )
+    print_header("Ablation  ACM column-ordering sensitivity (3-bit LeNet)")
+    for seed, error in zip((1, 2, 3), result.test_error_per_seed):
+        print(f"seed {seed}: test error {error:6.2f}%")
+    print(f"mean {result.mean_error:6.2f}%   spread {result.spread:6.2f}%")
+    assert result.mean_error <= 85.0

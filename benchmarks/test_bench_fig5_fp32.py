@@ -1,0 +1,44 @@
+"""Benchmark reproducing Fig. 5(a) and Fig. 5(e): FP32 training curves.
+
+The paper's claim: with full-precision weights, all three mappings (ACM, DE,
+BC) track the baseline network's training/test error, with ACM's training
+error slightly higher because of its mild regularisation effect.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_header, run_once
+from repro.experiments import run_fp32_training
+
+
+@pytest.mark.benchmark(group="fig5-fp32")
+def test_fig5a_lenet_fp32_curves(benchmark, bench_scale):
+    """Fig. 5(a): LeNet on the MNIST-like task at FP32."""
+    result = run_once(
+        benchmark, run_fp32_training, "lenet",
+        mappings=("baseline", "acm", "de", "bc"), scale=bench_scale,
+    )
+    print_header("Fig. 5(a)  LeNet, FP32 weights — error vs epoch (final values)")
+    for row in result.as_rows():
+        print(row)
+    errors = result.final_test_errors()
+    # Shape check: every mapping trains (far better than the 90 % chance level).
+    for mapping in ("acm", "de", "bc"):
+        assert errors[mapping] <= 60.0
+
+
+@pytest.mark.benchmark(group="fig5-fp32")
+def test_fig5e_resnet20_fp32_curves(benchmark, bench_scale_conv):
+    """Fig. 5(e): ResNet-20 on the CIFAR-like task at FP32."""
+    result = run_once(
+        benchmark, run_fp32_training, "resnet20",
+        mappings=("baseline", "acm", "de", "bc"), scale=bench_scale_conv,
+    )
+    print_header("Fig. 5(e)  ResNet-20, FP32 weights — error vs epoch (final values)")
+    for row in result.as_rows():
+        print(row)
+    for name, history in result.histories.items():
+        # Training must make progress from the first epoch for every mapping.
+        assert history.test_error[-1] <= history.test_error[0] + 5.0

@@ -1,0 +1,57 @@
+"""Benchmarks reproducing Fig. 5(b)-(d): limited precision, linear update.
+
+The paper's claim: below ~6 bits the error of DE is lowest, BC is highest and
+ACM sits in between, because ACM recovers the dynamic range lost by BC while
+using the same hardware.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_header, run_once
+from repro.experiments import run_precision_sweep
+
+
+def _print_sweep(title, result):
+    print_header(title)
+    for row in result.as_rows():
+        print(row)
+    print(
+        "ACM error reduction vs BC per precision (positive = ACM better): "
+        + ", ".join(f"{value:+.2f}%" for value in result.advantage_over_bc("acm"))
+    )
+
+
+@pytest.mark.benchmark(group="fig5-linear")
+def test_fig5b_lenet_linear_precision_sweep(benchmark, bench_scale):
+    """Fig. 5(b): LeNet, linear weight update, error vs weight precision."""
+    result = run_once(
+        benchmark, run_precision_sweep, "lenet",
+        bits=(2, 3, 4, 6), nonlinear_update=False, scale=bench_scale,
+    )
+    _print_sweep("Fig. 5(b)  LeNet, linear update — test error vs weight precision", result)
+    # At the lowest precisions ACM must not be worse than BC by a wide margin.
+    assert result.error_at("acm", 2) <= result.error_at("bc", 2) + 25.0
+
+
+@pytest.mark.benchmark(group="fig5-linear")
+def test_fig5c_vgg9_linear_precision_sweep(benchmark, bench_scale_conv):
+    """Fig. 5(c): VGG-9, linear weight update, error vs weight precision."""
+    result = run_once(
+        benchmark, run_precision_sweep, "vgg9",
+        bits=(3, 4, 6), nonlinear_update=False, scale=bench_scale_conv,
+    )
+    _print_sweep("Fig. 5(c)  VGG-9, linear update — test error vs weight precision", result)
+    assert set(result.test_error) == {"acm", "de", "bc"}
+
+
+@pytest.mark.benchmark(group="fig5-linear")
+def test_fig5d_resnet20_linear_precision_sweep(benchmark, bench_scale_conv):
+    """Fig. 5(d): ResNet-20, linear weight update, error vs weight precision."""
+    result = run_once(
+        benchmark, run_precision_sweep, "resnet20",
+        bits=(3, 4, 6), nonlinear_update=False, scale=bench_scale_conv,
+    )
+    _print_sweep("Fig. 5(d)  ResNet-20, linear update — test error vs weight precision", result)
+    assert set(result.test_error) == {"acm", "de", "bc"}

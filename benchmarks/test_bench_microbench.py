@@ -1,0 +1,52 @@
+"""Micro-benchmarks of the core computational kernels.
+
+Unlike the figure/table benchmarks (which run once and print the paper
+artefact), these measure throughput of the building blocks with proper
+pytest-benchmark statistics: the W = S @ M decomposition, the mapped-layer
+forward pass for each mapping, and the tiled crossbar MVM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mapping import MappedLinear, acm_periphery, bc_periphery, de_periphery, decompose
+from repro.tensor import Tensor
+from repro.xbar import CrossbarTiling, UniformQuantizer
+
+
+@pytest.mark.benchmark(group="micro-decompose")
+@pytest.mark.parametrize("mapping_name,builder", [
+    ("acm", acm_periphery), ("de", de_periphery), ("bc", bc_periphery),
+])
+def test_decomposition_throughput(benchmark, mapping_name, builder):
+    """Decompose a 128x256 signed matrix through each periphery matrix."""
+    rng = np.random.default_rng(0)
+    weights = rng.normal(size=(128, 256))
+    periphery = builder(128)
+    result = benchmark(decompose, weights, periphery)
+    assert (result >= 0).all()
+
+
+@pytest.mark.benchmark(group="micro-forward")
+@pytest.mark.parametrize("mapping", ["acm", "de", "bc"])
+def test_mapped_linear_forward_throughput(benchmark, mapping):
+    """Forward pass of a 256 -> 128 mapped layer on a 64-sample batch."""
+    layer = MappedLinear(256, 128, mapping=mapping, quantizer_bits=4,
+                         rng=np.random.default_rng(0))
+    inputs = Tensor(np.random.default_rng(1).normal(size=(64, 256)))
+    output = benchmark(layer, inputs)
+    assert output.shape == (64, 128)
+
+
+@pytest.mark.benchmark(group="micro-crossbar")
+def test_tiled_crossbar_mvm_throughput(benchmark):
+    """Analog MVM of a 512x260 non-negative matrix tiled over 128x128 arrays."""
+    rng = np.random.default_rng(0)
+    matrix = rng.uniform(0, 1, size=(512, 260))
+    tiling = CrossbarTiling(matrix, tile_rows=128, tile_cols=128,
+                            quantizer=UniformQuantizer(4))
+    inputs = rng.normal(size=(32, 512))
+    output = benchmark(tiling.matmat, inputs)
+    assert output.shape == (32, 260)

@@ -1,0 +1,66 @@
+"""Benchmark reproducing Table I: system-level comparison of the mappings.
+
+The paper's Table I (NeuroSim+, 14 nm, two-layer MLP): BC and ACM are
+identical on every metric; DE pays ~2.3x crossbar area, ~1.57x periphery
+area, ~7x read energy and ~1.33x read delay.  The analytical model here
+reproduces the BC == ACM parity exactly and the direction of every DE
+penalty; the exact DE ratios differ (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_header, run_once
+from repro.experiments import run_system_comparison
+from repro.hardware.report import SystemReport
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_system_level_comparison(benchmark):
+    """Table I: area / read energy / read delay for BC, DE, ACM."""
+    report = run_once(benchmark, run_system_comparison, training_samples=1000)
+    print_header("Table I  System-level results, two-layer MLP accelerator (per epoch)")
+    print(report.as_text())
+    print()
+    for label in SystemReport.ROW_LABELS:
+        print(
+            f"{label:28s} DE/ACM = {report.ratio(label, 'de', 'acm'):5.2f}   "
+            f"BC/ACM = {report.ratio(label, 'bc', 'acm'):5.2f}"
+        )
+
+    # BC and ACM must be exactly equal (identical hardware utilisation).
+    for label in SystemReport.ROW_LABELS:
+        assert report.ratio(label, "bc", "acm") == pytest.approx(1.0)
+    # DE must pay on every metric, with the area penalty close to 2x.
+    assert 1.7 < report.ratio("XBar Area (um^2)", "de", "acm") < 2.5
+    assert report.ratio("Periphery Area (um^2)", "de", "acm") > 1.0
+    assert report.ratio("Read Energy (uJ)", "de", "acm") > 1.5
+    assert report.ratio("Read Delay (ms)", "de", "acm") >= 1.0
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_scaling_with_network_size(benchmark):
+    """The DE penalties persist across network sizes (robustness of Table I)."""
+    from repro.hardware.accelerator import LayerSpec
+
+    def sweep():
+        reports = {}
+        for hidden in (64, 256, 1024):
+            specs = [
+                LayerSpec("fc1", num_inputs=400, num_outputs=hidden),
+                LayerSpec("fc2", num_inputs=hidden, num_outputs=10),
+            ]
+            reports[hidden] = run_system_comparison(specs=specs, training_samples=1000)
+        return reports
+
+    reports = run_once(benchmark, sweep)
+    print_header("Table I scaling ablation — DE/ACM ratios vs hidden-layer width")
+    for hidden, report in reports.items():
+        ratios = "  ".join(
+            f"{label.split(' (')[0]}={report.ratio(label, 'de', 'acm'):4.2f}"
+            for label in SystemReport.ROW_LABELS
+        )
+        print(f"hidden={hidden:5d}  {ratios}")
+    for report in reports.values():
+        assert report.ratio("XBar Area (um^2)", "de", "acm") > 1.5

@@ -1,0 +1,78 @@
+"""Low-precision crossbar training study (the workload behind Fig. 5).
+
+Trains the LeNet-style CNN on the synthetic digits task at several device
+precisions, with both the ideal (linear) and the non-linear symmetric weight
+update, and prints the error-versus-precision table for ACM, DE and BC.
+
+This is the scenario the paper's introduction motivates: analog crossbar
+devices demonstrated at array scale offer only a handful of conductance
+states (<= 5 bits) and a non-linear pulse response, and the choice of mapping
+determines how much accuracy survives those constraints.
+
+Run with:  python examples/low_precision_training.py [--bits 2 3 4] [--epochs 8]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import SCALE_FAST, run_precision_sweep
+from repro.experiments.config import ExperimentScale
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bits", type=int, nargs="+", default=[2, 3, 4, 6],
+                        help="device weight precisions to sweep")
+    parser.add_argument("--epochs", type=int, default=SCALE_FAST.epochs,
+                        help="training epochs per configuration")
+    parser.add_argument("--samples-per-class", type=int, default=SCALE_FAST.samples_per_class,
+                        help="synthetic dataset size per class")
+    parser.add_argument("--nonlinearity", type=float, default=2.0,
+                        help="device non-linearity coefficient for the non-linear study")
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    scale = ExperimentScale(
+        name="example",
+        samples_per_class=args.samples_per_class,
+        epochs=args.epochs,
+        fp32_epochs=args.epochs,
+        batch_size=SCALE_FAST.batch_size,
+        lr=SCALE_FAST.lr,
+        variation_samples=SCALE_FAST.variation_samples,
+        resnet_blocks=SCALE_FAST.resnet_blocks,
+    )
+
+    print("=" * 78)
+    print("Linear (ideal) weight update — test error vs device precision")
+    print("=" * 78)
+    linear = run_precision_sweep(
+        "lenet", bits=args.bits, nonlinear_update=False, scale=scale
+    )
+    for row in linear.as_rows():
+        print(row)
+
+    print()
+    print("=" * 78)
+    print("Non-linear symmetric weight update — test error vs device precision")
+    print("=" * 78)
+    nonlinear = run_precision_sweep(
+        "lenet", bits=args.bits, nonlinear_update=True,
+        nonlinearity=args.nonlinearity, scale=scale,
+    )
+    for row in nonlinear.as_rows():
+        print(row)
+
+    print()
+    print("ACM error reduction vs BC (positive numbers mean ACM is better):")
+    for bits, linear_gain, nonlinear_gain in zip(
+        args.bits, linear.advantage_over_bc("acm"), nonlinear.advantage_over_bc("acm")
+    ):
+        print(f"  {bits}-bit devices: linear {linear_gain:+6.2f}%   non-linear {nonlinear_gain:+6.2f}%")
+
+
+if __name__ == "__main__":
+    main()

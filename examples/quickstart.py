@@ -1,0 +1,83 @@
+"""Quickstart: map a signed weight matrix to a crossbar and train a mapped layer.
+
+This example walks through the core API of the reproduction:
+
+1. Build the ACM / DE / BC periphery matrices and check the paper's
+   sufficient conditions (Eq. 3).
+2. Decompose an arbitrary signed matrix ``W`` into ``S @ M`` with ``M >= 0``
+   and verify the reconstruction.
+3. Train a small crossbar-mapped network on the synthetic digits task with
+   4-bit devices and compare the three mappings.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import synthetic_mnist
+from repro.mapping import (
+    acm_periphery,
+    bc_periphery,
+    check_sufficient_conditions,
+    de_periphery,
+    decompose,
+    reconstruct,
+)
+from repro.models import make_mlp
+from repro.train import Trainer, TrainingConfig
+
+
+def demonstrate_decomposition() -> None:
+    """Show that any signed matrix factors through each periphery matrix."""
+    print("=" * 70)
+    print("1. Periphery matrices and the W = S @ M decomposition")
+    print("=" * 70)
+    rng = np.random.default_rng(0)
+    weights = rng.normal(size=(4, 6))
+
+    for periphery in (acm_periphery(4), de_periphery(4), bc_periphery(4)):
+        report = check_sufficient_conditions(periphery)
+        factor = decompose(weights, periphery)
+        error = np.abs(reconstruct(factor, periphery) - weights).max()
+        print(
+            f"{periphery.name.upper():4s}: columns={periphery.num_columns}  "
+            f"rank(S)={report.rank}  positive-null-vector={report.has_positive_null_vector}  "
+            f"min(M)={factor.min():.3f}  max|S@M - W|={error:.2e}"
+        )
+    print()
+
+
+def train_mapped_networks() -> None:
+    """Train a small MLP with each mapping at 4-bit device precision."""
+    print("=" * 70)
+    print("2. Training a crossbar-mapped MLP with 4-bit devices")
+    print("=" * 70)
+    train_set, test_set = synthetic_mnist(samples_per_class=40)
+    input_size = int(np.prod(train_set.sample_shape))
+
+    for mapping in ("baseline", "acm", "de", "bc"):
+        bits = None if mapping == "baseline" else 4
+        model = make_mlp(
+            input_size=input_size,
+            hidden_sizes=(64,),
+            num_classes=train_set.num_classes,
+            mapping=mapping,
+            quantizer_bits=bits,
+            seed=1,
+        )
+        config = TrainingConfig(epochs=6, batch_size=32, lr=0.05, seed=0)
+        history = Trainer(model, train_set, test_set, config).fit()
+        print(
+            f"{mapping:9s}  final train error {history.final_train_error:6.2f}%   "
+            f"final test error {history.final_test_error:6.2f}%"
+        )
+    print()
+    print("All mappings implement the same signed MVM; ACM does so at BC's")
+    print("hardware cost while recovering most of DE's dynamic range.")
+
+
+if __name__ == "__main__":
+    demonstrate_decomposition()
+    train_mapped_networks()

@@ -1,0 +1,36 @@
+"""Datasets and data loading.
+
+The paper evaluates on MNIST and CIFAR-10, which cannot be downloaded in this
+offline environment.  This package therefore provides deterministic synthetic
+substitutes that preserve what the paper's comparisons actually need:
+
+* a multi-class image classification task with spatial structure (so that
+  convolutions and pooling are exercised),
+* tunable difficulty so full-precision training saturates while low-precision
+  training degrades, and
+* a train / test split so training and generalisation error can be tracked
+  separately (Fig. 5a / 5e).
+
+``synthetic_mnist`` builds a 10-class single-channel "digits" task,
+``synthetic_cifar`` a 10-class three-channel "objects" task.
+"""
+
+from repro.data.dataset import ArrayDataset, DataLoader, train_test_split
+from repro.data.synthetic import (
+    SyntheticImageTask,
+    synthetic_mnist,
+    synthetic_cifar,
+    make_classification_images,
+)
+from repro.data import transforms
+
+__all__ = [
+    "ArrayDataset",
+    "DataLoader",
+    "train_test_split",
+    "SyntheticImageTask",
+    "synthetic_mnist",
+    "synthetic_cifar",
+    "make_classification_images",
+    "transforms",
+]

@@ -1,0 +1,126 @@
+"""Dataset containers and a minibatch loader."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+
+class ArrayDataset:
+    """A dataset backed by in-memory NumPy arrays.
+
+    Parameters
+    ----------
+    images:
+        Array of shape ``(N, C, H, W)`` (or ``(N, D)`` for flat features).
+    labels:
+        Integer class labels of shape ``(N,)``.
+    """
+
+    def __init__(self, images: np.ndarray, labels: np.ndarray):
+        images = np.asarray(images, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if len(images) != len(labels):
+            raise ValueError(
+                f"images ({len(images)}) and labels ({len(labels)}) length mismatch"
+            )
+        if labels.ndim != 1:
+            raise ValueError("labels must be a 1-D integer array")
+        self.images = images
+        self.labels = labels
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    def __getitem__(self, index) -> Tuple[np.ndarray, np.ndarray]:
+        return self.images[index], self.labels[index]
+
+    @property
+    def num_classes(self) -> int:
+        """Number of distinct classes present in the labels."""
+        return int(self.labels.max()) + 1 if len(self.labels) else 0
+
+    @property
+    def sample_shape(self) -> Tuple[int, ...]:
+        """Shape of one sample, excluding the batch dimension."""
+        return self.images.shape[1:]
+
+    def subset(self, indices) -> "ArrayDataset":
+        """Return a new dataset restricted to ``indices``."""
+        return ArrayDataset(self.images[indices], self.labels[indices])
+
+
+def train_test_split(
+    dataset: ArrayDataset,
+    test_fraction: float = 0.2,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[ArrayDataset, ArrayDataset]:
+    """Split a dataset into train and test subsets.
+
+    The split is stratified per class so both subsets contain every class even
+    for small synthetic datasets.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    train_indices = []
+    test_indices = []
+    for class_id in np.unique(dataset.labels):
+        class_indices = np.flatnonzero(dataset.labels == class_id)
+        permuted = rng.permutation(class_indices)
+        split = max(1, int(round(len(permuted) * test_fraction)))
+        test_indices.extend(permuted[:split])
+        train_indices.extend(permuted[split:])
+    return dataset.subset(np.sort(train_indices)), dataset.subset(np.sort(test_indices))
+
+
+class DataLoader:
+    """Iterate over a dataset in shuffled minibatches.
+
+    Parameters
+    ----------
+    dataset:
+        The :class:`ArrayDataset` to iterate over.
+    batch_size:
+        Number of samples per batch.
+    shuffle:
+        Whether to reshuffle the sample order at the start of every epoch.
+    rng:
+        Random generator driving the shuffling (pass a seeded generator for
+        reproducible epochs).
+    drop_last:
+        If ``True``, drop a final batch smaller than ``batch_size``.
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        rng: Optional[np.random.Generator] = None,
+        drop_last: bool = False,
+    ):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def __len__(self) -> int:
+        full, remainder = divmod(len(self.dataset), self.batch_size)
+        if remainder and not self.drop_last:
+            return full + 1
+        return full
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        order = np.arange(len(self.dataset))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            batch_indices = order[start:start + self.batch_size]
+            if self.drop_last and len(batch_indices) < self.batch_size:
+                break
+            yield self.dataset.images[batch_indices], self.dataset.labels[batch_indices]

@@ -1,0 +1,61 @@
+"""Simple array transforms used by the data pipeline and examples."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+def normalize(images: np.ndarray, mean: float = None, std: float = None) -> np.ndarray:
+    """Standardise images to zero mean and unit standard deviation.
+
+    If ``mean``/``std`` are not provided they are computed from the data,
+    which is the convention used by the synthetic dataset generators.
+    """
+    images = np.asarray(images, dtype=np.float64)
+    mean = images.mean() if mean is None else mean
+    std = images.std() if std is None else std
+    if std == 0:
+        raise ValueError("cannot normalise images with zero standard deviation")
+    return (images - mean) / std
+
+
+def flatten(images: np.ndarray) -> np.ndarray:
+    """Flatten ``(N, C, H, W)`` images to ``(N, C*H*W)`` feature vectors."""
+    images = np.asarray(images)
+    return images.reshape(images.shape[0], -1)
+
+
+def random_horizontal_flip(
+    images: np.ndarray, probability: float = 0.5, rng: np.random.Generator = None
+) -> np.ndarray:
+    """Flip each image horizontally with the given probability (augmentation)."""
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+    rng = rng if rng is not None else np.random.default_rng()
+    images = np.asarray(images).copy()
+    flips = rng.random(len(images)) < probability
+    images[flips] = images[flips][..., ::-1]
+    return images
+
+
+def compose(*transforms: Callable[[np.ndarray], np.ndarray]) -> Callable[[np.ndarray], np.ndarray]:
+    """Chain transforms left-to-right into a single callable."""
+
+    def apply(images: np.ndarray) -> np.ndarray:
+        for transform in transforms:
+            images = transform(images)
+        return images
+
+    return apply
+
+
+def one_hot(labels: Sequence[int], num_classes: int) -> np.ndarray:
+    """Convert integer labels to a one-hot matrix."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.min() < 0 or labels.max() >= num_classes:
+        raise ValueError("labels out of range for the requested number of classes")
+    encoded = np.zeros((len(labels), num_classes))
+    encoded[np.arange(len(labels)), labels] = 1.0
+    return encoded

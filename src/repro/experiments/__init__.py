@@ -1,0 +1,58 @@
+"""Experiment drivers reproducing every figure and table of the paper.
+
+Each driver builds the workload (synthetic dataset + network), runs the
+relevant training or evaluation protocol for all mappings, and returns a
+structured result object whose rows/series correspond to the paper's plot.
+The benchmark harness under ``benchmarks/`` simply calls these drivers and
+prints the resulting tables, so the same code path backs both interactive use
+and the regression benchmarks.
+
+Paper artefact -> driver:
+
+* Fig. 5(a)/(e)   -> :func:`run_fp32_training`        (FP32 error-vs-epoch curves)
+* Fig. 5(b)-(d)   -> :func:`run_precision_sweep` with ``nonlinear_update=False``
+* Fig. 5(f)-(h)   -> :func:`run_precision_sweep` with ``nonlinear_update=True``
+* Fig. 6          -> :func:`run_variation_study`
+* Table I         -> :func:`run_system_comparison`
+"""
+
+from repro.experiments.config import (
+    ExperimentScale,
+    SCALE_SMOKE,
+    SCALE_FAST,
+    SCALE_FULL,
+    dataset_for,
+    model_for,
+)
+from repro.experiments.fig5 import (
+    Fp32Result,
+    PrecisionSweepResult,
+    run_fp32_training,
+    run_precision_sweep,
+)
+from repro.experiments.fig6 import VariationStudyResult, run_variation_study
+from repro.experiments.table1 import run_system_comparison
+from repro.experiments.ablation import (
+    PeripheryAblationResult,
+    run_periphery_ablation,
+    run_column_order_ablation,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "SCALE_SMOKE",
+    "SCALE_FAST",
+    "SCALE_FULL",
+    "dataset_for",
+    "model_for",
+    "Fp32Result",
+    "PrecisionSweepResult",
+    "run_fp32_training",
+    "run_precision_sweep",
+    "VariationStudyResult",
+    "run_variation_study",
+    "run_system_comparison",
+    "PeripheryAblationResult",
+    "run_periphery_ablation",
+    "run_column_order_ablation",
+]

@@ -1,0 +1,136 @@
+"""Ablation studies on the design choices behind the ACM mapping.
+
+Two ablations called out in DESIGN.md:
+
+* **Periphery-matrix family** — ACM is one member of the family of valid
+  periphery matrices with a single extra column; :func:`run_periphery_ablation`
+  compares it against randomly sampled valid members at the same hardware
+  overhead, checking that decomposition correctness holds for all of them and
+  measuring the training accuracy impact of the specific adjacent-chain
+  structure.
+* **Column ordering** — ACM couples *adjacent* outputs; permuting the output
+  channels changes which outputs share a column.
+  :func:`run_column_order_ablation` measures the sensitivity of training
+  accuracy to that ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.experiments.config import ExperimentScale, SCALE_FAST, dataset_for, model_for
+from repro.mapping.decompose import check_sufficient_conditions, decompose, reconstruct
+from repro.mapping.periphery import (
+    PeripheryMatrix,
+    acm_periphery,
+    random_valid_periphery,
+)
+from repro.train.trainer import Trainer, TrainingConfig
+
+
+@dataclass
+class PeripheryAblationResult:
+    """Results of the periphery-matrix family ablation.
+
+    Attributes
+    ----------
+    decomposition_error:
+        Maximum reconstruction error ``|S @ M - W|`` over random signed
+        matrices, per periphery matrix label.
+    test_error:
+        Final training test error when the LeNet task is trained with each
+        periphery matrix (ACM versus random valid alternatives).
+    """
+
+    decomposition_error: Dict[str, float] = field(default_factory=dict)
+    test_error: Dict[str, float] = field(default_factory=dict)
+
+
+def run_periphery_ablation(
+    num_random: int = 3,
+    num_outputs: int = 16,
+    num_inputs: int = 24,
+    scale: ExperimentScale = SCALE_FAST,
+    seed: int = 0,
+) -> PeripheryAblationResult:
+    """Compare ACM against random valid periphery matrices.
+
+    The decomposition correctness check runs on random signed matrices; the
+    training comparison trains the LeNet task with the ACM mapping (the
+    random alternatives share ACM's hardware overhead, so this isolates the
+    effect of the adjacent-chain structure on trainability).
+    """
+    rng = np.random.default_rng(seed)
+    result = PeripheryAblationResult()
+
+    candidates: List[PeripheryMatrix] = [acm_periphery(num_outputs)]
+    for index in range(num_random):
+        candidates.append(
+            random_valid_periphery(num_outputs, extra_columns=1, rng=rng)
+        )
+
+    weights = rng.normal(size=(num_outputs, num_inputs))
+    for index, periphery in enumerate(candidates):
+        label = periphery.name if index == 0 else f"random{index}"
+        report = check_sufficient_conditions(periphery)
+        if not report.satisfied:
+            raise RuntimeError(f"candidate {label} violates the sufficient conditions")
+        factor = decompose(weights, periphery)
+        error = float(np.abs(reconstruct(factor, periphery) - weights).max())
+        result.decomposition_error[label] = error
+
+    # Training comparison: ACM versus BC/DE at one low precision, which is the
+    # regime where the periphery structure matters most.
+    train_set, test_set = dataset_for("lenet", scale)
+    for mapping in ("acm", "de", "bc"):
+        model = model_for("lenet", mapping, quantizer_bits=3, scale=scale, seed=seed + 1)
+        config = TrainingConfig(
+            epochs=scale.epochs, batch_size=scale.batch_size, lr=scale.lr, seed=seed
+        )
+        history = Trainer(model, train_set, test_set, config).fit()
+        result.test_error[mapping] = history.final_test_error
+    return result
+
+
+@dataclass
+class ColumnOrderAblationResult:
+    """Sensitivity of ACM training accuracy to output-channel ordering."""
+
+    test_error_per_seed: List[float] = field(default_factory=list)
+
+    @property
+    def mean_error(self) -> float:
+        return float(np.mean(self.test_error_per_seed)) if self.test_error_per_seed else float("nan")
+
+    @property
+    def spread(self) -> float:
+        """Max-min spread of test error across orderings."""
+        if not self.test_error_per_seed:
+            return float("nan")
+        return float(np.max(self.test_error_per_seed) - np.min(self.test_error_per_seed))
+
+
+def run_column_order_ablation(
+    seeds: Sequence[int] = (1, 2, 3),
+    quantizer_bits: int = 3,
+    scale: ExperimentScale = SCALE_FAST,
+) -> ColumnOrderAblationResult:
+    """Train the ACM-mapped LeNet with different initialisation seeds.
+
+    Different seeds place different weights next to each other in the ACM
+    chain (the network is free to learn any assignment), so the spread of the
+    resulting accuracy measures how sensitive ACM is to the coupling order.
+    """
+    result = ColumnOrderAblationResult()
+    train_set, test_set = dataset_for("lenet", scale)
+    for seed in seeds:
+        model = model_for("lenet", "acm", quantizer_bits=quantizer_bits, scale=scale, seed=seed)
+        config = TrainingConfig(
+            epochs=scale.epochs, batch_size=scale.batch_size, lr=scale.lr, seed=seed
+        )
+        history = Trainer(model, train_set, test_set, config).fit()
+        result.test_error_per_seed.append(history.final_test_error)
+    return result

@@ -1,0 +1,132 @@
+"""Shared experiment configuration: scales, datasets and model selection.
+
+The paper's experiments train full-size networks on MNIST / CIFAR-10 for tens
+to hundreds of epochs on a GPU; the reproduction substitutes synthetic tasks
+and reduced-width networks, and exposes three *scales* so the same drivers can
+run as quick CI benchmarks or as longer, higher-fidelity studies:
+
+* ``SCALE_SMOKE`` — seconds; used by the unit/integration tests.
+* ``SCALE_FAST``  — a couple of minutes for the full benchmark suite; the
+  default for ``pytest benchmarks/``.
+* ``SCALE_FULL``  — larger datasets and more epochs for tighter curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.data.dataset import ArrayDataset
+from repro.data.synthetic import synthetic_cifar, synthetic_mnist
+from repro.models import make_lenet, make_mlp, make_resnet20, make_vgg9
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs controlling the cost/fidelity trade-off of an experiment run.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports.
+    samples_per_class:
+        Synthetic-dataset size per class.
+    epochs:
+        Training epochs for the precision sweeps.
+    fp32_epochs:
+        Training epochs for the FP32 curve experiment (Fig. 5a/e).
+    batch_size, lr:
+        SGD hyper-parameters shared by every mapping (the comparison is
+        always at matched hyper-parameters).
+    variation_samples:
+        Number of variation draws per sigma for the Fig. 6 protocol
+        (the paper uses 25).
+    resnet_blocks:
+        Residual blocks per stage for the ResNet model (3 = ResNet-20).
+    """
+
+    name: str
+    samples_per_class: int
+    epochs: int
+    fp32_epochs: int
+    batch_size: int
+    lr: float
+    variation_samples: int
+    resnet_blocks: int
+
+
+SCALE_SMOKE = ExperimentScale(
+    name="smoke",
+    samples_per_class=20,
+    epochs=3,
+    fp32_epochs=4,
+    batch_size=32,
+    lr=0.05,
+    variation_samples=3,
+    resnet_blocks=1,
+)
+
+SCALE_FAST = ExperimentScale(
+    name="fast",
+    samples_per_class=60,
+    epochs=8,
+    fp32_epochs=12,
+    batch_size=32,
+    lr=0.05,
+    variation_samples=5,
+    resnet_blocks=1,
+)
+
+SCALE_FULL = ExperimentScale(
+    name="full",
+    samples_per_class=120,
+    epochs=15,
+    fp32_epochs=30,
+    batch_size=32,
+    lr=0.05,
+    variation_samples=25,
+    resnet_blocks=3,
+)
+
+
+#: Networks evaluated in the paper, keyed by the name used in Fig. 5 / Fig. 6.
+NETWORK_NAMES = ("lenet", "vgg9", "resnet20", "mlp")
+
+
+def dataset_for(network: str, scale: ExperimentScale) -> Tuple[ArrayDataset, ArrayDataset]:
+    """Return the (train, test) datasets the paper pairs with each network.
+
+    LeNet and the MLP train on the MNIST-like task; VGG-9 and ResNet-20 train
+    on the CIFAR-like task, mirroring the paper's dataset/network pairing.
+    """
+    key = network.lower()
+    if key in ("lenet", "mlp"):
+        return synthetic_mnist(samples_per_class=scale.samples_per_class)
+    if key in ("vgg9", "resnet20"):
+        return synthetic_cifar(samples_per_class=scale.samples_per_class)
+    raise ValueError(f"unknown network {network!r}; expected one of {NETWORK_NAMES}")
+
+
+def model_for(
+    network: str,
+    mapping: str,
+    quantizer_bits: Optional[int],
+    scale: ExperimentScale,
+    seed: int = 1,
+):
+    """Build the network used by an experiment for one mapping/precision."""
+    key = network.lower()
+    if key == "lenet":
+        return make_lenet(mapping=mapping, quantizer_bits=quantizer_bits, seed=seed)
+    if key == "vgg9":
+        return make_vgg9(mapping=mapping, quantizer_bits=quantizer_bits, seed=seed)
+    if key == "resnet20":
+        return make_resnet20(
+            mapping=mapping,
+            quantizer_bits=quantizer_bits,
+            blocks_per_stage=scale.resnet_blocks,
+            seed=seed,
+        )
+    if key == "mlp":
+        return make_mlp(mapping=mapping, quantizer_bits=quantizer_bits, seed=seed)
+    raise ValueError(f"unknown network {network!r}; expected one of {NETWORK_NAMES}")

@@ -1,0 +1,170 @@
+"""Drivers for the paper's Fig. 5: training accuracy under device constraints.
+
+Two protocols are covered:
+
+* :func:`run_fp32_training` — full-precision training curves (Fig. 5a / 5e):
+  error-vs-epoch for the baseline and the three mappings.
+* :func:`run_precision_sweep` — final test error as a function of device
+  weight precision, with either a linear (Fig. 5b-d) or non-linear
+  (Fig. 5f-h) weight-update model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.config import ExperimentScale, SCALE_FAST, dataset_for, model_for
+from repro.train.trainer import Trainer, TrainingConfig, TrainingHistory
+
+
+@dataclass
+class Fp32Result:
+    """Error-vs-epoch curves for FP32 training (Fig. 5a / 5e).
+
+    Attributes
+    ----------
+    network:
+        The network trained ("lenet" or "resnet20" in the paper).
+    histories:
+        Per-mapping :class:`TrainingHistory`, keyed by mapping name
+        (including ``"baseline"``).
+    """
+
+    network: str
+    histories: Dict[str, TrainingHistory] = field(default_factory=dict)
+
+    def final_test_errors(self) -> Dict[str, float]:
+        """Final-epoch test error per mapping."""
+        return {name: history.final_test_error for name, history in self.histories.items()}
+
+    def as_rows(self) -> List[str]:
+        """Formatted per-mapping summary lines (for benchmark output)."""
+        rows = []
+        for name, history in self.histories.items():
+            rows.append(
+                f"{self.network:10s} {name:9s} "
+                f"final train err {history.final_train_error:6.2f}%  "
+                f"final test err {history.final_test_error:6.2f}%"
+            )
+        return rows
+
+
+def run_fp32_training(
+    network: str = "lenet",
+    mappings: Sequence[str] = ("baseline", "acm", "de", "bc"),
+    scale: ExperimentScale = SCALE_FAST,
+    seed: int = 1,
+) -> Fp32Result:
+    """Train ``network`` at full precision with every mapping (Fig. 5a / 5e)."""
+    train_set, test_set = dataset_for(network, scale)
+    result = Fp32Result(network=network)
+    for mapping in mappings:
+        model = model_for(network, mapping, quantizer_bits=None, scale=scale, seed=seed)
+        config = TrainingConfig(
+            epochs=scale.fp32_epochs,
+            batch_size=scale.batch_size,
+            lr=scale.lr,
+            seed=seed,
+        )
+        trainer = Trainer(model, train_set, test_set, config)
+        result.histories[mapping] = trainer.fit()
+    return result
+
+
+@dataclass
+class PrecisionSweepResult:
+    """Test error versus device weight precision (Fig. 5b-d / 5f-h).
+
+    Attributes
+    ----------
+    network:
+        The network trained.
+    nonlinear_update:
+        Whether the non-linear device update model was used during training.
+    bits:
+        The precisions swept.
+    test_error:
+        ``{mapping: [error % per bit setting]}`` in the order of ``bits``.
+    """
+
+    network: str
+    nonlinear_update: bool
+    bits: List[int] = field(default_factory=list)
+    test_error: Dict[str, List[float]] = field(default_factory=dict)
+
+    def error_at(self, mapping: str, bits: int) -> float:
+        """Test error of one mapping at one precision."""
+        return self.test_error[mapping][self.bits.index(bits)]
+
+    def advantage_over_bc(self, mapping: str = "acm") -> List[float]:
+        """Per-precision error reduction of ``mapping`` relative to BC (positive = better)."""
+        return [
+            bc - other
+            for bc, other in zip(self.test_error["bc"], self.test_error[mapping])
+        ]
+
+    def as_rows(self) -> List[str]:
+        """Formatted rows, one per precision (for benchmark output)."""
+        update = "nonlinear" if self.nonlinear_update else "linear"
+        rows = []
+        for index, bits in enumerate(self.bits):
+            cells = "  ".join(
+                f"{mapping}={self.test_error[mapping][index]:6.2f}%"
+                for mapping in self.test_error
+            )
+            rows.append(f"{self.network:10s} {update:9s} {bits}-bit  {cells}")
+        return rows
+
+
+def run_precision_sweep(
+    network: str = "lenet",
+    bits: Sequence[int] = (2, 3, 4, 5, 6),
+    mappings: Sequence[str] = ("acm", "de", "bc"),
+    nonlinear_update: bool = False,
+    nonlinearity: float = 3.0,
+    scale: ExperimentScale = SCALE_FAST,
+    activation_bits: Optional[int] = 8,
+    seed: int = 1,
+) -> PrecisionSweepResult:
+    """Sweep device weight precision and record final test error per mapping.
+
+    Parameters
+    ----------
+    network:
+        ``"lenet"``, ``"vgg9"`` or ``"resnet20"`` (Fig. 5 columns).
+    bits:
+        Device precisions to sweep (the paper studies 2-8 bits and highlights
+        the <=5-bit regime demonstrated at array scale).
+    nonlinear_update:
+        ``False`` reproduces the linear-update rows (Fig. 5b-d), ``True`` the
+        non-linear rows (Fig. 5f-h).
+    nonlinearity:
+        Non-linearity coefficient of the device model when enabled.
+    activation_bits:
+        Activation quantisation (the paper reports 8-bit activations).
+    """
+    train_set, test_set = dataset_for(network, scale)
+    result = PrecisionSweepResult(
+        network=network, nonlinear_update=nonlinear_update, bits=list(bits)
+    )
+    for mapping in mappings:
+        errors = []
+        for precision in bits:
+            model = model_for(
+                network, mapping, quantizer_bits=precision, scale=scale, seed=seed
+            )
+            config = TrainingConfig(
+                epochs=scale.epochs,
+                batch_size=scale.batch_size,
+                lr=scale.lr,
+                nonlinear_update=nonlinear_update,
+                nonlinearity=nonlinearity,
+                activation_bits=activation_bits,
+                seed=seed,
+            )
+            trainer = Trainer(model, train_set, test_set, config)
+            history = trainer.fit()
+            errors.append(history.final_test_error)
+        result.test_error[mapping] = errors
+    return result

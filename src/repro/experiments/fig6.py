@@ -1,0 +1,108 @@
+"""Driver for the paper's Fig. 6: inference accuracy under device variation.
+
+Protocol: train the VGG-9 network on the CIFAR-like task at a given device
+precision with each mapping, then — without any fine-tuning — add zero-mean
+Gaussian variation to every programmed conductance and measure inference
+accuracy, averaging multiple independent variation draws per sigma.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.experiments.config import ExperimentScale, SCALE_FAST, dataset_for, model_for
+from repro.train.evaluate import VariationSweepResult, variation_sweep
+from repro.train.trainer import Trainer, TrainingConfig
+
+
+@dataclass
+class VariationStudyResult:
+    """Inference accuracy versus device-variation sigma (Fig. 6).
+
+    Attributes
+    ----------
+    network:
+        Network evaluated (the paper uses VGG-9 on CIFAR-10).
+    bits:
+        Device precisions studied (panels of Fig. 6).
+    sigmas:
+        Variation sigmas swept, as fractions of the conductance range.
+    accuracy:
+        ``accuracy[bits][mapping]`` is the per-sigma mean accuracy list.
+    sweeps:
+        The raw :class:`VariationSweepResult` objects, same keying.
+    """
+
+    network: str
+    bits: List[int] = field(default_factory=list)
+    sigmas: List[float] = field(default_factory=list)
+    accuracy: Dict[int, Dict[str, List[float]]] = field(default_factory=dict)
+    sweeps: Dict[int, Dict[str, VariationSweepResult]] = field(default_factory=dict)
+
+    def accuracy_at(self, bits: int, mapping: str, sigma: float) -> float:
+        """Mean accuracy of one mapping at one precision and sigma."""
+        index = self.sigmas.index(sigma)
+        return self.accuracy[bits][mapping][index]
+
+    def best_mapping_at(self, bits: int, sigma: float) -> str:
+        """Mapping with the highest mean accuracy at one (bits, sigma) point."""
+        index = self.sigmas.index(sigma)
+        return max(self.accuracy[bits], key=lambda name: self.accuracy[bits][name][index])
+
+    def as_rows(self) -> List[str]:
+        """Formatted rows, one per (precision, sigma) point."""
+        rows = []
+        for bits in self.bits:
+            for index, sigma in enumerate(self.sigmas):
+                cells = "  ".join(
+                    f"{mapping}={self.accuracy[bits][mapping][index] * 100.0:6.2f}%"
+                    for mapping in self.accuracy[bits]
+                )
+                rows.append(f"{self.network:8s} {bits}-bit  sigma={sigma * 100.0:5.1f}%  {cells}")
+        return rows
+
+
+def run_variation_study(
+    network: str = "vgg9",
+    bits: Sequence[int] = (1, 3, 4, 6),
+    sigmas: Sequence[float] = (0.0, 0.05, 0.10, 0.15, 0.20, 0.25),
+    mappings: Sequence[str] = ("de", "acm", "bc"),
+    scale: ExperimentScale = SCALE_FAST,
+    seed: int = 1,
+) -> VariationStudyResult:
+    """Reproduce the Fig. 6 device-variation study.
+
+    For every precision in ``bits`` and every mapping, the network is trained
+    once and then evaluated under every sigma in ``sigmas`` with
+    ``scale.variation_samples`` independent variation draws per point.
+    """
+    train_set, test_set = dataset_for(network, scale)
+    result = VariationStudyResult(
+        network=network, bits=list(bits), sigmas=[float(s) for s in sigmas]
+    )
+    for precision in bits:
+        result.accuracy[precision] = {}
+        result.sweeps[precision] = {}
+        for mapping in mappings:
+            model = model_for(
+                network, mapping, quantizer_bits=precision, scale=scale, seed=seed
+            )
+            config = TrainingConfig(
+                epochs=scale.epochs,
+                batch_size=scale.batch_size,
+                lr=scale.lr,
+                activation_bits=8,
+                seed=seed,
+            )
+            Trainer(model, train_set, test_set, config).fit()
+            sweep = variation_sweep(
+                model,
+                test_set,
+                sigmas=result.sigmas,
+                num_samples=scale.variation_samples,
+                seed=seed,
+            )
+            result.accuracy[precision][mapping] = list(sweep.mean_accuracy)
+            result.sweeps[precision][mapping] = sweep
+    return result

@@ -1,0 +1,40 @@
+"""Driver for the paper's Table I: system-level comparison of the mappings."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.hardware.accelerator import LayerSpec, mlp_layer_specs
+from repro.hardware.params import DEFAULT_14NM, TechnologyParams
+from repro.hardware.report import SystemReport, table1_report
+
+
+def run_system_comparison(
+    specs: Sequence[LayerSpec] = None,
+    training_samples: int = 1000,
+    params: TechnologyParams = DEFAULT_14NM,
+) -> SystemReport:
+    """Generate the Table I system-level comparison for the 2-layer MLP.
+
+    Parameters
+    ----------
+    specs:
+        Layer specifications; defaults to the paper's two-layer MLP
+        (400-100-10, following the NeuroSim MLP example).
+    training_samples:
+        Samples per training epoch used to scale per-MVM energy and delay to
+        the per-epoch numbers Table I reports.
+    params:
+        Technology parameters (14 nm defaults).
+
+    Returns
+    -------
+    SystemReport
+        Per-mapping crossbar area, periphery area, read energy and read delay,
+        with helpers to compute the DE/ACM and BC/ACM ratios the paper quotes
+        (2.3x area, 7x read energy, 1.33x delay for DE; parity for BC).
+    """
+    layer_specs = list(specs) if specs is not None else mlp_layer_specs()
+    return table1_report(
+        specs=layer_specs, training_samples=training_samples, params=params
+    )

@@ -1,0 +1,64 @@
+"""NeuroSim-style system-level cost model for crossbar accelerators.
+
+The paper's Table I compares area, read energy and read delay of a crossbar
+accelerator training a two-layer MLP under the three mapping approaches,
+generated with the NeuroSim+ tool at a 14 nm technology node.  NeuroSim is
+not available offline, so this package implements a first-order analytical
+model of the same structure:
+
+* per-tile crossbar area from the cell size and tile dimensions,
+* periphery area/energy/delay from analytical models of the ADCs,
+  column multiplexers, word-line decoder, bit-line/select-line switch
+  matrices, adders and shift registers,
+* read energy from row/column wire capacitances (which grow with the column
+  count a mapping requires), ADC conversions, and inter-tile routing,
+* read delay from the column multiplexing factor and ADC conversion time.
+
+The absolute numbers are first-order estimates; the quantity of interest is
+the *ratio* between mappings (BC and ACM identical, DE paying for twice the
+columns), which is what the paper's Table I reports.
+"""
+
+from repro.hardware.params import TechnologyParams, DEFAULT_14NM
+from repro.hardware.components import (
+    ADC,
+    ColumnMux,
+    WordlineDecoder,
+    SwitchMatrix,
+    AdderTree,
+    ShiftRegister,
+    RowDriver,
+    ComponentCost,
+)
+from repro.hardware.accelerator import (
+    LayerSpec,
+    MappedLayerHardware,
+    AcceleratorEstimate,
+    estimate_layer,
+    estimate_network,
+    mlp_layer_specs,
+    layer_specs_from_model,
+)
+from repro.hardware.report import SystemReport, table1_report
+
+__all__ = [
+    "TechnologyParams",
+    "DEFAULT_14NM",
+    "ADC",
+    "ColumnMux",
+    "WordlineDecoder",
+    "SwitchMatrix",
+    "AdderTree",
+    "ShiftRegister",
+    "RowDriver",
+    "ComponentCost",
+    "LayerSpec",
+    "MappedLayerHardware",
+    "AcceleratorEstimate",
+    "estimate_layer",
+    "estimate_network",
+    "mlp_layer_specs",
+    "layer_specs_from_model",
+    "SystemReport",
+    "table1_report",
+]

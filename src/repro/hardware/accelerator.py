@@ -1,0 +1,288 @@
+"""Accelerator-level area / read-energy / read-delay estimation.
+
+The estimator maps each weight-bearing layer of a network, under a chosen
+mapping (BC / DE / ACM), onto fixed-size crossbar tiles and sums the tile and
+periphery costs.  Read energy and delay are reported for one training epoch
+(forward MVMs over the training set), which is the quantity the paper's
+Table I reports for a two-layer MLP.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.hardware.components import (
+    ADC,
+    AdderTree,
+    ColumnMux,
+    ComponentCost,
+    RowDriver,
+    ShiftRegister,
+    SwitchMatrix,
+    WordlineDecoder,
+    ZERO_COST,
+)
+from repro.hardware.params import DEFAULT_14NM, TechnologyParams
+from repro.mapping.periphery import periphery_for
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """Logical description of one weight-bearing layer to be mapped.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports.
+    num_inputs:
+        Fan-in of the layer (crossbar rows).
+    num_outputs:
+        Logical signed outputs of the layer.
+    mvm_count_per_sample:
+        Number of MVMs this layer performs per input sample (1 for dense
+        layers; for convolutions this is the number of output pixels, since
+        the kernel matrix is applied once per output location).
+    """
+
+    name: str
+    num_inputs: int
+    num_outputs: int
+    mvm_count_per_sample: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_inputs <= 0 or self.num_outputs <= 0:
+            raise ValueError("layer dimensions must be positive")
+        if self.mvm_count_per_sample <= 0:
+            raise ValueError("mvm_count_per_sample must be positive")
+
+
+@dataclass
+class MappedLayerHardware:
+    """Hardware cost breakdown of one layer under one mapping."""
+
+    spec: LayerSpec
+    mapping: str
+    physical_columns: int
+    num_tiles: int
+    xbar_area_um2: float
+    periphery_area_um2: float
+    read_energy_pj_per_mvm: float
+    read_delay_ns: float
+
+    @property
+    def total_area_um2(self) -> float:
+        return self.xbar_area_um2 + self.periphery_area_um2
+
+
+@dataclass
+class AcceleratorEstimate:
+    """Aggregated accelerator estimate for a whole network under one mapping."""
+
+    mapping: str
+    layers: List[MappedLayerHardware] = field(default_factory=list)
+    training_samples: int = 0
+
+    @property
+    def xbar_area_um2(self) -> float:
+        return sum(layer.xbar_area_um2 for layer in self.layers)
+
+    @property
+    def periphery_area_um2(self) -> float:
+        return sum(layer.periphery_area_um2 for layer in self.layers)
+
+    @property
+    def total_area_um2(self) -> float:
+        return self.xbar_area_um2 + self.periphery_area_um2
+
+    @property
+    def read_energy_uj_per_epoch(self) -> float:
+        """Read energy for one epoch of forward passes, in microjoules."""
+        total_pj = sum(
+            layer.read_energy_pj_per_mvm * layer.spec.mvm_count_per_sample
+            for layer in self.layers
+        ) * self.training_samples
+        return total_pj * 1e-6
+
+    @property
+    def read_delay_ms_per_epoch(self) -> float:
+        """Read latency for one epoch of forward passes, in milliseconds.
+
+        Layers execute sequentially (layer pipelining is not modelled), so
+        per-sample delay is the sum of layer delays.
+        """
+        per_sample_ns = sum(
+            layer.read_delay_ns * layer.spec.mvm_count_per_sample for layer in self.layers
+        )
+        return per_sample_ns * self.training_samples * 1e-6
+
+
+def _physical_columns(mapping: str, num_outputs: int) -> int:
+    """Number of crossbar columns the mapping needs for ``num_outputs``."""
+    return periphery_for(mapping, num_outputs).num_columns
+
+
+def estimate_layer(
+    spec: LayerSpec,
+    mapping: str,
+    params: TechnologyParams = DEFAULT_14NM,
+    tile_rows: int = 128,
+    tile_cols: int = 128,
+) -> MappedLayerHardware:
+    """Estimate the hardware cost of one layer under one mapping.
+
+    The layer's crossbar matrix has ``spec.num_inputs`` rows and
+    ``physical_columns(mapping)`` columns and is partitioned over
+    ``tile_rows x tile_cols`` tiles.  Every tile carries its own periphery
+    (drivers, decoder, switch matrices, mux, ADC); digital adders combine the
+    partial sums of row-tiles and implement the periphery-matrix subtraction.
+    """
+    physical_columns = _physical_columns(mapping, spec.num_outputs)
+    rows = spec.num_inputs
+    cols = physical_columns
+
+    row_tiles = math.ceil(rows / tile_rows)
+    col_tiles = math.ceil(cols / tile_cols)
+    num_tiles = row_tiles * col_tiles
+
+    adc = ADC(params)
+    mux = ColumnMux(params)
+    decoder = WordlineDecoder(params)
+    switches = SwitchMatrix(params)
+    adders = AdderTree(params)
+    shift = ShiftRegister(params)
+    driver = RowDriver(params)
+
+    xbar_area = rows * cols * params.cell_area_um2
+
+    periphery = ZERO_COST
+    read_energy_pj = 0.0
+    # Row tiles operate in parallel (their partial sums are merged digitally);
+    # column tiles share the layer's output adders and registers, so their ADC
+    # phases serialise — this is the extra multiplexing delay the paper
+    # attributes to DE's additional columns.
+    column_tile_delays = [0.0] * col_tiles
+
+    for tile_index in range(num_tiles):
+        tile_row_index = tile_index // col_tiles
+        tile_col_index = tile_index % col_tiles
+        tile_r = min(tile_rows, rows - tile_row_index * tile_rows)
+        tile_c = min(tile_cols, cols - tile_col_index * tile_cols)
+
+        tile_cost = (
+            adc.cost(tile_c)
+            + mux.cost(tile_c)
+            + decoder.cost(tile_r)
+            + switches.cost(tile_r)
+            + switches.cost(tile_c)
+            + driver.cost(tile_r, tile_c)
+        )
+        periphery = periphery + ComponentCost(tile_cost.area_um2, 0.0, 0.0)
+        read_energy_pj += tile_cost.energy_pj
+        column_tile_delays[tile_col_index] = max(
+            column_tile_delays[tile_col_index], tile_cost.delay_ns
+        )
+
+    read_delay_ns = sum(column_tile_delays)
+
+    # Digital combination: one subtraction per logical output plus partial-sum
+    # accumulation across row tiles, and shift registers for bit-serial input.
+    combine = adders.cost(spec.num_outputs, num_operands=1 + row_tiles)
+    registers = shift.cost(spec.num_outputs)
+    periphery = periphery + ComponentCost(
+        combine.area_um2 + registers.area_um2, 0.0, 0.0
+    )
+    read_energy_pj += combine.energy_pj + registers.energy_pj
+    read_delay_ns += combine.delay_ns + registers.delay_ns
+
+    # Inter-tile routing (H-tree): energy grows superlinearly with tile count
+    # because partial results travel further as the array footprint grows.
+    if num_tiles > 1:
+        routing_distance_um = math.sqrt(num_tiles) * tile_cols * params.cell_width_um
+        routing_cap_ff = routing_distance_um * params.wire_cap_ff_per_um
+        routing_energy = (
+            params.htree_energy_factor
+            * num_tiles
+            * routing_cap_ff
+            * params.read_voltage ** 2
+            * 1e-3
+        )
+        read_energy_pj += routing_energy
+
+    return MappedLayerHardware(
+        spec=spec,
+        mapping=mapping.lower(),
+        physical_columns=physical_columns,
+        num_tiles=num_tiles,
+        xbar_area_um2=xbar_area,
+        periphery_area_um2=periphery.area_um2,
+        read_energy_pj_per_mvm=read_energy_pj,
+        read_delay_ns=read_delay_ns,
+    )
+
+
+def estimate_network(
+    specs: Sequence[LayerSpec],
+    mapping: str,
+    training_samples: int = 1000,
+    params: TechnologyParams = DEFAULT_14NM,
+    tile_rows: int = 128,
+    tile_cols: int = 128,
+) -> AcceleratorEstimate:
+    """Estimate accelerator cost for a whole network under one mapping."""
+    estimate = AcceleratorEstimate(mapping=mapping.lower(), training_samples=training_samples)
+    for spec in specs:
+        estimate.layers.append(
+            estimate_layer(spec, mapping, params=params, tile_rows=tile_rows, tile_cols=tile_cols)
+        )
+    return estimate
+
+
+def mlp_layer_specs(
+    input_size: int = 400, hidden_size: int = 100, num_classes: int = 10
+) -> List[LayerSpec]:
+    """Layer specs of the two-layer MLP used in the paper's Table I.
+
+    Defaults follow the NeuroSim MLP example the paper builds on: a
+    400-100-10 network (20x20 cropped MNIST digits).
+    """
+    return [
+        LayerSpec("fc1", num_inputs=input_size, num_outputs=hidden_size),
+        LayerSpec("fc2", num_inputs=hidden_size, num_outputs=num_classes),
+    ]
+
+
+def layer_specs_from_model(model) -> List[LayerSpec]:
+    """Extract :class:`LayerSpec` entries from a model built with this library.
+
+    Both baseline and mapped layers are recognised; convolutional layers
+    contribute one MVM per output spatial location, approximated from the
+    layer geometry assuming the input spatial size is carried on the module
+    (set by the model factories via ``expected_input_size`` when available).
+    """
+    from repro.mapping.mapped_layer import MappedConv2d, MappedLinear
+    from repro.nn.layers import Conv2d, Linear
+
+    specs: List[LayerSpec] = []
+    for index, module in enumerate(model.modules()):
+        if isinstance(module, (Linear, MappedLinear)):
+            specs.append(
+                LayerSpec(
+                    name=f"linear{index}",
+                    num_inputs=module.in_features,
+                    num_outputs=module.out_features,
+                )
+            )
+        elif isinstance(module, (Conv2d, MappedConv2d)):
+            fan_in = module.in_channels * module.kernel_size ** 2
+            output_pixels = getattr(module, "expected_output_pixels", 64)
+            specs.append(
+                LayerSpec(
+                    name=f"conv{index}",
+                    num_inputs=fan_in,
+                    num_outputs=module.out_channels,
+                    mvm_count_per_sample=output_pixels,
+                )
+            )
+    return specs

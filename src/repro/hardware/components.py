@@ -1,0 +1,212 @@
+"""Analytical models of the crossbar peripheral circuit components.
+
+Each component exposes area (um^2), energy per use (pJ), and delay (ns)
+through a common :class:`ComponentCost` result.  The models are first-order:
+they capture how cost scales with the number of rows/columns a mapping
+requires, which is what drives the differences between BC, ACM and DE in the
+paper's Table I.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hardware.params import TechnologyParams, DEFAULT_14NM
+
+
+@dataclass(frozen=True)
+class ComponentCost:
+    """Aggregate cost of one component instance.
+
+    Attributes
+    ----------
+    area_um2:
+        Layout area in square micrometres.
+    energy_pj:
+        Energy per invocation (one MVM read unless stated otherwise) in
+        picojoules.
+    delay_ns:
+        Latency contribution per invocation in nanoseconds.
+    """
+
+    area_um2: float
+    energy_pj: float
+    delay_ns: float
+
+    def __add__(self, other: "ComponentCost") -> "ComponentCost":
+        return ComponentCost(
+            area_um2=self.area_um2 + other.area_um2,
+            energy_pj=self.energy_pj + other.energy_pj,
+            delay_ns=self.delay_ns + other.delay_ns,
+        )
+
+    def scaled(self, area: float = 1.0, energy: float = 1.0, delay: float = 1.0) -> "ComponentCost":
+        """Return a copy with each field multiplied by the given factor."""
+        return ComponentCost(
+            area_um2=self.area_um2 * area,
+            energy_pj=self.energy_pj * energy,
+            delay_ns=self.delay_ns * delay,
+        )
+
+
+ZERO_COST = ComponentCost(0.0, 0.0, 0.0)
+
+
+class ADC:
+    """Column analog-to-digital converter (shared across ``mux_ratio`` columns)."""
+
+    def __init__(self, params: TechnologyParams = DEFAULT_14NM):
+        self.params = params
+
+    def cost(self, num_columns: int) -> ComponentCost:
+        """Cost of digitising every column of a tile once.
+
+        ``ceil(num_columns / mux_ratio)`` ADCs are instantiated; each performs
+        its share of sequential conversions per MVM, so the conversion phase
+        lasts ``ceil(num_columns / num_adcs)`` conversion times.
+        """
+        if num_columns <= 0:
+            raise ValueError("num_columns must be positive")
+        params = self.params
+        num_adcs = math.ceil(num_columns / params.mux_ratio)
+        conversions_per_adc = math.ceil(num_columns / num_adcs)
+        return ComponentCost(
+            area_um2=num_adcs * params.adc_area_um2,
+            energy_pj=num_columns * params.adc_energy_pj,
+            delay_ns=conversions_per_adc * params.adc_conversion_ns,
+        )
+
+
+class ColumnMux:
+    """Analog column multiplexer in front of each shared ADC."""
+
+    def __init__(self, params: TechnologyParams = DEFAULT_14NM):
+        self.params = params
+
+    def cost(self, num_columns: int) -> ComponentCost:
+        if num_columns <= 0:
+            raise ValueError("num_columns must be positive")
+        params = self.params
+        # One transmission gate per column plus select logic.
+        gates = num_columns * 2
+        return ComponentCost(
+            area_um2=gates * params.logic_gate_area_um2,
+            energy_pj=gates * params.logic_gate_energy_fj * 1e-3,
+            delay_ns=params.logic_delay_ns * math.ceil(math.log2(max(params.mux_ratio, 2))),
+        )
+
+
+class WordlineDecoder:
+    """Word-line (row) decoder activating the tile rows."""
+
+    def __init__(self, params: TechnologyParams = DEFAULT_14NM):
+        self.params = params
+
+    def cost(self, num_rows: int) -> ComponentCost:
+        if num_rows <= 0:
+            raise ValueError("num_rows must be positive")
+        params = self.params
+        address_bits = max(1, math.ceil(math.log2(num_rows)))
+        gates = num_rows * address_bits
+        return ComponentCost(
+            area_um2=gates * params.logic_gate_area_um2,
+            energy_pj=gates * params.logic_gate_energy_fj * 1e-3,
+            delay_ns=address_bits * params.logic_delay_ns,
+        )
+
+
+class SwitchMatrix:
+    """Bit-line / select-line switch matrix connecting drivers to the array."""
+
+    def __init__(self, params: TechnologyParams = DEFAULT_14NM):
+        self.params = params
+
+    def cost(self, num_lines: int) -> ComponentCost:
+        if num_lines <= 0:
+            raise ValueError("num_lines must be positive")
+        params = self.params
+        gates = num_lines * 4
+        return ComponentCost(
+            area_um2=gates * params.logic_gate_area_um2,
+            energy_pj=gates * params.logic_gate_energy_fj * 1e-3,
+            delay_ns=params.logic_delay_ns,
+        )
+
+
+class AdderTree:
+    """Digital adders combining column outputs through the periphery matrix.
+
+    Every mapping in the paper performs one subtraction per logical output
+    (this is the "operational overhead" that is identical for BC, DE and
+    ACM); the adder tree also accumulates partial sums across row-tiles.
+    """
+
+    def __init__(self, params: TechnologyParams = DEFAULT_14NM):
+        self.params = params
+
+    def cost(self, num_outputs: int, operand_bits: int = 16, num_operands: int = 2) -> ComponentCost:
+        if num_outputs <= 0:
+            raise ValueError("num_outputs must be positive")
+        params = self.params
+        adders = num_outputs * max(1, num_operands - 1)
+        gates_per_adder = operand_bits * 6
+        gates = adders * gates_per_adder
+        return ComponentCost(
+            area_um2=gates * params.logic_gate_area_um2,
+            energy_pj=gates * params.logic_gate_energy_fj * 1e-3,
+            delay_ns=math.ceil(math.log2(max(num_operands, 2))) * operand_bits * params.logic_delay_ns,
+        )
+
+
+class ShiftRegister:
+    """Shift-and-add registers handling bit-serial input streaming."""
+
+    def __init__(self, params: TechnologyParams = DEFAULT_14NM):
+        self.params = params
+
+    def cost(self, num_outputs: int, register_bits: int = 16) -> ComponentCost:
+        if num_outputs <= 0:
+            raise ValueError("num_outputs must be positive")
+        params = self.params
+        gates = num_outputs * register_bits * 8
+        return ComponentCost(
+            area_um2=gates * params.logic_gate_area_um2,
+            energy_pj=gates * params.logic_gate_energy_fj * 1e-3,
+            delay_ns=params.logic_delay_ns,
+        )
+
+
+class RowDriver:
+    """Row (word-line) drivers that place the input voltages on the array.
+
+    The energy to charge a row wire grows with the wire length, i.e. with the
+    number of columns in the tile — this is the mechanism the paper cites for
+    DE's higher read energy ("longer wires for rows of the XBar array").
+    """
+
+    def __init__(self, params: TechnologyParams = DEFAULT_14NM):
+        self.params = params
+
+    def row_wire_cap_ff(self, num_columns: int) -> float:
+        """Capacitance of one row wire spanning ``num_columns`` cells, in fF."""
+        length_um = num_columns * self.params.cell_width_um
+        return length_um * self.params.wire_cap_ff_per_um
+
+    def cost(self, num_rows: int, num_columns: int) -> ComponentCost:
+        if num_rows <= 0 or num_columns <= 0:
+            raise ValueError("tile dimensions must be positive")
+        params = self.params
+        wire_cap_ff = self.row_wire_cap_ff(num_columns)
+        # E = C * V^2 per row per read pulse (fF * V^2 -> fJ -> pJ).
+        wire_energy_pj = num_rows * wire_cap_ff * params.read_voltage ** 2 * 1e-3
+        driver_energy_pj = num_rows * params.dac_energy_fj * 1e-3
+        # RC settling of the row wire.
+        wire_res = num_columns * params.cell_width_um * params.wire_res_ohm_per_um
+        settle_ns = 5.0 * wire_res * wire_cap_ff * 1e-6  # 5 RC, fF*ohm = 1e-6 ns
+        driver_area = num_rows * 4 * params.logic_gate_area_um2
+        return ComponentCost(
+            area_um2=driver_area,
+            energy_pj=wire_energy_pj + driver_energy_pj,
+            delay_ns=params.read_pulse_ns + settle_ns,
+        )

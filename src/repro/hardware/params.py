@@ -1,0 +1,103 @@
+"""Technology and circuit parameters for the hardware cost model.
+
+The defaults approximate a 14 nm logic node with 1T1R-style synapse cells,
+in line with the configuration the paper used for NeuroSim+.  Parameters are
+deliberately kept explicit and documented so studies can re-run the Table I
+comparison for other nodes or cell types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TechnologyParams:
+    """Process and circuit constants used throughout the cost model.
+
+    Attributes
+    ----------
+    feature_size_nm:
+        Lithographic feature size ``F`` in nanometres.
+    cell_area_f2:
+        Synapse cell area in units of ``F^2`` (1T1R cells are tens of F^2).
+    cell_height_f, cell_width_f:
+        Cell pitch in units of ``F`` along the word-line and bit-line
+        directions; wire lengths scale with these.
+    wire_cap_ff_per_um:
+        Interconnect capacitance per micrometre, in femtofarads.
+    wire_res_ohm_per_um:
+        Interconnect resistance per micrometre, in ohms.
+    read_voltage:
+        Read voltage applied to the rows during an MVM.
+    read_pulse_ns:
+        Duration of one analog read pulse.
+    adc_bits:
+        Resolution of the column ADCs.
+    adc_energy_pj:
+        Energy per ADC conversion, in picojoules.
+    adc_area_um2:
+        Area of one ADC, in square micrometres.
+    adc_conversion_ns:
+        Time for one ADC conversion.
+    mux_ratio:
+        Number of columns sharing one ADC through the column multiplexer.
+    logic_gate_area_um2:
+        Area of a minimum-size logic gate (used for adders, registers,
+        decoders) at this node.
+    logic_gate_energy_fj:
+        Switching energy of a minimum-size logic gate, in femtojoules.
+    logic_delay_ns:
+        Delay of a minimum-size logic gate.
+    dac_energy_fj:
+        Energy to drive one row with the input DAC/driver for one pulse
+        (excluding the wire charging energy, which is computed from the wire
+        capacitance).
+    htree_energy_factor:
+        Multiplier applied to inter-tile routing energy per unit of routed
+        distance (captures the H-tree/bus between tiles; grows with the
+        number of tiles a layer occupies).
+    """
+
+    feature_size_nm: float = 14.0
+    cell_area_f2: float = 112.0
+    cell_height_f: float = 10.0
+    cell_width_f: float = 10.0
+    wire_cap_ff_per_um: float = 0.2
+    wire_res_ohm_per_um: float = 2.0
+    read_voltage: float = 0.5
+    read_pulse_ns: float = 5.0
+    adc_bits: int = 5
+    adc_energy_pj: float = 0.3
+    adc_area_um2: float = 15.0
+    adc_conversion_ns: float = 1.0
+    mux_ratio: int = 64
+    logic_gate_area_um2: float = 0.01
+    logic_gate_energy_fj: float = 0.08
+    logic_delay_ns: float = 0.01
+    dac_energy_fj: float = 20.0
+    htree_energy_factor: float = 2.0
+
+    @property
+    def feature_size_um(self) -> float:
+        """Feature size in micrometres."""
+        return self.feature_size_nm * 1e-3
+
+    @property
+    def cell_area_um2(self) -> float:
+        """Synapse cell area in square micrometres."""
+        return self.cell_area_f2 * self.feature_size_um ** 2
+
+    @property
+    def cell_height_um(self) -> float:
+        """Cell pitch along a column (bit-line direction), in micrometres."""
+        return self.cell_height_f * self.feature_size_um
+
+    @property
+    def cell_width_um(self) -> float:
+        """Cell pitch along a row (word-line direction), in micrometres."""
+        return self.cell_width_f * self.feature_size_um
+
+
+#: Default parameter set approximating the paper's 14 nm NeuroSim+ configuration.
+DEFAULT_14NM = TechnologyParams()

@@ -1,0 +1,96 @@
+"""Table I style reporting of the system-level comparison."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.hardware.accelerator import (
+    AcceleratorEstimate,
+    LayerSpec,
+    estimate_network,
+    mlp_layer_specs,
+)
+from repro.hardware.params import DEFAULT_14NM, TechnologyParams
+
+
+@dataclass
+class SystemReport:
+    """System-level comparison of the three mappings for one network.
+
+    Attributes
+    ----------
+    estimates:
+        Per-mapping accelerator estimates, keyed by mapping name.
+    """
+
+    estimates: Dict[str, AcceleratorEstimate] = field(default_factory=dict)
+
+    #: Row labels in the order used by the paper's Table I.
+    ROW_LABELS = (
+        "XBar Area (um^2)",
+        "Periphery Area (um^2)",
+        "Read Energy (uJ)",
+        "Read Delay (ms)",
+    )
+
+    def row(self, label: str) -> Dict[str, float]:
+        """Return one table row as ``{mapping: value}``."""
+        extractors = {
+            "XBar Area (um^2)": lambda e: e.xbar_area_um2,
+            "Periphery Area (um^2)": lambda e: e.periphery_area_um2,
+            "Read Energy (uJ)": lambda e: e.read_energy_uj_per_epoch,
+            "Read Delay (ms)": lambda e: e.read_delay_ms_per_epoch,
+        }
+        if label not in extractors:
+            raise KeyError(f"unknown row {label!r}")
+        return {name: extractors[label](est) for name, est in self.estimates.items()}
+
+    def ratio(self, label: str, numerator: str = "de", denominator: str = "acm") -> float:
+        """Ratio of one metric between two mappings (paper reports DE / ACM)."""
+        values = self.row(label)
+        return values[numerator] / values[denominator]
+
+    def as_text(self) -> str:
+        """Render the comparison as an aligned text table (paper Table I layout)."""
+        mappings = list(self.estimates.keys())
+        header = f"{'Mapping':28s}" + "".join(f"{m.upper():>12s}" for m in mappings)
+        lines = [header]
+        for label in self.ROW_LABELS:
+            values = self.row(label)
+            lines.append(
+                f"{label:28s}" + "".join(f"{values[m]:12.3f}" for m in mappings)
+            )
+        return "\n".join(lines)
+
+
+def table1_report(
+    specs: Sequence[LayerSpec] = None,
+    training_samples: int = 1000,
+    params: TechnologyParams = DEFAULT_14NM,
+    mappings: Sequence[str] = ("bc", "de", "acm"),
+    tile_rows: int = 128,
+    tile_cols: int = 128,
+) -> SystemReport:
+    """Generate the paper's Table I for the two-layer MLP accelerator.
+
+    Parameters
+    ----------
+    specs:
+        Layer specifications; defaults to the two-layer MLP of the paper.
+    training_samples:
+        Number of training samples in one epoch (the paper reports energy and
+        delay per epoch of MLP training).
+    """
+    layer_specs = list(specs) if specs is not None else mlp_layer_specs()
+    report = SystemReport()
+    for mapping in mappings:
+        report.estimates[mapping] = estimate_network(
+            layer_specs,
+            mapping,
+            training_samples=training_samples,
+            params=params,
+            tile_rows=tile_rows,
+            tile_cols=tile_cols,
+        )
+    return report

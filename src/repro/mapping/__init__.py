@@ -1,0 +1,65 @@
+"""The paper's core contribution: periphery matrices and mapped layers.
+
+A signed weight matrix ``W`` (shape ``NO x NI``) is factored as
+``W = S @ M`` where ``M >= 0`` (shape ``ND x NI``) is stored on the crossbar
+and ``S`` (shape ``NO x ND``) is a fixed signed "periphery matrix" realised
+with adders/subtractors at the crossbar periphery.  Three periphery matrices
+are studied:
+
+* **DE** (double element): ``ND = 2*NO``, each output is the difference of a
+  dedicated column pair.
+* **BC** (bias column): ``ND = NO + 1``, every output subtracts a shared
+  reference column whose devices sit at mid-range conductance.
+* **ACM** (adjacent connection matrix, the paper's proposal):
+  ``ND = NO + 1``, each output is the difference of two *adjacent* crossbar
+  columns, so every column (except the ends) is shared by two outputs.
+
+This package provides the periphery-matrix constructors, verification of the
+sufficient conditions (Eq. 3 of the paper), the decomposition algorithm that
+produces a non-negative ``M`` for any signed ``W``, mapped dense/conv layers
+usable inside any network, and the quantified regularisation analysis of
+Section III-E.
+"""
+
+from repro.mapping.periphery import (
+    PeripheryMatrix,
+    acm_periphery,
+    bc_periphery,
+    de_periphery,
+    random_valid_periphery,
+    periphery_for,
+    MAPPING_NAMES,
+)
+from repro.mapping.decompose import (
+    decompose,
+    reconstruct,
+    check_sufficient_conditions,
+    SufficientConditionReport,
+    minimum_nonnegative_factor,
+)
+from repro.mapping.mapped_layer import MappedLinear, MappedConv2d
+from repro.mapping.regularization import (
+    weight_sum_constraint,
+    count_representable_sums,
+    effective_weight_range,
+)
+
+__all__ = [
+    "PeripheryMatrix",
+    "acm_periphery",
+    "bc_periphery",
+    "de_periphery",
+    "random_valid_periphery",
+    "periphery_for",
+    "MAPPING_NAMES",
+    "decompose",
+    "reconstruct",
+    "check_sufficient_conditions",
+    "SufficientConditionReport",
+    "minimum_nonnegative_factor",
+    "MappedLinear",
+    "MappedConv2d",
+    "weight_sum_constraint",
+    "count_representable_sums",
+    "effective_weight_range",
+]

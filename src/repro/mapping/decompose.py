@@ -1,0 +1,203 @@
+"""Decomposition of a signed weight matrix into ``S @ M`` with ``M >= 0``.
+
+This module implements and verifies the mathematical core of the paper's
+Section III: given a periphery matrix ``S`` satisfying the sufficient
+conditions (full row rank and a strictly positive null-space vector), any
+signed matrix ``W`` can be written as ``W = S @ M`` with element-wise
+non-negative ``M``.  The constructive proof is followed directly: solve the
+under-determined system for a particular solution, then shift it along the
+positive null-space direction until every entry is non-negative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SufficientConditionReport:
+    """Outcome of checking the paper's Eq. (3) sufficient conditions.
+
+    Attributes
+    ----------
+    rank:
+        Numerical rank of the periphery matrix.
+    full_row_rank:
+        Whether ``rank(S) == NO`` (condition 1).
+    has_positive_null_vector:
+        Whether a strictly positive null-space vector exists (condition 2).
+    positive_null_vector:
+        A strictly positive null-space vector if one was found, else ``None``.
+    satisfied:
+        True when both conditions hold.
+    """
+
+    rank: int
+    full_row_rank: bool
+    has_positive_null_vector: bool
+    positive_null_vector: Optional[np.ndarray]
+    satisfied: bool
+
+
+def _find_positive_null_vector(matrix: np.ndarray, tolerance: float = 1e-9) -> Optional[np.ndarray]:
+    """Search the null space of ``matrix`` for a strictly positive vector.
+
+    The all-ones vector is checked first (it is the null vector for every
+    mapping in the paper).  Otherwise a linear program would be the general
+    tool; here we fall back to examining the null-space basis and returning a
+    positive combination when one basis vector is already single-signed.
+    """
+    num_columns = matrix.shape[1]
+    ones = np.ones(num_columns)
+    if np.allclose(matrix @ ones, 0.0, atol=tolerance):
+        return ones
+
+    # General fallback: inspect the SVD null-space basis.
+    _, singular_values, vt = np.linalg.svd(matrix)
+    rank = int((singular_values > tolerance).sum())
+    null_basis = vt[rank:]
+    for vector in null_basis:
+        if (vector > tolerance).all():
+            return vector / vector.min()
+        if (vector < -tolerance).all():
+            return -vector / (-vector).min()
+    # Try a uniform combination of the basis vectors.
+    if len(null_basis):
+        combined = null_basis.sum(axis=0)
+        if (np.abs(matrix @ combined) < tolerance).all() and (combined > tolerance).all():
+            return combined / combined.min()
+    return None
+
+
+def check_sufficient_conditions(periphery) -> SufficientConditionReport:
+    """Check the paper's sufficient conditions (Eq. 3) for a periphery matrix.
+
+    Parameters
+    ----------
+    periphery:
+        Either a :class:`~repro.mapping.periphery.PeripheryMatrix` or a plain
+        2-D array.
+    """
+    matrix = periphery.matrix if hasattr(periphery, "matrix") else np.asarray(periphery, float)
+    num_outputs = matrix.shape[0]
+    rank = int(np.linalg.matrix_rank(matrix))
+    full_row_rank = rank == num_outputs
+
+    known_vector = getattr(periphery, "positive_null_vector", None)
+    positive_null_vector = None
+    if known_vector is not None and np.allclose(matrix @ known_vector, 0.0, atol=1e-9):
+        if (known_vector > 0).all():
+            positive_null_vector = np.asarray(known_vector, dtype=np.float64)
+    if positive_null_vector is None:
+        positive_null_vector = _find_positive_null_vector(matrix)
+
+    has_positive = positive_null_vector is not None
+    return SufficientConditionReport(
+        rank=rank,
+        full_row_rank=full_row_rank,
+        has_positive_null_vector=has_positive,
+        positive_null_vector=positive_null_vector,
+        satisfied=full_row_rank and has_positive,
+    )
+
+
+def decompose(
+    weights: np.ndarray,
+    periphery,
+    margin: float = 0.0,
+) -> np.ndarray:
+    """Factor a signed matrix ``W`` as ``S @ M`` with ``M >= 0`` and return ``M``.
+
+    Parameters
+    ----------
+    weights:
+        Signed weight matrix ``W`` of shape ``(NO, NI)``.
+    periphery:
+        The periphery matrix ``S`` (shape ``NO x ND``); must satisfy the
+        sufficient conditions.
+    margin:
+        Optional extra non-negative offset added along the positive null
+        direction, useful to keep programmed conductances away from the
+        absolute zero state.
+
+    Returns
+    -------
+    numpy.ndarray
+        Non-negative matrix ``M`` of shape ``(ND, NI)`` with ``S @ M == W``
+        (up to numerical precision).
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 2:
+        raise ValueError("weights must be a 2-D matrix (NO, NI)")
+    if margin < 0:
+        raise ValueError("margin must be non-negative")
+
+    matrix = periphery.matrix if hasattr(periphery, "matrix") else np.asarray(periphery, float)
+    report = check_sufficient_conditions(periphery)
+    if not report.satisfied:
+        raise ValueError(
+            "periphery matrix does not satisfy the sufficient conditions: "
+            f"rank={report.rank} (need {matrix.shape[0]}), "
+            f"positive null vector found={report.has_positive_null_vector}"
+        )
+
+    num_outputs, num_columns = matrix.shape
+    if weights.shape[0] != num_outputs:
+        raise ValueError(
+            f"weights have {weights.shape[0]} rows but periphery expects {num_outputs}"
+        )
+
+    # Particular (minimum-norm) solution of S m_k = w_k for every column k.
+    particular, *_ = np.linalg.lstsq(matrix, weights, rcond=None)
+
+    # Shift along the positive null vector until every entry is non-negative.
+    null_vector = report.positive_null_vector
+    minimum_per_column = particular.min(axis=0)
+    shift = np.maximum(0.0, -(minimum_per_column)) / null_vector.min()
+    shifted = particular + np.outer(null_vector, shift)
+    if margin > 0:
+        shifted = shifted + margin * null_vector[:, None]
+
+    # Numerical guard: clip tiny negatives introduced by floating point.
+    shifted = np.where(shifted < 0, np.where(shifted > -1e-12, 0.0, shifted), shifted)
+    if (shifted < 0).any():
+        raise RuntimeError("decomposition failed to produce a non-negative factor")
+    return shifted
+
+
+def reconstruct(nonnegative: np.ndarray, periphery) -> np.ndarray:
+    """Recombine a non-negative crossbar matrix through the periphery matrix."""
+    matrix = periphery.matrix if hasattr(periphery, "matrix") else np.asarray(periphery, float)
+    nonnegative = np.asarray(nonnegative, dtype=np.float64)
+    if nonnegative.shape[0] != matrix.shape[1]:
+        raise ValueError(
+            f"M has {nonnegative.shape[0]} rows but periphery expects {matrix.shape[1]}"
+        )
+    return matrix @ nonnegative
+
+
+def minimum_nonnegative_factor(weights: np.ndarray, periphery) -> np.ndarray:
+    """Decompose with the smallest possible conductance usage.
+
+    Like :func:`decompose` but, after the non-negativity shift, any common
+    offset along the null direction that keeps ``M`` non-negative is removed
+    per column, so at least one device per column sits at ``Gmin``.  This is
+    the natural programming choice when the conductance budget is tight.
+    """
+    matrix = periphery.matrix if hasattr(periphery, "matrix") else np.asarray(periphery, float)
+    factor = decompose(weights, periphery)
+    report = check_sufficient_conditions(periphery)
+    null_vector = report.positive_null_vector
+    # Remove the largest multiple of the null vector that keeps M >= 0.
+    ratios = factor / null_vector[:, None]
+    removable = ratios.min(axis=0)
+    tightened = factor - np.outer(null_vector, removable)
+    tightened = np.where(np.abs(tightened) < 1e-12, 0.0, tightened)
+    if (tightened < 0).any():
+        raise RuntimeError("tightened decomposition became negative")
+    # The reconstruction is unchanged because we only moved along the null space.
+    assert np.allclose(matrix @ tightened, matrix @ factor, atol=1e-8)
+    return tightened

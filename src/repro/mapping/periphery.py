@@ -1,0 +1,208 @@
+"""Periphery-matrix constructors for the ACM, DE and BC mappings.
+
+Every mapping is described by a :class:`PeripheryMatrix`: a fixed matrix ``S``
+with entries in ``{-1, 0, +1}`` that combines the outputs of the crossbar
+columns into the signed MVM outputs.  ``S`` has shape ``NO x ND`` where ``NO``
+is the number of logical (signed) outputs and ``ND >= NO + 1`` is the number
+of physical crossbar columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+#: Canonical names of the mappings studied in the paper.
+MAPPING_NAMES = ("acm", "de", "bc")
+
+
+@dataclass(frozen=True)
+class PeripheryMatrix:
+    """A fixed signed combination matrix applied at the crossbar periphery.
+
+    Attributes
+    ----------
+    matrix:
+        The ``NO x ND`` matrix with entries in ``{-1, 0, +1}``.
+    name:
+        Human-readable mapping name (``"acm"``, ``"de"``, ``"bc"``, ...).
+    positive_null_vector:
+        A strictly positive vector in the null space of ``matrix`` (the
+        second sufficient condition of the paper's Eq. 3).  Stored so the
+        decomposition can shift particular solutions into the non-negative
+        orthant without recomputing a null-space basis.
+    """
+
+    matrix: np.ndarray
+    name: str = "custom"
+    positive_null_vector: Optional[np.ndarray] = field(default=None)
+
+    def __post_init__(self) -> None:
+        matrix = np.asarray(self.matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ValueError("periphery matrix must be 2-D")
+        if not np.isin(matrix, (-1.0, 0.0, 1.0)).all():
+            raise ValueError("periphery matrix entries must be in {-1, 0, +1}")
+        object.__setattr__(self, "matrix", matrix)
+        if self.positive_null_vector is not None:
+            vector = np.asarray(self.positive_null_vector, dtype=np.float64)
+            if vector.shape != (matrix.shape[1],):
+                raise ValueError("positive null vector has the wrong length")
+            object.__setattr__(self, "positive_null_vector", vector)
+
+    # ------------------------------------------------------------------ #
+    # Shape helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def num_outputs(self) -> int:
+        """Number of logical signed outputs ``NO``."""
+        return self.matrix.shape[0]
+
+    @property
+    def num_columns(self) -> int:
+        """Number of physical crossbar columns ``ND``."""
+        return self.matrix.shape[1]
+
+    @property
+    def extra_columns(self) -> int:
+        """Hardware overhead in columns relative to the logical outputs."""
+        return self.num_columns - self.num_outputs
+
+    @property
+    def operations_per_output(self) -> int:
+        """Number of additions/subtractions performed per output at the periphery."""
+        nonzero_per_row = np.count_nonzero(self.matrix, axis=1)
+        return int(nonzero_per_row.max() - 1) if self.num_outputs else 0
+
+    def apply(self, column_outputs: np.ndarray) -> np.ndarray:
+        """Combine per-column crossbar outputs into signed outputs.
+
+        Parameters
+        ----------
+        column_outputs:
+            Array whose last dimension has length ``ND`` (one value per
+            physical crossbar column, e.g. digitised column currents).
+        """
+        column_outputs = np.asarray(column_outputs, dtype=np.float64)
+        if column_outputs.shape[-1] != self.num_columns:
+            raise ValueError(
+                f"expected last dimension {self.num_columns}, got {column_outputs.shape[-1]}"
+            )
+        return column_outputs @ self.matrix.T
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PeripheryMatrix(name={self.name!r}, "
+            f"outputs={self.num_outputs}, columns={self.num_columns})"
+        )
+
+
+def acm_periphery(num_outputs: int) -> PeripheryMatrix:
+    """Adjacent connection matrix: output ``j`` is ``column_j - column_{j+1}``.
+
+    Uses ``NO + 1`` crossbar columns; every interior column is shared (with
+    opposite signs) by two neighbouring outputs, which is the source of the
+    paper's nearest-neighbour coupling and its mild regularisation effect.
+    """
+    if num_outputs < 1:
+        raise ValueError("num_outputs must be at least 1")
+    num_columns = num_outputs + 1
+    matrix = np.zeros((num_outputs, num_columns))
+    for j in range(num_outputs):
+        matrix[j, j] = 1.0
+        matrix[j, j + 1] = -1.0
+    return PeripheryMatrix(matrix, name="acm", positive_null_vector=np.ones(num_columns))
+
+
+def de_periphery(num_outputs: int) -> PeripheryMatrix:
+    """Double-element mapping: output ``j`` is ``column_{2j} - column_{2j+1}``.
+
+    Uses ``2 * NO`` crossbar columns (a positive and a negative element per
+    weight), doubling the representable weight range at twice the hardware.
+    """
+    if num_outputs < 1:
+        raise ValueError("num_outputs must be at least 1")
+    num_columns = 2 * num_outputs
+    matrix = np.zeros((num_outputs, num_columns))
+    for j in range(num_outputs):
+        matrix[j, 2 * j] = 1.0
+        matrix[j, 2 * j + 1] = -1.0
+    return PeripheryMatrix(matrix, name="de", positive_null_vector=np.ones(num_columns))
+
+
+def bc_periphery(num_outputs: int) -> PeripheryMatrix:
+    """Bias-column mapping: output ``j`` is ``column_j - column_ref``.
+
+    Uses ``NO + 1`` columns; the last column is a shared reference whose
+    devices are fixed to the middle of the conductance range, so the
+    representable weight range is half that of DE/ACM.
+    """
+    if num_outputs < 1:
+        raise ValueError("num_outputs must be at least 1")
+    num_columns = num_outputs + 1
+    matrix = np.zeros((num_outputs, num_columns))
+    for j in range(num_outputs):
+        matrix[j, j] = 1.0
+        matrix[j, num_columns - 1] = -1.0
+    return PeripheryMatrix(matrix, name="bc", positive_null_vector=np.ones(num_columns))
+
+
+def random_valid_periphery(
+    num_outputs: int,
+    extra_columns: int = 1,
+    rng: Optional[np.random.Generator] = None,
+) -> PeripheryMatrix:
+    """Sample a random periphery matrix satisfying the sufficient conditions.
+
+    Used by the ablation benchmark to compare ACM against other members of the
+    family of valid periphery matrices with the same hardware overhead.  Each
+    row contains exactly one ``+1`` and one ``-1`` (so the all-ones vector is
+    in the null space).  Rows are built as the edges of a random tree over the
+    crossbar columns (grown by random attachment), which guarantees full row
+    rank by construction: ACM itself is the special case where the tree is a
+    path visiting the columns in order.
+    """
+    if num_outputs < 1:
+        raise ValueError("num_outputs must be at least 1")
+    if extra_columns < 1:
+        raise ValueError("extra_columns must be at least 1")
+    rng = rng if rng is not None else np.random.default_rng()
+    num_columns = num_outputs + extra_columns
+
+    matrix = np.zeros((num_outputs, num_columns))
+    column_order = rng.permutation(num_columns)
+    connected = [column_order[0]]
+    for j in range(num_outputs):
+        new_column = column_order[j + 1]
+        anchor = connected[int(rng.integers(len(connected)))]
+        if rng.random() < 0.5:
+            matrix[j, new_column], matrix[j, anchor] = 1.0, -1.0
+        else:
+            matrix[j, new_column], matrix[j, anchor] = -1.0, 1.0
+        connected.append(new_column)
+
+    return PeripheryMatrix(
+        matrix, name="random", positive_null_vector=np.ones(num_columns)
+    )
+
+
+def periphery_for(mapping: str, num_outputs: int) -> PeripheryMatrix:
+    """Build the periphery matrix for a mapping selected by name.
+
+    Parameters
+    ----------
+    mapping:
+        One of ``"acm"``, ``"de"``, ``"bc"`` (case-insensitive).
+    num_outputs:
+        Number of logical signed outputs of the layer being mapped.
+    """
+    key = mapping.lower()
+    if key == "acm":
+        return acm_periphery(num_outputs)
+    if key == "de":
+        return de_periphery(num_outputs)
+    if key == "bc":
+        return bc_periphery(num_outputs)
+    raise ValueError(f"unknown mapping {mapping!r}; expected one of {MAPPING_NAMES}")

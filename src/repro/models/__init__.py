@@ -1,0 +1,34 @@
+"""Network factories used by the paper's experiments.
+
+Every factory accepts a ``mapping`` argument:
+
+* ``"baseline"`` — ordinary signed-weight layers (the paper's FP32 baseline),
+* ``"acm"`` / ``"de"`` / ``"bc"`` — every weight-bearing layer is replaced by
+  its crossbar-mapped counterpart with the chosen periphery matrix.
+
+The architectures follow the paper's choices (a LeNet variant, a VGG-9 with
+six convolutional and three fully-connected layers, a ResNet-20 with three
+stages of three residual blocks, and a two-layer MLP for the system-level
+evaluation), scaled down in width so CPU training on the synthetic tasks is
+tractable.
+"""
+
+from repro.models.factory import make_linear, make_conv
+from repro.models.mlp import MLP, make_mlp
+from repro.models.lenet import LeNet, make_lenet
+from repro.models.vgg import VGG9, make_vgg9
+from repro.models.resnet import ResNet20, make_resnet20, BasicBlock
+
+__all__ = [
+    "make_linear",
+    "make_conv",
+    "MLP",
+    "make_mlp",
+    "LeNet",
+    "make_lenet",
+    "VGG9",
+    "make_vgg9",
+    "ResNet20",
+    "make_resnet20",
+    "BasicBlock",
+]

@@ -1,0 +1,81 @@
+"""Helpers that build either baseline or crossbar-mapped layers.
+
+Centralising the choice here keeps the model definitions identical for every
+mapping: the architectures differ only in which layer class carries the
+weights, exactly as in the paper's four training configurations (baseline,
+DE, BC, ACM).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.mapping.mapped_layer import MappedConv2d, MappedLinear
+from repro.mapping.periphery import MAPPING_NAMES
+from repro.nn.layers import Conv2d, Linear
+from repro.nn.module import Module
+
+#: Accepted values for the ``mapping`` argument of the model factories.
+VALID_MAPPINGS = ("baseline",) + MAPPING_NAMES
+
+
+def _check_mapping(mapping: str) -> str:
+    key = mapping.lower()
+    if key not in VALID_MAPPINGS:
+        raise ValueError(f"unknown mapping {mapping!r}; expected one of {VALID_MAPPINGS}")
+    return key
+
+
+def make_linear(
+    in_features: int,
+    out_features: int,
+    mapping: str = "baseline",
+    bias: bool = True,
+    quantizer_bits: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Module:
+    """Create a dense layer for the requested mapping."""
+    key = _check_mapping(mapping)
+    if key == "baseline":
+        return Linear(in_features, out_features, bias=bias, rng=rng)
+    return MappedLinear(
+        in_features,
+        out_features,
+        mapping=key,
+        bias=bias,
+        quantizer_bits=quantizer_bits,
+        rng=rng,
+    )
+
+
+def make_conv(
+    in_channels: int,
+    out_channels: int,
+    kernel_size: int,
+    mapping: str = "baseline",
+    stride: int = 1,
+    padding: int = 0,
+    bias: bool = True,
+    quantizer_bits: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Module:
+    """Create a 2-D convolution layer for the requested mapping."""
+    key = _check_mapping(mapping)
+    if key == "baseline":
+        return Conv2d(
+            in_channels, out_channels, kernel_size,
+            stride=stride, padding=padding, bias=bias, rng=rng,
+        )
+    return MappedConv2d(
+        in_channels,
+        out_channels,
+        kernel_size,
+        stride=stride,
+        padding=padding,
+        mapping=key,
+        bias=bias,
+        quantizer_bits=quantizer_bits,
+        rng=rng,
+    )

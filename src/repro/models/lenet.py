@@ -1,0 +1,79 @@
+"""LeNet-style convolutional network (the paper's MNIST model)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.models.factory import make_conv, make_linear
+from repro.nn.activations import ReLU
+from repro.nn.layers import Flatten, MaxPool2d
+from repro.nn.module import Module, Sequential
+from repro.tensor import Tensor
+
+
+class LeNet(Module):
+    """A LeNet variant: two conv+pool stages followed by two dense layers.
+
+    Sized for the synthetic 16x16 single-channel digits task; widths follow
+    the classic LeNet proportions (6 and 16 feature maps).
+    """
+
+    def __init__(
+        self,
+        in_channels: int = 1,
+        image_size: int = 16,
+        num_classes: int = 10,
+        mapping: str = "baseline",
+        quantizer_bits: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.mapping = mapping
+
+        def conv(cin, cout, k, padding):
+            return make_conv(
+                cin, cout, k, mapping=mapping, padding=padding,
+                quantizer_bits=quantizer_bits, rng=rng,
+            )
+
+        def dense(fin, fout):
+            return make_linear(
+                fin, fout, mapping=mapping, quantizer_bits=quantizer_bits, rng=rng
+            )
+
+        # Two 3x3 conv + pool stages: 16x16 -> 8x8 -> 4x4 spatial.
+        feature_size = image_size // 4
+        self.features = Sequential(
+            conv(in_channels, 6, 3, padding=1), ReLU(), MaxPool2d(2),
+            conv(6, 16, 3, padding=1), ReLU(), MaxPool2d(2),
+        )
+        self.classifier = Sequential(
+            Flatten(),
+            dense(16 * feature_size * feature_size, 64), ReLU(),
+            dense(64, num_classes),
+        )
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return self.classifier(self.features(inputs))
+
+
+def make_lenet(
+    mapping: str = "baseline",
+    quantizer_bits: Optional[int] = None,
+    num_classes: int = 10,
+    image_size: int = 16,
+    seed: int = 0,
+) -> LeNet:
+    """Build the LeNet variant with a reproducible initialisation."""
+    rng = np.random.default_rng(seed)
+    return LeNet(
+        in_channels=1,
+        image_size=image_size,
+        num_classes=num_classes,
+        mapping=mapping,
+        quantizer_bits=quantizer_bits,
+        rng=rng,
+    )

@@ -1,0 +1,140 @@
+"""ResNet-20 network (the paper's second CIFAR-10 model)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.models.factory import make_conv, make_linear
+from repro.nn.activations import ReLU
+from repro.nn.layers import BatchNorm2d, GlobalAvgPool2d, Identity
+from repro.nn.module import Module, Sequential
+from repro.tensor import Tensor
+
+
+class BasicBlock(Module):
+    """A two-convolution residual block with an optional projection shortcut."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        mapping: str = "baseline",
+        quantizer_bits: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.conv1 = make_conv(
+            in_channels, out_channels, 3, mapping=mapping, stride=stride,
+            padding=1, bias=False, quantizer_bits=quantizer_bits, rng=rng,
+        )
+        self.bn1 = BatchNorm2d(out_channels)
+        self.relu = ReLU()
+        self.conv2 = make_conv(
+            out_channels, out_channels, 3, mapping=mapping, stride=1,
+            padding=1, bias=False, quantizer_bits=quantizer_bits, rng=rng,
+        )
+        self.bn2 = BatchNorm2d(out_channels)
+
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut: Module = Sequential(
+                make_conv(
+                    in_channels, out_channels, 1, mapping=mapping, stride=stride,
+                    padding=0, bias=False, quantizer_bits=quantizer_bits, rng=rng,
+                ),
+                BatchNorm2d(out_channels),
+            )
+        else:
+            self.shortcut = Identity()
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        residual = self.shortcut(inputs)
+        out = self.relu(self.bn1(self.conv1(inputs)))
+        out = self.bn2(self.conv2(out))
+        return self.relu(out + residual)
+
+
+class ResNet20(Module):
+    """ResNet-20: a stem convolution, three stages of residual blocks, a dense head.
+
+    The canonical ResNet-20 uses three stages of three blocks; the number of
+    blocks per stage is configurable so tests can instantiate a shallower
+    variant, while the default reproduces the paper's depth.
+    """
+
+    def __init__(
+        self,
+        in_channels: int = 3,
+        num_classes: int = 10,
+        blocks_per_stage: int = 3,
+        widths: Sequence[int] = (8, 16, 32),
+        mapping: str = "baseline",
+        quantizer_bits: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if len(widths) != 3:
+            raise ValueError("ResNet20 expects exactly three stage widths")
+        if blocks_per_stage < 1:
+            raise ValueError("blocks_per_stage must be at least 1")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.mapping = mapping
+
+        self.stem = Sequential(
+            make_conv(
+                in_channels, widths[0], 3, mapping=mapping, padding=1, bias=False,
+                quantizer_bits=quantizer_bits, rng=rng,
+            ),
+            BatchNorm2d(widths[0]),
+            ReLU(),
+        )
+
+        stages = []
+        previous = widths[0]
+        for stage_index, width in enumerate(widths):
+            for block_index in range(blocks_per_stage):
+                stride = 2 if (stage_index > 0 and block_index == 0) else 1
+                stages.append(
+                    BasicBlock(
+                        previous, width, stride=stride, mapping=mapping,
+                        quantizer_bits=quantizer_bits, rng=rng,
+                    )
+                )
+                previous = width
+        self.stages = Sequential(*stages)
+
+        self.head = Sequential(GlobalAvgPool2d())
+        self.fc = make_linear(
+            widths[-1], num_classes, mapping=mapping,
+            quantizer_bits=quantizer_bits, rng=rng,
+        )
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        out = self.stem(inputs)
+        out = self.stages(out)
+        out = self.head(out)
+        return self.fc(out)
+
+
+def make_resnet20(
+    mapping: str = "baseline",
+    quantizer_bits: Optional[int] = None,
+    num_classes: int = 10,
+    blocks_per_stage: int = 3,
+    widths: Sequence[int] = (8, 16, 32),
+    seed: int = 0,
+) -> ResNet20:
+    """Build the ResNet-20 variant with a reproducible initialisation."""
+    rng = np.random.default_rng(seed)
+    return ResNet20(
+        in_channels=3,
+        num_classes=num_classes,
+        blocks_per_stage=blocks_per_stage,
+        widths=widths,
+        mapping=mapping,
+        quantizer_bits=quantizer_bits,
+        rng=rng,
+    )

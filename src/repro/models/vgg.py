@@ -1,0 +1,99 @@
+"""VGG-9 network (the paper's CIFAR-10 model with 6 conv + 3 FC layers)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.models.factory import make_conv, make_linear
+from repro.nn.activations import ReLU
+from repro.nn.layers import BatchNorm2d, Flatten, MaxPool2d
+from repro.nn.module import Module, Sequential
+from repro.tensor import Tensor
+
+
+class VGG9(Module):
+    """A reduced-width VGG-9: three conv blocks of two layers, then three FC layers.
+
+    The layer count (6 convolutional + 3 fully-connected) matches the VGG-9
+    configuration the paper trains on CIFAR-10; channel widths are scaled
+    down so CPU training on the synthetic task stays tractable.
+    """
+
+    def __init__(
+        self,
+        in_channels: int = 3,
+        image_size: int = 16,
+        num_classes: int = 10,
+        widths: Sequence[int] = (16, 32, 64),
+        mapping: str = "baseline",
+        quantizer_bits: Optional[int] = None,
+        batch_norm: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if len(widths) != 3:
+            raise ValueError("VGG9 expects exactly three block widths")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.mapping = mapping
+
+        def conv(cin, cout):
+            return make_conv(
+                cin, cout, 3, mapping=mapping, padding=1,
+                quantizer_bits=quantizer_bits, rng=rng,
+            )
+
+        def dense(fin, fout):
+            return make_linear(
+                fin, fout, mapping=mapping, quantizer_bits=quantizer_bits, rng=rng
+            )
+
+        blocks = []
+        previous = in_channels
+        for width in widths:
+            blocks.append(conv(previous, width))
+            if batch_norm:
+                blocks.append(BatchNorm2d(width))
+            blocks.append(ReLU())
+            blocks.append(conv(width, width))
+            if batch_norm:
+                blocks.append(BatchNorm2d(width))
+            blocks.append(ReLU())
+            blocks.append(MaxPool2d(2))
+            previous = width
+        self.features = Sequential(*blocks)
+
+        # Three pooling stages: image_size / 8 spatial resolution remains.
+        feature_size = image_size // 8
+        flat = widths[-1] * feature_size * feature_size
+        self.classifier = Sequential(
+            Flatten(),
+            dense(flat, 128), ReLU(),
+            dense(128, 64), ReLU(),
+            dense(64, num_classes),
+        )
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return self.classifier(self.features(inputs))
+
+
+def make_vgg9(
+    mapping: str = "baseline",
+    quantizer_bits: Optional[int] = None,
+    num_classes: int = 10,
+    image_size: int = 16,
+    widths: Sequence[int] = (16, 32, 64),
+    seed: int = 0,
+) -> VGG9:
+    """Build the VGG-9 variant with a reproducible initialisation."""
+    rng = np.random.default_rng(seed)
+    return VGG9(
+        in_channels=3,
+        image_size=image_size,
+        num_classes=num_classes,
+        widths=widths,
+        mapping=mapping,
+        quantizer_bits=quantizer_bits,
+        rng=rng,
+    )

@@ -1,0 +1,48 @@
+"""Neural-network building blocks on top of the autograd engine.
+
+The module system mirrors the small subset of a deep-learning framework that
+the paper's experiments need: parameter containers, dense and convolutional
+layers, batch normalisation, pooling, the usual activations, and a softmax
+cross-entropy loss.
+"""
+
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.layers import (
+    Linear,
+    Conv2d,
+    BatchNorm2d,
+    BatchNorm1d,
+    MaxPool2d,
+    AvgPool2d,
+    GlobalAvgPool2d,
+    Flatten,
+    Dropout,
+    Identity,
+)
+from repro.nn.activations import ReLU, Tanh, Sigmoid, Softmax
+from repro.nn.losses import CrossEntropyLoss, MSELoss, accuracy
+from repro.nn import init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Conv2d",
+    "BatchNorm2d",
+    "BatchNorm1d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Dropout",
+    "Identity",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Softmax",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "accuracy",
+    "init",
+]

@@ -1,0 +1,38 @@
+"""Activation-function modules."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+from repro.tensor import Tensor
+
+
+class ReLU(Module):
+    """Rectified linear unit, ``max(x, 0)``."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.relu()
+
+
+class Tanh(Module):
+    """Hyperbolic tangent activation."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.tanh()
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid activation."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.sigmoid()
+
+
+class Softmax(Module):
+    """Softmax along a configurable axis (defaults to the last)."""
+
+    def __init__(self, axis: int = -1):
+        super().__init__()
+        self.axis = axis
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.softmax(axis=self.axis)

@@ -1,0 +1,82 @@
+"""Weight initialisation utilities.
+
+All initialisers take an explicit ``numpy.random.Generator`` so that model
+construction is fully reproducible across the paper's experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def _fan_in_and_fan_out(shape: Sequence[int]) -> Tuple[int, int]:
+    """Compute fan-in / fan-out for dense and convolutional weight shapes."""
+    if len(shape) < 2:
+        raise ValueError("fan in/out requires at least a 2-D shape")
+    if len(shape) == 2:
+        fan_out, fan_in = shape
+        return fan_in, fan_out
+    # Convolutional weight (C_out, C_in, kh, kw).
+    receptive_field = int(np.prod(shape[2:]))
+    fan_in = shape[1] * receptive_field
+    fan_out = shape[0] * receptive_field
+    return fan_in, fan_out
+
+
+def kaiming_uniform(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming uniform initialisation suited to ReLU networks."""
+    fan_in, _ = _fan_in_and_fan_out(shape)
+    bound = math.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def kaiming_normal(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming normal initialisation."""
+    fan_in, _ = _fan_in_and_fan_out(shape)
+    std = math.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    fan_in, fan_out = _fan_in_and_fan_out(shape)
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier normal initialisation."""
+    fan_in, fan_out = _fan_in_and_fan_out(shape)
+    std = math.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def uniform(shape: Sequence[int], low: float, high: float, rng: np.random.Generator) -> np.ndarray:
+    """Plain uniform initialisation in ``[low, high]``."""
+    return rng.uniform(low, high, size=shape)
+
+
+def zeros(shape: Sequence[int]) -> np.ndarray:
+    """All-zeros initialisation (used for biases)."""
+    return np.zeros(shape)
+
+
+def ones(shape: Sequence[int]) -> np.ndarray:
+    """All-ones initialisation (used for batch-norm scales)."""
+    return np.ones(shape)
+
+
+def non_negative_uniform(
+    shape: Sequence[int], scale: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Uniform initialisation on ``[0, scale]``.
+
+    Used for the crossbar matrix ``M`` of the mapped layers, which must stay
+    non-negative throughout training (it represents conductances).
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return rng.uniform(0.0, scale, size=shape)

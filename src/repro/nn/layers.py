@@ -1,0 +1,236 @@
+"""Standard (signed-weight) neural-network layers.
+
+These are the *baseline* layers of the paper: they hold ordinary signed
+weights.  The crossbar-mapped counterparts, which factor their weights through
+a periphery matrix, live in :mod:`repro.mapping.mapped_layer`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.nn import init
+from repro.tensor import Tensor, functional
+
+
+class Identity(Module):
+    """A no-op module, handy for optional branches (e.g. residual shortcuts)."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs
+
+
+class Linear(Module):
+    """Fully-connected layer computing ``y = x W^T + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input and output dimensionality.
+    bias:
+        Whether to add a learnable bias.
+    rng:
+        Random generator used for weight initialisation.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.kaiming_uniform((out_features, in_features), rng), name="weight"
+        )
+        if bias:
+            bound = 1.0 / math.sqrt(in_features)
+            self.bias: Optional[Parameter] = Parameter(
+                init.uniform((out_features,), -bound, bound, rng), name="bias"
+            )
+        else:
+            self.bias = None
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        output = inputs.matmul(self.weight.T)
+        if self.bias is not None:
+            output = output + self.bias
+        return output
+
+    def effective_weight(self) -> np.ndarray:
+        """Return the signed weight matrix actually applied to inputs."""
+        return self.weight.data.copy()
+
+
+class Conv2d(Module):
+    """2-D convolution layer with signed weights."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if in_channels <= 0 or out_channels <= 0:
+            raise ValueError("channel counts must be positive")
+        if kernel_size <= 0:
+            raise ValueError("kernel_size must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(init.kaiming_uniform(shape, rng), name="weight")
+        if bias:
+            fan_in = in_channels * kernel_size * kernel_size
+            bound = 1.0 / math.sqrt(fan_in)
+            self.bias: Optional[Parameter] = Parameter(
+                init.uniform((out_channels,), -bound, bound, rng), name="bias"
+            )
+        else:
+            self.bias = None
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return functional.conv2d(
+            inputs, self.weight, self.bias, stride=self.stride, padding=self.padding
+        )
+
+    def effective_weight(self) -> np.ndarray:
+        """Return the signed kernel as a ``(C_out, C_in*kh*kw)`` matrix."""
+        return self.weight.data.reshape(self.out_channels, -1).copy()
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over the channel dimension of ``(N, C, H, W)`` inputs."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(init.ones((num_features,)), name="gamma")
+        self.beta = Parameter(init.zeros((num_features,)), name="beta")
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        if inputs.ndim != 4:
+            raise ValueError("BatchNorm2d expects (N, C, H, W) inputs")
+        axes = (0, 2, 3)
+        if self.training:
+            mean = inputs.mean(axis=axes, keepdims=True)
+            var = inputs.var(axis=axes, keepdims=True)
+            new_mean = (1 - self.momentum) * self.running_mean + self.momentum * mean.data.reshape(-1)
+            new_var = (1 - self.momentum) * self.running_var + self.momentum * var.data.reshape(-1)
+            self.update_buffer("running_mean", new_mean)
+            self.update_buffer("running_var", new_var)
+        else:
+            mean = Tensor(self.running_mean.reshape(1, -1, 1, 1))
+            var = Tensor(self.running_var.reshape(1, -1, 1, 1))
+        normalised = (inputs - mean) / (var + self.eps) ** 0.5
+        gamma = self.gamma.reshape(1, -1, 1, 1)
+        beta = self.beta.reshape(1, -1, 1, 1)
+        return normalised * gamma + beta
+
+
+class BatchNorm1d(Module):
+    """Batch normalisation for ``(N, C)`` feature inputs."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(init.ones((num_features,)), name="gamma")
+        self.beta = Parameter(init.zeros((num_features,)), name="beta")
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        if inputs.ndim != 2:
+            raise ValueError("BatchNorm1d expects (N, C) inputs")
+        if self.training:
+            mean = inputs.mean(axis=0, keepdims=True)
+            var = inputs.var(axis=0, keepdims=True)
+            new_mean = (1 - self.momentum) * self.running_mean + self.momentum * mean.data.reshape(-1)
+            new_var = (1 - self.momentum) * self.running_var + self.momentum * var.data.reshape(-1)
+            self.update_buffer("running_mean", new_mean)
+            self.update_buffer("running_var", new_var)
+        else:
+            mean = Tensor(self.running_mean.reshape(1, -1))
+            var = Tensor(self.running_var.reshape(1, -1))
+        normalised = (inputs - mean) / (var + self.eps) ** 0.5
+        return normalised * self.gamma.reshape(1, -1) + self.beta.reshape(1, -1)
+
+
+class MaxPool2d(Module):
+    """Max-pooling layer."""
+
+    def __init__(self, kernel_size: int = 2, stride: Optional[int] = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return functional.max_pool2d(inputs, self.kernel_size, self.stride)
+
+
+class AvgPool2d(Module):
+    """Average-pooling layer."""
+
+    def __init__(self, kernel_size: int = 2, stride: Optional[int] = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return functional.avg_pool2d(inputs, self.kernel_size, self.stride)
+
+
+class GlobalAvgPool2d(Module):
+    """Global average pooling, reducing ``(N, C, H, W)`` to ``(N, C)``."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return functional.global_avg_pool2d(inputs)
+
+
+class Flatten(Module):
+    """Flatten all non-batch dimensions."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.flatten(start_dim=1)
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode."""
+
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return inputs
+        keep = 1.0 - self.p
+        mask = (self._rng.random(inputs.shape) < keep).astype(inputs.data.dtype) / keep
+        return inputs * Tensor(mask)

@@ -1,0 +1,45 @@
+"""Loss functions and classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import Tensor
+
+
+class CrossEntropyLoss(Module):
+    """Softmax cross-entropy over integer class labels.
+
+    The forward pass accepts raw logits of shape ``(N, num_classes)`` and a
+    NumPy integer array (or Tensor) of labels with shape ``(N,)``.
+    """
+
+    def forward(self, logits: Tensor, targets) -> Tensor:
+        labels = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+        labels = labels.astype(int)
+        if logits.ndim != 2:
+            raise ValueError("CrossEntropyLoss expects (N, num_classes) logits")
+        if labels.ndim != 1 or labels.shape[0] != logits.shape[0]:
+            raise ValueError("labels must be a 1-D array matching the batch size")
+        log_probabilities = logits.log_softmax(axis=-1)
+        batch = logits.shape[0]
+        picked = log_probabilities[(np.arange(batch), labels)]
+        return -picked.mean()
+
+
+class MSELoss(Module):
+    """Mean squared error between predictions and targets."""
+
+    def forward(self, predictions: Tensor, targets) -> Tensor:
+        target_tensor = targets if isinstance(targets, Tensor) else Tensor(targets)
+        difference = predictions - target_tensor
+        return (difference * difference).mean()
+
+
+def accuracy(logits, labels) -> float:
+    """Fraction of samples whose arg-max prediction matches the label."""
+    scores = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    truth = labels.data if isinstance(labels, Tensor) else np.asarray(labels)
+    predictions = scores.argmax(axis=-1)
+    return float((predictions == truth.astype(int)).mean())

@@ -1,0 +1,197 @@
+"""Module and parameter containers for the neural-network layer system."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is registered as a trainable parameter.
+
+    Parameters carry an optional ``constraint`` tag (for example
+    ``"non_negative"``) that optimisers and device-aware update rules can
+    inspect; the mapped layers of :mod:`repro.mapping` use it to mark the
+    crossbar matrix ``M`` which must stay non-negative during training.
+    """
+
+    __slots__ = ("constraint", "name")
+
+    def __init__(self, data, constraint: Optional[str] = None, name: str = ""):
+        super().__init__(data, requires_grad=True)
+        self.constraint = constraint
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tag = f", constraint={self.constraint}" if self.constraint else ""
+        return f"Parameter(shape={self.shape}{tag})"
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Sub-modules and parameters assigned as attributes are registered
+    automatically, in assignment order, which gives deterministic parameter
+    iteration (important for reproducible training runs).
+    """
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self.training = True
+
+    # ------------------------------------------------------------------ #
+    # Attribute registration
+    # ------------------------------------------------------------------ #
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register a non-trainable array that is part of the module state."""
+        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def update_buffer(self, name: str, value: np.ndarray) -> None:
+        """Replace the contents of a registered buffer."""
+        if name not in self._buffers:
+            raise KeyError(f"unknown buffer {name!r}")
+        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        object.__setattr__(self, name, self._buffers[name])
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def parameters(self) -> List[Parameter]:
+        """Return all parameters of this module and its children."""
+        return [parameter for _, parameter in self.named_parameters()]
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(qualified_name, parameter)`` pairs depth-first."""
+        for name, parameter in self._parameters.items():
+            yield (f"{prefix}{name}", parameter)
+        for module_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{module_name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and every descendant module."""
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name, buffer in self._buffers.items():
+            yield (f"{prefix}{name}", buffer)
+        for module_name, module in self._modules.items():
+            yield from module.named_buffers(prefix=f"{prefix}{module_name}.")
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalar parameters."""
+        return sum(parameter.size for parameter in self.parameters())
+
+    # ------------------------------------------------------------------ #
+    # State management
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Return a flat mapping of parameter and buffer values (copies)."""
+        state = {name: parameter.data.copy() for name, parameter in self.named_parameters()}
+        for name, buffer in self.named_buffers():
+            state[f"buffer:{name}"] = buffer.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load values previously produced by :meth:`state_dict`."""
+        parameters = dict(self.named_parameters())
+        for name, value in state.items():
+            if name.startswith("buffer:"):
+                continue
+            if name not in parameters:
+                raise KeyError(f"unknown parameter {name!r} in state dict")
+            if parameters[name].shape != value.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: "
+                    f"{parameters[name].shape} vs {value.shape}"
+                )
+            parameters[name].data[...] = value
+        buffer_owners = self._collect_buffer_owners()
+        for name, value in state.items():
+            if not name.startswith("buffer:"):
+                continue
+            buffer_name = name[len("buffer:"):]
+            if buffer_name in buffer_owners:
+                owner, local_name = buffer_owners[buffer_name]
+                owner.update_buffer(local_name, value)
+
+    def _collect_buffer_owners(self, prefix: str = "") -> Dict[str, Tuple["Module", str]]:
+        owners: Dict[str, Tuple[Module, str]] = {}
+        for name in self._buffers:
+            owners[f"{prefix}{name}"] = (self, name)
+        for module_name, module in self._modules.items():
+            owners.update(module._collect_buffer_owners(prefix=f"{prefix}{module_name}."))
+        return owners
+
+    # ------------------------------------------------------------------ #
+    # Train / eval switches
+    # ------------------------------------------------------------------ #
+    def train(self, mode: bool = True) -> "Module":
+        """Set the module (and children) to training or evaluation mode."""
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        """Clear the gradients of every parameter."""
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    # ------------------------------------------------------------------ #
+    # Forward
+    # ------------------------------------------------------------------ #
+    def forward(self, *inputs: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def __call__(self, *inputs: Tensor) -> Tensor:
+        return self.forward(*inputs)
+
+
+class Sequential(Module):
+    """A module that chains child modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._layers: List[Module] = []
+        for index, module in enumerate(modules):
+            setattr(self, f"layer{index}", module)
+            self._layers.append(module)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        outputs = inputs
+        for layer in self._layers:
+            outputs = layer(outputs)
+        return outputs
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._layers)
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._layers[index]
+
+    def append(self, module: Module) -> "Sequential":
+        """Append a module to the chain."""
+        setattr(self, f"layer{len(self._layers)}", module)
+        self._layers.append(module)
+        return self

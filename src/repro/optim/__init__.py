@@ -1,0 +1,12 @@
+"""Optimisers and learning-rate schedules.
+
+The paper trains all networks with vanilla stochastic gradient descent; this
+package provides SGD (optionally with momentum and weight decay) plus the
+constraint-aware and device-aware update rules that the crossbar-mapped
+training loop needs (non-negativity projection and non-linear weight update).
+"""
+
+from repro.optim.sgd import SGD
+from repro.optim.schedules import ConstantLR, StepLR, CosineAnnealingLR
+
+__all__ = ["SGD", "ConstantLR", "StepLR", "CosineAnnealingLR"]

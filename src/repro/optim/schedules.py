@@ -1,0 +1,63 @@
+"""Learning-rate schedules for the training loops."""
+
+from __future__ import annotations
+
+import math
+
+
+class _Schedule:
+    """Base class: schedules are called once per epoch with the epoch index."""
+
+    def __init__(self, optimizer, base_lr: float = None):
+        self.optimizer = optimizer
+        self.base_lr = base_lr if base_lr is not None else optimizer.lr
+
+    def lr_at(self, epoch: int) -> float:
+        raise NotImplementedError
+
+    def step(self, epoch: int) -> float:
+        """Update the optimiser's learning rate for ``epoch`` and return it."""
+        lr = self.lr_at(epoch)
+        self.optimizer.set_lr(lr)
+        return lr
+
+
+class ConstantLR(_Schedule):
+    """Keep the learning rate fixed."""
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr
+
+
+class StepLR(_Schedule):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer, step_size: int, gamma: float = 0.1, base_lr: float = None):
+        super().__init__(optimizer, base_lr)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        if not 0 < gamma <= 1:
+            raise ValueError("gamma must be in (0, 1]")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineAnnealingLR(_Schedule):
+    """Cosine decay from the base learning rate to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer, total_epochs: int, min_lr: float = 1e-4, base_lr: float = None):
+        super().__init__(optimizer, base_lr)
+        if total_epochs <= 0:
+            raise ValueError("total_epochs must be positive")
+        if min_lr <= 0:
+            raise ValueError("min_lr must be positive")
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def lr_at(self, epoch: int) -> float:
+        progress = min(epoch, self.total_epochs) / self.total_epochs
+        cosine = 0.5 * (1 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine

@@ -1,0 +1,87 @@
+"""Stochastic gradient descent with constraint- and device-aware updates."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class SGD:
+    """Vanilla SGD, optionally with momentum and weight decay.
+
+    Two extensions support crossbar-mapped training:
+
+    * Parameters whose ``constraint`` attribute is ``"non_negative"`` are
+      projected back onto the non-negative orthant after every step (projected
+      gradient descent), which keeps the crossbar matrix ``M`` physically
+      realisable as conductances.
+    * An optional ``update_rule`` (see :mod:`repro.xbar.device`) transforms the
+      raw gradient step into the weight change a real synapse device would
+      realise, modelling non-linear potentiation/depression.  The rule is
+      applied only to constrained (crossbar-resident) parameters; peripheral
+      parameters such as batch-norm scales keep the ideal update.
+    """
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.1,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        update_rule=None,
+    ):
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("SGD received an empty parameter list")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if momentum < 0:
+            raise ValueError("momentum must be non-negative")
+        if weight_decay < 0:
+            raise ValueError("weight decay must be non-negative")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.update_rule = update_rule
+        self._velocities: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+
+    def zero_grad(self) -> None:
+        """Clear gradients on all managed parameters."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        """Apply one optimisation step using the accumulated gradients."""
+        for index, parameter in enumerate(self.parameters):
+            if parameter.grad is None:
+                continue
+            gradient = parameter.grad
+            if self.weight_decay:
+                gradient = gradient + self.weight_decay * parameter.data
+            if self.momentum:
+                velocity = self._velocities[index]
+                if velocity is None:
+                    velocity = np.zeros_like(parameter.data)
+                velocity = self.momentum * velocity + gradient
+                self._velocities[index] = velocity
+                gradient = velocity
+
+            ideal_delta = -self.lr * gradient
+            is_device_parameter = getattr(parameter, "constraint", None) == "non_negative"
+            if self.update_rule is not None and is_device_parameter:
+                realised_delta = self.update_rule.apply(parameter.data, ideal_delta)
+            else:
+                realised_delta = ideal_delta
+            parameter.data += realised_delta
+
+            if is_device_parameter:
+                np.maximum(parameter.data, 0.0, out=parameter.data)
+
+    def set_lr(self, lr: float) -> None:
+        """Set the learning rate (used by schedulers)."""
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr

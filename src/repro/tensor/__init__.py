@@ -1,0 +1,16 @@
+"""Reverse-mode automatic differentiation on top of NumPy.
+
+This subpackage is the substrate that replaces TensorFlow in the paper's
+experimental stack.  It provides a :class:`Tensor` type that records a dynamic
+computation graph and can back-propagate gradients through all the operations
+needed by the networks in the paper (dense layers, 2-D convolutions, batch
+normalisation, pooling, and the usual element-wise non-linearities).
+
+Only the features the reproduction needs are implemented; the implementation
+favours clarity over generality.
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor import functional
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional"]

@@ -1,0 +1,295 @@
+"""Convolution and pooling primitives built on the autograd :class:`Tensor`.
+
+2-D convolution is implemented with the classic im2col/col2im lowering so the
+heavy lifting happens in a single matrix multiplication, which keeps the
+NumPy-based training of the paper's CNNs (LeNet, VGG-9, ResNet-20) tractable
+on a CPU.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+def _pair(value) -> Tuple[int, int]:
+    """Normalise an int-or-pair argument to a pair of ints."""
+    if isinstance(value, (tuple, list)):
+        if len(value) != 2:
+            raise ValueError(f"expected a pair, got {value!r}")
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(
+    images: np.ndarray,
+    kernel_size: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> np.ndarray:
+    """Lower image patches into columns.
+
+    Parameters
+    ----------
+    images:
+        Array of shape ``(N, C, H, W)``.
+    kernel_size, stride, padding:
+        Convolution geometry, each as an ``(h, w)`` pair.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(N * H_out * W_out, C * kh * kw)`` where each row is
+        one receptive field laid out channel-major.
+    """
+    batch, channels, height, width = images.shape
+    kernel_h, kernel_w = kernel_size
+    stride_h, stride_w = stride
+    pad_h, pad_w = padding
+
+    out_h = conv_output_size(height, kernel_h, stride_h, pad_h)
+    out_w = conv_output_size(width, kernel_w, stride_w, pad_w)
+
+    padded = np.pad(images, ((0, 0), (0, 0), (pad_h, pad_h), (pad_w, pad_w)))
+
+    columns = np.empty(
+        (batch, channels, kernel_h, kernel_w, out_h, out_w), dtype=images.dtype
+    )
+    for y in range(kernel_h):
+        y_end = y + stride_h * out_h
+        for x in range(kernel_w):
+            x_end = x + stride_w * out_w
+            columns[:, :, y, x, :, :] = padded[:, :, y:y_end:stride_h, x:x_end:stride_w]
+
+    columns = columns.transpose(0, 4, 5, 1, 2, 3)
+    return columns.reshape(batch * out_h * out_w, channels * kernel_h * kernel_w)
+
+
+def col2im(
+    columns: np.ndarray,
+    image_shape: Tuple[int, int, int, int],
+    kernel_size: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter column gradients back to image space."""
+    batch, channels, height, width = image_shape
+    kernel_h, kernel_w = kernel_size
+    stride_h, stride_w = stride
+    pad_h, pad_w = padding
+
+    out_h = conv_output_size(height, kernel_h, stride_h, pad_h)
+    out_w = conv_output_size(width, kernel_w, stride_w, pad_w)
+
+    columns = columns.reshape(batch, out_h, out_w, channels, kernel_h, kernel_w)
+    columns = columns.transpose(0, 3, 4, 5, 1, 2)
+
+    padded = np.zeros(
+        (batch, channels, height + 2 * pad_h, width + 2 * pad_w), dtype=columns.dtype
+    )
+    for y in range(kernel_h):
+        y_end = y + stride_h * out_h
+        for x in range(kernel_w):
+            x_end = x + stride_w * out_w
+            padded[:, :, y:y_end:stride_h, x:x_end:stride_w] += columns[:, :, y, x, :, :]
+
+    if pad_h == 0 and pad_w == 0:
+        return padded
+    return padded[:, :, pad_h:pad_h + height, pad_w:pad_w + width]
+
+
+def conv2d(
+    inputs: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride=1,
+    padding=0,
+) -> Tensor:
+    """2-D convolution with autograd support.
+
+    Parameters
+    ----------
+    inputs:
+        Tensor of shape ``(N, C_in, H, W)``.
+    weight:
+        Tensor of shape ``(C_out, C_in, kh, kw)``.
+    bias:
+        Optional tensor of shape ``(C_out,)``.
+    """
+    stride = _pair(stride)
+    padding = _pair(padding)
+    out_channels, in_channels, kernel_h, kernel_w = weight.shape
+    batch, channels, height, width = inputs.shape
+    if channels != in_channels:
+        raise ValueError(
+            f"input has {channels} channels but weight expects {in_channels}"
+        )
+
+    out_h = conv_output_size(height, kernel_h, stride[0], padding[0])
+    out_w = conv_output_size(width, kernel_w, stride[1], padding[1])
+
+    columns = im2col(inputs.data, (kernel_h, kernel_w), stride, padding)
+    weight_matrix = weight.data.reshape(out_channels, -1)
+
+    output = columns @ weight_matrix.T
+    if bias is not None:
+        output = output + bias.data
+    output = output.reshape(batch, out_h, out_w, out_channels).transpose(0, 3, 1, 2)
+
+    input_shape = inputs.shape
+
+    def backward(grad: np.ndarray) -> None:
+        grad_matrix = grad.transpose(0, 2, 3, 1).reshape(-1, out_channels)
+        if weight.requires_grad:
+            grad_weight = grad_matrix.T @ columns
+            weight._accumulate(grad_weight.reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad_matrix.sum(axis=0))
+        if inputs.requires_grad:
+            grad_columns = grad_matrix @ weight_matrix
+            grad_input = col2im(
+                grad_columns, input_shape, (kernel_h, kernel_w), stride, padding
+            )
+            inputs._accumulate(grad_input)
+
+    parents = (inputs, weight) if bias is None else (inputs, weight, bias)
+    return Tensor._make(output, parents, backward, "conv2d")
+
+
+def conv2d_from_matrix(
+    inputs: Tensor,
+    weight_matrix: Tensor,
+    kernel_shape: Tuple[int, int, int],
+    bias: Optional[Tensor] = None,
+    stride=1,
+    padding=0,
+) -> Tensor:
+    """2-D convolution whose weights are given as an ``(C_out, C_in*kh*kw)`` matrix.
+
+    This is the form used by the mapped layers: the crossbar stores the
+    flattened kernel matrix (possibly factored through a periphery matrix),
+    and the convolution is performed as an im2col matrix product against it.
+    """
+    stride = _pair(stride)
+    padding = _pair(padding)
+    in_channels, kernel_h, kernel_w = kernel_shape
+    out_channels = weight_matrix.shape[0]
+    batch, channels, height, width = inputs.shape
+    if channels != in_channels:
+        raise ValueError(
+            f"input has {channels} channels but weight expects {in_channels}"
+        )
+    if weight_matrix.shape[1] != in_channels * kernel_h * kernel_w:
+        raise ValueError(
+            "weight matrix columns do not match the kernel shape: "
+            f"{weight_matrix.shape[1]} != {in_channels * kernel_h * kernel_w}"
+        )
+
+    out_h = conv_output_size(height, kernel_h, stride[0], padding[0])
+    out_w = conv_output_size(width, kernel_w, stride[1], padding[1])
+
+    columns_np = im2col(inputs.data, (kernel_h, kernel_w), stride, padding)
+    columns = Tensor(columns_np)
+    input_shape = inputs.shape
+
+    # Route the input gradient through a custom node so col2im is applied.
+    def columns_backward(grad: np.ndarray) -> None:
+        if inputs.requires_grad:
+            grad_input = col2im(
+                grad, input_shape, (kernel_h, kernel_w), stride, padding
+            )
+            inputs._accumulate(grad_input)
+
+    columns = Tensor._make(columns_np, (inputs,), columns_backward, "im2col")
+
+    output = columns.matmul(weight_matrix.T)
+    if bias is not None:
+        output = output + bias
+    output = output.reshape(batch, out_h, out_w, out_channels)
+    return output.transpose((0, 3, 1, 2))
+
+
+def max_pool2d(inputs: Tensor, kernel_size=2, stride=None) -> Tensor:
+    """Max pooling over non-overlapping (or strided) windows."""
+    kernel = _pair(kernel_size)
+    stride = _pair(stride) if stride is not None else kernel
+    batch, channels, height, width = inputs.shape
+    out_h = conv_output_size(height, kernel[0], stride[0], 0)
+    out_w = conv_output_size(width, kernel[1], stride[1], 0)
+
+    windows = np.empty(
+        (batch, channels, out_h, out_w, kernel[0] * kernel[1]), dtype=inputs.data.dtype
+    )
+    for y in range(kernel[0]):
+        for x in range(kernel[1]):
+            windows[..., y * kernel[1] + x] = inputs.data[
+                :, :, y:y + stride[0] * out_h:stride[0], x:x + stride[1] * out_w:stride[1]
+            ]
+    argmax = windows.argmax(axis=-1)
+    output = np.take_along_axis(windows, argmax[..., None], axis=-1)[..., 0]
+
+    def backward(grad: np.ndarray) -> None:
+        if inputs.requires_grad:
+            grad_input = np.zeros_like(inputs.data)
+            ky = argmax // kernel[1]
+            kx = argmax % kernel[1]
+            batch_idx, channel_idx, row_idx, col_idx = np.indices(argmax.shape)
+            np.add.at(
+                grad_input,
+                (
+                    batch_idx,
+                    channel_idx,
+                    row_idx * stride[0] + ky,
+                    col_idx * stride[1] + kx,
+                ),
+                grad,
+            )
+            inputs._accumulate(grad_input)
+
+    return Tensor._make(output, (inputs,), backward, "max_pool2d")
+
+
+def avg_pool2d(inputs: Tensor, kernel_size=2, stride=None) -> Tensor:
+    """Average pooling over windows."""
+    kernel = _pair(kernel_size)
+    stride = _pair(stride) if stride is not None else kernel
+    batch, channels, height, width = inputs.shape
+    out_h = conv_output_size(height, kernel[0], stride[0], 0)
+    out_w = conv_output_size(width, kernel[1], stride[1], 0)
+    window_size = kernel[0] * kernel[1]
+
+    output = np.zeros((batch, channels, out_h, out_w), dtype=inputs.data.dtype)
+    for y in range(kernel[0]):
+        for x in range(kernel[1]):
+            output += inputs.data[
+                :, :, y:y + stride[0] * out_h:stride[0], x:x + stride[1] * out_w:stride[1]
+            ]
+    output /= window_size
+
+    def backward(grad: np.ndarray) -> None:
+        if inputs.requires_grad:
+            grad_input = np.zeros_like(inputs.data)
+            share = grad / window_size
+            for y in range(kernel[0]):
+                for x in range(kernel[1]):
+                    grad_input[
+                        :, :,
+                        y:y + stride[0] * out_h:stride[0],
+                        x:x + stride[1] * out_w:stride[1],
+                    ] += share
+            inputs._accumulate(grad_input)
+
+    return Tensor._make(output, (inputs,), backward, "avg_pool2d")
+
+
+def global_avg_pool2d(inputs: Tensor) -> Tensor:
+    """Average over the spatial dimensions, returning ``(N, C)``."""
+    return inputs.mean(axis=(2, 3))

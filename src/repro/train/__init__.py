@@ -1,0 +1,27 @@
+"""Training loops and evaluation under device non-idealities.
+
+The :class:`~repro.train.trainer.Trainer` runs minibatch SGD on any model
+(baseline or crossbar-mapped) and records per-epoch training/test error — the
+quantity plotted throughout the paper's Fig. 5.  The evaluation helpers in
+:mod:`repro.train.evaluate` implement the Fig. 6 protocol: add device
+variation to a trained model's conductances and measure inference accuracy
+without any retraining.
+"""
+
+from repro.train.trainer import Trainer, TrainingConfig, TrainingHistory
+from repro.train.evaluate import (
+    evaluate_accuracy,
+    evaluate_under_variation,
+    VariationSweepResult,
+    variation_sweep,
+)
+
+__all__ = [
+    "Trainer",
+    "TrainingConfig",
+    "TrainingHistory",
+    "evaluate_accuracy",
+    "evaluate_under_variation",
+    "VariationSweepResult",
+    "variation_sweep",
+]

@@ -1,0 +1,244 @@
+"""Minibatch SGD training with crossbar-aware hooks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset, DataLoader
+from repro.mapping.mapped_layer import _MappedBase
+from repro.nn.losses import CrossEntropyLoss, accuracy
+from repro.nn.module import Module
+from repro.optim.sgd import SGD
+from repro.optim.schedules import ConstantLR
+from repro.tensor import Tensor, no_grad
+from repro.xbar.device import NonlinearDevice, NonlinearUpdateRule
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters of a training run.
+
+    Attributes
+    ----------
+    epochs, batch_size, lr, momentum, weight_decay:
+        Standard SGD hyper-parameters (the paper uses vanilla SGD).
+    nonlinear_update:
+        If ``True``, crossbar parameters are updated through the symmetric
+        non-linear device model instead of the ideal linear update.
+    nonlinearity, device_pulses:
+        Parameters of the non-linear device (ignored when
+        ``nonlinear_update`` is False).
+    activation_bits:
+        If set, activations fed to the network are quantised to this many
+        bits (the paper reports 8-bit activations).
+    seed:
+        Seed for data shuffling.
+    """
+
+    epochs: int = 10
+    batch_size: int = 32
+    lr: float = 0.05
+    momentum: float = 0.0
+    weight_decay: float = 0.0
+    nonlinear_update: bool = False
+    nonlinearity: float = 3.0
+    device_pulses: int = 64
+    activation_bits: Optional[int] = None
+    seed: int = 0
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch metrics recorded during training."""
+
+    train_error: List[float] = field(default_factory=list)
+    test_error: List[float] = field(default_factory=list)
+    train_loss: List[float] = field(default_factory=list)
+    epochs: List[int] = field(default_factory=list)
+
+    @property
+    def final_train_error(self) -> float:
+        return self.train_error[-1] if self.train_error else float("nan")
+
+    @property
+    def final_test_error(self) -> float:
+        return self.test_error[-1] if self.test_error else float("nan")
+
+    @property
+    def best_test_error(self) -> float:
+        return min(self.test_error) if self.test_error else float("nan")
+
+
+def _quantize_activations(images: np.ndarray, bits: int) -> np.ndarray:
+    """Uniformly quantise activations (network inputs) to ``bits`` bits."""
+    low, high = images.min(), images.max()
+    if high == low:
+        return images
+    levels = 2 ** bits - 1
+    scaled = (images - low) / (high - low)
+    return np.round(scaled * levels) / levels * (high - low) + low
+
+
+class Trainer:
+    """Train a model on an :class:`ArrayDataset` pair and record error curves.
+
+    Parameters
+    ----------
+    model:
+        Any :class:`~repro.nn.module.Module` producing class logits.
+    train_set, test_set:
+        Training and held-out datasets.
+    config:
+        The :class:`TrainingConfig` hyper-parameters.
+    scheduler_factory:
+        Optional callable mapping an optimiser to a learning-rate schedule;
+        defaults to a constant learning rate.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        train_set: ArrayDataset,
+        test_set: ArrayDataset,
+        config: TrainingConfig = TrainingConfig(),
+        scheduler_factory=None,
+    ):
+        self.model = model
+        self.train_set = train_set
+        self.test_set = test_set
+        self.config = config
+        self.loss_fn = CrossEntropyLoss()
+
+        update_rule = None
+        if config.nonlinear_update:
+            # Every mapped layer has its own conductance range; the non-linear
+            # update rule is built per-parameter below using a shared device
+            # shape (nonlinearity, pulses) but the layer's own range.
+            update_rule = self._build_update_rule()
+
+        self.optimizer = SGD(
+            model.parameters(),
+            lr=config.lr,
+            momentum=config.momentum,
+            weight_decay=config.weight_decay,
+            update_rule=update_rule,
+        )
+        if scheduler_factory is None:
+            self.scheduler = ConstantLR(self.optimizer)
+        else:
+            self.scheduler = scheduler_factory(self.optimizer)
+        self.history = TrainingHistory()
+        self._rng = np.random.default_rng(config.seed)
+
+    # ------------------------------------------------------------------ #
+    # Device-update plumbing
+    # ------------------------------------------------------------------ #
+    def _build_update_rule(self):
+        """Create a non-linear update rule spanning the model's conductance ranges.
+
+        Different mapped layers may use different conductance full scales, so
+        the rule dispatches on the parameter's range.  The dispatch works by
+        keying device models on the range bounds.
+        """
+        config = self.config
+        mapped_layers = [
+            module for module in self.model.modules() if isinstance(module, _MappedBase)
+        ]
+        devices = {}
+        for layer in mapped_layers:
+            key = (layer.conductance_range.g_min, layer.conductance_range.g_max)
+            if key not in devices:
+                devices[key] = NonlinearDevice(
+                    nonlinearity=config.nonlinearity,
+                    num_pulses=config.device_pulses,
+                    range=layer.conductance_range,
+                )
+        # The SGD hook receives only (data, delta); to route per layer, key the
+        # device model on the identity of the parameter's data buffer.
+        buffer_to_device = {
+            id(layer.crossbar.data): devices[
+                (layer.conductance_range.g_min, layer.conductance_range.g_max)
+            ]
+            for layer in mapped_layers
+        }
+        fallback_device = NonlinearDevice(
+            nonlinearity=config.nonlinearity, num_pulses=config.device_pulses
+        )
+
+        class _DispatchingRule:
+            def apply(self, weights, ideal_delta):
+                device = buffer_to_device.get(id(weights), fallback_device)
+                return NonlinearUpdateRule(device).apply(weights, ideal_delta)
+
+        return _DispatchingRule()
+
+    # ------------------------------------------------------------------ #
+    # Training / evaluation
+    # ------------------------------------------------------------------ #
+    def _prepare_inputs(self, images: np.ndarray) -> np.ndarray:
+        if self.config.activation_bits is not None:
+            return _quantize_activations(images, self.config.activation_bits)
+        return images
+
+    def evaluate(self, dataset: ArrayDataset, batch_size: Optional[int] = None) -> float:
+        """Return classification accuracy of the current model on ``dataset``."""
+        self.model.eval()
+        batch = batch_size if batch_size is not None else self.config.batch_size
+        correct = 0
+        with no_grad():
+            for start in range(0, len(dataset), batch):
+                images = self._prepare_inputs(dataset.images[start:start + batch])
+                labels = dataset.labels[start:start + batch]
+                logits = self.model(Tensor(images))
+                correct += int(accuracy(logits, labels) * len(labels))
+        self.model.train()
+        return correct / len(dataset)
+
+    def train_epoch(self, loader: DataLoader) -> float:
+        """Run one epoch of SGD; return the mean training loss."""
+        self.model.train()
+        losses = []
+        for images, labels in loader:
+            images = self._prepare_inputs(images)
+            logits = self.model(Tensor(images))
+            loss = self.loss_fn(logits, labels)
+            self.optimizer.zero_grad()
+            loss.backward()
+            self.optimizer.step()
+            self._project_conductances()
+            losses.append(loss.item())
+        return float(np.mean(losses)) if losses else float("nan")
+
+    def _project_conductances(self) -> None:
+        """Clip mapped-layer conductances into their device range after a step."""
+        for module in self.model.modules():
+            if isinstance(module, _MappedBase):
+                module.clip_conductances()
+
+    def fit(self, verbose: bool = False) -> TrainingHistory:
+        """Train for the configured number of epochs and return the history."""
+        loader = DataLoader(
+            self.train_set,
+            batch_size=self.config.batch_size,
+            shuffle=True,
+            rng=self._rng,
+        )
+        for epoch in range(self.config.epochs):
+            self.scheduler.step(epoch)
+            train_loss = self.train_epoch(loader)
+            train_accuracy = self.evaluate(self.train_set)
+            test_accuracy = self.evaluate(self.test_set)
+            self.history.epochs.append(epoch)
+            self.history.train_loss.append(train_loss)
+            self.history.train_error.append(100.0 * (1.0 - train_accuracy))
+            self.history.test_error.append(100.0 * (1.0 - test_accuracy))
+            if verbose:
+                print(
+                    f"epoch {epoch:3d}  loss {train_loss:.4f}  "
+                    f"train err {self.history.train_error[-1]:6.2f}%  "
+                    f"test err {self.history.test_error[-1]:6.2f}%"
+                )
+        return self.history

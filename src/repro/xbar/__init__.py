@@ -1,0 +1,41 @@
+"""Crossbar-array device models.
+
+This package models the device non-idealities studied in the paper's
+evaluation (Section IV):
+
+* **Limited weight precision** — synapse conductances can only take ``2^B``
+  discrete states in a range ``[Gmin, Gmax]`` (:mod:`repro.xbar.quantization`).
+* **Non-linear weight update** — a potentiation/depression pulse changes the
+  conductance by a state-dependent amount; the paper assumes symmetric
+  up/down non-linearity (:mod:`repro.xbar.device`).
+* **Device variation** — programmed conductances deviate from their targets
+  by zero-mean Gaussian noise (:mod:`repro.xbar.variation`).
+* **Array organisation** — large matrices are tiled over fixed-size crossbar
+  arrays; :mod:`repro.xbar.crossbar` models programming and analog readout of
+  a tile, and computes the tile counts used by the hardware cost model.
+"""
+
+from repro.xbar.quantization import ConductanceRange, UniformQuantizer
+from repro.xbar.device import (
+    DeviceModel,
+    LinearDevice,
+    NonlinearDevice,
+    NonlinearUpdateRule,
+    LinearUpdateRule,
+)
+from repro.xbar.variation import DeviceVariationModel, apply_variation
+from repro.xbar.crossbar import CrossbarArray, CrossbarTiling
+
+__all__ = [
+    "ConductanceRange",
+    "UniformQuantizer",
+    "DeviceModel",
+    "LinearDevice",
+    "NonlinearDevice",
+    "NonlinearUpdateRule",
+    "LinearUpdateRule",
+    "DeviceVariationModel",
+    "apply_variation",
+    "CrossbarArray",
+    "CrossbarTiling",
+]

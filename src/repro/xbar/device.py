@@ -1,0 +1,191 @@
+"""Synapse device models: linear and non-linear conductance update.
+
+The paper considers devices (FeFET/RRAM-style analog synapses) whose
+conductance is changed by applying potentiation or depression pulses.  Ideal
+("linear") devices change their conductance by a fixed amount per pulse;
+real devices exhibit a *non-linear* state-dependent step: potentiation steps
+shrink as the device approaches ``Gmax`` and depression steps shrink as it
+approaches ``Gmin``.  The paper restricts its study to devices with
+*symmetric* up/down non-linearity (its Fig. 4a) so that the effect of the
+non-linearity is isolated from the learning rule.
+
+The standard behavioural model (used by NeuroSim and the device literature)
+expresses the conductance after ``p`` potentiation pulses out of ``P`` total:
+
+``G(p) = B * (1 - exp(-p * nu / P)) + Gmin``  with ``B = (Gmax-Gmin) / (1 - exp(-nu))``
+
+where ``nu`` is the non-linearity coefficient.  The depression curve is the
+mirror image.  :class:`NonlinearDevice` implements this model and
+:class:`NonlinearUpdateRule` converts an ideal weight change requested by the
+optimiser into the change the device would actually realise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.xbar.quantization import ConductanceRange
+
+
+class DeviceModel:
+    """Interface for synapse device behavioural models."""
+
+    #: Conductance range of the device.
+    range: ConductanceRange
+
+    def realised_update(self, conductance: np.ndarray, ideal_delta: np.ndarray) -> np.ndarray:
+        """Return the conductance change the device realises for an ideal request."""
+        raise NotImplementedError
+
+    def potentiation_curve(self, num_pulses: int) -> np.ndarray:
+        """Conductance trajectory under ``num_pulses`` consecutive potentiation pulses."""
+        raise NotImplementedError
+
+    def depression_curve(self, num_pulses: int) -> np.ndarray:
+        """Conductance trajectory under ``num_pulses`` consecutive depression pulses."""
+        raise NotImplementedError
+
+
+@dataclass
+class LinearDevice(DeviceModel):
+    """An ideal device whose conductance changes exactly as requested.
+
+    The only non-ideality it retains is the bounded range: updates that would
+    push the conductance outside ``[Gmin, Gmax]`` saturate at the boundary.
+    """
+
+    range: ConductanceRange = ConductanceRange()
+
+    def realised_update(self, conductance: np.ndarray, ideal_delta: np.ndarray) -> np.ndarray:
+        conductance = np.asarray(conductance, dtype=np.float64)
+        target = self.range.clip(conductance + np.asarray(ideal_delta, dtype=np.float64))
+        return target - conductance
+
+    def potentiation_curve(self, num_pulses: int) -> np.ndarray:
+        return np.linspace(self.range.g_min, self.range.g_max, num_pulses)
+
+    def depression_curve(self, num_pulses: int) -> np.ndarray:
+        return np.linspace(self.range.g_max, self.range.g_min, num_pulses)
+
+
+@dataclass
+class NonlinearDevice(DeviceModel):
+    """A device with symmetric, state-dependent (non-linear) weight update.
+
+    Parameters
+    ----------
+    nonlinearity:
+        The non-linearity coefficient ``nu``.  ``nu -> 0`` recovers a linear
+        device; typical experimental analog synapses fall in the 1-5 range.
+    num_pulses:
+        Number of programming pulses needed to traverse the full conductance
+        range (equivalently, the number of analog states the device supports
+        during training).
+    range:
+        Conductance range of the device.
+    """
+
+    nonlinearity: float = 2.0
+    num_pulses: int = 64
+    range: ConductanceRange = ConductanceRange()
+
+    def __post_init__(self) -> None:
+        if self.nonlinearity < 0:
+            raise ValueError("nonlinearity must be non-negative")
+        if self.num_pulses < 2:
+            raise ValueError("num_pulses must be at least 2")
+
+    # ------------------------------------------------------------------ #
+    # Closed-form pulse response
+    # ------------------------------------------------------------------ #
+    def _curve_scale(self) -> float:
+        nu = max(self.nonlinearity, 1e-9)
+        return self.range.span / (1.0 - np.exp(-nu))
+
+    def potentiation_curve(self, num_pulses: int = None) -> np.ndarray:
+        pulses = num_pulses if num_pulses is not None else self.num_pulses
+        nu = max(self.nonlinearity, 1e-9)
+        p = np.linspace(0.0, 1.0, pulses)
+        return self.range.g_min + self._curve_scale() * (1.0 - np.exp(-nu * p))
+
+    def depression_curve(self, num_pulses: int = None) -> np.ndarray:
+        pulses = num_pulses if num_pulses is not None else self.num_pulses
+        # Symmetric device: depression mirrors potentiation.
+        return self.range.g_max + self.range.g_min - self.potentiation_curve(pulses)
+
+    # ------------------------------------------------------------------ #
+    # State-dependent step size
+    # ------------------------------------------------------------------ #
+    def potentiation_step(self, conductance: np.ndarray) -> np.ndarray:
+        """Conductance increase realised by one potentiation pulse at ``conductance``.
+
+        Differentiating the pulse response gives a step proportional to the
+        remaining headroom: ``dG = (nu / P) * (scale - (G - Gmin))``.
+        """
+        conductance = self.range.clip(np.asarray(conductance, dtype=np.float64))
+        nu = max(self.nonlinearity, 1e-9)
+        headroom = self._curve_scale() - (conductance - self.range.g_min)
+        return (nu / self.num_pulses) * np.maximum(headroom, 0.0)
+
+    def depression_step(self, conductance: np.ndarray) -> np.ndarray:
+        """Conductance decrease realised by one depression pulse at ``conductance``."""
+        conductance = self.range.clip(np.asarray(conductance, dtype=np.float64))
+        nu = max(self.nonlinearity, 1e-9)
+        headroom = self._curve_scale() - (self.range.g_max - conductance)
+        return (nu / self.num_pulses) * np.maximum(headroom, 0.0)
+
+    def realised_update(self, conductance: np.ndarray, ideal_delta: np.ndarray) -> np.ndarray:
+        """Translate an ideal conductance change into the realised change.
+
+        The optimiser requests ``ideal_delta``.  The device translates that
+        request into an (effective, possibly fractional) number of pulses
+        assuming a linear device, then realises each pulse with the
+        state-dependent step size.  For efficiency the pulse train is applied
+        in a single step using the local step size — accurate for the small
+        per-minibatch updates seen during SGD — and the result is clipped to
+        the device range.
+        """
+        conductance = np.asarray(conductance, dtype=np.float64)
+        ideal_delta = np.asarray(ideal_delta, dtype=np.float64)
+
+        linear_step = self.range.span / self.num_pulses
+        pulse_equivalents = ideal_delta / linear_step
+
+        step_up = self.potentiation_step(conductance)
+        step_down = self.depression_step(conductance)
+        realised = np.where(
+            ideal_delta >= 0,
+            pulse_equivalents * step_up,
+            pulse_equivalents * step_down,
+        )
+        target = self.range.clip(conductance + realised)
+        return target - conductance
+
+
+class LinearUpdateRule:
+    """Optimiser hook that applies the ideal (linear, range-bounded) update."""
+
+    def __init__(self, device: LinearDevice = None):
+        self.device = device if device is not None else LinearDevice()
+
+    def apply(self, weights: np.ndarray, ideal_delta: np.ndarray) -> np.ndarray:
+        """Return the realised weight change for the requested ideal change."""
+        return self.device.realised_update(weights, ideal_delta)
+
+
+class NonlinearUpdateRule:
+    """Optimiser hook that applies the non-linear device update.
+
+    This is the piece that couples SGD to the device physics: the gradient
+    step computed by the optimiser is reshaped by the state-dependent step
+    size of the synapse device before it is applied to the crossbar matrix.
+    """
+
+    def __init__(self, device: NonlinearDevice = None):
+        self.device = device if device is not None else NonlinearDevice()
+
+    def apply(self, weights: np.ndarray, ideal_delta: np.ndarray) -> np.ndarray:
+        """Return the realised weight change for the requested ideal change."""
+        return self.device.realised_update(weights, ideal_delta)

@@ -1,0 +1,115 @@
+"""Conductance ranges and uniform quantisation of crossbar weights.
+
+The paper assumes synapse conductances in ``[Gmin, Gmax]`` (with ``Gmin = 0``
+for simplicity) and ``2^B`` equally spaced states for a ``B``-bit device.
+During training the crossbar matrix ``M`` is quantised to these states with a
+straight-through estimator, following the DoReFa-style recipe the paper cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+@dataclass(frozen=True)
+class ConductanceRange:
+    """The representable conductance range of a synapse device.
+
+    Attributes
+    ----------
+    g_min, g_max:
+        Minimum and maximum programmable conductance.  The paper sets
+        ``g_min = 0`` for its analysis; the class supports a non-zero minimum
+        as well because real devices have a finite off conductance.
+    """
+
+    g_min: float = 0.0
+    g_max: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.g_max <= self.g_min:
+            raise ValueError("g_max must be strictly greater than g_min")
+        if self.g_min < 0:
+            raise ValueError("conductances cannot be negative")
+
+    @property
+    def span(self) -> float:
+        """Width of the conductance range."""
+        return self.g_max - self.g_min
+
+    @property
+    def midpoint(self) -> float:
+        """Middle of the range; the BC mapping fixes its bias column here."""
+        return 0.5 * (self.g_min + self.g_max)
+
+    def clip(self, values: np.ndarray) -> np.ndarray:
+        """Clip values into the representable range."""
+        return np.clip(values, self.g_min, self.g_max)
+
+    def contains(self, values: np.ndarray, tolerance: float = 1e-9) -> bool:
+        """Return True if every value lies inside the range (within tolerance)."""
+        values = np.asarray(values)
+        return bool(
+            (values >= self.g_min - tolerance).all()
+            and (values <= self.g_max + tolerance).all()
+        )
+
+
+class UniformQuantizer:
+    """Uniform quantiser over a conductance range.
+
+    Parameters
+    ----------
+    bits:
+        Device precision ``B``; the quantiser exposes ``2^B`` levels.
+    range:
+        The conductance range the levels span.
+    """
+
+    def __init__(self, bits: int, conductance_range: ConductanceRange = ConductanceRange()):
+        if bits < 1:
+            raise ValueError("bits must be at least 1")
+        if bits > 16:
+            raise ValueError("bits above 16 are not meaningful for crossbar devices")
+        self.bits = int(bits)
+        self.range = conductance_range
+        self.num_levels = 2 ** self.bits
+        self.levels = np.linspace(
+            conductance_range.g_min, conductance_range.g_max, self.num_levels
+        )
+
+    @property
+    def step(self) -> float:
+        """Spacing between adjacent quantisation levels."""
+        return self.range.span / (self.num_levels - 1)
+
+    def quantize_array(self, values: np.ndarray) -> np.ndarray:
+        """Snap a NumPy array to the nearest quantisation level.
+
+        Ties (values exactly half-way between two levels) resolve to the lower
+        level, matching the tensor-path quantiser (:meth:`quantize_ste`) so
+        that the two code paths always program identical device states.
+        """
+        values = self.range.clip(np.asarray(values, dtype=np.float64))
+        indices = np.abs(values[..., None] - self.levels).argmin(axis=-1)
+        return self.levels[indices]
+
+    def quantize_ste(self, tensor: Tensor) -> Tensor:
+        """Quantise a tensor with a straight-through estimator backward pass."""
+        clipped = tensor.clip(self.range.g_min, self.range.g_max)
+        return clipped.quantize_ste(self.levels)
+
+    def state_index(self, values: np.ndarray) -> np.ndarray:
+        """Return the integer state index of each value (ties resolve downward)."""
+        values = self.range.clip(np.asarray(values, dtype=np.float64))
+        return np.abs(values[..., None] - self.levels).argmin(axis=-1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"UniformQuantizer(bits={self.bits}, "
+            f"range=[{self.range.g_min}, {self.range.g_max}])"
+        )

@@ -1,0 +1,75 @@
+"""Device-to-device variation model.
+
+Following the paper (Section IV, Fig. 4b), programmed conductances deviate
+from their target value by zero-mean Gaussian noise whose standard deviation
+is expressed as a percentage of the conductance range.  Variation is applied
+*after* training, to the deployed weights, and inference accuracy is then
+evaluated without retraining — exactly the protocol of the paper's Fig. 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.xbar.quantization import ConductanceRange
+
+
+@dataclass
+class DeviceVariationModel:
+    """Zero-mean Gaussian conductance variation.
+
+    Attributes
+    ----------
+    sigma_fraction:
+        Standard deviation of the perturbation, as a fraction of the
+        conductance range span (the paper sweeps 0 to 25 %).
+    range:
+        Conductance range; used both to scale the perturbation and to clip the
+        perturbed values back into the physically representable interval.
+    clip_to_range:
+        Whether to clip perturbed conductances back into ``[Gmin, Gmax]``.
+        Real devices cannot leave their range, so this defaults to ``True``.
+    """
+
+    sigma_fraction: float = 0.0
+    range: ConductanceRange = ConductanceRange()
+    clip_to_range: bool = True
+
+    def __post_init__(self) -> None:
+        if self.sigma_fraction < 0:
+            raise ValueError("sigma_fraction must be non-negative")
+
+    @property
+    def sigma_absolute(self) -> float:
+        """The perturbation standard deviation in conductance units."""
+        return self.sigma_fraction * self.range.span
+
+    def perturb(
+        self, conductances: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Return a perturbed copy of ``conductances``."""
+        conductances = np.asarray(conductances, dtype=np.float64)
+        if self.sigma_fraction == 0.0:
+            return conductances.copy()
+        rng = rng if rng is not None else np.random.default_rng()
+        noisy = conductances + rng.normal(0.0, self.sigma_absolute, size=conductances.shape)
+        if self.clip_to_range:
+            noisy = self.range.clip(noisy)
+        return noisy
+
+
+def apply_variation(
+    conductances: np.ndarray,
+    sigma_fraction: float,
+    conductance_range: ConductanceRange = ConductanceRange(),
+    rng: Optional[np.random.Generator] = None,
+    clip_to_range: bool = True,
+) -> np.ndarray:
+    """Functional convenience wrapper around :class:`DeviceVariationModel`."""
+    model = DeviceVariationModel(
+        sigma_fraction=sigma_fraction, range=conductance_range, clip_to_range=clip_to_range
+    )
+    return model.perturb(conductances, rng=rng)

@@ -1,0 +1,225 @@
+"""Unit tests for datasets, loaders, transforms and the synthetic tasks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ArrayDataset,
+    DataLoader,
+    SyntheticImageTask,
+    make_classification_images,
+    synthetic_cifar,
+    synthetic_mnist,
+    train_test_split,
+    transforms,
+)
+
+
+class TestArrayDataset:
+    def test_basic_properties(self, rng):
+        dataset = ArrayDataset(rng.normal(size=(20, 1, 8, 8)), rng.integers(0, 4, 20))
+        assert len(dataset) == 20
+        assert dataset.sample_shape == (1, 8, 8)
+        assert dataset.num_classes <= 4
+
+    def test_getitem(self, rng):
+        images = rng.normal(size=(5, 2))
+        labels = np.arange(5)
+        dataset = ArrayDataset(images, labels)
+        image, label = dataset[3]
+        np.testing.assert_allclose(image, images[3])
+        assert label == 3
+
+    def test_rejects_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            ArrayDataset(rng.normal(size=(5, 2)), np.arange(4))
+
+    def test_rejects_2d_labels(self, rng):
+        with pytest.raises(ValueError):
+            ArrayDataset(rng.normal(size=(5, 2)), np.zeros((5, 1)))
+
+    def test_subset(self, rng):
+        dataset = ArrayDataset(rng.normal(size=(10, 2)), np.arange(10) % 2)
+        subset = dataset.subset(np.array([0, 2, 4]))
+        assert len(subset) == 3
+
+
+class TestTrainTestSplit:
+    def test_partition_is_disjoint_and_complete(self, rng):
+        dataset = ArrayDataset(rng.normal(size=(40, 2)), np.repeat(np.arange(4), 10))
+        train, test = train_test_split(dataset, 0.25, rng=rng)
+        assert len(train) + len(test) == 40
+
+    def test_stratified_every_class_in_both_splits(self, rng):
+        dataset = ArrayDataset(rng.normal(size=(40, 2)), np.repeat(np.arange(4), 10))
+        train, test = train_test_split(dataset, 0.2, rng=rng)
+        assert set(np.unique(train.labels)) == set(range(4))
+        assert set(np.unique(test.labels)) == set(range(4))
+
+    def test_fraction_validation(self, rng):
+        dataset = ArrayDataset(rng.normal(size=(10, 2)), np.arange(10) % 2)
+        with pytest.raises(ValueError):
+            train_test_split(dataset, 0.0)
+        with pytest.raises(ValueError):
+            train_test_split(dataset, 1.0)
+
+
+class TestDataLoader:
+    def test_batch_shapes(self, rng):
+        dataset = ArrayDataset(rng.normal(size=(50, 1, 4, 4)), rng.integers(0, 3, 50))
+        loader = DataLoader(dataset, batch_size=16, rng=rng)
+        batches = list(loader)
+        assert len(batches) == 4
+        assert batches[0][0].shape == (16, 1, 4, 4)
+        assert batches[-1][0].shape == (2, 1, 4, 4)
+
+    def test_drop_last(self, rng):
+        dataset = ArrayDataset(rng.normal(size=(50, 2)), rng.integers(0, 3, 50))
+        loader = DataLoader(dataset, batch_size=16, drop_last=True, rng=rng)
+        assert len(loader) == 3
+        assert all(len(labels) == 16 for _, labels in loader)
+
+    def test_len_matches_iteration(self, rng):
+        dataset = ArrayDataset(rng.normal(size=(33, 2)), rng.integers(0, 2, 33))
+        loader = DataLoader(dataset, batch_size=10, rng=rng)
+        assert len(list(loader)) == len(loader)
+
+    def test_covers_every_sample_once(self, rng):
+        dataset = ArrayDataset(np.arange(30).reshape(30, 1).astype(float), np.zeros(30, dtype=int))
+        loader = DataLoader(dataset, batch_size=7, rng=rng)
+        seen = np.concatenate([images.reshape(-1) for images, _ in loader])
+        assert sorted(seen.tolist()) == list(range(30))
+
+    def test_shuffle_changes_order_between_epochs(self, rng):
+        dataset = ArrayDataset(np.arange(64).reshape(64, 1).astype(float), np.zeros(64, dtype=int))
+        loader = DataLoader(dataset, batch_size=64, shuffle=True, rng=np.random.default_rng(0))
+        first = next(iter(loader))[0].reshape(-1)
+        second = next(iter(loader))[0].reshape(-1)
+        assert not np.array_equal(first, second)
+
+    def test_no_shuffle_preserves_order(self, rng):
+        dataset = ArrayDataset(np.arange(10).reshape(10, 1).astype(float), np.zeros(10, dtype=int))
+        loader = DataLoader(dataset, batch_size=10, shuffle=False)
+        np.testing.assert_allclose(next(iter(loader))[0].reshape(-1), np.arange(10))
+
+    def test_rejects_bad_batch_size(self, rng):
+        dataset = ArrayDataset(rng.normal(size=(5, 2)), np.zeros(5, dtype=int))
+        with pytest.raises(ValueError):
+            DataLoader(dataset, batch_size=0)
+
+
+class TestSyntheticTasks:
+    def test_task_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticImageTask(num_classes=1)
+        with pytest.raises(ValueError):
+            SyntheticImageTask(channels=2)
+        with pytest.raises(ValueError):
+            SyntheticImageTask(noise_std=-0.1)
+
+    def test_generated_shapes_and_labels(self):
+        task = SyntheticImageTask(num_classes=5, image_size=10, channels=3,
+                                  samples_per_class=8, seed=0)
+        dataset = make_classification_images(task)
+        assert dataset.images.shape == (40, 3, 10, 10)
+        assert dataset.num_classes == 5
+        counts = np.bincount(dataset.labels)
+        assert (counts == 8).all()
+
+    def test_images_are_standardised(self):
+        task = SyntheticImageTask(samples_per_class=10, seed=1)
+        dataset = make_classification_images(task)
+        assert abs(dataset.images.mean()) < 1e-9
+        assert dataset.images.std() == pytest.approx(1.0, abs=1e-6)
+
+    def test_deterministic_for_fixed_seed(self):
+        task = SyntheticImageTask(samples_per_class=5, seed=42)
+        first = make_classification_images(task)
+        second = make_classification_images(task)
+        np.testing.assert_allclose(first.images, second.images)
+        np.testing.assert_array_equal(first.labels, second.labels)
+
+    def test_different_seeds_differ(self):
+        first = make_classification_images(SyntheticImageTask(samples_per_class=5, seed=0))
+        second = make_classification_images(SyntheticImageTask(samples_per_class=5, seed=1))
+        assert not np.allclose(first.images, second.images)
+
+    def test_classes_are_separable_by_nearest_prototype(self):
+        """A nearest-class-mean classifier must beat chance by a wide margin,
+        otherwise the synthetic task carries no learnable signal."""
+        train, test = synthetic_mnist(samples_per_class=30, seed=0)
+        prototypes = np.stack([
+            train.images[train.labels == c].mean(axis=0) for c in range(train.num_classes)
+        ])
+        flat_test = test.images.reshape(len(test), -1)
+        flat_prototypes = prototypes.reshape(len(prototypes), -1)
+        distances = ((flat_test[:, None, :] - flat_prototypes[None, :, :]) ** 2).sum(axis=2)
+        accuracy = (distances.argmin(axis=1) == test.labels).mean()
+        assert accuracy > 0.6
+
+    def test_mnist_like_preset(self):
+        train, test = synthetic_mnist(samples_per_class=12)
+        assert train.sample_shape == (1, 16, 16)
+        assert train.num_classes == 10
+        assert len(test) > 0
+
+    def test_cifar_like_preset(self):
+        train, test = synthetic_cifar(samples_per_class=12)
+        assert train.sample_shape == (3, 16, 16)
+        assert train.num_classes == 10
+
+    def test_cifar_is_harder_than_mnist(self):
+        """The CIFAR-like task must have more intra-class variation (lower
+        nearest-prototype accuracy) than the MNIST-like task."""
+        def prototype_accuracy(pair):
+            train, test = pair
+            prototypes = np.stack([
+                train.images[train.labels == c].mean(axis=0)
+                for c in range(train.num_classes)
+            ])
+            flat_test = test.images.reshape(len(test), -1)
+            flat_protos = prototypes.reshape(len(prototypes), -1)
+            distances = ((flat_test[:, None, :] - flat_protos[None, :, :]) ** 2).sum(axis=2)
+            return (distances.argmin(axis=1) == test.labels).mean()
+
+        easy = prototype_accuracy(synthetic_mnist(samples_per_class=30, seed=0))
+        hard = prototype_accuracy(synthetic_cifar(samples_per_class=30, seed=0))
+        assert hard < easy
+
+
+class TestTransforms:
+    def test_normalize(self, rng):
+        images = rng.normal(loc=5, scale=3, size=(10, 4))
+        normalised = transforms.normalize(images)
+        assert abs(normalised.mean()) < 1e-9
+        assert normalised.std() == pytest.approx(1.0)
+
+    def test_normalize_rejects_constant_input(self):
+        with pytest.raises(ValueError):
+            transforms.normalize(np.ones((3, 3)))
+
+    def test_flatten(self, rng):
+        assert transforms.flatten(rng.normal(size=(5, 2, 3, 3))).shape == (5, 18)
+
+    def test_random_horizontal_flip(self, rng):
+        images = np.arange(2 * 1 * 2 * 3).reshape(2, 1, 2, 3).astype(float)
+        flipped = transforms.random_horizontal_flip(images, probability=1.0, rng=rng)
+        np.testing.assert_allclose(flipped, images[..., ::-1])
+
+    def test_flip_probability_validation(self, rng):
+        with pytest.raises(ValueError):
+            transforms.random_horizontal_flip(np.zeros((1, 1, 2, 2)), probability=1.5)
+
+    def test_compose(self, rng):
+        pipeline = transforms.compose(transforms.flatten)
+        assert pipeline(rng.normal(size=(4, 2, 2, 2))).shape == (4, 8)
+
+    def test_one_hot(self):
+        encoded = transforms.one_hot([0, 2, 1], 3)
+        np.testing.assert_allclose(encoded, np.eye(3)[[0, 2, 1]])
+
+    def test_one_hot_validates_range(self):
+        with pytest.raises(ValueError):
+            transforms.one_hot([0, 5], 3)

@@ -1,0 +1,196 @@
+"""Unit tests for the convolution / pooling primitives (im2col lowering)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, functional
+from repro.tensor.functional import col2im, conv_output_size, im2col
+
+
+def reference_conv2d(images, weight, bias, stride, padding):
+    """Naive direct convolution used as the ground truth."""
+    batch, _, height, width = images.shape
+    out_channels, in_channels, kernel_h, kernel_w = weight.shape
+    out_h = conv_output_size(height, kernel_h, stride, padding)
+    out_w = conv_output_size(width, kernel_w, stride, padding)
+    padded = np.pad(images, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    output = np.zeros((batch, out_channels, out_h, out_w))
+    for n in range(batch):
+        for oc in range(out_channels):
+            for oy in range(out_h):
+                for ox in range(out_w):
+                    patch = padded[
+                        n, :, oy * stride:oy * stride + kernel_h, ox * stride:ox * stride + kernel_w
+                    ]
+                    output[n, oc, oy, ox] = (patch * weight[oc]).sum()
+            if bias is not None:
+                output[n, oc] += bias[oc]
+    return output
+
+
+class TestIm2Col:
+    def test_output_shape(self, rng):
+        images = rng.normal(size=(2, 3, 8, 8))
+        columns = im2col(images, (3, 3), (1, 1), (1, 1))
+        assert columns.shape == (2 * 8 * 8, 3 * 3 * 3)
+
+    def test_round_trip_counts_overlaps(self, rng):
+        images = rng.normal(size=(1, 1, 4, 4))
+        columns = im2col(images, (2, 2), (2, 2), (0, 0))
+        # Non-overlapping stride: col2im reproduces the original exactly.
+        restored = col2im(columns, images.shape, (2, 2), (2, 2), (0, 0))
+        np.testing.assert_allclose(restored, images)
+
+    def test_conv_output_size(self):
+        assert conv_output_size(8, 3, 1, 1) == 8
+        assert conv_output_size(8, 3, 2, 1) == 4
+        assert conv_output_size(7, 3, 1, 0) == 5
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0)])
+    def test_matches_direct_convolution(self, rng, stride, padding):
+        images = rng.normal(size=(2, 3, 7, 7))
+        weight = rng.normal(size=(4, 3, 3, 3))
+        bias = rng.normal(size=(4,))
+        result = functional.conv2d(
+            Tensor(images), Tensor(weight), Tensor(bias), stride=stride, padding=padding
+        )
+        expected = reference_conv2d(images, weight, bias, stride, padding)
+        np.testing.assert_allclose(result.data, expected, atol=1e-10)
+
+    def test_no_bias(self, rng):
+        images = rng.normal(size=(1, 2, 5, 5))
+        weight = rng.normal(size=(3, 2, 3, 3))
+        result = functional.conv2d(Tensor(images), Tensor(weight), None, padding=1)
+        expected = reference_conv2d(images, weight, None, 1, 1)
+        np.testing.assert_allclose(result.data, expected, atol=1e-10)
+
+    def test_rejects_channel_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            functional.conv2d(
+                Tensor(rng.normal(size=(1, 2, 5, 5))),
+                Tensor(rng.normal(size=(3, 4, 3, 3))),
+                None,
+            )
+
+    def test_weight_gradient(self, rng):
+        images = rng.normal(size=(2, 2, 5, 5))
+        weight = rng.normal(size=(3, 2, 3, 3))
+        weight_tensor = Tensor(weight.copy(), requires_grad=True)
+        functional.conv2d(Tensor(images), weight_tensor, None, padding=1).sum().backward()
+
+        epsilon = 1e-6
+        numeric = np.zeros_like(weight)
+        for index in np.ndindex(*weight.shape):
+            perturbed = weight.copy()
+            perturbed[index] += epsilon
+            upper = reference_conv2d(images, perturbed, None, 1, 1).sum()
+            perturbed[index] -= 2 * epsilon
+            lower = reference_conv2d(images, perturbed, None, 1, 1).sum()
+            numeric[index] = (upper - lower) / (2 * epsilon)
+        np.testing.assert_allclose(weight_tensor.grad, numeric, atol=1e-4)
+
+    def test_input_gradient(self, rng):
+        images = rng.normal(size=(1, 2, 5, 5))
+        weight = rng.normal(size=(2, 2, 3, 3))
+        input_tensor = Tensor(images.copy(), requires_grad=True)
+        functional.conv2d(input_tensor, Tensor(weight), None, stride=2, padding=1).sum().backward()
+
+        epsilon = 1e-6
+        numeric = np.zeros_like(images)
+        for index in np.ndindex(*images.shape):
+            perturbed = images.copy()
+            perturbed[index] += epsilon
+            upper = reference_conv2d(perturbed, weight, None, 2, 1).sum()
+            perturbed[index] -= 2 * epsilon
+            lower = reference_conv2d(perturbed, weight, None, 2, 1).sum()
+            numeric[index] = (upper - lower) / (2 * epsilon)
+        np.testing.assert_allclose(input_tensor.grad, numeric, atol=1e-4)
+
+    def test_bias_gradient_is_output_count(self, rng):
+        images = rng.normal(size=(2, 1, 4, 4))
+        weight = rng.normal(size=(2, 1, 3, 3))
+        bias = Tensor(np.zeros(2), requires_grad=True)
+        functional.conv2d(Tensor(images), Tensor(weight), bias, padding=1).sum().backward()
+        np.testing.assert_allclose(bias.grad, [2 * 16, 2 * 16])
+
+
+class TestConv2dFromMatrix:
+    def test_matches_conv2d(self, rng):
+        images = rng.normal(size=(2, 3, 6, 6))
+        weight = rng.normal(size=(4, 3, 3, 3))
+        matrix = Tensor(weight.reshape(4, -1))
+        via_matrix = functional.conv2d_from_matrix(
+            Tensor(images), matrix, kernel_shape=(3, 3, 3), padding=1
+        )
+        direct = functional.conv2d(Tensor(images), Tensor(weight), None, padding=1)
+        np.testing.assert_allclose(via_matrix.data, direct.data, atol=1e-10)
+
+    def test_matrix_gradient_matches_weight_gradient(self, rng):
+        images = rng.normal(size=(2, 2, 5, 5))
+        weight = rng.normal(size=(3, 2, 3, 3))
+        weight_tensor = Tensor(weight.copy(), requires_grad=True)
+        functional.conv2d(Tensor(images), weight_tensor, None, padding=1).sum().backward()
+
+        matrix_tensor = Tensor(weight.reshape(3, -1).copy(), requires_grad=True)
+        functional.conv2d_from_matrix(
+            Tensor(images), matrix_tensor, kernel_shape=(2, 3, 3), padding=1
+        ).sum().backward()
+        np.testing.assert_allclose(
+            matrix_tensor.grad, weight_tensor.grad.reshape(3, -1), atol=1e-10
+        )
+
+    def test_input_gradient_flows(self, rng):
+        images = Tensor(rng.normal(size=(1, 2, 5, 5)), requires_grad=True)
+        matrix = Tensor(rng.normal(size=(3, 2 * 9)))
+        functional.conv2d_from_matrix(
+            images, matrix, kernel_shape=(2, 3, 3), padding=1
+        ).sum().backward()
+        assert images.grad is not None
+        assert images.grad.shape == images.shape
+
+    def test_rejects_wrong_matrix_width(self, rng):
+        with pytest.raises(ValueError):
+            functional.conv2d_from_matrix(
+                Tensor(rng.normal(size=(1, 2, 5, 5))),
+                Tensor(rng.normal(size=(3, 10))),
+                kernel_shape=(2, 3, 3),
+            )
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        images = Tensor(np.arange(16.0).reshape(1, 1, 4, 4))
+        pooled = functional.max_pool2d(images, 2)
+        np.testing.assert_allclose(pooled.data.reshape(-1), [5, 7, 13, 15])
+
+    def test_max_pool_gradient_routes_to_argmax(self):
+        images = Tensor(np.arange(16.0).reshape(1, 1, 4, 4), requires_grad=True)
+        functional.max_pool2d(images, 2).sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1.0
+        np.testing.assert_allclose(images.grad[0, 0], expected)
+
+    def test_avg_pool_values(self):
+        images = Tensor(np.arange(16.0).reshape(1, 1, 4, 4))
+        pooled = functional.avg_pool2d(images, 2)
+        np.testing.assert_allclose(pooled.data.reshape(-1), [2.5, 4.5, 10.5, 12.5])
+
+    def test_avg_pool_gradient_is_uniform(self):
+        images = Tensor(np.zeros((1, 1, 4, 4)), requires_grad=True)
+        functional.avg_pool2d(images, 2).sum().backward()
+        np.testing.assert_allclose(images.grad, np.full((1, 1, 4, 4), 0.25))
+
+    def test_global_avg_pool_shape_and_value(self, rng):
+        images = rng.normal(size=(2, 3, 5, 5))
+        pooled = functional.global_avg_pool2d(Tensor(images))
+        assert pooled.shape == (2, 3)
+        np.testing.assert_allclose(pooled.data, images.mean(axis=(2, 3)))
+
+    def test_strided_max_pool(self, rng):
+        images = rng.normal(size=(1, 2, 6, 6))
+        pooled = functional.max_pool2d(Tensor(images), 2, stride=2)
+        assert pooled.shape == (1, 2, 3, 3)

@@ -1,0 +1,218 @@
+"""Unit tests for the NeuroSim-style hardware cost model (Table I)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware import (
+    ADC,
+    AdderTree,
+    ColumnMux,
+    ComponentCost,
+    DEFAULT_14NM,
+    LayerSpec,
+    RowDriver,
+    ShiftRegister,
+    SwitchMatrix,
+    TechnologyParams,
+    WordlineDecoder,
+    estimate_layer,
+    estimate_network,
+    mlp_layer_specs,
+    table1_report,
+)
+from repro.hardware.report import SystemReport
+from repro.models import make_mlp
+from repro.hardware.accelerator import layer_specs_from_model
+
+
+class TestTechnologyParams:
+    def test_derived_quantities(self):
+        params = TechnologyParams(feature_size_nm=14.0, cell_area_f2=100.0)
+        assert params.feature_size_um == pytest.approx(0.014)
+        assert params.cell_area_um2 == pytest.approx(100 * 0.014 ** 2)
+        assert params.cell_width_um > 0
+
+    def test_default_is_14nm(self):
+        assert DEFAULT_14NM.feature_size_nm == 14.0
+
+
+class TestComponents:
+    def test_component_cost_addition_and_scaling(self):
+        first = ComponentCost(1.0, 2.0, 3.0)
+        second = ComponentCost(10.0, 20.0, 30.0)
+        combined = first + second
+        assert combined.area_um2 == 11.0
+        assert combined.energy_pj == 22.0
+        assert combined.delay_ns == 33.0
+        scaled = first.scaled(area=2.0, energy=3.0, delay=4.0)
+        assert (scaled.area_um2, scaled.energy_pj, scaled.delay_ns) == (2.0, 6.0, 12.0)
+
+    def test_adc_cost_scales_with_columns(self):
+        adc = ADC()
+        small, large = adc.cost(32), adc.cost(256)
+        assert large.area_um2 >= small.area_um2
+        assert large.energy_pj > small.energy_pj
+
+    def test_components_reject_non_positive_sizes(self):
+        for component, call in [
+            (ADC(), lambda c: c.cost(0)),
+            (ColumnMux(), lambda c: c.cost(0)),
+            (WordlineDecoder(), lambda c: c.cost(0)),
+            (SwitchMatrix(), lambda c: c.cost(0)),
+            (AdderTree(), lambda c: c.cost(0)),
+            (ShiftRegister(), lambda c: c.cost(0)),
+        ]:
+            with pytest.raises(ValueError):
+                call(component)
+        with pytest.raises(ValueError):
+            RowDriver().cost(0, 10)
+
+    def test_row_driver_energy_grows_with_columns(self):
+        driver = RowDriver()
+        narrow = driver.cost(128, 64)
+        wide = driver.cost(128, 256)
+        assert wide.energy_pj > narrow.energy_pj
+
+    def test_row_wire_cap_linear_in_columns(self):
+        driver = RowDriver()
+        assert driver.row_wire_cap_ff(200) == pytest.approx(2 * driver.row_wire_cap_ff(100))
+
+    def test_decoder_cost_grows_with_rows(self):
+        decoder = WordlineDecoder()
+        assert decoder.cost(256).area_um2 > decoder.cost(64).area_um2
+
+    def test_adder_tree_scales_with_outputs(self):
+        adders = AdderTree()
+        assert adders.cost(100).energy_pj > adders.cost(10).energy_pj
+
+
+class TestLayerSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LayerSpec("bad", 0, 10)
+        with pytest.raises(ValueError):
+            LayerSpec("bad", 10, 10, mvm_count_per_sample=0)
+
+    def test_mlp_specs_default(self):
+        specs = mlp_layer_specs()
+        assert len(specs) == 2
+        assert specs[0].num_inputs == 400
+        assert specs[1].num_outputs == 10
+
+    def test_layer_specs_from_model(self):
+        model = make_mlp(input_size=64, hidden_sizes=(16,), num_classes=4, mapping="acm", seed=0)
+        specs = layer_specs_from_model(model)
+        assert len(specs) == 2
+        assert specs[0].num_inputs == 64
+        assert specs[0].num_outputs == 16
+
+
+class TestEstimateLayer:
+    def test_physical_columns_follow_mapping(self):
+        spec = LayerSpec("fc", 128, 64)
+        assert estimate_layer(spec, "acm").physical_columns == 65
+        assert estimate_layer(spec, "bc").physical_columns == 65
+        assert estimate_layer(spec, "de").physical_columns == 128
+
+    def test_bc_and_acm_costs_identical(self):
+        """The paper's Table I: BC and ACM use exactly the same hardware."""
+        spec = LayerSpec("fc", 400, 100)
+        acm = estimate_layer(spec, "acm")
+        bc = estimate_layer(spec, "bc")
+        assert acm.xbar_area_um2 == pytest.approx(bc.xbar_area_um2)
+        assert acm.periphery_area_um2 == pytest.approx(bc.periphery_area_um2)
+        assert acm.read_energy_pj_per_mvm == pytest.approx(bc.read_energy_pj_per_mvm)
+        assert acm.read_delay_ns == pytest.approx(bc.read_delay_ns)
+
+    def test_de_costs_more_than_acm_on_every_metric(self):
+        spec = LayerSpec("fc", 400, 100)
+        acm = estimate_layer(spec, "acm")
+        de = estimate_layer(spec, "de")
+        assert de.xbar_area_um2 > acm.xbar_area_um2
+        assert de.periphery_area_um2 > acm.periphery_area_um2
+        assert de.read_energy_pj_per_mvm > acm.read_energy_pj_per_mvm
+        assert de.read_delay_ns >= acm.read_delay_ns
+
+    def test_de_area_ratio_is_roughly_two(self):
+        spec = LayerSpec("fc", 400, 100)
+        ratio = estimate_layer(spec, "de").xbar_area_um2 / estimate_layer(spec, "acm").xbar_area_um2
+        assert 1.8 < ratio < 2.4
+
+    def test_tile_count(self):
+        spec = LayerSpec("fc", 400, 100)
+        assert estimate_layer(spec, "acm", tile_rows=128, tile_cols=128).num_tiles == 4
+        assert estimate_layer(spec, "de", tile_rows=128, tile_cols=128).num_tiles == 8
+
+    def test_total_area_is_sum(self):
+        estimate = estimate_layer(LayerSpec("fc", 64, 32), "acm")
+        assert estimate.total_area_um2 == pytest.approx(
+            estimate.xbar_area_um2 + estimate.periphery_area_um2
+        )
+
+    @given(
+        inputs=st.integers(8, 512),
+        outputs=st.integers(4, 256),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_bc_acm_parity_property(self, inputs, outputs):
+        spec = LayerSpec("fc", inputs, outputs)
+        acm = estimate_layer(spec, "acm")
+        bc = estimate_layer(spec, "bc")
+        assert acm.xbar_area_um2 == pytest.approx(bc.xbar_area_um2)
+        assert acm.read_energy_pj_per_mvm == pytest.approx(bc.read_energy_pj_per_mvm)
+
+
+class TestNetworkEstimateAndReport:
+    def test_network_estimate_aggregates_layers(self):
+        estimate = estimate_network(mlp_layer_specs(), "acm", training_samples=500)
+        assert len(estimate.layers) == 2
+        assert estimate.total_area_um2 > 0
+        assert estimate.read_energy_uj_per_epoch > 0
+        assert estimate.read_delay_ms_per_epoch > 0
+
+    def test_energy_scales_linearly_with_samples(self):
+        small = estimate_network(mlp_layer_specs(), "acm", training_samples=100)
+        large = estimate_network(mlp_layer_specs(), "acm", training_samples=1000)
+        assert large.read_energy_uj_per_epoch == pytest.approx(
+            10 * small.read_energy_uj_per_epoch
+        )
+
+    def test_table1_report_contains_all_mappings_and_rows(self):
+        report = table1_report()
+        assert set(report.estimates) == {"bc", "de", "acm"}
+        for label in SystemReport.ROW_LABELS:
+            row = report.row(label)
+            assert set(row) == {"bc", "de", "acm"}
+            assert all(value > 0 for value in row.values())
+
+    def test_table1_paper_shape(self):
+        """The qualitative relationships of the paper's Table I."""
+        report = table1_report()
+        assert report.ratio("XBar Area (um^2)", "bc", "acm") == pytest.approx(1.0)
+        assert report.ratio("Read Energy (uJ)", "bc", "acm") == pytest.approx(1.0)
+        assert report.ratio("Read Delay (ms)", "bc", "acm") == pytest.approx(1.0)
+        assert report.ratio("XBar Area (um^2)", "de", "acm") > 1.7
+        assert report.ratio("Read Energy (uJ)", "de", "acm") > 1.5
+        assert report.ratio("Read Delay (ms)", "de", "acm") >= 1.0
+        assert report.ratio("Periphery Area (um^2)", "de", "acm") > 1.0
+
+    def test_report_rejects_unknown_row(self):
+        with pytest.raises(KeyError):
+            table1_report().row("nonexistent")
+
+    def test_report_text_rendering(self):
+        text = table1_report().as_text()
+        assert "ACM" in text and "DE" in text and "BC" in text
+        assert "XBar Area" in text
+
+    def test_custom_technology_params(self):
+        bigger_cells = TechnologyParams(cell_area_f2=300.0)
+        default = table1_report()
+        custom = table1_report(params=bigger_cells)
+        assert (
+            custom.estimates["acm"].xbar_area_um2
+            > default.estimates["acm"].xbar_area_um2
+        )

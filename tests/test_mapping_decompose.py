@@ -1,0 +1,158 @@
+"""Unit and property-based tests for the W = S @ M decomposition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.mapping.decompose import (
+    check_sufficient_conditions,
+    decompose,
+    minimum_nonnegative_factor,
+    reconstruct,
+)
+from repro.mapping.periphery import (
+    PeripheryMatrix,
+    acm_periphery,
+    bc_periphery,
+    de_periphery,
+    random_valid_periphery,
+)
+
+
+SIGNED_MATRICES = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 8), st.integers(1, 8)),
+    elements=st.floats(-5.0, 5.0, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestSufficientConditions:
+    def test_paper_mappings_satisfy_conditions(self):
+        for builder in (acm_periphery, de_periphery, bc_periphery):
+            report = check_sufficient_conditions(builder(6))
+            assert report.satisfied
+            assert report.full_row_rank
+            assert report.has_positive_null_vector
+            assert (report.positive_null_vector > 0).all()
+
+    def test_identity_matrix_fails_second_condition(self):
+        # The identity has full rank but an empty null space: no positive
+        # null vector exists, so non-negative decomposition is impossible.
+        report = check_sufficient_conditions(np.eye(3))
+        assert report.full_row_rank
+        assert not report.has_positive_null_vector
+        assert not report.satisfied
+
+    def test_rank_deficient_matrix_fails_first_condition(self):
+        matrix = np.array([[1.0, -1.0, 0.0], [1.0, -1.0, 0.0]])
+        report = check_sufficient_conditions(matrix)
+        assert not report.full_row_rank
+        assert not report.satisfied
+
+    def test_accepts_plain_arrays(self):
+        report = check_sufficient_conditions(acm_periphery(4).matrix)
+        assert report.satisfied
+
+    def test_report_contains_rank(self):
+        assert check_sufficient_conditions(acm_periphery(5)).rank == 5
+
+
+class TestDecompose:
+    @pytest.mark.parametrize("builder", [acm_periphery, de_periphery, bc_periphery])
+    def test_round_trip_reconstruction(self, builder, rng):
+        weights = rng.normal(scale=2.0, size=(6, 9))
+        periphery = builder(6)
+        factor = decompose(weights, periphery)
+        assert (factor >= 0).all()
+        np.testing.assert_allclose(reconstruct(factor, periphery), weights, atol=1e-8)
+
+    def test_factor_has_expected_shape(self, rng):
+        weights = rng.normal(size=(5, 7))
+        assert decompose(weights, acm_periphery(5)).shape == (6, 7)
+        assert decompose(weights, de_periphery(5)).shape == (10, 7)
+        assert decompose(weights, bc_periphery(5)).shape == (6, 7)
+
+    def test_margin_adds_offset_without_changing_reconstruction(self, rng):
+        weights = rng.normal(size=(4, 5))
+        periphery = acm_periphery(4)
+        plain = decompose(weights, periphery)
+        padded = decompose(weights, periphery, margin=0.5)
+        assert padded.min() >= plain.min() + 0.5 - 1e-9
+        np.testing.assert_allclose(
+            reconstruct(padded, periphery), reconstruct(plain, periphery), atol=1e-8
+        )
+
+    def test_rejects_invalid_periphery(self, rng):
+        invalid = PeripheryMatrix(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        with pytest.raises(ValueError):
+            decompose(rng.normal(size=(2, 3)), invalid)
+
+    def test_rejects_mismatched_rows(self, rng):
+        with pytest.raises(ValueError):
+            decompose(rng.normal(size=(3, 4)), acm_periphery(5))
+
+    def test_rejects_non_2d_weights(self, rng):
+        with pytest.raises(ValueError):
+            decompose(rng.normal(size=(4,)), acm_periphery(4))
+
+    def test_rejects_negative_margin(self, rng):
+        with pytest.raises(ValueError):
+            decompose(rng.normal(size=(3, 3)), acm_periphery(3), margin=-1.0)
+
+    def test_reconstruct_validates_shape(self, rng):
+        with pytest.raises(ValueError):
+            reconstruct(rng.normal(size=(3, 4)), acm_periphery(5))
+
+    def test_works_with_random_valid_periphery(self, rng):
+        periphery = random_valid_periphery(6, extra_columns=2, rng=rng)
+        weights = rng.normal(size=(6, 4))
+        factor = decompose(weights, periphery)
+        assert (factor >= 0).all()
+        np.testing.assert_allclose(reconstruct(factor, periphery), weights, atol=1e-8)
+
+    @given(weights=SIGNED_MATRICES)
+    @settings(max_examples=60, deadline=None)
+    def test_acm_decomposition_property(self, weights):
+        periphery = acm_periphery(weights.shape[0])
+        factor = decompose(weights, periphery)
+        assert (factor >= 0).all()
+        np.testing.assert_allclose(reconstruct(factor, periphery), weights, atol=1e-7)
+
+    @given(weights=SIGNED_MATRICES)
+    @settings(max_examples=40, deadline=None)
+    def test_de_decomposition_property(self, weights):
+        periphery = de_periphery(weights.shape[0])
+        factor = decompose(weights, periphery)
+        assert (factor >= 0).all()
+        np.testing.assert_allclose(reconstruct(factor, periphery), weights, atol=1e-7)
+
+    @given(weights=SIGNED_MATRICES)
+    @settings(max_examples=40, deadline=None)
+    def test_bc_decomposition_property(self, weights):
+        periphery = bc_periphery(weights.shape[0])
+        factor = decompose(weights, periphery)
+        assert (factor >= 0).all()
+        np.testing.assert_allclose(reconstruct(factor, periphery), weights, atol=1e-7)
+
+
+class TestMinimumFactor:
+    def test_reconstruction_preserved(self, rng):
+        weights = rng.normal(size=(5, 6))
+        periphery = acm_periphery(5)
+        tight = minimum_nonnegative_factor(weights, periphery)
+        np.testing.assert_allclose(reconstruct(tight, periphery), weights, atol=1e-8)
+
+    def test_each_column_touches_zero(self, rng):
+        weights = rng.normal(size=(5, 6))
+        tight = minimum_nonnegative_factor(weights, acm_periphery(5))
+        np.testing.assert_allclose(tight.min(axis=0), np.zeros(6), atol=1e-9)
+
+    def test_never_larger_than_plain_decomposition(self, rng):
+        weights = rng.normal(size=(4, 4))
+        periphery = acm_periphery(4)
+        plain = decompose(weights, periphery)
+        tight = minimum_nonnegative_factor(weights, periphery)
+        assert tight.sum() <= plain.sum() + 1e-9

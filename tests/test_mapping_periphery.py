@@ -1,0 +1,177 @@
+"""Unit and property-based tests for the periphery matrices (ACM, DE, BC)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mapping.periphery import (
+    MAPPING_NAMES,
+    PeripheryMatrix,
+    acm_periphery,
+    bc_periphery,
+    de_periphery,
+    periphery_for,
+    random_valid_periphery,
+)
+
+
+class TestPeripheryMatrixClass:
+    def test_rejects_entries_outside_pm_one(self):
+        with pytest.raises(ValueError):
+            PeripheryMatrix(np.array([[0.5, -1.0]]))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            PeripheryMatrix(np.array([1.0, -1.0]))
+
+    def test_shape_properties(self):
+        periphery = acm_periphery(4)
+        assert periphery.num_outputs == 4
+        assert periphery.num_columns == 5
+        assert periphery.extra_columns == 1
+
+    def test_operations_per_output_is_one_subtraction(self):
+        for periphery in (acm_periphery(5), de_periphery(5), bc_periphery(5)):
+            assert periphery.operations_per_output == 1
+
+    def test_apply_combines_columns(self, rng):
+        periphery = acm_periphery(3)
+        column_outputs = rng.normal(size=(7, 4))
+        combined = periphery.apply(column_outputs)
+        assert combined.shape == (7, 3)
+        np.testing.assert_allclose(combined, column_outputs @ periphery.matrix.T)
+
+    def test_apply_validates_width(self, rng):
+        with pytest.raises(ValueError):
+            acm_periphery(3).apply(rng.normal(size=(2, 7)))
+
+    def test_rejects_wrong_null_vector_length(self):
+        with pytest.raises(ValueError):
+            PeripheryMatrix(np.array([[1.0, -1.0]]), positive_null_vector=np.ones(3))
+
+
+class TestACM:
+    def test_structure_is_adjacent_difference(self):
+        matrix = acm_periphery(3).matrix
+        expected = np.array([
+            [1.0, -1.0, 0.0, 0.0],
+            [0.0, 1.0, -1.0, 0.0],
+            [0.0, 0.0, 1.0, -1.0],
+        ])
+        np.testing.assert_allclose(matrix, expected)
+
+    def test_uses_one_extra_column(self):
+        for outputs in (1, 5, 64):
+            assert acm_periphery(outputs).extra_columns == 1
+
+    def test_interior_columns_shared_by_two_outputs(self):
+        matrix = acm_periphery(6).matrix
+        column_uses = np.count_nonzero(matrix, axis=0)
+        assert column_uses[0] == 1 and column_uses[-1] == 1
+        assert (column_uses[1:-1] == 2).all()
+
+    def test_row_sums_are_zero(self):
+        np.testing.assert_allclose(acm_periphery(10).matrix.sum(axis=1), np.zeros(10))
+
+    def test_rejects_zero_outputs(self):
+        with pytest.raises(ValueError):
+            acm_periphery(0)
+
+
+class TestDE:
+    def test_structure_is_column_pairs(self):
+        matrix = de_periphery(2).matrix
+        expected = np.array([
+            [1.0, -1.0, 0.0, 0.0],
+            [0.0, 0.0, 1.0, -1.0],
+        ])
+        np.testing.assert_allclose(matrix, expected)
+
+    def test_uses_two_columns_per_output(self):
+        assert de_periphery(7).num_columns == 14
+
+    def test_columns_not_shared(self):
+        column_uses = np.count_nonzero(de_periphery(5).matrix, axis=0)
+        assert (column_uses == 1).all()
+
+
+class TestBC:
+    def test_structure_has_shared_reference(self):
+        matrix = bc_periphery(3).matrix
+        expected = np.array([
+            [1.0, 0.0, 0.0, -1.0],
+            [0.0, 1.0, 0.0, -1.0],
+            [0.0, 0.0, 1.0, -1.0],
+        ])
+        np.testing.assert_allclose(matrix, expected)
+
+    def test_reference_column_used_by_all_outputs(self):
+        matrix = bc_periphery(8).matrix
+        assert np.count_nonzero(matrix[:, -1]) == 8
+
+    def test_uses_one_extra_column(self):
+        assert bc_periphery(9).num_columns == 10
+
+
+class TestFactories:
+    def test_periphery_for_dispatch(self):
+        assert periphery_for("acm", 4).name == "acm"
+        assert periphery_for("DE", 4).name == "de"
+        assert periphery_for("Bc", 4).name == "bc"
+
+    def test_periphery_for_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            periphery_for("foo", 4)
+
+    def test_mapping_names_constant(self):
+        assert set(MAPPING_NAMES) == {"acm", "de", "bc"}
+
+    def test_random_valid_periphery_is_full_rank(self, rng):
+        periphery = random_valid_periphery(8, extra_columns=2, rng=rng)
+        assert np.linalg.matrix_rank(periphery.matrix) == 8
+
+    def test_random_valid_periphery_row_sums_zero(self, rng):
+        periphery = random_valid_periphery(6, rng=rng)
+        np.testing.assert_allclose(periphery.matrix.sum(axis=1), np.zeros(6))
+
+    def test_random_valid_periphery_validates_arguments(self, rng):
+        with pytest.raises(ValueError):
+            random_valid_periphery(0, rng=rng)
+        with pytest.raises(ValueError):
+            random_valid_periphery(4, extra_columns=0, rng=rng)
+
+
+class TestHardwareCountsMatchPaper:
+    """The device-count relationships quoted throughout the paper."""
+
+    @given(outputs=st.integers(min_value=1, max_value=128))
+    @settings(max_examples=50, deadline=None)
+    def test_de_uses_almost_twice_the_columns_of_acm(self, outputs):
+        de_columns = de_periphery(outputs).num_columns
+        acm_columns = acm_periphery(outputs).num_columns
+        assert de_columns == 2 * outputs
+        assert acm_columns == outputs + 1
+        if outputs >= 8:
+            assert de_columns / acm_columns > 1.7
+
+    @given(outputs=st.integers(min_value=1, max_value=128))
+    @settings(max_examples=50, deadline=None)
+    def test_bc_and_acm_use_identical_resources(self, outputs):
+        assert bc_periphery(outputs).num_columns == acm_periphery(outputs).num_columns
+
+    @given(outputs=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=50, deadline=None)
+    def test_every_mapping_has_full_row_rank(self, outputs):
+        for builder in (acm_periphery, de_periphery, bc_periphery):
+            matrix = builder(outputs).matrix
+            assert np.linalg.matrix_rank(matrix) == outputs
+
+    @given(outputs=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=50, deadline=None)
+    def test_all_ones_vector_is_in_every_null_space(self, outputs):
+        for builder in (acm_periphery, de_periphery, bc_periphery):
+            periphery = builder(outputs)
+            product = periphery.matrix @ np.ones(periphery.num_columns)
+            np.testing.assert_allclose(product, np.zeros(outputs), atol=1e-12)

@@ -1,0 +1,108 @@
+"""Tests for the ACM regularisation analysis (paper Section III-E)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mapping.periphery import acm_periphery, bc_periphery, de_periphery
+from repro.mapping.regularization import (
+    count_representable_sums,
+    effective_weight_range,
+    weight_sum_constraint,
+)
+
+
+class TestWeightSumConstraint:
+    def test_acm_total_sum_telescopes_to_boundary_columns(self, rng):
+        """Eq. (4): the total weight sum equals sum(M[0]) - sum(M[-1])."""
+        num_outputs, num_inputs = 6, 9
+        nonnegative = rng.uniform(0, 1, size=(num_outputs + 1, num_inputs))
+        periphery = acm_periphery(num_outputs)
+        total, boundary = weight_sum_constraint(nonnegative, periphery)
+        assert total == pytest.approx(boundary)
+        assert total == pytest.approx(nonnegative[0].sum() - nonnegative[-1].sum())
+
+    def test_bc_total_sum_involves_reference_column(self, rng):
+        num_outputs, num_inputs = 5, 7
+        nonnegative = rng.uniform(0, 1, size=(num_outputs + 1, num_inputs))
+        periphery = bc_periphery(num_outputs)
+        total, boundary = weight_sum_constraint(nonnegative, periphery)
+        expected = nonnegative[:num_outputs].sum() - num_outputs * nonnegative[-1].sum()
+        assert total == pytest.approx(expected)
+        assert total == pytest.approx(boundary)
+
+    def test_de_total_sum_is_unconstrained_by_boundaries(self, rng):
+        num_outputs, num_inputs = 4, 5
+        nonnegative = rng.uniform(0, 1, size=(2 * num_outputs, num_inputs))
+        total, boundary = weight_sum_constraint(nonnegative, de_periphery(num_outputs))
+        # For DE the "boundary" expression is simply the alternating sum over
+        # all columns, consistent with the total.
+        assert total == pytest.approx(boundary)
+
+    @given(
+        num_outputs=st.integers(2, 10),
+        num_inputs=st.integers(1, 10),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_acm_telescoping_property(self, num_outputs, num_inputs, seed):
+        rng = np.random.default_rng(seed)
+        nonnegative = rng.uniform(0, 2, size=(num_outputs + 1, num_inputs))
+        total, _ = weight_sum_constraint(nonnegative, acm_periphery(num_outputs))
+        assert total == pytest.approx(
+            nonnegative[0].sum() - nonnegative[-1].sum(), rel=1e-9, abs=1e-9
+        )
+
+
+class TestCountRepresentableSums:
+    def test_matches_paper_formula(self):
+        # 2 * (NI * (2^B - 1) + 1) - 1 distinct values for ACM/BC.
+        assert count_representable_sums(num_inputs=4, bits=2, mapping="acm") == 2 * (4 * 3 + 1) - 1
+
+    def test_constraint_tightens_at_lower_precision(self):
+        low = count_representable_sums(num_inputs=16, bits=1)
+        high = count_representable_sums(num_inputs=16, bits=6)
+        assert low < high
+
+    def test_constraint_scales_with_inputs(self):
+        small = count_representable_sums(num_inputs=8, bits=3)
+        large = count_representable_sums(num_inputs=64, bits=3)
+        assert small < large
+
+    def test_validates_arguments(self):
+        with pytest.raises(ValueError):
+            count_representable_sums(0, 3)
+        with pytest.raises(ValueError):
+            count_representable_sums(4, 0)
+        with pytest.raises(ValueError):
+            count_representable_sums(4, 3, mapping="foo")
+
+    @given(num_inputs=st.integers(1, 100), bits=st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_count_is_positive_and_monotone_in_bits(self, num_inputs, bits):
+        current = count_representable_sums(num_inputs, bits)
+        assert current > 0
+        if bits > 1:
+            assert current > count_representable_sums(num_inputs, bits - 1)
+
+
+class TestEffectiveWeightRange:
+    def test_de_and_acm_reach_full_span(self):
+        assert effective_weight_range("de", g_max=2.0) == (-2.0, 2.0)
+        assert effective_weight_range("acm", g_max=2.0) == (-2.0, 2.0)
+
+    def test_bc_reaches_half_span(self):
+        assert effective_weight_range("bc", g_max=2.0) == (-1.0, 1.0)
+
+    def test_nonzero_gmin(self):
+        low, high = effective_weight_range("acm", g_max=1.0, g_min=0.2)
+        assert low == pytest.approx(-0.8)
+        assert high == pytest.approx(0.8)
+
+    def test_validates_arguments(self):
+        with pytest.raises(ValueError):
+            effective_weight_range("acm", g_max=0.0, g_min=0.0)
+        with pytest.raises(ValueError):
+            effective_weight_range("foo")

@@ -1,0 +1,174 @@
+"""Unit tests for the model zoo (MLP, LeNet, VGG-9, ResNet-20)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mapping.mapped_layer import MappedConv2d, MappedLinear, _MappedBase
+from repro.models import (
+    BasicBlock,
+    make_lenet,
+    make_mlp,
+    make_resnet20,
+    make_vgg9,
+)
+from repro.models.factory import VALID_MAPPINGS, make_conv, make_linear
+from repro.nn.layers import Conv2d, Linear
+from repro.tensor import Tensor
+
+
+def mapped_layers(model):
+    return [module for module in model.modules() if isinstance(module, _MappedBase)]
+
+
+class TestFactory:
+    def test_baseline_layers_are_standard(self):
+        assert isinstance(make_linear(4, 3, "baseline"), Linear)
+        assert isinstance(make_conv(3, 4, 3, "baseline"), Conv2d)
+
+    @pytest.mark.parametrize("mapping", ["acm", "de", "bc"])
+    def test_mapped_layers_are_mapped(self, mapping):
+        assert isinstance(make_linear(4, 3, mapping), MappedLinear)
+        assert isinstance(make_conv(3, 4, 3, mapping), MappedConv2d)
+
+    def test_rejects_unknown_mapping(self):
+        with pytest.raises(ValueError):
+            make_linear(4, 3, "nonsense")
+
+    def test_valid_mappings_constant(self):
+        assert "baseline" in VALID_MAPPINGS
+        assert set(VALID_MAPPINGS) == {"baseline", "acm", "de", "bc"}
+
+    def test_quantizer_bits_forwarded(self):
+        layer = make_linear(4, 3, "acm", quantizer_bits=3)
+        assert layer.quantizer is not None
+        assert layer.quantizer.bits == 3
+
+
+class TestMLP:
+    def test_forward_shape(self):
+        model = make_mlp(input_size=64, hidden_sizes=(16,), num_classes=5, seed=0)
+        logits = model(Tensor(np.zeros((3, 1, 8, 8))))
+        assert logits.shape == (3, 5)
+
+    def test_mapped_variant_contains_mapped_layers(self):
+        model = make_mlp(input_size=64, hidden_sizes=(16,), mapping="acm", seed=0)
+        assert len(mapped_layers(model)) == 2
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            make_mlp(input_size=0)
+
+    def test_deterministic_construction(self):
+        first = make_mlp(input_size=16, hidden_sizes=(8,), seed=5)
+        second = make_mlp(input_size=16, hidden_sizes=(8,), seed=5)
+        for (_, a), (_, b) in zip(first.named_parameters(), second.named_parameters()):
+            np.testing.assert_allclose(a.data, b.data)
+
+
+class TestLeNet:
+    @pytest.mark.parametrize("mapping", ["baseline", "acm", "de", "bc"])
+    def test_forward_shape(self, mapping):
+        model = make_lenet(mapping=mapping, seed=0)
+        logits = model(Tensor(np.zeros((2, 1, 16, 16))))
+        assert logits.shape == (2, 10)
+
+    def test_mapped_layer_count(self):
+        model = make_lenet(mapping="acm", seed=0)
+        layers = mapped_layers(model)
+        assert len(layers) == 4  # 2 conv + 2 dense
+
+    def test_quantizer_attached_to_every_mapped_layer(self):
+        model = make_lenet(mapping="acm", quantizer_bits=4, seed=0)
+        assert all(layer.quantizer is not None for layer in mapped_layers(model))
+        assert all(layer.quantizer.bits == 4 for layer in mapped_layers(model))
+
+    def test_baseline_has_no_mapped_layers(self):
+        assert not mapped_layers(make_lenet(mapping="baseline", seed=0))
+
+    def test_gradients_reach_every_parameter(self, rng):
+        model = make_lenet(mapping="acm", seed=0)
+        logits = model(Tensor(rng.normal(size=(4, 1, 16, 16))))
+        logits.sum().backward()
+        missing = [name for name, p in model.named_parameters() if p.grad is None]
+        assert not missing
+
+
+class TestVGG9:
+    def test_forward_shape(self):
+        model = make_vgg9(mapping="acm", seed=0)
+        logits = model(Tensor(np.zeros((2, 3, 16, 16))))
+        assert logits.shape == (2, 10)
+
+    def test_layer_counts_match_paper_topology(self):
+        """VGG-9 = 6 convolutional + 3 fully-connected weight layers."""
+        model = make_vgg9(mapping="acm", seed=0)
+        convs = [m for m in model.modules() if isinstance(m, MappedConv2d)]
+        denses = [m for m in model.modules() if isinstance(m, MappedLinear)]
+        assert len(convs) == 6
+        assert len(denses) == 3
+
+    def test_rejects_wrong_width_count(self):
+        with pytest.raises(ValueError):
+            make_vgg9(widths=(16, 32), seed=0)
+
+    def test_custom_widths(self):
+        model = make_vgg9(widths=(8, 8, 16), seed=0)
+        logits = model(Tensor(np.zeros((1, 3, 16, 16))))
+        assert logits.shape == (1, 10)
+
+
+class TestResNet20:
+    def test_forward_shape(self):
+        model = make_resnet20(mapping="acm", blocks_per_stage=1, seed=0)
+        logits = model(Tensor(np.zeros((2, 3, 16, 16))))
+        assert logits.shape == (2, 10)
+
+    def test_default_depth_is_resnet20(self):
+        """ResNet-20 = 3 stages x 3 blocks x 2 convs + stem + shortcuts + fc."""
+        model = make_resnet20(mapping="baseline", seed=0)
+        blocks = [m for m in model.modules() if isinstance(m, BasicBlock)]
+        assert len(blocks) == 9
+
+    def test_projection_shortcuts_on_stage_transitions(self):
+        model = make_resnet20(mapping="baseline", blocks_per_stage=2, seed=0)
+        blocks = [m for m in model.modules() if isinstance(m, BasicBlock)]
+        projections = [b for b in blocks if not isinstance(b.shortcut, type(blocks[0].shortcut)) or True]
+        # The first block of stages 2 and 3 downsamples, so exactly two blocks
+        # must have a non-identity shortcut.
+        from repro.nn.layers import Identity
+        non_identity = [b for b in blocks if not isinstance(b.shortcut, Identity)]
+        assert len(non_identity) == 2
+
+    def test_mapped_resnet_contains_mapped_convs(self):
+        model = make_resnet20(mapping="de", blocks_per_stage=1, seed=0)
+        assert len([m for m in model.modules() if isinstance(m, MappedConv2d)]) > 0
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError):
+            make_resnet20(blocks_per_stage=0, seed=0)
+        with pytest.raises(ValueError):
+            make_resnet20(widths=(8, 16), seed=0)
+
+    def test_gradients_flow_through_residual_paths(self, rng):
+        model = make_resnet20(mapping="baseline", blocks_per_stage=1, seed=0)
+        logits = model(Tensor(rng.normal(size=(2, 3, 16, 16))))
+        logits.sum().backward()
+        missing = [name for name, p in model.named_parameters() if p.grad is None]
+        assert not missing
+
+
+class TestCrossMappingConsistency:
+    @pytest.mark.parametrize("factory", [make_lenet, make_vgg9])
+    def test_same_architecture_size_across_mappings(self, factory):
+        """All mappings must expose the same logical architecture; only the
+        number of crossbar devices differs (DE ~2x, BC == ACM)."""
+        acm = factory(mapping="acm", seed=0)
+        de = factory(mapping="de", seed=0)
+        bc = factory(mapping="bc", seed=0)
+        acm_devices = sum(l.num_devices for l in mapped_layers(acm))
+        de_devices = sum(l.num_devices for l in mapped_layers(de))
+        bc_devices = sum(l.num_devices for l in mapped_layers(bc))
+        assert bc_devices == acm_devices
+        assert de_devices > 1.5 * acm_devices

@@ -1,0 +1,288 @@
+"""Unit tests for the baseline (signed-weight) neural-network layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+
+
+class TestModuleSystem:
+    def test_parameters_registered_in_order(self):
+        class Toy(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = Parameter(np.zeros(2), name="a")
+                self.b = Parameter(np.zeros(3), name="b")
+
+        names = [name for name, _ in Toy().named_parameters()]
+        assert names == ["a", "b"]
+
+    def test_nested_modules_collect_parameters(self):
+        model = nn.Sequential(nn.Linear(4, 3, rng=np.random.default_rng(0)), nn.ReLU(),
+                              nn.Linear(3, 2, rng=np.random.default_rng(1)))
+        assert len(model.parameters()) == 4  # two weights + two biases
+        assert model.num_parameters() == 4 * 3 + 3 + 3 * 2 + 2
+
+    def test_train_eval_propagates(self):
+        model = nn.Sequential(nn.Dropout(0.5), nn.Linear(2, 2))
+        model.eval()
+        assert all(not module.training for module in model.modules())
+        model.train()
+        assert all(module.training for module in model.modules())
+
+    def test_zero_grad_clears_all(self):
+        layer = nn.Linear(3, 2, rng=np.random.default_rng(0))
+        layer(Tensor(np.ones((1, 3)))).sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_state_dict_round_trip(self):
+        source = nn.Linear(4, 3, rng=np.random.default_rng(0))
+        target = nn.Linear(4, 3, rng=np.random.default_rng(1))
+        assert not np.allclose(source.weight.data, target.weight.data)
+        target.load_state_dict(source.state_dict())
+        np.testing.assert_allclose(source.weight.data, target.weight.data)
+
+    def test_state_dict_includes_buffers(self):
+        bn = nn.BatchNorm2d(3)
+        bn(Tensor(np.random.default_rng(0).normal(size=(4, 3, 5, 5))))
+        state = bn.state_dict()
+        assert any(key.startswith("buffer:") for key in state)
+
+    def test_load_state_dict_rejects_shape_mismatch(self):
+        layer = nn.Linear(4, 3, rng=np.random.default_rng(0))
+        bad_state = {"weight": np.zeros((2, 2)), "bias": np.zeros(3)}
+        with pytest.raises(ValueError):
+            layer.load_state_dict(bad_state)
+
+    def test_load_state_dict_rejects_unknown_key(self):
+        layer = nn.Linear(4, 3, rng=np.random.default_rng(0))
+        with pytest.raises(KeyError):
+            layer.load_state_dict({"nonexistent": np.zeros(3)})
+
+    def test_sequential_iteration_and_indexing(self):
+        first, second = nn.ReLU(), nn.Flatten()
+        model = nn.Sequential(first, second)
+        assert len(model) == 2
+        assert model[0] is first
+        assert list(model)[1] is second
+
+    def test_sequential_append(self):
+        model = nn.Sequential(nn.ReLU())
+        model.append(nn.Flatten())
+        assert len(model) == 2
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = nn.Linear(5, 3, rng=np.random.default_rng(0))
+        assert layer(Tensor(np.zeros((7, 5)))).shape == (7, 3)
+
+    def test_matches_manual_computation(self, rng):
+        layer = nn.Linear(4, 2, rng=np.random.default_rng(0))
+        inputs = rng.normal(size=(3, 4))
+        expected = inputs @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(inputs)).data, expected, atol=1e-12)
+
+    def test_no_bias_option(self):
+        layer = nn.Linear(4, 2, bias=False, rng=np.random.default_rng(0))
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_rejects_non_positive_dimensions(self):
+        with pytest.raises(ValueError):
+            nn.Linear(0, 3)
+
+    def test_gradients_flow_to_weight_and_bias(self, rng):
+        layer = nn.Linear(4, 2, rng=np.random.default_rng(0))
+        layer(Tensor(rng.normal(size=(5, 4)))).sum().backward()
+        assert layer.weight.grad.shape == (2, 4)
+        assert layer.bias.grad.shape == (2,)
+
+    def test_effective_weight_returns_copy(self):
+        layer = nn.Linear(3, 2, rng=np.random.default_rng(0))
+        weight = layer.effective_weight()
+        weight[:] = 0
+        assert not np.allclose(layer.weight.data, 0)
+
+
+class TestConv2d:
+    def test_output_shape_with_padding(self):
+        layer = nn.Conv2d(3, 8, 3, padding=1, rng=np.random.default_rng(0))
+        assert layer(Tensor(np.zeros((2, 3, 8, 8)))).shape == (2, 8, 8, 8)
+
+    def test_output_shape_with_stride(self):
+        layer = nn.Conv2d(3, 8, 3, stride=2, padding=1, rng=np.random.default_rng(0))
+        assert layer(Tensor(np.zeros((2, 3, 8, 8)))).shape == (2, 8, 4, 4)
+
+    def test_gradients_flow(self, rng):
+        layer = nn.Conv2d(2, 4, 3, padding=1, rng=np.random.default_rng(0))
+        layer(Tensor(rng.normal(size=(2, 2, 6, 6)))).sum().backward()
+        assert layer.weight.grad.shape == (4, 2, 3, 3)
+        assert layer.bias.grad.shape == (4,)
+
+    def test_effective_weight_is_flattened_kernel(self):
+        layer = nn.Conv2d(2, 4, 3, rng=np.random.default_rng(0))
+        assert layer.effective_weight().shape == (4, 2 * 9)
+
+    def test_rejects_bad_kernel(self):
+        with pytest.raises(ValueError):
+            nn.Conv2d(2, 4, 0)
+
+
+class TestBatchNorm:
+    def test_bn2d_normalises_in_training(self, rng):
+        bn = nn.BatchNorm2d(3)
+        output = bn(Tensor(rng.normal(loc=5.0, scale=3.0, size=(8, 3, 6, 6))))
+        assert abs(output.data.mean()) < 1e-6
+        assert abs(output.data.std() - 1.0) < 0.05
+
+    def test_bn2d_uses_running_stats_in_eval(self, rng):
+        bn = nn.BatchNorm2d(3)
+        data = rng.normal(loc=2.0, scale=1.5, size=(16, 3, 4, 4))
+        for _ in range(30):
+            bn(Tensor(data))
+        bn.eval()
+        output = bn(Tensor(data))
+        assert abs(output.data.mean()) < 0.3
+
+    def test_bn2d_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            nn.BatchNorm2d(3)(Tensor(np.zeros((2, 3))))
+
+    def test_bn1d_normalises(self, rng):
+        bn = nn.BatchNorm1d(5)
+        output = bn(Tensor(rng.normal(loc=-3.0, scale=2.0, size=(32, 5))))
+        assert abs(output.data.mean()) < 1e-6
+
+    def test_bn1d_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            nn.BatchNorm1d(3)(Tensor(np.zeros((2, 3, 4, 4))))
+
+    def test_bn_gradients_flow_to_gamma_beta(self, rng):
+        bn = nn.BatchNorm2d(2)
+        bn(Tensor(rng.normal(size=(4, 2, 3, 3)))).sum().backward()
+        assert bn.gamma.grad is not None
+        assert bn.beta.grad is not None
+
+    def test_running_stats_update_only_in_training(self, rng):
+        bn = nn.BatchNorm1d(4)
+        bn.eval()
+        before = bn.running_mean.copy()
+        bn(Tensor(rng.normal(loc=10.0, size=(8, 4))))
+        np.testing.assert_allclose(bn.running_mean, before)
+
+
+class TestOtherLayers:
+    def test_flatten(self):
+        assert nn.Flatten()(Tensor(np.zeros((2, 3, 4, 5)))).shape == (2, 60)
+
+    def test_identity_passthrough(self, rng):
+        data = rng.normal(size=(3, 3))
+        np.testing.assert_allclose(nn.Identity()(Tensor(data)).data, data)
+
+    def test_maxpool_module(self):
+        assert nn.MaxPool2d(2)(Tensor(np.zeros((1, 2, 8, 8)))).shape == (1, 2, 4, 4)
+
+    def test_avgpool_module(self):
+        assert nn.AvgPool2d(2)(Tensor(np.zeros((1, 2, 8, 8)))).shape == (1, 2, 4, 4)
+
+    def test_global_avg_pool_module(self):
+        assert nn.GlobalAvgPool2d()(Tensor(np.zeros((2, 5, 4, 4)))).shape == (2, 5)
+
+    def test_dropout_disabled_in_eval(self, rng):
+        dropout = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        dropout.eval()
+        data = rng.normal(size=(10, 10))
+        np.testing.assert_allclose(dropout(Tensor(data)).data, data)
+
+    def test_dropout_scales_in_training(self):
+        dropout = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        output = dropout(Tensor(np.ones((200, 200))))
+        surviving = output.data[output.data > 0]
+        np.testing.assert_allclose(surviving, 2.0)
+        assert 0.4 < (output.data > 0).mean() < 0.6
+
+    def test_dropout_rejects_invalid_probability(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+    def test_activations_shapes(self, rng):
+        data = Tensor(rng.normal(size=(3, 4)))
+        for module in (nn.ReLU(), nn.Tanh(), nn.Sigmoid(), nn.Softmax()):
+            assert module(data).shape == (3, 4)
+
+    def test_softmax_module_normalises(self, rng):
+        output = nn.Softmax()(Tensor(rng.normal(size=(5, 6))))
+        np.testing.assert_allclose(output.data.sum(axis=-1), np.ones(5))
+
+
+class TestLosses:
+    def test_cross_entropy_uniform_logits(self):
+        loss = nn.CrossEntropyLoss()(Tensor(np.zeros((4, 10))), np.array([0, 1, 2, 3]))
+        assert loss.item() == pytest.approx(np.log(10), rel=1e-6)
+
+    def test_cross_entropy_perfect_prediction_is_small(self):
+        logits = np.full((2, 3), -50.0)
+        logits[0, 1] = 50.0
+        logits[1, 2] = 50.0
+        loss = nn.CrossEntropyLoss()(Tensor(logits), np.array([1, 2]))
+        assert loss.item() < 1e-6
+
+    def test_cross_entropy_gradient_shape(self, rng):
+        logits = Tensor(rng.normal(size=(5, 4)), requires_grad=True)
+        nn.CrossEntropyLoss()(logits, np.array([0, 1, 2, 3, 0])).backward()
+        assert logits.grad.shape == (5, 4)
+        # Softmax cross-entropy gradient rows sum to zero.
+        np.testing.assert_allclose(logits.grad.sum(axis=1), np.zeros(5), atol=1e-12)
+
+    def test_cross_entropy_validates_shapes(self):
+        with pytest.raises(ValueError):
+            nn.CrossEntropyLoss()(Tensor(np.zeros((4, 10))), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            nn.CrossEntropyLoss()(Tensor(np.zeros((4,))), np.array([0, 1, 2, 3]))
+
+    def test_mse_loss_value(self):
+        loss = nn.MSELoss()(Tensor([1.0, 2.0]), np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(2.5)
+
+    def test_accuracy_metric(self):
+        logits = np.array([[1.0, 2.0], [3.0, 0.0], [0.0, 1.0]])
+        assert nn.accuracy(Tensor(logits), np.array([1, 0, 0])) == pytest.approx(2 / 3)
+
+
+class TestInitialisers:
+    def test_kaiming_uniform_bound(self, rng):
+        values = nn.init.kaiming_uniform((100, 50), rng)
+        bound = np.sqrt(6.0 / 50)
+        assert np.abs(values).max() <= bound
+
+    def test_kaiming_normal_std(self, rng):
+        values = nn.init.kaiming_normal((2000, 100), rng)
+        assert values.std() == pytest.approx(np.sqrt(2.0 / 100), rel=0.1)
+
+    def test_xavier_uniform_bound(self, rng):
+        values = nn.init.xavier_uniform((64, 32), rng)
+        assert np.abs(values).max() <= np.sqrt(6.0 / 96)
+
+    def test_conv_fan_computation(self, rng):
+        values = nn.init.kaiming_uniform((8, 4, 3, 3), rng)
+        assert np.abs(values).max() <= np.sqrt(6.0 / (4 * 9))
+
+    def test_non_negative_uniform(self, rng):
+        values = nn.init.non_negative_uniform((10, 10), 0.5, rng)
+        assert values.min() >= 0.0
+        assert values.max() <= 0.5
+
+    def test_non_negative_uniform_rejects_bad_scale(self, rng):
+        with pytest.raises(ValueError):
+            nn.init.non_negative_uniform((2, 2), 0.0, rng)
+
+    def test_fan_requires_2d(self, rng):
+        with pytest.raises(ValueError):
+            nn.init.kaiming_uniform((5,), rng)

@@ -1,0 +1,175 @@
+"""Unit tests for the optimisers and learning-rate schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import SGD, ConstantLR, StepLR, CosineAnnealingLR
+from repro.tensor import Tensor
+from repro.xbar.device import LinearDevice, LinearUpdateRule, NonlinearDevice, NonlinearUpdateRule
+from repro.xbar.quantization import ConductanceRange
+
+
+def quadratic_loss(parameter: Parameter) -> Tensor:
+    """Simple convex loss ``sum(p^2)`` whose minimum is at zero."""
+    return (parameter * parameter).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        parameter = Parameter(np.array([4.0, -3.0]))
+        optimizer = SGD([parameter], lr=0.1)
+        for _ in range(200):
+            optimizer.zero_grad()
+            quadratic_loss(parameter).backward()
+            optimizer.step()
+        np.testing.assert_allclose(parameter.data, [0.0, 0.0], atol=1e-6)
+
+    def test_single_step_matches_formula(self):
+        parameter = Parameter(np.array([2.0]))
+        optimizer = SGD([parameter], lr=0.5)
+        quadratic_loss(parameter).backward()
+        optimizer.step()
+        # p - lr * 2p = 2 - 0.5*4 = 0
+        np.testing.assert_allclose(parameter.data, [0.0])
+
+    def test_momentum_accelerates(self):
+        plain = Parameter(np.array([4.0]))
+        momentum = Parameter(np.array([4.0]))
+        opt_plain = SGD([plain], lr=0.01)
+        opt_momentum = SGD([momentum], lr=0.01, momentum=0.9)
+        for _ in range(50):
+            for parameter, optimizer in ((plain, opt_plain), (momentum, opt_momentum)):
+                optimizer.zero_grad()
+                quadratic_loss(parameter).backward()
+                optimizer.step()
+        assert abs(momentum.data[0]) < abs(plain.data[0])
+
+    def test_weight_decay_shrinks_weights(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = SGD([parameter], lr=0.1, weight_decay=0.5)
+        optimizer.zero_grad()
+        # No loss gradient at all: decay alone should shrink the weight.
+        parameter.grad = np.zeros(1)
+        optimizer.step()
+        assert parameter.data[0] < 1.0
+
+    def test_skips_parameters_without_gradient(self):
+        parameter = Parameter(np.array([1.0]))
+        SGD([parameter], lr=0.1).step()
+        np.testing.assert_allclose(parameter.data, [1.0])
+
+    def test_non_negative_constraint_projection(self):
+        parameter = Parameter(np.array([0.1, 0.5]), constraint="non_negative")
+        optimizer = SGD([parameter], lr=1.0)
+        parameter.grad = np.array([1.0, -1.0])  # pushes first entry negative
+        optimizer.step()
+        assert parameter.data[0] == 0.0
+        assert parameter.data[1] == pytest.approx(1.5)
+
+    def test_unconstrained_parameter_can_go_negative(self):
+        parameter = Parameter(np.array([0.1]))
+        optimizer = SGD([parameter], lr=1.0)
+        parameter.grad = np.array([1.0])
+        optimizer.step()
+        assert parameter.data[0] < 0.0
+
+    def test_rejects_bad_hyperparameters(self):
+        parameter = Parameter(np.array([1.0]))
+        with pytest.raises(ValueError):
+            SGD([parameter], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([parameter], lr=0.1, momentum=-0.1)
+        with pytest.raises(ValueError):
+            SGD([parameter], lr=0.1, weight_decay=-1.0)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_set_lr_validates(self):
+        optimizer = SGD([Parameter(np.array([1.0]))], lr=0.1)
+        optimizer.set_lr(0.01)
+        assert optimizer.lr == 0.01
+        with pytest.raises(ValueError):
+            optimizer.set_lr(-1.0)
+
+    def test_zero_grad_clears(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = SGD([parameter], lr=0.1)
+        parameter.grad = np.array([1.0])
+        optimizer.zero_grad()
+        assert parameter.grad is None
+
+
+class TestDeviceAwareUpdates:
+    def test_linear_update_rule_only_applies_to_constrained_parameters(self):
+        constrained = Parameter(np.array([0.9]), constraint="non_negative")
+        free = Parameter(np.array([0.9]))
+        rule = LinearUpdateRule(LinearDevice(ConductanceRange(0.0, 1.0)))
+        optimizer = SGD([constrained, free], lr=1.0, update_rule=rule)
+        constrained.grad = np.array([-1.0])  # ideal update +1.0, exceeds range
+        free.grad = np.array([-1.0])
+        optimizer.step()
+        assert constrained.data[0] == pytest.approx(1.0)   # saturated at Gmax
+        assert free.data[0] == pytest.approx(1.9)           # unconstrained ideal update
+
+    def test_nonlinear_update_rule_shrinks_steps_near_gmax(self):
+        parameter = Parameter(np.array([0.05, 0.9]), constraint="non_negative")
+        device = NonlinearDevice(nonlinearity=3.0, num_pulses=32, range=ConductanceRange(0.0, 1.0))
+        optimizer = SGD([parameter], lr=1.0, update_rule=NonlinearUpdateRule(device))
+        parameter.grad = np.array([-0.02, -0.02])  # same ideal increase everywhere
+        optimizer.step()
+        increase_low = parameter.data[0] - 0.05
+        increase_high = parameter.data[1] - 0.9
+        assert increase_low > increase_high > 0.0
+
+    def test_update_rule_keeps_values_in_range(self):
+        parameter = Parameter(np.array([0.99]), constraint="non_negative")
+        device = NonlinearDevice(range=ConductanceRange(0.0, 1.0))
+        optimizer = SGD([parameter], lr=10.0, update_rule=NonlinearUpdateRule(device))
+        parameter.grad = np.array([-5.0])
+        optimizer.step()
+        assert parameter.data[0] <= 1.0 + 1e-12
+
+
+class TestSchedules:
+    def test_constant(self):
+        optimizer = SGD([Parameter(np.array([1.0]))], lr=0.2)
+        schedule = ConstantLR(optimizer)
+        assert schedule.step(0) == pytest.approx(0.2)
+        assert schedule.step(10) == pytest.approx(0.2)
+
+    def test_step_lr_decays(self):
+        optimizer = SGD([Parameter(np.array([1.0]))], lr=1.0)
+        schedule = StepLR(optimizer, step_size=2, gamma=0.1)
+        assert schedule.step(0) == pytest.approx(1.0)
+        assert schedule.step(2) == pytest.approx(0.1)
+        assert schedule.step(4) == pytest.approx(0.01)
+        assert optimizer.lr == pytest.approx(0.01)
+
+    def test_step_lr_validates(self):
+        optimizer = SGD([Parameter(np.array([1.0]))], lr=1.0)
+        with pytest.raises(ValueError):
+            StepLR(optimizer, step_size=0)
+        with pytest.raises(ValueError):
+            StepLR(optimizer, step_size=1, gamma=1.5)
+
+    def test_cosine_endpoints(self):
+        optimizer = SGD([Parameter(np.array([1.0]))], lr=1.0)
+        schedule = CosineAnnealingLR(optimizer, total_epochs=10, min_lr=0.01)
+        assert schedule.step(0) == pytest.approx(1.0)
+        assert schedule.step(10) == pytest.approx(0.01)
+
+    def test_cosine_monotone_decay(self):
+        optimizer = SGD([Parameter(np.array([1.0]))], lr=1.0)
+        schedule = CosineAnnealingLR(optimizer, total_epochs=20)
+        values = [schedule.lr_at(epoch) for epoch in range(21)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_cosine_validates(self):
+        optimizer = SGD([Parameter(np.array([1.0]))], lr=1.0)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(optimizer, total_epochs=0)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(optimizer, total_epochs=5, min_lr=0.0)

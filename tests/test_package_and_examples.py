@@ -1,0 +1,79 @@
+"""Package-level tests: public API exports and example scripts."""
+
+from __future__ import annotations
+
+import pathlib
+import py_compile
+
+import numpy as np
+import pytest
+
+import repro
+
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestPublicAPI:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_top_level_exports_exist(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing export {name}"
+
+    def test_top_level_mapping_helpers_work_together(self):
+        weights = np.random.default_rng(0).normal(size=(3, 5))
+        periphery = repro.acm_periphery(3)
+        factor = repro.decompose(weights, periphery)
+        assert (factor >= 0).all()
+        np.testing.assert_allclose(periphery.matrix @ factor, weights, atol=1e-8)
+
+    def test_subpackages_importable(self):
+        import repro.data
+        import repro.experiments
+        import repro.hardware
+        import repro.mapping
+        import repro.models
+        import repro.nn
+        import repro.optim
+        import repro.tensor
+        import repro.train
+        import repro.xbar
+        for module in (repro.data, repro.experiments, repro.hardware, repro.mapping,
+                       repro.models, repro.nn, repro.optim, repro.tensor, repro.train,
+                       repro.xbar):
+            assert module.__doc__, f"{module.__name__} is missing a module docstring"
+
+    def test_all_exports_resolve_in_subpackages(self):
+        import repro.mapping as mapping
+        import repro.xbar as xbar
+        import repro.hardware as hardware
+        for module in (mapping, xbar, hardware):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__} missing {name}"
+
+
+class TestExamples:
+    @pytest.mark.parametrize("script", ["quickstart.py", "low_precision_training.py",
+                                        "variation_resilience.py"])
+    def test_example_scripts_compile(self, script):
+        path = EXAMPLES_DIR / script
+        assert path.exists(), f"example {script} is missing"
+        py_compile.compile(str(path), doraise=True)
+
+    def test_examples_have_module_docstrings(self):
+        for script in EXAMPLES_DIR.glob("*.py"):
+            source = script.read_text()
+            assert source.lstrip().startswith('"""'), f"{script.name} lacks a docstring"
+
+    def test_quickstart_decomposition_section_runs(self):
+        """The quickstart's first section must run end-to-end (it is fast)."""
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "quickstart_example", EXAMPLES_DIR / "quickstart.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        module.demonstrate_decomposition()

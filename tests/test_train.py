@@ -1,0 +1,265 @@
+"""Integration tests for the training loop and variation evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mapping.mapped_layer import _MappedBase
+from repro.models import make_lenet, make_mlp
+from repro.train import (
+    Trainer,
+    TrainingConfig,
+    evaluate_accuracy,
+    evaluate_under_variation,
+    variation_sweep,
+)
+from repro.train.trainer import _quantize_activations
+
+
+def mapped_layers(model):
+    return [module for module in model.modules() if isinstance(module, _MappedBase)]
+
+
+class TestTrainingConfig:
+    def test_defaults(self):
+        config = TrainingConfig()
+        assert config.epochs > 0
+        assert not config.nonlinear_update
+
+    def test_history_properties_empty(self):
+        from repro.train.trainer import TrainingHistory
+        history = TrainingHistory()
+        assert np.isnan(history.final_test_error)
+        assert np.isnan(history.best_test_error)
+
+
+class TestActivationQuantization:
+    def test_reduces_distinct_values(self, rng):
+        values = rng.normal(size=(100,))
+        quantised = _quantize_activations(values, 2)
+        assert len(np.unique(quantised)) <= 4 + 1
+
+    def test_preserves_range(self, rng):
+        values = rng.normal(size=(100,))
+        quantised = _quantize_activations(values, 8)
+        assert quantised.min() >= values.min() - 1e-9
+        assert quantised.max() <= values.max() + 1e-9
+
+    def test_constant_input_unchanged(self):
+        values = np.full(10, 3.0)
+        np.testing.assert_allclose(_quantize_activations(values, 4), values)
+
+
+class TestTrainerBaseline:
+    def test_baseline_mlp_learns_tiny_task(self, tiny_mnist):
+        train_set, test_set = tiny_mnist
+        model = make_mlp(
+            input_size=int(np.prod(train_set.sample_shape)),
+            hidden_sizes=(32,),
+            num_classes=train_set.num_classes,
+            seed=0,
+        )
+        config = TrainingConfig(epochs=6, batch_size=16, lr=0.1, seed=0)
+        history = Trainer(model, train_set, test_set, config).fit()
+        assert history.final_test_error < 30.0
+        assert history.train_error[-1] < history.train_error[0]
+
+    def test_history_records_every_epoch(self, tiny_mnist):
+        train_set, test_set = tiny_mnist
+        model = make_mlp(
+            input_size=int(np.prod(train_set.sample_shape)),
+            hidden_sizes=(8,),
+            num_classes=train_set.num_classes,
+            seed=0,
+        )
+        config = TrainingConfig(epochs=3, batch_size=16, lr=0.05, seed=0)
+        history = Trainer(model, train_set, test_set, config).fit()
+        assert len(history.train_error) == 3
+        assert len(history.test_error) == 3
+        assert len(history.train_loss) == 3
+        assert history.epochs == [0, 1, 2]
+
+    def test_training_is_reproducible(self, tiny_mnist):
+        train_set, test_set = tiny_mnist
+
+        def run():
+            model = make_mlp(
+                input_size=int(np.prod(train_set.sample_shape)),
+                hidden_sizes=(8,),
+                num_classes=train_set.num_classes,
+                seed=3,
+            )
+            config = TrainingConfig(epochs=2, batch_size=16, lr=0.05, seed=7)
+            return Trainer(model, train_set, test_set, config).fit()
+
+        first, second = run(), run()
+        np.testing.assert_allclose(first.train_loss, second.train_loss)
+        np.testing.assert_allclose(first.test_error, second.test_error)
+
+
+class TestTrainerMapped:
+    @pytest.mark.parametrize("mapping", ["acm", "de", "bc"])
+    def test_mapped_mlp_learns(self, tiny_mnist, mapping):
+        train_set, test_set = tiny_mnist
+        model = make_mlp(
+            input_size=int(np.prod(train_set.sample_shape)),
+            hidden_sizes=(32,),
+            num_classes=train_set.num_classes,
+            mapping=mapping,
+            seed=0,
+        )
+        config = TrainingConfig(epochs=6, batch_size=16, lr=0.1, seed=0)
+        history = Trainer(model, train_set, test_set, config).fit()
+        assert history.final_test_error < 35.0
+
+    def test_conductances_stay_valid_during_training(self, tiny_mnist):
+        train_set, test_set = tiny_mnist
+        model = make_mlp(
+            input_size=int(np.prod(train_set.sample_shape)),
+            hidden_sizes=(16,),
+            num_classes=train_set.num_classes,
+            mapping="acm",
+            quantizer_bits=3,
+            seed=0,
+        )
+        config = TrainingConfig(epochs=3, batch_size=16, lr=0.1, seed=0)
+        Trainer(model, train_set, test_set, config).fit()
+        for layer in mapped_layers(model):
+            conductances = layer.conductances()
+            assert conductances.min() >= 0.0
+            assert conductances.max() <= layer.conductance_range.g_max + 1e-9
+
+    def test_quantized_training_produces_quantized_effective_weights(self, tiny_mnist):
+        train_set, test_set = tiny_mnist
+        model = make_mlp(
+            input_size=int(np.prod(train_set.sample_shape)),
+            hidden_sizes=(8,),
+            num_classes=train_set.num_classes,
+            mapping="de",
+            quantizer_bits=2,
+            seed=0,
+        )
+        config = TrainingConfig(epochs=2, batch_size=16, lr=0.05, seed=0)
+        Trainer(model, train_set, test_set, config).fit()
+        layer = mapped_layers(model)[0]
+        weights = layer.effective_weight()
+        levels = layer.quantizer.levels
+        achievable = np.unique(np.subtract.outer(levels, levels))
+        for value in np.unique(np.round(weights, 10)):
+            assert np.isclose(value, achievable, atol=1e-9).any()
+
+    def test_nonlinear_update_training_runs_and_learns(self, tiny_mnist):
+        train_set, test_set = tiny_mnist
+        model = make_mlp(
+            input_size=int(np.prod(train_set.sample_shape)),
+            hidden_sizes=(32,),
+            num_classes=train_set.num_classes,
+            mapping="acm",
+            quantizer_bits=4,
+            seed=0,
+        )
+        config = TrainingConfig(
+            epochs=6, batch_size=16, lr=0.1, nonlinear_update=True, nonlinearity=2.0, seed=0
+        )
+        history = Trainer(model, train_set, test_set, config).fit()
+        assert history.final_test_error < 60.0
+        for layer in mapped_layers(model):
+            assert (layer.crossbar.data >= 0).all()
+
+    def test_activation_quantization_option(self, tiny_mnist):
+        train_set, test_set = tiny_mnist
+        model = make_mlp(
+            input_size=int(np.prod(train_set.sample_shape)),
+            hidden_sizes=(8,),
+            num_classes=train_set.num_classes,
+            mapping="bc",
+            quantizer_bits=4,
+            seed=0,
+        )
+        config = TrainingConfig(epochs=2, batch_size=16, lr=0.05, activation_bits=8, seed=0)
+        history = Trainer(model, train_set, test_set, config).fit()
+        assert len(history.test_error) == 2
+
+    def test_lenet_smoke_training(self, tiny_mnist):
+        train_set, test_set = tiny_mnist
+        model = make_lenet(mapping="acm", quantizer_bits=4, num_classes=train_set.num_classes,
+                           image_size=train_set.sample_shape[-1], seed=0)
+        config = TrainingConfig(epochs=2, batch_size=16, lr=0.05, seed=0)
+        history = Trainer(model, train_set, test_set, config).fit()
+        assert history.final_test_error <= 100.0
+        assert not np.isnan(history.train_loss[-1])
+
+
+class TestEvaluation:
+    @pytest.fixture(scope="class")
+    def trained_model(self, tiny_mnist):
+        train_set, test_set = tiny_mnist
+        model = make_mlp(
+            input_size=int(np.prod(train_set.sample_shape)),
+            hidden_sizes=(32,),
+            num_classes=train_set.num_classes,
+            mapping="acm",
+            quantizer_bits=4,
+            seed=0,
+        )
+        config = TrainingConfig(epochs=6, batch_size=16, lr=0.1, seed=0)
+        Trainer(model, train_set, test_set, config).fit()
+        return model
+
+    def test_evaluate_accuracy_range(self, trained_model, tiny_mnist):
+        _, test_set = tiny_mnist
+        accuracy = evaluate_accuracy(trained_model, test_set)
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_variation_zero_equals_clean_accuracy(self, trained_model, tiny_mnist):
+        _, test_set = tiny_mnist
+        clean = evaluate_accuracy(trained_model, test_set)
+        with_zero = evaluate_under_variation(trained_model, test_set, 0.0)
+        assert clean == pytest.approx(with_zero)
+
+    def test_variation_restores_model_state(self, trained_model, tiny_mnist):
+        _, test_set = tiny_mnist
+        before = {name: p.data.copy() for name, p in trained_model.named_parameters()}
+        evaluate_under_variation(trained_model, test_set, 0.2, rng=np.random.default_rng(0))
+        for name, parameter in trained_model.named_parameters():
+            np.testing.assert_allclose(parameter.data, before[name])
+        assert all(layer.variation is None for layer in mapped_layers(trained_model))
+
+    def test_variation_degrades_accuracy_on_average(self, trained_model, tiny_mnist):
+        _, test_set = tiny_mnist
+        sweep = variation_sweep(
+            trained_model, test_set, sigmas=[0.0, 0.4], num_samples=6, seed=0
+        )
+        assert sweep.mean_accuracy[1] < sweep.mean_accuracy[0] + 1e-9
+
+    def test_variation_sweep_structure(self, trained_model, tiny_mnist):
+        _, test_set = tiny_mnist
+        sigmas = [0.0, 0.1, 0.2]
+        sweep = variation_sweep(trained_model, test_set, sigmas=sigmas, num_samples=3, seed=1)
+        assert sweep.sigmas == sigmas
+        assert len(sweep.mean_accuracy) == 3
+        assert len(sweep.samples[0.1]) == 3
+        assert len(sweep.samples[0.0]) == 1  # zero sigma needs a single draw
+
+    def test_variation_sweep_validates_samples(self, trained_model, tiny_mnist):
+        _, test_set = tiny_mnist
+        with pytest.raises(ValueError):
+            variation_sweep(trained_model, test_set, sigmas=[0.1], num_samples=0)
+
+    def test_variation_on_baseline_model_raises(self, tiny_mnist):
+        train_set, test_set = tiny_mnist
+        model = make_mlp(
+            input_size=int(np.prod(train_set.sample_shape)),
+            hidden_sizes=(8,),
+            num_classes=train_set.num_classes,
+            seed=0,
+        )
+        with pytest.raises(ValueError):
+            evaluate_under_variation(model, test_set, 0.1)
+
+    def test_variation_draws_are_reproducible_with_seed(self, trained_model, tiny_mnist):
+        _, test_set = tiny_mnist
+        first = variation_sweep(trained_model, test_set, sigmas=[0.15], num_samples=4, seed=9)
+        second = variation_sweep(trained_model, test_set, sigmas=[0.15], num_samples=4, seed=9)
+        np.testing.assert_allclose(first.mean_accuracy, second.mean_accuracy)

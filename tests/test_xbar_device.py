@@ -1,0 +1,151 @@
+"""Unit and property-based tests for the synapse device models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.xbar.device import (
+    LinearDevice,
+    LinearUpdateRule,
+    NonlinearDevice,
+    NonlinearUpdateRule,
+)
+from repro.xbar.quantization import ConductanceRange
+
+
+class TestLinearDevice:
+    def test_realises_exact_update_inside_range(self):
+        device = LinearDevice(ConductanceRange(0.0, 1.0))
+        realised = device.realised_update(np.array([0.5]), np.array([0.2]))
+        np.testing.assert_allclose(realised, [0.2])
+
+    def test_saturates_at_bounds(self):
+        device = LinearDevice(ConductanceRange(0.0, 1.0))
+        np.testing.assert_allclose(
+            device.realised_update(np.array([0.9]), np.array([0.5])), [0.1]
+        )
+        np.testing.assert_allclose(
+            device.realised_update(np.array([0.1]), np.array([-0.5])), [-0.1]
+        )
+
+    def test_curves_are_linear(self):
+        device = LinearDevice(ConductanceRange(0.0, 1.0))
+        curve = device.potentiation_curve(11)
+        np.testing.assert_allclose(np.diff(curve), np.full(10, 0.1))
+        depression = device.depression_curve(11)
+        np.testing.assert_allclose(depression, curve[::-1])
+
+
+class TestNonlinearDevice:
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            NonlinearDevice(nonlinearity=-1.0)
+        with pytest.raises(ValueError):
+            NonlinearDevice(num_pulses=1)
+
+    def test_potentiation_curve_endpoints(self):
+        device = NonlinearDevice(nonlinearity=3.0, range=ConductanceRange(0.0, 1.0))
+        curve = device.potentiation_curve(100)
+        assert curve[0] == pytest.approx(0.0)
+        assert curve[-1] == pytest.approx(1.0, abs=1e-9)
+
+    def test_potentiation_curve_is_monotone_and_concave(self):
+        device = NonlinearDevice(nonlinearity=4.0)
+        curve = device.potentiation_curve(50)
+        steps = np.diff(curve)
+        assert (steps > 0).all()
+        assert (np.diff(steps) < 1e-12).all()  # decreasing step size
+
+    def test_depression_mirrors_potentiation(self):
+        device = NonlinearDevice(nonlinearity=2.5, range=ConductanceRange(0.0, 2.0))
+        potentiation = device.potentiation_curve(40)
+        depression = device.depression_curve(40)
+        np.testing.assert_allclose(depression, 2.0 - potentiation, atol=1e-12)
+
+    def test_step_sizes_shrink_toward_their_rail(self):
+        device = NonlinearDevice(nonlinearity=3.0)
+        low, high = np.array([0.1]), np.array([0.9])
+        assert device.potentiation_step(low)[0] > device.potentiation_step(high)[0]
+        assert device.depression_step(high)[0] > device.depression_step(low)[0]
+
+    def test_symmetric_up_down_steps_at_mirrored_states(self):
+        """The paper assumes symmetric increase/decrease characteristics."""
+        device = NonlinearDevice(nonlinearity=3.0)
+        conductance = np.array([0.3])
+        mirrored = np.array([0.7])
+        assert device.potentiation_step(conductance)[0] == pytest.approx(
+            device.depression_step(mirrored)[0]
+        )
+
+    def test_realised_update_sign_matches_request(self):
+        device = NonlinearDevice(nonlinearity=3.0)
+        up = device.realised_update(np.array([0.5]), np.array([0.05]))
+        down = device.realised_update(np.array([0.5]), np.array([-0.05]))
+        assert up[0] > 0
+        assert down[0] < 0
+
+    def test_realised_update_clipped_to_range(self):
+        device = NonlinearDevice(nonlinearity=2.0, range=ConductanceRange(0.0, 1.0))
+        realised = device.realised_update(np.array([0.95]), np.array([1.0]))
+        assert 0.95 + realised[0] <= 1.0 + 1e-12
+
+    def test_small_nonlinearity_approaches_linear_device(self):
+        nonlinear = NonlinearDevice(nonlinearity=1e-6, num_pulses=64)
+        linear = LinearDevice()
+        conductance = np.array([0.4])
+        delta = np.array([0.01])
+        np.testing.assert_allclose(
+            nonlinear.realised_update(conductance, delta),
+            linear.realised_update(conductance, delta),
+            atol=1e-4,
+        )
+
+    @given(
+        conductance=st.floats(0.0, 1.0, allow_nan=False),
+        delta=st.floats(-0.3, 0.3, allow_nan=False),
+        nonlinearity=st.floats(0.1, 6.0, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_realised_update_never_leaves_range(self, conductance, delta, nonlinearity):
+        device = NonlinearDevice(nonlinearity=nonlinearity)
+        realised = device.realised_update(np.array([conductance]), np.array([delta]))
+        final = conductance + realised[0]
+        assert -1e-9 <= final <= 1.0 + 1e-9
+
+    @given(
+        conductance=st.floats(0.05, 0.95, allow_nan=False),
+        delta=st.floats(0.001, 0.1, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_realised_magnitude_bounded_by_steepest_step(self, conductance, delta):
+        """The realised step cannot exceed the steepest point of the pulse curve.
+
+        The exponential pulse response has its largest per-pulse step at the
+        start of the traverse, where it is ``nu / (1 - e^-nu)`` times the
+        nominal linear step; the realised update is bounded accordingly.
+        """
+        nu = 3.0
+        device = NonlinearDevice(nonlinearity=nu, num_pulses=64)
+        realised = device.realised_update(np.array([conductance]), np.array([delta]))[0]
+        steepest_factor = nu / (1.0 - np.exp(-nu))
+        assert realised <= delta * steepest_factor * 1.05 + 1e-12
+
+
+class TestUpdateRules:
+    def test_linear_rule_wraps_device(self):
+        rule = LinearUpdateRule()
+        np.testing.assert_allclose(
+            rule.apply(np.array([0.5]), np.array([0.1])), [0.1]
+        )
+
+    def test_nonlinear_rule_wraps_device(self):
+        rule = NonlinearUpdateRule(NonlinearDevice(nonlinearity=3.0))
+        result = rule.apply(np.array([0.5]), np.array([0.1]))
+        assert result.shape == (1,)
+        assert result[0] != pytest.approx(0.1)  # distorted by the device
+
+    def test_rules_have_default_devices(self):
+        assert LinearUpdateRule().device is not None
+        assert NonlinearUpdateRule().device is not None

@@ -1,0 +1,152 @@
+"""Unit and property-based tests for conductance ranges and quantisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tensor import Tensor
+from repro.xbar.quantization import ConductanceRange, UniformQuantizer
+
+
+class TestConductanceRange:
+    def test_defaults(self):
+        conductance_range = ConductanceRange()
+        assert conductance_range.g_min == 0.0
+        assert conductance_range.g_max == 1.0
+        assert conductance_range.span == 1.0
+        assert conductance_range.midpoint == 0.5
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            ConductanceRange(1.0, 0.5)
+
+    def test_rejects_negative_minimum(self):
+        with pytest.raises(ValueError):
+            ConductanceRange(-0.1, 1.0)
+
+    def test_clip(self):
+        conductance_range = ConductanceRange(0.0, 2.0)
+        np.testing.assert_allclose(
+            conductance_range.clip(np.array([-1.0, 1.0, 3.0])), [0.0, 1.0, 2.0]
+        )
+
+    def test_contains(self):
+        conductance_range = ConductanceRange(0.0, 1.0)
+        assert conductance_range.contains(np.array([0.0, 0.5, 1.0]))
+        assert not conductance_range.contains(np.array([1.5]))
+
+    def test_nonzero_minimum(self):
+        conductance_range = ConductanceRange(0.2, 1.0)
+        assert conductance_range.span == pytest.approx(0.8)
+        assert conductance_range.midpoint == pytest.approx(0.6)
+
+
+class TestUniformQuantizer:
+    def test_level_count(self):
+        assert UniformQuantizer(3).num_levels == 8
+        assert len(UniformQuantizer(3).levels) == 8
+
+    def test_levels_span_range(self):
+        quantizer = UniformQuantizer(4, ConductanceRange(0.0, 2.0))
+        assert quantizer.levels[0] == 0.0
+        assert quantizer.levels[-1] == 2.0
+
+    def test_step_size(self):
+        quantizer = UniformQuantizer(2, ConductanceRange(0.0, 3.0))
+        assert quantizer.step == pytest.approx(1.0)
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            UniformQuantizer(0)
+        with pytest.raises(ValueError):
+            UniformQuantizer(17)
+
+    def test_quantize_array_snaps_to_levels(self):
+        quantizer = UniformQuantizer(2)  # levels 0, 1/3, 2/3, 1
+        result = quantizer.quantize_array(np.array([0.1, 0.4, 0.9]))
+        np.testing.assert_allclose(result, [0.0, 1.0 / 3.0, 1.0])
+
+    def test_quantize_array_clips_out_of_range(self):
+        quantizer = UniformQuantizer(3)
+        result = quantizer.quantize_array(np.array([-0.5, 1.5]))
+        np.testing.assert_allclose(result, [0.0, 1.0])
+
+    def test_quantize_matches_tensor_path(self, rng):
+        """The array path and the STE tensor path must program identical states."""
+        quantizer = UniformQuantizer(3, ConductanceRange(0.0, 1.6))
+        values = rng.uniform(-0.2, 1.8, size=(40, 7))
+        via_array = quantizer.quantize_array(values)
+        via_tensor = quantizer.quantize_ste(Tensor(values)).data
+        np.testing.assert_allclose(via_array, via_tensor)
+
+    def test_midpoint_tie_consistency(self):
+        """Exact half-step values must quantise identically on both paths."""
+        quantizer = UniformQuantizer(2, ConductanceRange(0.0, 1.0))
+        midpoint = np.array([0.5])
+        assert quantizer.quantize_array(midpoint)[0] == pytest.approx(
+            quantizer.quantize_ste(Tensor(midpoint)).data[0]
+        )
+
+    def test_ste_gradient_passthrough(self):
+        quantizer = UniformQuantizer(2)
+        tensor = Tensor(np.array([0.3, 0.6]), requires_grad=True)
+        quantizer.quantize_ste(tensor).sum().backward()
+        np.testing.assert_allclose(tensor.grad, [1.0, 1.0])
+
+    def test_ste_gradient_masked_outside_range(self):
+        quantizer = UniformQuantizer(2)
+        tensor = Tensor(np.array([-0.5, 0.5]), requires_grad=True)
+        quantizer.quantize_ste(tensor).sum().backward()
+        np.testing.assert_allclose(tensor.grad, [0.0, 1.0])
+
+    def test_state_index(self):
+        quantizer = UniformQuantizer(2)
+        np.testing.assert_array_equal(
+            quantizer.state_index(np.array([0.0, 0.34, 1.0])), [0, 1, 3]
+        )
+
+    # ------------------------------------------------------------------ #
+    # Property-based tests
+    # ------------------------------------------------------------------ #
+    @given(
+        bits=st.integers(min_value=1, max_value=8),
+        values=st.lists(st.floats(-2.0, 4.0, allow_nan=False), min_size=1, max_size=50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_quantization_is_idempotent(self, bits, values):
+        quantizer = UniformQuantizer(bits, ConductanceRange(0.0, 2.0))
+        once = quantizer.quantize_array(np.array(values))
+        twice = quantizer.quantize_array(once)
+        np.testing.assert_allclose(once, twice)
+
+    @given(
+        bits=st.integers(min_value=1, max_value=8),
+        values=st.lists(st.floats(0.0, 1.0, allow_nan=False), min_size=1, max_size=50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_quantization_error_bounded_by_half_step(self, bits, values):
+        quantizer = UniformQuantizer(bits)
+        array = np.array(values)
+        quantized = quantizer.quantize_array(array)
+        assert np.abs(quantized - array).max() <= quantizer.step / 2 + 1e-12
+
+    @given(
+        bits=st.integers(min_value=1, max_value=8),
+        values=st.lists(st.floats(-1.0, 3.0, allow_nan=False), min_size=1, max_size=50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_quantized_values_are_valid_levels(self, bits, values):
+        quantizer = UniformQuantizer(bits)
+        quantized = quantizer.quantize_array(np.array(values))
+        for value in quantized:
+            assert np.isclose(value, quantizer.levels).any()
+
+    @given(bits=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_levels_are_monotone_and_uniform(self, bits):
+        quantizer = UniformQuantizer(bits)
+        differences = np.diff(quantizer.levels)
+        assert (differences > 0).all()
+        np.testing.assert_allclose(differences, quantizer.step)
