@@ -15,10 +15,17 @@ protocol on the BN-free LeNet CNN and the MNIST-like task.  The driver
 
 from __future__ import annotations
 
+import os
+import time
+
+import numpy as np
 import pytest
 
 from benchmarks.conftest import print_header, run_once
+from repro.data.dataset import ArrayDataset
 from repro.experiments import run_variation_study
+from repro.experiments.config import SCALE_FAST, dataset_for, model_for
+from repro.train.evaluate import variation_sweep
 
 
 @pytest.mark.benchmark(group="fig6")
@@ -47,3 +54,56 @@ def test_fig6_variation_study(benchmark, bench_scale):
     low_bits = result.bits[0]
     at_15 = {m: result.accuracy_at(low_bits, m, 0.15) for m in result.accuracy[low_bits]}
     assert at_15["acm"] >= min(at_15.values()) - 0.10
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_runtime_vs_eager_speedup(benchmark):
+    """Compiled-runtime Monte-Carlo vs eager evaluation for one sigma point.
+
+    The paper's Fig. 6 protocol needs 25 variation draws per (sigma, bits,
+    mapping) point.  The eager path pays one full model evaluation per draw
+    — every batch rebuilds W = S @ M, re-perturbs and re-quantises through
+    the autograd graph — while the compiled runtime freezes the plan once
+    and evaluates all draws as one vectorized Monte-Carlo pass.  Measured on
+    a 6-bit ACM LeNet over a ~2000-sample evaluation set (the realistic
+    regime: the paper evaluates the full 10k-image test set).
+    """
+    model = model_for("lenet", "acm", 6, SCALE_FAST, seed=1)
+    _, test_set = dataset_for("lenet", SCALE_FAST)
+    dataset = ArrayDataset(
+        np.concatenate([test_set.images] * 16),
+        np.concatenate([test_set.labels] * 16),
+    )
+    sigma, num_samples = 0.1, 25
+
+    def compare():
+        timings = {}
+        for label, use_runtime in (("eager", False), ("runtime", True)):
+            best = float("inf")
+            for _ in range(2):
+                start = time.perf_counter()
+                sweep = variation_sweep(
+                    model, dataset, sigmas=[sigma], num_samples=num_samples,
+                    seed=0, use_runtime=use_runtime,
+                )
+                best = min(best, time.perf_counter() - start)
+            timings[label] = (best, sweep.mean_accuracy[0])
+        return timings
+
+    timings = run_once(benchmark, compare)
+    eager_s, eager_acc = timings["eager"]
+    runtime_s, runtime_acc = timings["runtime"]
+    speedup = eager_s / runtime_s
+    print_header("Fig. 6 runtime  25-draw sigma point: compiled vs eager")
+    print(f"eager   : {eager_s:7.3f}s  (mean accuracy {eager_acc:.3f})")
+    print(f"runtime : {runtime_s:7.3f}s  (mean accuracy {runtime_acc:.3f})")
+    print(f"speedup : {speedup:.1f}x over {num_samples} draws, n={len(dataset)}")
+
+    # Both paths estimate the same quantity; the sigma point is stochastic so
+    # only the means need to agree loosely.
+    assert abs(eager_acc - runtime_acc) < 0.25
+    # Measured ~7-10x on the reference container.  Wall-clock ratios are
+    # noisy on loaded CI machines and this benchmark runs in the default
+    # tier-1 command, so the timing assertion is opt-in.
+    if os.environ.get("REPRO_BENCH_STRICT"):
+        assert speedup >= 4.0, f"runtime path only {speedup:.1f}x faster than eager"

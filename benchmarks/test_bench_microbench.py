@@ -12,7 +12,9 @@ import numpy as np
 import pytest
 
 from repro.mapping import MappedLinear, acm_periphery, bc_periphery, de_periphery, decompose
-from repro.tensor import Tensor
+from repro.models import make_lenet
+from repro.runtime import compile_model, monte_carlo_logits
+from repro.tensor import Tensor, no_grad
 from repro.xbar import CrossbarTiling, UniformQuantizer
 
 
@@ -38,6 +40,36 @@ def test_mapped_linear_forward_throughput(benchmark, mapping):
     inputs = Tensor(np.random.default_rng(1).normal(size=(64, 256)))
     output = benchmark(layer, inputs)
     assert output.shape == (64, 128)
+
+
+@pytest.mark.benchmark(group="micro-runtime")
+@pytest.mark.parametrize("path", ["eager", "compiled"])
+def test_inference_path_throughput(benchmark, path):
+    """Forward pass of a 4-bit ACM LeNet: eager layer stack vs frozen plan."""
+    model = make_lenet(mapping="acm", quantizer_bits=4, seed=0)
+    model.eval()
+    inputs = np.random.default_rng(1).normal(size=(64, 1, 16, 16))
+    if path == "eager":
+        def run():
+            with no_grad():
+                return model(Tensor(inputs)).data
+    else:
+        plan = compile_model(model)
+        def run():
+            return plan.run(inputs)
+    output = benchmark(run)
+    assert output.shape == (64, 10)
+
+
+@pytest.mark.benchmark(group="micro-runtime")
+def test_monte_carlo_batch_throughput(benchmark):
+    """25 variation draws over one batch via the vectorized Monte-Carlo engine."""
+    model = make_lenet(mapping="acm", quantizer_bits=4, seed=0)
+    plan = compile_model(model)
+    inputs = np.random.default_rng(1).normal(size=(16, 1, 16, 16))
+    rng = np.random.default_rng(2)
+    output = benchmark(monte_carlo_logits, plan, inputs, 0.1, 25, rng)
+    assert output.shape == (25, 16, 10)
 
 
 @pytest.mark.benchmark(group="micro-crossbar")

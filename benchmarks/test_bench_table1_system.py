@@ -40,6 +40,43 @@ def test_table1_system_level_comparison(benchmark):
 
 
 @pytest.mark.benchmark(group="table1")
+def test_table1_from_compiled_plan(benchmark):
+    """Table I layer specs derived from a frozen deployment plan.
+
+    Compiling the two-layer MLP and estimating hardware from the plan must
+    agree with the hand-written layer specs: the plan is the deployment
+    artifact, so the serving story and the cost model see the same network.
+    """
+    from repro.hardware.accelerator import LayerSpec
+    from repro.models import make_mlp
+    from repro.runtime import compile_model
+
+    def build():
+        model = make_mlp(input_size=400, hidden_sizes=(100,), num_classes=10,
+                         mapping="acm", quantizer_bits=4, seed=0)
+        plan = compile_model(model)
+        from_plan = run_system_comparison(
+            plan=plan, input_shape=(1, 20, 20), training_samples=1000
+        )
+        from_specs = run_system_comparison(
+            specs=[
+                LayerSpec("fc1", num_inputs=400, num_outputs=100),
+                LayerSpec("fc2", num_inputs=100, num_outputs=10),
+            ],
+            training_samples=1000,
+        )
+        return from_plan, from_specs
+
+    from_plan, from_specs = run_once(benchmark, build)
+    print_header("Table I from a compiled plan — two-layer MLP")
+    print(from_plan.as_text())
+    for label in SystemReport.ROW_LABELS:
+        plan_row, spec_row = from_plan.row(label), from_specs.row(label)
+        for mapping in ("acm", "de", "bc"):
+            assert plan_row[mapping] == pytest.approx(spec_row[mapping])
+
+
+@pytest.mark.benchmark(group="table1")
 def test_table1_scaling_with_network_size(benchmark):
     """The DE penalties persist across network sizes (robustness of Table I)."""
     from repro.hardware.accelerator import LayerSpec

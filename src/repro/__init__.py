@@ -24,6 +24,11 @@ contribution:
 ``repro.train``
     Training loops with quantisation / non-linear-update hooks, and inference
     evaluation under device variation.
+``repro.runtime``
+    Compile-once / run-many inference: trained models are frozen into
+    serialisable execution plans (realized effective weights, pure-NumPy
+    ops) and the Fig. 6 variation protocol runs as a vectorized Monte-Carlo
+    sweep over the plan.
 ``repro.hardware``
     A NeuroSim-style analytical area/energy/delay estimator used to reproduce
     the paper's Table I.
@@ -41,8 +46,9 @@ from repro.mapping import (
     MappedLinear,
     MappedConv2d,
 )
+from repro.runtime import InferencePlan, compile_model, try_compile
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Tensor",
@@ -53,5 +59,8 @@ __all__ = [
     "decompose",
     "MappedLinear",
     "MappedConv2d",
+    "InferencePlan",
+    "compile_model",
+    "try_compile",
     "__version__",
 ]

@@ -9,7 +9,7 @@ accuracy, averaging multiple independent variation draws per sigma.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.config import ExperimentScale, SCALE_FAST, dataset_for, model_for
 from repro.train.evaluate import VariationSweepResult, variation_sweep
@@ -70,12 +70,16 @@ def run_variation_study(
     mappings: Sequence[str] = ("de", "acm", "bc"),
     scale: ExperimentScale = SCALE_FAST,
     seed: int = 1,
+    use_runtime: Optional[bool] = None,
 ) -> VariationStudyResult:
     """Reproduce the Fig. 6 device-variation study.
 
     For every precision in ``bits`` and every mapping, the network is trained
     once and then evaluated under every sigma in ``sigmas`` with
-    ``scale.variation_samples`` independent variation draws per point.
+    ``scale.variation_samples`` independent variation draws per point.  The
+    evaluation goes through the compiled inference runtime by default
+    (``use_runtime=None`` falls back to eager when the model cannot be
+    compiled; ``False`` forces the eager reference path).
     """
     train_set, test_set = dataset_for(network, scale)
     result = VariationStudyResult(
@@ -102,6 +106,7 @@ def run_variation_study(
                 sigmas=result.sigmas,
                 num_samples=scale.variation_samples,
                 seed=seed,
+                use_runtime=use_runtime,
             )
             result.accuracy[precision][mapping] = list(sweep.mean_accuracy)
             result.sweeps[precision][mapping] = sweep

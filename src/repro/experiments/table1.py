@@ -2,9 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence, Tuple
 
-from repro.hardware.accelerator import LayerSpec, mlp_layer_specs
+from repro.hardware.accelerator import (
+    LayerSpec,
+    layer_specs_from_plan,
+    mlp_layer_specs,
+)
 from repro.hardware.params import DEFAULT_14NM, TechnologyParams
 from repro.hardware.report import SystemReport, table1_report
 
@@ -13,6 +17,8 @@ def run_system_comparison(
     specs: Sequence[LayerSpec] = None,
     training_samples: int = 1000,
     params: TechnologyParams = DEFAULT_14NM,
+    plan=None,
+    input_shape: Optional[Tuple[int, ...]] = None,
 ) -> SystemReport:
     """Generate the Table I system-level comparison for the 2-layer MLP.
 
@@ -26,6 +32,12 @@ def run_system_comparison(
         the per-epoch numbers Table I reports.
     params:
         Technology parameters (14 nm defaults).
+    plan, input_shape:
+        Alternatively to ``specs``, a compiled
+        :class:`~repro.runtime.plan.InferencePlan` plus the shape of one
+        input sample (e.g. ``(1, 16, 16)``); the layer specs — including
+        exact per-convolution MVM counts — are then derived from the frozen
+        deployment artifact itself.
 
     Returns
     -------
@@ -34,7 +46,16 @@ def run_system_comparison(
         with helpers to compute the DE/ACM and BC/ACM ratios the paper quotes
         (2.3x area, 7x read energy, 1.33x delay for DE; parity for BC).
     """
-    layer_specs = list(specs) if specs is not None else mlp_layer_specs()
+    if specs is not None and plan is not None:
+        raise ValueError("pass either specs or a compiled plan, not both")
+    if plan is not None:
+        if input_shape is None:
+            raise ValueError("input_shape is required when estimating from a plan")
+        layer_specs = layer_specs_from_plan(plan, input_shape)
+    elif specs is not None:
+        layer_specs = list(specs)
+    else:
+        layer_specs = mlp_layer_specs()
     return table1_report(
         specs=layer_specs, training_samples=training_samples, params=params
     )

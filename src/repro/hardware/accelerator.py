@@ -253,6 +253,41 @@ def mlp_layer_specs(
     ]
 
 
+def layer_specs_from_plan(plan, input_shape) -> List[LayerSpec]:
+    """Derive :class:`LayerSpec` entries from a compiled inference plan.
+
+    A frozen plan knows every weight-bearing op and — via shape propagation
+    over ``input_shape`` (one sample, e.g. ``(1, 16, 16)``) — the exact
+    number of output pixels of each convolution, so the hardware estimate
+    uses real per-layer MVM counts instead of the geometry guesses
+    :func:`layer_specs_from_model` falls back to.
+    """
+    from repro.runtime.engine import trace_shapes
+    from repro.runtime.plan import ConvOp, DenseOp
+
+    specs: List[LayerSpec] = []
+    for index, (op, shape) in enumerate(trace_shapes(plan, input_shape)):
+        if isinstance(op, DenseOp):
+            specs.append(
+                LayerSpec(
+                    name=f"dense{index}",
+                    num_inputs=op.weight.shape[1],
+                    num_outputs=op.weight.shape[0],
+                )
+            )
+        elif isinstance(op, ConvOp):
+            output_pixels = int(shape[1] * shape[2])  # (C_out, H_out, W_out)
+            specs.append(
+                LayerSpec(
+                    name=f"conv{index}",
+                    num_inputs=op.weight.shape[1],
+                    num_outputs=op.weight.shape[0],
+                    mvm_count_per_sample=output_pixels,
+                )
+            )
+    return specs
+
+
 def layer_specs_from_model(model) -> List[LayerSpec]:
     """Extract :class:`LayerSpec` entries from a model built with this library.
 

@@ -25,7 +25,7 @@ import numpy as np
 from repro.mapping.periphery import PeripheryMatrix, periphery_for
 from repro.nn.module import Module, Parameter
 from repro.nn import init
-from repro.tensor import Tensor, functional
+from repro.tensor import Tensor, functional, is_grad_enabled
 from repro.xbar.quantization import ConductanceRange, UniformQuantizer
 from repro.xbar.variation import DeviceVariationModel
 
@@ -91,7 +91,21 @@ class _MappedBase(Module):
 
         #: Variation model applied at inference time (None = ideal devices).
         self.variation: Optional[DeviceVariationModel] = None
-        self._variation_rng = np.random.default_rng()
+        # Spawn the variation stream off the initialisation generator: a
+        # seeded model gets reproducible variation draws by default, and
+        # spawning does not advance the parent stream, so initial weights are
+        # unchanged relative to not having a variation stream at all.
+        self._variation_rng = self._spawn_variation_rng(rng)
+        self._effective_weight_cache: Optional[Tensor] = None
+
+    @staticmethod
+    def _spawn_variation_rng(rng: np.random.Generator) -> np.random.Generator:
+        try:
+            return rng.spawn(1)[0]
+        except (AttributeError, TypeError, ValueError):  # pragma: no cover
+            # Generators wrapping bit generators without a seed sequence
+            # cannot spawn; fall back to an independent unseeded stream.
+            return np.random.default_rng()
 
     # ------------------------------------------------------------------ #
     # Initialisation
@@ -160,8 +174,33 @@ class _MappedBase(Module):
             full = full.clip(self.conductance_range.g_min, self.conductance_range.g_max)
         return full
 
+    def _cache_usable(self) -> bool:
+        """Whether the effective weight is a constant that may be memoised.
+
+        Only in eval mode, with no variation active and gradients globally
+        disabled, is the effective weight a pure function of the stored
+        conductances; anything else (training, STE gradients, per-forward
+        variation draws) must rebuild it.
+        """
+        return not self.training and self.variation is None and not is_grad_enabled()
+
+    def _invalidate_cache(self) -> None:
+        self._effective_weight_cache = None
+
     def effective_weight_tensor(self) -> Tensor:
-        """The signed weight ``W = S @ M`` as a differentiable tensor."""
+        """The signed weight ``W = S @ M`` as a differentiable tensor.
+
+        In eval mode with no variation active (and gradients disabled) the
+        realized weight is cached, so repeated inference batches stop paying
+        the periphery matmul and re-quantisation; the cache is dropped on
+        mode switches, :meth:`set_variation`, :meth:`clip_conductances` and
+        :meth:`~repro.nn.module.Module.load_state_dict`.
+        """
+        if self._cache_usable():
+            if self._effective_weight_cache is None:
+                periphery = Tensor(self.periphery.matrix)
+                self._effective_weight_cache = periphery.matmul(self._crossbar_tensor())
+            return self._effective_weight_cache
         periphery = Tensor(self.periphery.matrix)
         return periphery.matmul(self._crossbar_tensor())
 
@@ -194,6 +233,7 @@ class _MappedBase(Module):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         """Enable (or disable with 0.0) device variation for inference."""
+        self._invalidate_cache()
         if sigma_fraction == 0.0:
             self.variation = None
             return
@@ -205,6 +245,7 @@ class _MappedBase(Module):
 
     def clip_conductances(self) -> None:
         """Project the trainable crossbar matrix into the device range in place."""
+        self._invalidate_cache()
         np.clip(
             self.crossbar.data,
             self.conductance_range.g_min,

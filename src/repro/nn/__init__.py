@@ -20,7 +20,7 @@ from repro.nn.layers import (
     Identity,
 )
 from repro.nn.activations import ReLU, Tanh, Sigmoid, Softmax
-from repro.nn.losses import CrossEntropyLoss, MSELoss, accuracy
+from repro.nn.losses import CrossEntropyLoss, MSELoss, accuracy, count_correct
 from repro.nn import init
 
 __all__ = [
@@ -44,5 +44,6 @@ __all__ = [
     "CrossEntropyLoss",
     "MSELoss",
     "accuracy",
+    "count_correct",
     "init",
 ]

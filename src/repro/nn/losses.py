@@ -43,3 +43,17 @@ def accuracy(logits, labels) -> float:
     truth = labels.data if isinstance(labels, Tensor) else np.asarray(labels)
     predictions = scores.argmax(axis=-1)
     return float((predictions == truth.astype(int)).mean())
+
+
+def count_correct(logits, labels) -> int:
+    """Number of samples whose arg-max prediction matches the label.
+
+    Evaluation loops that accumulate correct counts across batches must use
+    this rather than ``int(accuracy(...) * len(labels))``: the float mean can
+    round just below an integer (e.g. ``(2/3) * 3 == 1.999...``) and the
+    truncation then undercounts by one.
+    """
+    scores = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    truth = labels.data if isinstance(labels, Tensor) else np.asarray(labels)
+    predictions = scores.argmax(axis=-1)
+    return int((predictions == truth.astype(int)).sum())

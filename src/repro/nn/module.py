@@ -129,6 +129,7 @@ class Module:
             if buffer_name in buffer_owners:
                 owner, local_name = buffer_owners[buffer_name]
                 owner.update_buffer(local_name, value)
+        self.invalidate_caches()
 
     def _collect_buffer_owners(self, prefix: str = "") -> Dict[str, Tuple["Module", str]]:
         owners: Dict[str, Tuple[Module, str]] = {}
@@ -145,10 +146,24 @@ class Module:
         """Set the module (and children) to training or evaluation mode."""
         for module in self.modules():
             module.training = mode
+            module._invalidate_cache()
         return self
 
     def eval(self) -> "Module":
         return self.train(False)
+
+    def _invalidate_cache(self) -> None:
+        """Drop any derived state this module caches (overridden by layers)."""
+
+    def invalidate_caches(self) -> None:
+        """Invalidate cached derived state on this module and all children.
+
+        Called automatically on mode switches and :meth:`load_state_dict`;
+        call it manually after mutating parameter data in place outside an
+        optimiser step.
+        """
+        for module in self.modules():
+            module._invalidate_cache()
 
     def zero_grad(self) -> None:
         """Clear the gradients of every parameter."""

@@ -1,0 +1,74 @@
+"""Compiled inference runtime: freeze mapped models into execution plans.
+
+This package is the compile-once / run-many counterpart of the eager layer
+stack.  A trained :class:`~repro.nn.module.Module` is compiled into a frozen
+:class:`~repro.runtime.plan.InferencePlan` whose weight-bearing layers hold
+*realized* effective weights (periphery applied once, quantisation applied
+once) and whose ops are pure NumPy — no autograd graph, no per-batch weight
+rebuild.  On top of the plan, :mod:`repro.runtime.montecarlo` vectorises the
+paper's Fig. 6 variation protocol: device-variation draws are sampled as one
+stacked perturbation per crossbar and evaluated with batched einsum matmuls.
+
+* :func:`compile_model` / :func:`try_compile` — lower a module tree to a plan.
+* :class:`InferencePlan` — the frozen, serialisable deployment unit
+  (``plan.save(path)`` / ``InferencePlan.load(path)``).
+* :func:`plan_accuracy` / :func:`plan_logits` — deterministic plan execution.
+* :func:`monte_carlo_accuracy` / :func:`monte_carlo_logits` — vectorized
+  variation sweeps.
+"""
+
+from repro.runtime.plan import (
+    ActivationOp,
+    AddOp,
+    AvgPoolOp,
+    BatchNormOp,
+    ConvOp,
+    CrossbarSpec,
+    DenseOp,
+    FlattenOp,
+    GlobalAvgPoolOp,
+    InferencePlan,
+    MaxPoolOp,
+    PlanCompilationError,
+    PlanOp,
+)
+from repro.runtime.engine import (
+    compile_model,
+    plan_accuracy,
+    plan_logits,
+    register_lowering,
+    trace_shapes,
+    try_compile,
+)
+from repro.runtime.montecarlo import (
+    monte_carlo_accuracy,
+    monte_carlo_logits,
+    run_plan_samples,
+    sample_crossbar_weights,
+)
+
+__all__ = [
+    "ActivationOp",
+    "AddOp",
+    "AvgPoolOp",
+    "BatchNormOp",
+    "ConvOp",
+    "CrossbarSpec",
+    "DenseOp",
+    "FlattenOp",
+    "GlobalAvgPoolOp",
+    "InferencePlan",
+    "MaxPoolOp",
+    "PlanCompilationError",
+    "PlanOp",
+    "compile_model",
+    "plan_accuracy",
+    "plan_logits",
+    "register_lowering",
+    "trace_shapes",
+    "try_compile",
+    "monte_carlo_accuracy",
+    "monte_carlo_logits",
+    "run_plan_samples",
+    "sample_crossbar_weights",
+]

@@ -1,0 +1,165 @@
+"""Vectorized Monte-Carlo variation sweeps over a compiled plan.
+
+The eager Fig. 6 protocol pays one full model run per variation draw: every
+batch rebuilds every layer's effective weight through the autograd graph with
+a fresh perturbation.  Here the variation draws are sampled *once* as a
+stacked ``(num_samples, ND, NI)`` perturbation of each crossbar's raw
+conductances, realized to per-sample effective weights, and the whole plan is
+executed with batched einsum matmuls over the sample axis — a 25-draw sigma
+point costs roughly one plan execution instead of 25 eager model runs.
+
+Values stay *sample-invariant* (no sample axis) until they flow through the
+first crossbar-backed op, so the early im2col/pooling work before the first
+mapped layer is never duplicated across samples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+from repro.runtime.plan import ConvOp, InferencePlan
+
+#: Rough cap on ``num_samples * batch`` for convolutional plans: stacked
+#: feature maps beyond this spill out of cache and the batched matmuls turn
+#: memory-bound (measured on the LeNet Fig. 6 protocol).
+_STACKED_IMAGE_TARGET = 512
+
+
+def sample_crossbar_weights(
+    plan: InferencePlan,
+    sigma_fraction: float,
+    num_samples: int,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[int, np.ndarray]:
+    """Draw per-sample effective weights for every crossbar-backed op.
+
+    Returns a mapping from op index to a ``(num_samples, NO, NI)`` stack.
+    Ops are visited in program order with a single generator, so a seeded
+    ``rng`` makes the whole draw reproducible.
+    """
+    if num_samples < 1:
+        raise ValueError("num_samples must be at least 1")
+    rng = rng if rng is not None else np.random.default_rng()
+    sampled: Dict[int, np.ndarray] = {}
+    for index, op in enumerate(plan.ops):
+        spec = getattr(op, "spec", None)
+        if spec is not None:
+            sampled[index] = spec.sample_weights(sigma_fraction, num_samples, rng)
+    return sampled
+
+
+def run_plan_samples(
+    plan: InferencePlan,
+    images: np.ndarray,
+    sampled_weights: Dict[int, np.ndarray],
+    num_samples: int,
+    dtype=np.float64,
+) -> np.ndarray:
+    """Execute the plan once per variation sample, vectorised over samples.
+
+    Returns logits of shape ``(num_samples, batch, num_outputs)``.  With an
+    empty ``sampled_weights`` (a plan without crossbar layers) the single
+    deterministic result is broadcast across the sample axis.  ``plan`` and
+    ``sampled_weights`` must already be in ``dtype``
+    (see :meth:`InferencePlan.cast`).
+    """
+    values: Dict[int, np.ndarray] = {0: np.asarray(images, dtype=dtype)}
+    stacked: Dict[int, bool] = {0: False}
+    for index, op in enumerate(plan.ops):
+        inputs = [values[slot] for slot in op.inputs]
+        input_stacked = [stacked[slot] for slot in op.inputs]
+        if index in sampled_weights:
+            result = op.run_sampled(
+                inputs[0], sampled_weights[index], input_stacked[0]
+            )
+            is_stacked = True
+        elif not any(input_stacked):
+            result = op.run(*inputs)
+            is_stacked = False
+        elif op.leading_dims_safe:
+            # Mixed stacked/unstacked inputs broadcast naturally: a stacked
+            # value carries a leading (num_samples,) axis the op ignores.
+            result = op.run(*inputs)
+            is_stacked = True
+        else:
+            # Shape-sensitive op (pool / flatten / conv-without-devices):
+            # fold the sample axis into the batch, run, and unfold.
+            x = inputs[0]
+            folded = x.reshape((-1,) + x.shape[2:])
+            result = op.run(folded)
+            result = result.reshape(x.shape[:2] + result.shape[1:])
+            is_stacked = True
+        values[op.output] = result
+        stacked[op.output] = is_stacked
+        for slot in op.inputs:
+            if plan._last_use.get(slot) == index and slot != plan.output:
+                values.pop(slot, None)
+    logits = values[plan.output]
+    if not stacked[plan.output]:
+        logits = np.broadcast_to(logits, (num_samples,) + logits.shape)
+    return logits
+
+
+def _prepare(plan: InferencePlan, sampled: Dict[int, np.ndarray], dtype):
+    """Cast the plan and the sampled weight stacks to the execution dtype."""
+    if np.dtype(dtype) == np.float64:
+        return plan, sampled
+    return plan.cast(dtype), {k: v.astype(dtype) for k, v in sampled.items()}
+
+
+def _effective_batch(plan: InferencePlan, batch_size: int, num_samples: int) -> int:
+    """Pick the per-step data batch so stacked feature maps stay cache-sized.
+
+    Dense-only plans keep the caller's batch (bigger matmuls only help);
+    convolutional plans cap ``num_samples * batch`` near
+    ``_STACKED_IMAGE_TARGET`` images.
+    """
+    if not any(isinstance(op, ConvOp) for op in plan.ops):
+        return batch_size
+    return max(1, min(batch_size, _STACKED_IMAGE_TARGET // num_samples))
+
+
+def monte_carlo_logits(
+    plan: InferencePlan,
+    images: np.ndarray,
+    sigma_fraction: float,
+    num_samples: int,
+    rng: Optional[np.random.Generator] = None,
+    dtype=np.float32,
+) -> np.ndarray:
+    """Sample variation draws and run the plan; logits ``(S, B, outputs)``."""
+    sampled = sample_crossbar_weights(plan, sigma_fraction, num_samples, rng=rng)
+    exec_plan, sampled = _prepare(plan, sampled, dtype)
+    return run_plan_samples(exec_plan, images, sampled, num_samples, dtype=dtype)
+
+
+def monte_carlo_accuracy(
+    plan: InferencePlan,
+    dataset: ArrayDataset,
+    sigma_fraction: float,
+    num_samples: int,
+    rng: Optional[np.random.Generator] = None,
+    batch_size: int = 64,
+    dtype=np.float32,
+) -> np.ndarray:
+    """Per-sample classification accuracies over one set of variation draws.
+
+    Each of the ``num_samples`` draws is held fixed while the whole dataset
+    is evaluated (the paper's protocol: program once, then infer), and the
+    returned array has one accuracy per draw.  Variation sampling and device
+    quantisation always run in float64; plan *execution* defaults to float32,
+    whose rounding is negligible next to the injected conductance noise.
+    """
+    sampled = sample_crossbar_weights(plan, sigma_fraction, num_samples, rng=rng)
+    exec_plan, sampled = _prepare(plan, sampled, dtype)
+    batch = _effective_batch(plan, batch_size, num_samples)
+    correct = np.zeros(num_samples, dtype=np.int64)
+    for start in range(0, len(dataset), batch):
+        images = dataset.images[start:start + batch]
+        labels = dataset.labels[start:start + batch]
+        logits = run_plan_samples(exec_plan, images, sampled, num_samples, dtype=dtype)
+        correct += (logits.argmax(axis=-1) == labels).sum(axis=-1)
+    return correct / len(dataset)

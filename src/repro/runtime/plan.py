@@ -1,0 +1,529 @@
+"""Frozen execution plans for compiled inference.
+
+An :class:`InferencePlan` is the immutable artifact produced by compiling a
+trained :class:`~repro.nn.module.Module` for inference
+(:func:`repro.runtime.engine.compile_model`).  Every weight-bearing layer is
+lowered to a *realized* effective-weight ndarray — the periphery matrix is
+applied once and the device quantisation is applied once — together with a
+pure-NumPy op (matmul, im2col-matmul, activation, pooling, normalisation).
+Executing a plan therefore pays none of the training-time costs: no autograd
+graph, no per-batch ``W = S @ M`` rebuild, no per-batch re-quantisation.
+
+Crossbar-backed ops additionally keep a :class:`CrossbarSpec` — the raw
+programmed conductances, periphery matrix and device model — so the
+Monte-Carlo engine (:mod:`repro.runtime.montecarlo`) can redraw device
+variation without recompiling, reproducing exactly what the eager layers do
+at inference time: perturb the raw conductances, clip them to the device
+range, re-quantise, then apply the periphery.
+
+Plans are serialisable (:meth:`InferencePlan.save` /
+:meth:`InferencePlan.load`), which makes them a self-contained deployment
+unit: the file holds every array and op attribute needed to serve the model,
+independent of the module tree that produced it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.tensor.functional import conv_output_size, im2col
+from repro.xbar.quantization import ConductanceRange, UniformQuantizer
+from repro.xbar.variation import DeviceVariationModel
+
+
+class PlanCompilationError(Exception):
+    """Raised when a module cannot be lowered to an inference plan."""
+
+
+# ---------------------------------------------------------------------- #
+# Crossbar freeze artifact
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CrossbarSpec:
+    """The physical-device description frozen out of one mapped layer.
+
+    Attributes
+    ----------
+    conductances:
+        The raw programmed crossbar matrix ``M`` of shape ``(ND, NI)``,
+        including any fixed reference rows (BC), *before* clipping and
+        quantisation — variation is applied to these raw values, exactly as
+        the eager layer does.
+    periphery:
+        The fixed signed periphery matrix ``S`` of shape ``(NO, ND)``.
+    g_min, g_max:
+        Device conductance range.
+    quantizer_bits:
+        Device precision; ``None`` for full-precision conductances.
+    """
+
+    conductances: np.ndarray
+    periphery: np.ndarray
+    g_min: float
+    g_max: float
+    quantizer_bits: Optional[int] = None
+
+    @property
+    def range(self) -> ConductanceRange:
+        return ConductanceRange(self.g_min, self.g_max)
+
+    @property
+    def quantizer(self) -> Optional[UniformQuantizer]:
+        if self.quantizer_bits is None:
+            return None
+        return UniformQuantizer(self.quantizer_bits, self.range)
+
+    def finalize(self, conductances: np.ndarray) -> np.ndarray:
+        """Clip (and quantise, if the devices are discrete) conductances.
+
+        This is the device-realisation step the eager layers apply on every
+        forward pass; the plan applies it once at compile time and once per
+        Monte-Carlo draw.
+        """
+        quantizer = self.quantizer
+        if quantizer is not None:
+            return quantizer.snap(conductances)
+        return self.range.clip(conductances)
+
+    def base_weight(self) -> np.ndarray:
+        """The realized effective signed weight ``W = S @ finalize(M)``."""
+        return self.periphery @ self.finalize(self.conductances)
+
+    def sample_weights(
+        self, sigma_fraction: float, num_samples: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw ``num_samples`` variation-perturbed effective weights at once.
+
+        Returns a stacked array of shape ``(num_samples, NO, NI)``.  Each
+        sample perturbs the raw conductances with zero-mean Gaussian noise,
+        clips back into the device range, re-quantises, and applies the
+        periphery matrix — the same pipeline the eager layer runs per batch,
+        vectorised over samples.
+        """
+        variation = DeviceVariationModel(
+            sigma_fraction=sigma_fraction, range=self.range
+        )
+        stacked = variation.perturb_stack(self.conductances, num_samples, rng=rng)
+        realized = self.finalize(stacked)
+        return np.matmul(self.periphery, realized)
+
+
+# ---------------------------------------------------------------------- #
+# Plan ops
+# ---------------------------------------------------------------------- #
+@dataclass
+class PlanOp:
+    """Base class: one pure-NumPy operation of the frozen program.
+
+    ``inputs`` are value-slot indices and ``output`` is the slot this op
+    writes.  ``leading_dims_safe`` marks ops whose computation broadcasts
+    over arbitrary leading axes, which the Monte-Carlo engine uses to run
+    sample-stacked values without reshaping.
+    """
+
+    inputs: Tuple[int, ...] = (0,)
+    output: int = 0
+
+    leading_dims_safe = False
+
+    def run(self, *values: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+@dataclass
+class DenseOp(PlanOp):
+    """``y = x @ W.T + b`` with a frozen effective weight."""
+
+    weight: np.ndarray = None
+    bias: Optional[np.ndarray] = None
+    spec: Optional[CrossbarSpec] = None
+
+    leading_dims_safe = True  # matmul broadcasts over leading axes
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def run_sampled(
+        self, x: np.ndarray, weights: np.ndarray, x_stacked: bool
+    ) -> np.ndarray:
+        """Apply per-sample weights ``(S, NO, NI)``; returns ``(S, B, NO)``.
+
+        Implemented as a batched BLAS matmul over the sample axis; a
+        sample-invariant input broadcasts against the weight stack.
+        """
+        out = np.matmul(x, weights.transpose(0, 2, 1))
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+@dataclass
+class ConvOp(PlanOp):
+    """im2col convolution against a frozen ``(C_out, C_in*kh*kw)`` matrix."""
+
+    weight: np.ndarray = None
+    bias: Optional[np.ndarray] = None
+    kernel_shape: Tuple[int, int, int] = (1, 1, 1)  # (C_in, kh, kw)
+    stride: Tuple[int, int] = (1, 1)
+    padding: Tuple[int, int] = (0, 0)
+    spec: Optional[CrossbarSpec] = None
+
+    def _geometry(self, height: int, width: int) -> Tuple[int, int]:
+        _, kernel_h, kernel_w = self.kernel_shape
+        out_h = conv_output_size(height, kernel_h, self.stride[0], self.padding[0])
+        out_w = conv_output_size(width, kernel_w, self.stride[1], self.padding[1])
+        return out_h, out_w
+
+    def _check_channels(self, channels: int) -> None:
+        if channels != self.kernel_shape[0]:
+            raise ValueError(
+                f"input has {channels} channels but the frozen kernel expects "
+                f"{self.kernel_shape[0]}"
+            )
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        batch, channels, height, width = x.shape
+        self._check_channels(channels)
+        _, kernel_h, kernel_w = self.kernel_shape
+        out_h, out_w = self._geometry(height, width)
+        columns = im2col(x, (kernel_h, kernel_w), self.stride, self.padding)
+        out = columns @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        out = out.reshape(batch, out_h, out_w, self.weight.shape[0])
+        return out.transpose(0, 3, 1, 2)
+
+    def run_sampled(
+        self, x: np.ndarray, weights: np.ndarray, x_stacked: bool
+    ) -> np.ndarray:
+        """Apply per-sample kernels ``(S, C_out, K)``; returns 5-D output.
+
+        When the input is still sample-invariant (the layers before the first
+        crossbar layer), im2col runs once and the sample axis appears only in
+        the batched matmul.
+        """
+        num_samples, out_channels = weights.shape[0], weights.shape[1]
+        _, kernel_h, kernel_w = self.kernel_shape
+        self._check_channels(x.shape[-3])
+        if x_stacked:
+            stacked, batch = x.shape[0], x.shape[1]
+            height, width = x.shape[3], x.shape[4]
+            out_h, out_w = self._geometry(height, width)
+            flat = x.reshape((stacked * batch,) + x.shape[2:])
+            columns = im2col(flat, (kernel_h, kernel_w), self.stride, self.padding)
+            columns = columns.reshape(stacked, batch * out_h * out_w, -1)
+        else:
+            batch, height, width = x.shape[0], x.shape[2], x.shape[3]
+            out_h, out_w = self._geometry(height, width)
+            columns = im2col(x, (kernel_h, kernel_w), self.stride, self.padding)
+        out = np.matmul(columns, weights.transpose(0, 2, 1))
+        if self.bias is not None:
+            out = out + self.bias
+        out = out.reshape(num_samples, batch, out_h, out_w, out_channels)
+        return out.transpose(0, 1, 4, 2, 3)
+
+
+@dataclass
+class ActivationOp(PlanOp):
+    """Elementwise activation (``relu`` / ``tanh`` / ``sigmoid`` / ``softmax``)."""
+
+    kind: str = "relu"
+
+    leading_dims_safe = True
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        if self.kind == "relu":
+            return np.maximum(x, 0.0)
+        if self.kind == "tanh":
+            return np.tanh(x)
+        if self.kind == "sigmoid":
+            return 1.0 / (1.0 + np.exp(-x))
+        if self.kind == "softmax":
+            shifted = x - x.max(axis=-1, keepdims=True)
+            exponentials = np.exp(shifted)
+            return exponentials / exponentials.sum(axis=-1, keepdims=True)
+        raise ValueError(f"unknown activation kind {self.kind!r}")
+
+
+@dataclass
+class BatchNormOp(PlanOp):
+    """Frozen batch normalisation using the module's running statistics.
+
+    ``param_shape`` re-creates the broadcast the eager layer uses in eval
+    mode, expressed with *trailing* axes only so the op is agnostic to any
+    leading batch/sample axes: ``(-1, 1, 1)`` for 2-D feature maps and
+    ``(-1,)`` for flat features.
+    """
+
+    mean: np.ndarray = None
+    var: np.ndarray = None
+    gamma: np.ndarray = None
+    beta: np.ndarray = None
+    eps: float = 1e-5
+    param_shape: Tuple[int, ...] = (-1,)
+
+    leading_dims_safe = True
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        shape = self.param_shape
+        mean = self.mean.reshape(shape)
+        var = self.var.reshape(shape)
+        normalised = (x - mean) / (var + self.eps) ** 0.5
+        return normalised * self.gamma.reshape(shape) + self.beta.reshape(shape)
+
+
+@dataclass
+class MaxPoolOp(PlanOp):
+    """Max pooling over ``(N, C, H, W)`` windows."""
+
+    kernel: Tuple[int, int] = (2, 2)
+    stride: Tuple[int, int] = (2, 2)
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        return _pool(x, self.kernel, self.stride, reducer="max")
+
+
+@dataclass
+class AvgPoolOp(PlanOp):
+    """Average pooling over ``(N, C, H, W)`` windows."""
+
+    kernel: Tuple[int, int] = (2, 2)
+    stride: Tuple[int, int] = (2, 2)
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        return _pool(x, self.kernel, self.stride, reducer="avg")
+
+
+@dataclass
+class GlobalAvgPoolOp(PlanOp):
+    """Global average pooling, reducing ``(N, C, H, W)`` to ``(N, C)``."""
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        return x.mean(axis=(2, 3))
+
+
+@dataclass
+class FlattenOp(PlanOp):
+    """Flatten all non-batch dimensions."""
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        return x.reshape(x.shape[0], -1)
+
+
+@dataclass
+class AddOp(PlanOp):
+    """Elementwise addition of two values (residual connections)."""
+
+    leading_dims_safe = True
+
+    def run(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return x + y
+
+
+def _pool(
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    reducer: str,
+) -> np.ndarray:
+    """Pool by accumulating the ``kh * kw`` strided window slices in place.
+
+    Binary ufuncs over strided views beat both a materialised window tensor
+    and an axis reduction by a wide margin, and the summation order matches
+    the eager ``avg_pool2d`` loop exactly.
+    """
+    _, _, height, width = x.shape
+    out_h = conv_output_size(height, kernel[0], stride[0], 0)
+    out_w = conv_output_size(width, kernel[1], stride[1], 0)
+    accumulated: Optional[np.ndarray] = None
+    for y in range(kernel[0]):
+        for z in range(kernel[1]):
+            part = x[
+                :, :, y:y + stride[0] * out_h:stride[0], z:z + stride[1] * out_w:stride[1]
+            ]
+            if accumulated is None:
+                accumulated = np.array(part, copy=True)
+            elif reducer == "max":
+                np.maximum(accumulated, part, out=accumulated)
+            else:
+                accumulated += part
+    if reducer == "max":
+        return accumulated
+    return accumulated / (kernel[0] * kernel[1])
+
+
+# ---------------------------------------------------------------------- #
+# The plan itself
+# ---------------------------------------------------------------------- #
+@dataclass
+class InferencePlan:
+    """A frozen, immutable, serialisable inference program.
+
+    ``ops`` execute in order over a flat value store; slot 0 is the network
+    input and ``output`` is the slot holding the logits.  All arrays are
+    plain ndarrays — executing a plan never touches the autograd engine.
+    """
+
+    ops: List[PlanOp] = field(default_factory=list)
+    output: int = 0
+    num_slots: int = 1
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        # Last-use index per slot, so intermediate values free eagerly.
+        self._last_use: Dict[int, int] = {}
+        for index, op in enumerate(self.ops):
+            for slot in op.inputs:
+                self._last_use[slot] = index
+        self._cast_cache: Dict[str, "InferencePlan"] = {}
+
+    @property
+    def crossbar_ops(self) -> List[PlanOp]:
+        """The ops backed by physical crossbar devices (variation targets)."""
+        return [op for op in self.ops if getattr(op, "spec", None) is not None]
+
+    def cast(self, dtype) -> "InferencePlan":
+        """Return a twin plan whose frozen arrays are cast to ``dtype``.
+
+        The Monte-Carlo engine executes in float32 by default (half the
+        memory traffic, twice the BLAS throughput; variation noise is orders
+        of magnitude larger than float32 rounding).  Crossbar specs are left
+        untouched — device sampling always happens in float64 — so the cast
+        plan shares them with the original.  Twins are memoised per dtype, so
+        sweeping many sigma points pays the cast once.
+        """
+        key = np.dtype(dtype).str
+        cached = self._cast_cache.get(key)
+        if cached is not None:
+            return cached
+        ops: List[PlanOp] = []
+        for op in self.ops:
+            replacements = {
+                field_.name: getattr(op, field_.name).astype(dtype)
+                for field_ in dataclasses.fields(op)
+                if isinstance(getattr(op, field_.name), np.ndarray)
+            }
+            ops.append(dataclasses.replace(op, **replacements) if replacements else op)
+        twin = InferencePlan(
+            ops=ops, output=self.output, num_slots=self.num_slots, source=self.source
+        )
+        self._cast_cache[key] = twin
+        return twin
+
+    @property
+    def num_crossbar_layers(self) -> int:
+        return len(self.crossbar_ops)
+
+    def run(self, images: np.ndarray) -> np.ndarray:
+        """Execute the plan on one input batch; returns the logits ndarray."""
+        values: Dict[int, np.ndarray] = {0: np.asarray(images, dtype=np.float64)}
+        for index, op in enumerate(self.ops):
+            values[op.output] = op.run(*(values[slot] for slot in op.inputs))
+            for slot in op.inputs:
+                if self._last_use.get(slot) == index and slot != self.output:
+                    values.pop(slot, None)
+        return values[self.output]
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    _ARRAY_FIELDS = ("weight", "bias", "mean", "var", "gamma", "beta")
+    _SCALAR_FIELDS = ("kind", "kernel_shape", "stride", "padding", "kernel", "eps",
+                      "param_shape")
+
+    @staticmethod
+    def _normalize_path(path) -> str:
+        """Mirror ``np.savez``'s implicit ``.npz`` suffix on both ends.
+
+        ``np.savez_compressed`` appends ``.npz`` to suffix-less paths at save
+        time; without the same normalisation, ``load`` could not open a plan
+        saved under the bare name.
+        """
+        path = str(path)
+        return path if path.endswith(".npz") else path + ".npz"
+
+    def save(self, path) -> None:
+        """Serialise the plan to a single ``.npz`` deployment artifact."""
+        arrays: Dict[str, np.ndarray] = {}
+        header: List[dict] = []
+        for index, op in enumerate(self.ops):
+            entry = {
+                "type": type(op).__name__,
+                "inputs": list(op.inputs),
+                "output": op.output,
+            }
+            for name in self._SCALAR_FIELDS:
+                if hasattr(op, name):
+                    value = getattr(op, name)
+                    entry[name] = list(value) if isinstance(value, tuple) else value
+            for name in self._ARRAY_FIELDS:
+                value = getattr(op, name, None)
+                if isinstance(value, np.ndarray):
+                    key = f"op{index}.{name}"
+                    arrays[key] = value
+                    entry[name] = key
+            spec = getattr(op, "spec", None)
+            if spec is not None:
+                arrays[f"op{index}.conductances"] = spec.conductances
+                arrays[f"op{index}.periphery"] = spec.periphery
+                entry["spec"] = {
+                    "g_min": spec.g_min,
+                    "g_max": spec.g_max,
+                    "quantizer_bits": spec.quantizer_bits,
+                }
+            header.append(entry)
+        meta = {
+            "ops": header,
+            "output": self.output,
+            "num_slots": self.num_slots,
+            "source": self.source,
+        }
+        np.savez_compressed(
+            self._normalize_path(path),
+            __plan__=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+            **arrays,
+        )
+
+    @classmethod
+    def load(cls, path) -> "InferencePlan":
+        """Load a plan previously produced by :meth:`save`."""
+        op_types = {
+            klass.__name__: klass
+            for klass in (DenseOp, ConvOp, ActivationOp, BatchNormOp, MaxPoolOp,
+                          AvgPoolOp, GlobalAvgPoolOp, FlattenOp, AddOp)
+        }
+        tuple_fields = {"kernel_shape", "stride", "padding", "kernel", "param_shape"}
+        with np.load(cls._normalize_path(path)) as archive:
+            meta = json.loads(bytes(archive["__plan__"]).decode())
+            ops: List[PlanOp] = []
+            for index, entry in enumerate(meta["ops"]):
+                klass = op_types[entry.pop("type")]
+                kwargs = {"inputs": tuple(entry.pop("inputs")),
+                          "output": entry.pop("output")}
+                spec_meta = entry.pop("spec", None)
+                for name, value in entry.items():
+                    if name in cls._ARRAY_FIELDS:
+                        kwargs[name] = archive[value]
+                    elif name in tuple_fields:
+                        kwargs[name] = tuple(value)
+                    else:
+                        kwargs[name] = value
+                if spec_meta is not None:
+                    kwargs["spec"] = CrossbarSpec(
+                        conductances=archive[f"op{index}.conductances"],
+                        periphery=archive[f"op{index}.periphery"],
+                        g_min=spec_meta["g_min"],
+                        g_max=spec_meta["g_max"],
+                        quantizer_bits=spec_meta["quantizer_bits"],
+                    )
+                ops.append(klass(**kwargs))
+        return cls(ops=ops, output=meta["output"], num_slots=meta["num_slots"],
+                   source=meta.get("source", ""))

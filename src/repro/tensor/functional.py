@@ -58,7 +58,10 @@ def im2col(
     out_h = conv_output_size(height, kernel_h, stride_h, pad_h)
     out_w = conv_output_size(width, kernel_w, stride_w, pad_w)
 
-    padded = np.pad(images, ((0, 0), (0, 0), (pad_h, pad_h), (pad_w, pad_w)))
+    if pad_h or pad_w:
+        padded = np.pad(images, ((0, 0), (0, 0), (pad_h, pad_h), (pad_w, pad_w)))
+    else:
+        padded = images
 
     columns = np.empty(
         (batch, channels, kernel_h, kernel_w, out_h, out_w), dtype=images.dtype

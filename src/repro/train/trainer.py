@@ -9,7 +9,7 @@ import numpy as np
 
 from repro.data.dataset import ArrayDataset, DataLoader
 from repro.mapping.mapped_layer import _MappedBase
-from repro.nn.losses import CrossEntropyLoss, accuracy
+from repro.nn.losses import CrossEntropyLoss, count_correct
 from repro.nn.module import Module
 from repro.optim.sgd import SGD
 from repro.optim.schedules import ConstantLR
@@ -193,7 +193,7 @@ class Trainer:
                 images = self._prepare_inputs(dataset.images[start:start + batch])
                 labels = dataset.labels[start:start + batch]
                 logits = self.model(Tensor(images))
-                correct += int(accuracy(logits, labels) * len(labels))
+                correct += count_correct(logits, labels)
         self.model.train()
         return correct / len(dataset)
 

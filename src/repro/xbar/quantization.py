@@ -94,9 +94,32 @@ class UniformQuantizer:
         level, matching the tensor-path quantiser (:meth:`quantize_ste`) so
         that the two code paths always program identical device states.
         """
+        return self.snap(values)
+
+    def snap(self, values: np.ndarray) -> np.ndarray:
+        """Vectorised nearest-level snap with O(N) memory.
+
+        Equivalent to an arg-min over the full level table (ties resolve to
+        the lower level) but computed from a rounded candidate index refined
+        against its two neighbours, so snapping a stacked Monte-Carlo draw of
+        conductances does not materialise an ``N x 2^bits`` distance matrix.
+        """
         values = self.range.clip(np.asarray(values, dtype=np.float64))
-        indices = np.abs(values[..., None] - self.levels).argmin(axis=-1)
-        return self.levels[indices]
+        candidate = np.rint((values - self.range.g_min) / self.step).astype(np.int64)
+        candidate = np.clip(candidate, 0, self.num_levels - 1)
+        # The float-computed candidate can be off by one; compare against the
+        # lower/self/upper neighbours in ascending order so exact half-way
+        # values pick the lower level, exactly like argmin over all levels.
+        neighbours = np.stack(
+            [
+                np.clip(candidate - 1, 0, self.num_levels - 1),
+                candidate,
+                np.clip(candidate + 1, 0, self.num_levels - 1),
+            ]
+        )
+        distances = np.abs(values[None, ...] - self.levels[neighbours])
+        best = distances.argmin(axis=0)
+        return self.levels[np.take_along_axis(neighbours, best[None, ...], axis=0)[0]]
 
     def quantize_ste(self, tensor: Tensor) -> Tensor:
         """Quantise a tensor with a straight-through estimator backward pass."""

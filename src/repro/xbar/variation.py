@@ -60,6 +60,33 @@ class DeviceVariationModel:
             noisy = self.range.clip(noisy)
         return noisy
 
+    def perturb_stack(
+        self,
+        conductances: np.ndarray,
+        num_samples: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Draw ``num_samples`` independent perturbations in one stacked array.
+
+        Returns an array of shape ``(num_samples,) + conductances.shape``;
+        the Monte-Carlo inference engine evaluates all draws of a variation
+        sigma point with one batched pass instead of one model run per draw.
+        """
+        if num_samples < 1:
+            raise ValueError("num_samples must be at least 1")
+        conductances = np.asarray(conductances, dtype=np.float64)
+        if self.sigma_fraction == 0.0:
+            return np.broadcast_to(
+                conductances, (num_samples,) + conductances.shape
+            ).copy()
+        rng = rng if rng is not None else np.random.default_rng()
+        noisy = conductances[None, ...] + rng.normal(
+            0.0, self.sigma_absolute, size=(num_samples,) + conductances.shape
+        )
+        if self.clip_to_range:
+            noisy = self.range.clip(noisy)
+        return noisy
+
 
 def apply_variation(
     conductances: np.ndarray,

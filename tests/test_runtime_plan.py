@@ -1,0 +1,325 @@
+"""Tests for the compiled inference runtime (plan, engine, Monte-Carlo)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import make_lenet, make_mlp, make_resnet20, make_vgg9
+from repro.nn.module import Module
+from repro.runtime import (
+    ConvOp,
+    DenseOp,
+    InferencePlan,
+    PlanCompilationError,
+    compile_model,
+    monte_carlo_accuracy,
+    monte_carlo_logits,
+    plan_accuracy,
+    plan_logits,
+    run_plan_samples,
+    sample_crossbar_weights,
+    trace_shapes,
+    try_compile,
+)
+from repro.tensor import Tensor, no_grad
+
+
+def eager_logits(model, inputs: np.ndarray) -> np.ndarray:
+    model.eval()
+    with no_grad():
+        return model(Tensor(inputs)).data
+
+
+MAPPINGS = ("acm", "de", "bc")
+PRECISIONS = (4, None)
+
+
+class TestPlanEagerEquivalence:
+    """Compiled output must match eager output at sigma=0 within 1e-10."""
+
+    @pytest.mark.parametrize("mapping", MAPPINGS)
+    @pytest.mark.parametrize("bits", PRECISIONS)
+    def test_mlp_equivalence(self, mapping, bits, rng):
+        model = make_mlp(
+            input_size=36, hidden_sizes=(12,), mapping=mapping,
+            quantizer_bits=bits, seed=7,
+        )
+        inputs = rng.normal(size=(5, 1, 6, 6))
+        plan = compile_model(model)
+        np.testing.assert_allclose(
+            plan.run(inputs), eager_logits(model, inputs), atol=1e-10, rtol=0
+        )
+
+    @pytest.mark.parametrize("mapping", MAPPINGS)
+    @pytest.mark.parametrize("bits", PRECISIONS)
+    def test_lenet_equivalence(self, mapping, bits, rng):
+        model = make_lenet(mapping=mapping, quantizer_bits=bits, seed=7)
+        inputs = rng.normal(size=(3, 1, 16, 16))
+        plan = compile_model(model)
+        np.testing.assert_allclose(
+            plan.run(inputs), eager_logits(model, inputs), atol=1e-10, rtol=0
+        )
+
+    def test_vgg9_equivalence(self, rng):
+        model = make_vgg9(mapping="acm", quantizer_bits=4, seed=7)
+        inputs = rng.normal(size=(2, 3, 16, 16))
+        plan = compile_model(model)
+        np.testing.assert_allclose(
+            plan.run(inputs), eager_logits(model, inputs), atol=1e-10, rtol=0
+        )
+
+    def test_resnet_equivalence_with_residual_blocks(self, rng):
+        model = make_resnet20(mapping="de", quantizer_bits=4, blocks_per_stage=1, seed=7)
+        inputs = rng.normal(size=(2, 3, 16, 16))
+        plan = compile_model(model)
+        np.testing.assert_allclose(
+            plan.run(inputs), eager_logits(model, inputs), atol=1e-10, rtol=0
+        )
+
+    def test_baseline_model_equivalence(self, rng):
+        model = make_lenet(mapping="baseline", seed=7)
+        inputs = rng.normal(size=(3, 1, 16, 16))
+        plan = compile_model(model)
+        np.testing.assert_allclose(
+            plan.run(inputs), eager_logits(model, inputs), atol=1e-10, rtol=0
+        )
+
+
+class TestCompiler:
+    def test_unknown_module_raises(self):
+        class Strange(Module):
+            def forward(self, inputs):
+                return inputs
+
+        with pytest.raises(PlanCompilationError):
+            compile_model(Strange())
+
+    def test_try_compile_returns_none_for_unknown(self):
+        class Strange(Module):
+            def forward(self, inputs):
+                return inputs
+
+        assert try_compile(Strange()) is None
+
+    def test_crossbar_layer_count(self):
+        model = make_mlp(input_size=16, hidden_sizes=(8,), mapping="acm",
+                         quantizer_bits=4, seed=0)
+        plan = compile_model(model)
+        assert plan.num_crossbar_layers == 2
+
+    def test_baseline_plan_has_no_crossbar_layers(self):
+        model = make_mlp(input_size=16, hidden_sizes=(8,), seed=0)
+        plan = compile_model(model)
+        assert plan.num_crossbar_layers == 0
+
+    def test_bc_spec_includes_reference_row(self):
+        model = make_mlp(input_size=16, hidden_sizes=(8,), mapping="bc",
+                         quantizer_bits=4, seed=0)
+        plan = compile_model(model)
+        first = plan.crossbar_ops[0]
+        # BC uses NO + 1 physical columns; the extra row is the reference.
+        assert first.spec.conductances.shape == (8 + 1, 16)
+        assert first.spec.periphery.shape == (8, 8 + 1)
+
+    def test_trace_shapes_reports_conv_geometry(self):
+        model = make_lenet(mapping="acm", quantizer_bits=4, seed=0)
+        plan = compile_model(model)
+        conv_shapes = [
+            shape for op, shape in trace_shapes(plan, (1, 16, 16))
+            if isinstance(op, ConvOp)
+        ]
+        assert conv_shapes == [(6, 16, 16), (16, 8, 8)]
+
+    def test_plan_batched_execution_matches_single_pass(self, rng):
+        model = make_mlp(input_size=16, hidden_sizes=(8,), mapping="acm", seed=0)
+        plan = compile_model(model)
+        inputs = rng.normal(size=(10, 1, 4, 4))
+        np.testing.assert_allclose(
+            plan_logits(plan, inputs, batch_size=3), plan.run(inputs), atol=1e-12
+        )
+
+
+class TestMonteCarlo:
+    @pytest.fixture
+    def plan(self):
+        model = make_mlp(input_size=16, hidden_sizes=(8,), mapping="acm",
+                         quantizer_bits=4, seed=0)
+        return compile_model(model)
+
+    def test_zero_sigma_matches_deterministic_run(self, plan, rng):
+        inputs = rng.normal(size=(4, 1, 4, 4))
+        logits = monte_carlo_logits(plan, inputs, 0.0, 3,
+                                    rng=np.random.default_rng(0), dtype=np.float64)
+        expected = plan.run(inputs)
+        for sample in range(3):
+            np.testing.assert_allclose(logits[sample], expected, atol=1e-12)
+
+    def test_sampled_weights_shapes_and_determinism(self, plan):
+        first = sample_crossbar_weights(plan, 0.1, 5, rng=np.random.default_rng(3))
+        second = sample_crossbar_weights(plan, 0.1, 5, rng=np.random.default_rng(3))
+        assert set(first) == {op_index for op_index, op in enumerate(plan.ops)
+                              if getattr(op, "spec", None) is not None}
+        for op_index, stack in first.items():
+            weight = plan.ops[op_index].weight
+            assert stack.shape == (5,) + weight.shape
+            np.testing.assert_array_equal(stack, second[op_index])
+
+    def test_vectorized_matmul_matches_per_sample_loop(self, plan, rng):
+        """The einsum wiring must equal naively applying each sampled weight."""
+        inputs = rng.normal(size=(6, 16))
+        sampled = sample_crossbar_weights(plan, 0.15, 4, rng=np.random.default_rng(1))
+        logits = run_plan_samples(plan, inputs.reshape(6, 1, 4, 4), sampled, 4)
+        for sample in range(4):
+            # Re-run the plan manually for this sample's weights.
+            x = inputs
+            for index, op in enumerate(plan.ops):
+                if isinstance(op, DenseOp):
+                    x = x @ sampled[index][sample].T
+                    if op.bias is not None:
+                        x = x + op.bias
+                elif type(op).__name__ == "ActivationOp":
+                    x = np.maximum(x, 0.0)
+                elif type(op).__name__ == "FlattenOp":
+                    x = x.reshape(x.shape[0], -1)
+            np.testing.assert_allclose(logits[sample], x, atol=1e-10)
+
+    def test_monte_carlo_accuracy_shape_and_range(self, plan):
+        from repro.data.dataset import ArrayDataset
+
+        rng = np.random.default_rng(0)
+        dataset = ArrayDataset(
+            rng.normal(size=(30, 1, 4, 4)), rng.integers(0, 10, size=30)
+        )
+        accuracies = monte_carlo_accuracy(
+            plan, dataset, 0.2, 7, rng=np.random.default_rng(1), batch_size=8
+        )
+        assert accuracies.shape == (7,)
+        assert ((accuracies >= 0.0) & (accuracies <= 1.0)).all()
+
+    def test_conv_plan_monte_carlo_shapes(self, rng):
+        model = make_lenet(mapping="bc", quantizer_bits=3, seed=1)
+        plan = compile_model(model)
+        inputs = rng.normal(size=(4, 1, 16, 16))
+        logits = monte_carlo_logits(plan, inputs, 0.1, 6, rng=np.random.default_rng(2))
+        assert logits.shape == (6, 4, 10)
+        # Different draws must produce different logits at sigma > 0.
+        assert not np.allclose(logits[0], logits[1])
+
+    def test_float32_execution_close_to_float64(self, plan, rng):
+        inputs = rng.normal(size=(4, 1, 4, 4))
+        f64 = monte_carlo_logits(plan, inputs, 0.1, 3,
+                                 rng=np.random.default_rng(5), dtype=np.float64)
+        f32 = monte_carlo_logits(plan, inputs, 0.1, 3,
+                                 rng=np.random.default_rng(5), dtype=np.float32)
+        np.testing.assert_allclose(f32, f64, atol=1e-4)
+
+
+class TestPlanSerialization:
+    @pytest.mark.parametrize("factory,sample_shape", [
+        (lambda: make_mlp(input_size=16, hidden_sizes=(8,), mapping="acm",
+                          quantizer_bits=4, seed=0), (1, 4, 4)),
+        (lambda: make_lenet(mapping="de", quantizer_bits=None, seed=0), (1, 16, 16)),
+        (lambda: make_resnet20(mapping="bc", quantizer_bits=4,
+                               blocks_per_stage=1, seed=0), (3, 16, 16)),
+    ])
+    def test_save_load_round_trip(self, factory, sample_shape, tmp_path, rng):
+        model = factory()
+        plan = compile_model(model)
+        path = tmp_path / "plan.npz"
+        plan.save(path)
+        loaded = InferencePlan.load(path)
+        inputs = rng.normal(size=(2,) + sample_shape)
+        np.testing.assert_array_equal(plan.run(inputs), loaded.run(inputs))
+        assert loaded.num_crossbar_layers == plan.num_crossbar_layers
+
+    def test_save_load_round_trip_without_npz_suffix(self, tmp_path, rng):
+        """np.savez appends .npz; load must apply the same normalisation."""
+        model = make_mlp(input_size=16, hidden_sizes=(8,), mapping="acm", seed=0)
+        plan = compile_model(model)
+        bare = tmp_path / "model"  # no suffix on purpose
+        plan.save(bare)
+        loaded = InferencePlan.load(bare)
+        inputs = rng.normal(size=(2, 1, 4, 4))
+        np.testing.assert_array_equal(plan.run(inputs), loaded.run(inputs))
+
+    def test_cast_twins_are_memoised(self):
+        model = make_mlp(input_size=16, hidden_sizes=(8,), mapping="acm", seed=0)
+        plan = compile_model(model)
+        assert plan.cast(np.float32) is plan.cast(np.float32)
+
+    def test_loaded_plan_supports_monte_carlo(self, tmp_path, rng):
+        model = make_mlp(input_size=16, hidden_sizes=(8,), mapping="acm",
+                         quantizer_bits=4, seed=0)
+        plan = compile_model(model)
+        path = tmp_path / "plan.npz"
+        plan.save(path)
+        loaded = InferencePlan.load(path)
+        inputs = rng.normal(size=(3, 1, 4, 4))
+        original = monte_carlo_logits(plan, inputs, 0.1, 4,
+                                      rng=np.random.default_rng(9), dtype=np.float64)
+        reloaded = monte_carlo_logits(loaded, inputs, 0.1, 4,
+                                      rng=np.random.default_rng(9), dtype=np.float64)
+        np.testing.assert_allclose(original, reloaded, atol=1e-12)
+
+
+class TestEvaluateIntegration:
+    """The train.evaluate helpers must agree across runtime and eager paths."""
+
+    @pytest.fixture
+    def setup(self):
+        from repro.data.dataset import ArrayDataset
+
+        rng = np.random.default_rng(0)
+        model = make_mlp(input_size=16, hidden_sizes=(8,), mapping="acm",
+                         quantizer_bits=4, seed=0)
+        dataset = ArrayDataset(
+            rng.normal(size=(25, 1, 4, 4)), rng.integers(0, 10, size=25)
+        )
+        return model, dataset
+
+    def test_accuracy_identical_between_paths(self, setup):
+        from repro.train.evaluate import evaluate_accuracy
+
+        model, dataset = setup
+        assert evaluate_accuracy(model, dataset, use_runtime=True) == \
+            evaluate_accuracy(model, dataset, use_runtime=False)
+
+    def test_variation_sweep_runtime_reproducible(self, setup):
+        from repro.train.evaluate import variation_sweep
+
+        model, dataset = setup
+        first = variation_sweep(model, dataset, sigmas=[0.0, 0.2],
+                                num_samples=4, seed=5, use_runtime=True)
+        second = variation_sweep(model, dataset, sigmas=[0.0, 0.2],
+                                 num_samples=4, seed=5, use_runtime=True)
+        assert first.mean_accuracy == second.mean_accuracy
+        assert len(first.samples[0.2]) == 4
+        assert len(first.samples[0.0]) == 1
+
+    def test_active_variation_falls_back_to_eager(self, setup):
+        from repro.train.evaluate import _plan_for
+
+        model, dataset = setup
+        layer = next(m for m in model.modules() if hasattr(m, "set_variation"))
+        layer.set_variation(0.1)
+        try:
+            assert _plan_for(model, None) is None
+            with pytest.raises(ValueError):
+                _plan_for(model, True)
+        finally:
+            layer.set_variation(0.0)
+        assert _plan_for(model, None) is not None
+
+    def test_runtime_flag_forced_compile_failure_raises(self):
+        from repro.train.evaluate import evaluate_accuracy
+
+        class Strange(Module):
+            def forward(self, inputs):
+                return inputs
+
+        from repro.data.dataset import ArrayDataset
+
+        dataset = ArrayDataset(np.zeros((4, 2)), np.zeros(4))
+        with pytest.raises(PlanCompilationError):
+            evaluate_accuracy(Strange(), dataset, use_runtime=True)

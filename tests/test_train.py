@@ -263,3 +263,181 @@ class TestEvaluation:
         first = variation_sweep(trained_model, test_set, sigmas=[0.15], num_samples=4, seed=9)
         second = variation_sweep(trained_model, test_set, sigmas=[0.15], num_samples=4, seed=9)
         np.testing.assert_allclose(first.mean_accuracy, second.mean_accuracy)
+
+
+class TestCorrectCounting:
+    """Regression tests for exact correct-prediction counting.
+
+    ``int(accuracy(...) * len(labels))`` undercounts when the float mean
+    rounds just below an integer (e.g. ``(2/3) * 3 == 1.999...``); the
+    evaluation loops must count correct predictions directly.
+    """
+
+    class _FixedLogits:
+        """Stand-in model returning predetermined logits for any input."""
+
+        def __init__(self, logits):
+            self._logits = logits
+            self.training = False
+
+        def eval(self):
+            return self
+
+        def train(self, mode=True):
+            return self
+
+        def modules(self):
+            return iter(())
+
+        def __call__(self, inputs):
+            from repro.tensor import Tensor
+            return Tensor(self._logits[: len(inputs.data)])
+
+    def test_two_thirds_accuracy_counts_exactly(self):
+        from repro.data.dataset import ArrayDataset
+
+        # Three samples, two correct: the old rounding gave 1/3 instead of 2/3.
+        logits = np.array([[1.0, 0.0], [1.0, 0.0], [1.0, 0.0]])
+        labels = np.array([0, 0, 1])
+        dataset = ArrayDataset(np.zeros((3, 2)), labels)
+        model = self._FixedLogits(logits)
+        accuracy = evaluate_accuracy(model, dataset, batch_size=3, use_runtime=False)
+        assert accuracy == pytest.approx(2.0 / 3.0)
+
+    def test_count_correct_matches_sum_over_batches(self, rng):
+        from repro.nn.losses import accuracy as accuracy_fn, count_correct
+
+        logits = rng.normal(size=(7, 5))
+        labels = rng.integers(0, 5, size=7)
+        assert count_correct(logits, labels) == int(
+            round(accuracy_fn(logits, labels) * 7)
+        )
+
+
+class TestVariationRngSeeding:
+    def test_seeded_models_draw_identical_variation_by_default(self, rng):
+        """set_variation without an explicit rng must still be reproducible."""
+        from repro.mapping.mapped_layer import MappedLinear
+        from repro.tensor import Tensor, no_grad
+
+        inputs = rng.normal(size=(4, 6))
+        outputs = []
+        for _ in range(2):
+            layer = MappedLinear(6, 3, mapping="acm", rng=np.random.default_rng(11))
+            layer.eval()
+            layer.set_variation(0.2)  # no rng argument on purpose
+            with no_grad():
+                outputs.append(layer(Tensor(inputs)).data)
+        np.testing.assert_array_equal(outputs[0], outputs[1])
+
+    def test_variation_stream_does_not_change_initialisation(self):
+        """Spawning the variation stream must not consume init randomness."""
+        from repro.mapping.mapped_layer import MappedLinear
+
+        first = MappedLinear(6, 3, mapping="de", rng=np.random.default_rng(5))
+        second = MappedLinear(6, 3, mapping="de", rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(first.crossbar.data, second.crossbar.data)
+        np.testing.assert_array_equal(first.bias.data, second.bias.data)
+
+
+class TestEffectiveWeightCache:
+    def test_cache_hit_in_eval_mode(self, rng):
+        from repro.mapping.mapped_layer import MappedLinear
+        from repro.tensor import Tensor, no_grad
+
+        layer = MappedLinear(6, 3, mapping="acm", quantizer_bits=4,
+                             rng=np.random.default_rng(0))
+        layer.eval()
+        with no_grad():
+            first = layer.effective_weight_tensor()
+            second = layer.effective_weight_tensor()
+        assert first is second  # memoised object identity
+
+    def test_cache_invalidated_on_train_switch(self, rng):
+        from repro.mapping.mapped_layer import MappedLinear
+        from repro.tensor import Tensor, no_grad
+
+        layer = MappedLinear(6, 3, mapping="acm", rng=np.random.default_rng(0))
+        layer.eval()
+        with no_grad():
+            cached = layer.effective_weight_tensor()
+            layer.train()
+            # Scale (a constant shift would cancel through the ACM periphery).
+            layer.crossbar.data *= 0.5
+            layer.clip_conductances()
+            layer.eval()
+            fresh = layer.effective_weight_tensor()
+        assert fresh is not cached
+        assert not np.allclose(fresh.data, cached.data)
+
+    def test_cache_not_used_while_training_or_grad_enabled(self, rng):
+        from repro.mapping.mapped_layer import MappedLinear
+        from repro.tensor import Tensor, no_grad
+
+        layer = MappedLinear(6, 3, mapping="acm", rng=np.random.default_rng(0))
+        layer.eval()
+        # Gradients enabled: no caching, so STE training graphs stay intact.
+        first = layer.effective_weight_tensor()
+        second = layer.effective_weight_tensor()
+        assert first is not second
+
+    def test_load_state_dict_invalidates_cache(self, rng):
+        from repro.mapping.mapped_layer import MappedLinear
+        from repro.tensor import no_grad
+
+        layer = MappedLinear(6, 3, mapping="acm", rng=np.random.default_rng(0))
+        other = MappedLinear(6, 3, mapping="acm", rng=np.random.default_rng(9))
+        layer.eval()
+        with no_grad():
+            before = layer.effective_weight_tensor()
+            layer.load_state_dict(other.state_dict())
+            after = layer.effective_weight_tensor()
+        assert after is not before
+        assert not np.allclose(after.data, before.data)
+
+    def test_cached_eval_matches_uncached_forward(self):
+        from repro.mapping.mapped_layer import MappedLinear
+        from repro.tensor import Tensor, no_grad
+
+        layer = MappedLinear(6, 3, mapping="bc", quantizer_bits=3,
+                             rng=np.random.default_rng(0))
+        inputs = Tensor(np.random.default_rng(1).normal(size=(4, 6)))
+        layer.eval()
+        with no_grad():
+            warm = layer(inputs).data
+            again = layer(inputs).data
+        layer.train()
+        layer.eval()
+        with no_grad():
+            cold = layer(inputs).data
+        np.testing.assert_array_equal(warm, again)
+        np.testing.assert_array_equal(warm, cold)
+
+
+class TestVariationRngRestoration:
+    def test_evaluate_under_variation_restores_seeded_stream(self, tiny_mnist):
+        """A temporary external rng must not replace the layer's own stream."""
+        from repro.mapping.mapped_layer import _MappedBase
+
+        _, test_set = tiny_mnist
+        results = []
+        for _ in range(2):
+            model = make_mlp(
+                input_size=int(np.prod(test_set.sample_shape)),
+                hidden_sizes=(8,),
+                num_classes=test_set.num_classes,
+                mapping="acm",
+                seed=4,
+            )
+            # Evaluate once with an arbitrary external rng (different each
+            # iteration), then once with the layer's own default stream.
+            evaluate_under_variation(
+                model, test_set, 0.1, rng=np.random.default_rng(len(results) + 100)
+            )
+            layers = [m for m in model.modules() if isinstance(m, _MappedBase)]
+            for layer in layers:
+                layer.set_variation(0.3)  # bare call: must use the seeded stream
+            results.append(evaluate_accuracy(model, test_set, use_runtime=False))
+            for layer in layers:
+                layer.set_variation(0.0)
+        assert results[0] == results[1]

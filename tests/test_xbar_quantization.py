@@ -150,3 +150,40 @@ class TestUniformQuantizer:
         differences = np.diff(quantizer.levels)
         assert (differences > 0).all()
         np.testing.assert_allclose(differences, quantizer.step)
+
+
+class TestSnap:
+    """The O(N)-memory snap must agree exactly with the full argmin table."""
+
+    def _argmin_reference(self, quantizer, values):
+        values = quantizer.range.clip(np.asarray(values, dtype=np.float64))
+        indices = np.abs(values[..., None] - quantizer.levels).argmin(axis=-1)
+        return quantizer.levels[indices]
+
+    @pytest.mark.parametrize("bits", [1, 2, 4, 8])
+    def test_snap_matches_argmin_on_random_values(self, bits, rng):
+        quantizer = UniformQuantizer(bits, ConductanceRange(0.0, 1.0))
+        values = rng.uniform(-0.2, 1.2, size=(64, 32))
+        np.testing.assert_array_equal(
+            quantizer.snap(values), self._argmin_reference(quantizer, values)
+        )
+
+    def test_snap_matches_argmin_at_exact_midpoints(self):
+        quantizer = UniformQuantizer(3, ConductanceRange(0.0, 1.0))
+        midpoints = (quantizer.levels[:-1] + quantizer.levels[1:]) / 2.0
+        np.testing.assert_array_equal(
+            quantizer.snap(midpoints), self._argmin_reference(quantizer, midpoints)
+        )
+
+    def test_snap_handles_stacked_arrays(self, rng):
+        quantizer = UniformQuantizer(4, ConductanceRange(0.0, 2.0))
+        stacked = rng.uniform(0, 2, size=(5, 7, 11))
+        flat = quantizer.snap(stacked.reshape(-1))
+        np.testing.assert_array_equal(quantizer.snap(stacked).reshape(-1), flat)
+
+    def test_snap_nonzero_minimum_range(self, rng):
+        quantizer = UniformQuantizer(4, ConductanceRange(0.5, 1.5))
+        values = rng.uniform(0.0, 2.0, size=200)
+        np.testing.assert_array_equal(
+            quantizer.snap(values), self._argmin_reference(quantizer, values)
+        )

@@ -182,3 +182,77 @@ class TestCrossbarTiling:
         tiling = CrossbarTiling(matrix, tile_rows=tile, tile_cols=tile)
         inputs = rng.normal(size=(2, rows))
         np.testing.assert_allclose(tiling.matmat(inputs), inputs @ matrix, atol=1e-9)
+
+
+class TestPerturbStack:
+    def test_shape_and_independence(self):
+        model = DeviceVariationModel(sigma_fraction=0.1)
+        base = np.full((4, 5), 0.5)
+        stack = model.perturb_stack(base, 6, rng=np.random.default_rng(0))
+        assert stack.shape == (6, 4, 5)
+        assert not np.allclose(stack[0], stack[1])
+
+    def test_zero_sigma_returns_copies(self):
+        model = DeviceVariationModel(sigma_fraction=0.0)
+        base = np.full((3, 3), 0.25)
+        stack = model.perturb_stack(base, 4)
+        np.testing.assert_array_equal(stack, np.broadcast_to(base, (4, 3, 3)))
+        stack[0, 0, 0] = 99.0  # must be writable, not a broadcast view
+        assert base[0, 0] == 0.25
+
+    def test_stack_respects_clipping(self):
+        model = DeviceVariationModel(
+            sigma_fraction=0.5, range=ConductanceRange(0.0, 1.0)
+        )
+        base = np.full((8, 8), 0.5)
+        stack = model.perturb_stack(base, 16, rng=np.random.default_rng(1))
+        assert stack.min() >= 0.0 and stack.max() <= 1.0
+
+    def test_matches_sequential_perturb_statistics(self):
+        model = DeviceVariationModel(
+            sigma_fraction=0.1, range=ConductanceRange(0.0, 1.0), clip_to_range=False
+        )
+        base = np.full((10, 10), 0.5)
+        stack = model.perturb_stack(base, 400, rng=np.random.default_rng(2))
+        deviations = stack - base
+        assert abs(deviations.mean()) < 0.005
+        assert abs(deviations.std() - model.sigma_absolute) < 0.005
+
+    def test_rejects_non_positive_sample_count(self):
+        model = DeviceVariationModel(sigma_fraction=0.1)
+        with pytest.raises(ValueError):
+            model.perturb_stack(np.zeros((2, 2)), 0)
+
+
+class TestTilingNonAligned:
+    """matmat must equal the dense product on non-tile-aligned shapes."""
+
+    @pytest.mark.parametrize("rows,cols,tile_rows,tile_cols", [
+        (130, 70, 64, 64),   # both dimensions overhang
+        (128, 70, 64, 64),   # only columns overhang
+        (130, 64, 64, 64),   # only rows overhang
+        (63, 65, 64, 64),    # one tile under / just over
+        (5, 200, 64, 64),    # short and wide
+        (97, 3, 32, 16),     # rectangular tiles
+    ])
+    def test_matmat_matches_dense_product(self, rows, cols, tile_rows, tile_cols):
+        rng = np.random.default_rng(rows * 1000 + cols)
+        matrix = rng.uniform(0, 1, size=(rows, cols))
+        tiling = CrossbarTiling(
+            matrix, tile_rows=tile_rows, tile_cols=tile_cols
+        )
+        inputs = rng.normal(size=(7, rows))
+        np.testing.assert_allclose(tiling.matmat(inputs), inputs @ matrix, atol=1e-9)
+        assert tiling.num_tiles == CrossbarTiling.count_tiles(
+            rows, cols, tile_rows, tile_cols
+        )
+
+    def test_non_aligned_quantized_matmat_matches_quantized_dense(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.uniform(0, 1, size=(70, 33))
+        quantizer = UniformQuantizer(4)
+        tiling = CrossbarTiling(matrix, tile_rows=32, tile_cols=32,
+                                quantizer=quantizer)
+        inputs = rng.normal(size=(3, 70))
+        expected = inputs @ quantizer.quantize_array(matrix)
+        np.testing.assert_allclose(tiling.matmat(inputs), expected, atol=1e-9)
