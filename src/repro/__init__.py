@@ -29,6 +29,11 @@ contribution:
     serialisable execution plans (realized effective weights, pure-NumPy
     ops) and the Fig. 6 variation protocol runs as a vectorized Monte-Carlo
     sweep over the plan.
+``repro.serve``
+    The plan-serving subsystem: a multi-model plan registry (lazy loading,
+    LRU caching, content digests), a dynamic micro-batching scheduler, an
+    inference service with deterministic and variation-ensemble requests,
+    and a process-pool driver that parallelises the Fig. 6 study.
 ``repro.hardware``
     A NeuroSim-style analytical area/energy/delay estimator used to reproduce
     the paper's Table I.

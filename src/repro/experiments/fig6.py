@@ -71,6 +71,7 @@ def run_variation_study(
     scale: ExperimentScale = SCALE_FAST,
     seed: int = 1,
     use_runtime: Optional[bool] = None,
+    max_workers: Optional[int] = 1,
 ) -> VariationStudyResult:
     """Reproduce the Fig. 6 device-variation study.
 
@@ -80,7 +81,21 @@ def run_variation_study(
     evaluation goes through the compiled inference runtime by default
     (``use_runtime=None`` falls back to eager when the model cannot be
     compiled; ``False`` forces the eager reference path).
+
+    The (bits, mapping) cells are independent; ``max_workers`` other than 1
+    delegates to the process-pool driver
+    (:func:`repro.serve.pool.run_variation_study_parallel`), which trains
+    the cells across cores (``None`` = one worker per core) and returns a
+    bit-identical result.
     """
+    if max_workers is None or max_workers != 1:
+        from repro.serve.pool import run_variation_study_parallel
+
+        return run_variation_study_parallel(
+            network=network, bits=bits, sigmas=sigmas, mappings=mappings,
+            scale=scale, seed=seed, use_runtime=use_runtime,
+            max_workers=max_workers,
+        )
     train_set, test_set = dataset_for(network, scale)
     result = VariationStudyResult(
         network=network, bits=list(bits), sigmas=[float(s) for s in sigmas]

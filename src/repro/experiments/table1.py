@@ -34,10 +34,11 @@ def run_system_comparison(
         Technology parameters (14 nm defaults).
     plan, input_shape:
         Alternatively to ``specs``, a compiled
-        :class:`~repro.runtime.plan.InferencePlan` plus the shape of one
-        input sample (e.g. ``(1, 16, 16)``); the layer specs — including
-        exact per-convolution MVM counts — are then derived from the frozen
-        deployment artifact itself.
+        :class:`~repro.runtime.plan.InferencePlan`; the layer specs —
+        including exact per-convolution MVM counts — are then derived from
+        the frozen deployment artifact itself.  ``input_shape`` (one sample,
+        e.g. ``(1, 16, 16)``) overrides the shape the plan recorded at
+        compile time and is required only for plans without one.
 
     Returns
     -------
@@ -49,8 +50,11 @@ def run_system_comparison(
     if specs is not None and plan is not None:
         raise ValueError("pass either specs or a compiled plan, not both")
     if plan is not None:
-        if input_shape is None:
-            raise ValueError("input_shape is required when estimating from a plan")
+        if input_shape is None and plan.input_shape is None:
+            raise ValueError(
+                "input_shape is required when estimating from a plan compiled "
+                "without a recorded input shape"
+            )
         layer_specs = layer_specs_from_plan(plan, input_shape)
     elif specs is not None:
         layer_specs = list(specs)

@@ -253,14 +253,16 @@ def mlp_layer_specs(
     ]
 
 
-def layer_specs_from_plan(plan, input_shape) -> List[LayerSpec]:
+def layer_specs_from_plan(plan, input_shape=None) -> List[LayerSpec]:
     """Derive :class:`LayerSpec` entries from a compiled inference plan.
 
-    A frozen plan knows every weight-bearing op and — via shape propagation
-    over ``input_shape`` (one sample, e.g. ``(1, 16, 16)``) — the exact
-    number of output pixels of each convolution, so the hardware estimate
-    uses real per-layer MVM counts instead of the geometry guesses
-    :func:`layer_specs_from_model` falls back to.
+    A frozen plan knows every weight-bearing op and — via its cached symbolic
+    shape propagation — the exact number of output pixels of each
+    convolution, so the hardware estimate uses real per-layer MVM counts
+    instead of the geometry guesses :func:`layer_specs_from_model` falls back
+    to.  ``input_shape`` (one sample, e.g. ``(1, 16, 16)``) is only needed
+    for plans compiled without a recorded input shape, or to estimate at a
+    different resolution.
     """
     from repro.runtime.engine import trace_shapes
     from repro.runtime.plan import ConvOp, DenseOp

@@ -32,6 +32,8 @@ class LeNet(Module):
         super().__init__()
         rng = rng if rng is not None else np.random.default_rng()
         self.mapping = mapping
+        self.in_channels = in_channels
+        self.image_size = image_size
 
         def conv(cin, cout, k, padding):
             return make_conv(
@@ -55,6 +57,11 @@ class LeNet(Module):
             dense(16 * feature_size * feature_size, 64), ReLU(),
             dense(64, num_classes),
         )
+
+    @property
+    def example_input_shape(self):
+        """Per-sample input shape used for compile-time shape caching."""
+        return (self.in_channels, self.image_size, self.image_size)
 
     def forward(self, inputs: Tensor) -> Tensor:
         return self.classifier(self.features(inputs))

@@ -51,6 +51,11 @@ class MLP(Module):
         )
         self.network = Sequential(*layers)
 
+    @property
+    def example_input_shape(self):
+        """Per-sample input shape used for compile-time shape caching."""
+        return (self.input_size,)
+
     def forward(self, inputs: Tensor) -> Tensor:
         return self.network(inputs)
 

@@ -73,6 +73,7 @@ class ResNet20(Module):
         widths: Sequence[int] = (8, 16, 32),
         mapping: str = "baseline",
         quantizer_bits: Optional[int] = None,
+        image_size: int = 16,
         rng: Optional[np.random.Generator] = None,
     ):
         super().__init__()
@@ -82,6 +83,8 @@ class ResNet20(Module):
             raise ValueError("blocks_per_stage must be at least 1")
         rng = rng if rng is not None else np.random.default_rng()
         self.mapping = mapping
+        self.in_channels = in_channels
+        self.image_size = image_size
 
         self.stem = Sequential(
             make_conv(
@@ -111,6 +114,15 @@ class ResNet20(Module):
             widths[-1], num_classes, mapping=mapping,
             quantizer_bits=quantizer_bits, rng=rng,
         )
+
+    @property
+    def example_input_shape(self):
+        """Per-sample input shape used for compile-time shape caching.
+
+        The network is fully convolutional up to the global pool, so this is
+        the canonical evaluation resolution rather than a hard requirement.
+        """
+        return (self.in_channels, self.image_size, self.image_size)
 
     def forward(self, inputs: Tensor) -> Tensor:
         out = self.stem(inputs)

@@ -37,6 +37,8 @@ class VGG9(Module):
             raise ValueError("VGG9 expects exactly three block widths")
         rng = rng if rng is not None else np.random.default_rng()
         self.mapping = mapping
+        self.in_channels = in_channels
+        self.image_size = image_size
 
         def conv(cin, cout):
             return make_conv(
@@ -73,6 +75,11 @@ class VGG9(Module):
             dense(128, 64), ReLU(),
             dense(64, num_classes),
         )
+
+    @property
+    def example_input_shape(self):
+        """Per-sample input shape used for compile-time shape caching."""
+        return (self.in_channels, self.image_size, self.image_size)
 
     def forward(self, inputs: Tensor) -> Tensor:
         return self.classifier(self.features(inputs))

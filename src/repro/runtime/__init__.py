@@ -45,7 +45,9 @@ from repro.runtime.montecarlo import (
     monte_carlo_logits,
     run_plan_samples,
     sample_crossbar_weights,
+    stacked_image_target,
 )
+from repro.runtime.optimize import optimize_plan
 
 __all__ = [
     "ActivationOp",
@@ -69,6 +71,8 @@ __all__ = [
     "try_compile",
     "monte_carlo_accuracy",
     "monte_carlo_logits",
+    "optimize_plan",
     "run_plan_samples",
     "sample_crossbar_weights",
+    "stacked_image_target",
 ]

@@ -94,7 +94,12 @@ def register_lowering(module_type: Type[Module]):
     return decorator
 
 
-def compile_model(model: Module, name: str = "") -> InferencePlan:
+def compile_model(
+    model: Module,
+    name: str = "",
+    input_shape: Optional[Tuple[int, ...]] = None,
+    optimize: bool = False,
+) -> InferencePlan:
     """Freeze ``model`` into an :class:`InferencePlan`.
 
     The plan always captures *inference* semantics: batch normalisation uses
@@ -102,15 +107,42 @@ def compile_model(model: Module, name: str = "") -> InferencePlan:
     their effective weight with quantisation applied and no variation —
     variation is re-applied per draw by the Monte-Carlo engine.  Any active
     per-layer variation state on the eager model is ignored.
+
+    ``input_shape`` is the per-sample shape the plan records for shape
+    queries (:meth:`InferencePlan.output_shapes`, :func:`trace_shapes`);
+    when omitted it is taken from the model's ``example_input_shape``
+    attribute, which every built-in model exposes.  ``optimize=True``
+    additionally runs the plan-level optimiser
+    (:func:`repro.runtime.optimize.optimize_plan`): exact BatchNorm folding
+    and flatten collapsing.
     """
     builder = _PlanBuilder()
     output = builder.lower(model, 0)
-    return InferencePlan(
+    if input_shape is None:
+        input_shape = getattr(model, "example_input_shape", None)
+    plan = InferencePlan(
         ops=builder.ops,
         output=output,
         num_slots=builder.num_slots,
         source=name or type(model).__name__,
+        input_shape=tuple(input_shape) if input_shape is not None else None,
     )
+    if plan.input_shape is not None:
+        # Populate the shape cache eagerly; a geometry mismatch between the
+        # advertised input shape and the frozen ops surfaces at compile time
+        # as a compilation error (so try_compile's eager fallback applies).
+        try:
+            plan.output_shapes()
+        except (ValueError, TypeError) as error:
+            raise PlanCompilationError(
+                f"model advertises example_input_shape {plan.input_shape} "
+                f"but its frozen ops reject it: {error}"
+            ) from None
+    if optimize:
+        from repro.runtime.optimize import optimize_plan
+
+        plan = optimize_plan(plan)
+    return plan
 
 
 def try_compile(model: Module, name: str = "") -> Optional[InferencePlan]:
@@ -153,20 +185,16 @@ def plan_accuracy(
 
 
 def trace_shapes(
-    plan: InferencePlan, input_shape: Tuple[int, ...]
+    plan: InferencePlan, input_shape: Optional[Tuple[int, ...]] = None
 ) -> List[Tuple[object, Tuple[int, ...]]]:
-    """Propagate a single zero sample through the plan, recording shapes.
+    """Per-op ``(op, output_shape)`` pairs (batch dimension excluded).
 
-    Returns ``(op, output_shape)`` pairs (batch dimension excluded), which
-    the hardware estimator uses to count per-layer MVMs without the caller
-    hand-writing layer specs.
+    Shapes come from the plan's symbolic shape propagation
+    (:meth:`InferencePlan.output_shapes`) — no sample is executed.  With no
+    ``input_shape`` the shape recorded at compile time is used; passing one
+    overrides it (e.g. to estimate hardware cost at a different resolution).
     """
-    values: Dict[int, np.ndarray] = {0: np.zeros((1,) + tuple(input_shape))}
-    shapes: List[Tuple[object, Tuple[int, ...]]] = []
-    for op in plan.ops:
-        values[op.output] = op.run(*(values[slot] for slot in op.inputs))
-        shapes.append((op, values[op.output].shape[1:]))
-    return shapes
+    return list(zip(plan.ops, plan.output_shapes(input_shape)))
 
 
 # ---------------------------------------------------------------------- #

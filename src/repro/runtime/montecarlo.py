@@ -15,17 +15,115 @@ mapped layer is never duplicated across samples.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import functools
+import glob
+import os
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.data.dataset import ArrayDataset
 from repro.runtime.plan import ConvOp, InferencePlan
 
-#: Rough cap on ``num_samples * batch`` for convolutional plans: stacked
-#: feature maps beyond this spill out of cache and the batched matmuls turn
-#: memory-bound (measured on the LeNet Fig. 6 protocol).
-_STACKED_IMAGE_TARGET = 512
+#: Fallback cap on ``num_samples * batch`` for convolutional plans when the
+#: per-image footprint cannot be derived (no shape information available).
+#: The adaptive path below replaces this with a cache-size probe.
+_DEFAULT_IMAGE_TARGET = 512
+
+#: Clamp for the adaptive target: below 64 images the batched matmuls lose
+#: their BLAS advantage, far above a few thousand the working set is
+#: memory-bound regardless of cache size.
+_IMAGE_TARGET_BOUNDS = (64, 4096)
+
+#: Fallback last-level cache size when the sysfs topology is unreadable
+#: (containers without /sys, non-Linux hosts).
+_DEFAULT_LLC_BYTES = 16 * 1024 * 1024
+
+
+@functools.lru_cache(maxsize=1)
+def _last_level_cache_bytes() -> int:
+    """Size of the largest data/unified CPU cache, probed from sysfs."""
+    best = 0
+    for index_dir in glob.glob("/sys/devices/system/cpu/cpu0/cache/index*"):
+        try:
+            with open(os.path.join(index_dir, "type")) as handle:
+                if handle.read().strip() == "Instruction":
+                    continue
+            with open(os.path.join(index_dir, "size")) as handle:
+                text = handle.read().strip()
+        except OSError:
+            continue
+        units = {"K": 1024, "M": 1024 ** 2, "G": 1024 ** 3}
+        factor = units.get(text[-1:].upper())
+        digits = text[:-1] if factor else text
+        try:
+            size = int(digits) * (factor or 1)
+        except ValueError:
+            continue
+        best = max(best, size)
+    return best or _DEFAULT_LLC_BYTES
+
+
+def _per_image_bytes(plan: InferencePlan, sample_shape: Tuple[int, ...]) -> Optional[int]:
+    """Peak per-image float32 working set of one plan execution.
+
+    The dominant resident set of a stacked step is one op's input and output
+    feature maps plus, for convolutions, the im2col column matrix; the peak
+    over ops (bytes per image) is what must stay cache-sized when multiplied
+    by ``num_samples * batch``.
+    """
+    try:
+        shapes = plan.output_shapes(tuple(sample_shape))
+    except (ValueError, TypeError):
+        return None
+    slot_shapes: Dict[int, Tuple[int, ...]] = {0: tuple(sample_shape)}
+    peak = 0
+    for op, out_shape in zip(plan.ops, shapes):
+        in_shape = slot_shapes.get(op.inputs[0], ())
+        elements = int(np.prod(in_shape)) + int(np.prod(out_shape))
+        if isinstance(op, ConvOp):
+            kernel_c, kernel_h, kernel_w = op.kernel_shape
+            columns = int(np.prod(out_shape[1:])) * kernel_c * kernel_h * kernel_w
+            elements += columns
+        peak = max(peak, elements)
+        slot_shapes[op.output] = out_shape
+    return peak * 4 if peak else None
+
+
+def stacked_image_target(
+    plan: InferencePlan, sample_shape: Optional[Tuple[int, ...]] = None
+) -> int:
+    """Adaptive cap on ``num_samples * batch`` images for stacked execution.
+
+    The target keeps the peak stacked working set (per-image footprint times
+    the number of in-flight images) within roughly half the last-level
+    cache, so the batched matmuls stay compute-bound instead of being tuned
+    to one container's cache hierarchy.  Probed once per (plan, shape) and
+    memoised on the plan; the ``REPRO_STACKED_IMAGE_TARGET`` environment
+    variable overrides the probe entirely.
+    """
+    override = os.environ.get("REPRO_STACKED_IMAGE_TARGET")
+    if override:
+        return max(1, int(override))
+    if sample_shape is None:
+        sample_shape = plan.input_shape
+    if sample_shape is None:
+        return _DEFAULT_IMAGE_TARGET
+    key = tuple(int(extent) for extent in sample_shape)
+    cache: Dict[Tuple[int, ...], int] = plan.__dict__.setdefault(
+        "_image_target_cache", {}
+    )
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    per_image = _per_image_bytes(plan, key)
+    if not per_image:
+        target = _DEFAULT_IMAGE_TARGET
+    else:
+        low, high = _IMAGE_TARGET_BOUNDS
+        target = min(high, max(low, (_last_level_cache_bytes() // 2) // per_image))
+    cache[key] = target
+    return target
 
 
 def sample_crossbar_weights(
@@ -110,16 +208,22 @@ def _prepare(plan: InferencePlan, sampled: Dict[int, np.ndarray], dtype):
     return plan.cast(dtype), {k: v.astype(dtype) for k, v in sampled.items()}
 
 
-def _effective_batch(plan: InferencePlan, batch_size: int, num_samples: int) -> int:
+def _effective_batch(
+    plan: InferencePlan,
+    batch_size: int,
+    num_samples: int,
+    sample_shape: Optional[Tuple[int, ...]] = None,
+) -> int:
     """Pick the per-step data batch so stacked feature maps stay cache-sized.
 
     Dense-only plans keep the caller's batch (bigger matmuls only help);
-    convolutional plans cap ``num_samples * batch`` near
-    ``_STACKED_IMAGE_TARGET`` images.
+    convolutional plans cap ``num_samples * batch`` near the adaptive
+    :func:`stacked_image_target`.
     """
     if not any(isinstance(op, ConvOp) for op in plan.ops):
         return batch_size
-    return max(1, min(batch_size, _STACKED_IMAGE_TARGET // num_samples))
+    target = stacked_image_target(plan, sample_shape)
+    return max(1, min(batch_size, target // num_samples))
 
 
 def monte_carlo_logits(
@@ -155,7 +259,9 @@ def monte_carlo_accuracy(
     """
     sampled = sample_crossbar_weights(plan, sigma_fraction, num_samples, rng=rng)
     exec_plan, sampled = _prepare(plan, sampled, dtype)
-    batch = _effective_batch(plan, batch_size, num_samples)
+    batch = _effective_batch(
+        plan, batch_size, num_samples, sample_shape=dataset.images.shape[1:]
+    )
     correct = np.zeros(num_samples, dtype=np.int64)
     for start in range(0, len(dataset), batch):
         images = dataset.images[start:start + batch]

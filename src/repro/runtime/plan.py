@@ -134,6 +134,16 @@ class PlanOp:
     def run(self, *values: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
+    def infer_shape(self, *shapes: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Per-sample output shape given per-sample input shapes (no batch axis).
+
+        The default covers every shape-preserving op (activations,
+        normalisation, elementwise addition); shape-changing ops override it.
+        Symbolic propagation lets the plan cache its layer geometry without
+        ever pushing a sample through the program.
+        """
+        return shapes[0]
+
 
 @dataclass
 class DenseOp(PlanOp):
@@ -150,6 +160,15 @@ class DenseOp(PlanOp):
         if self.bias is not None:
             out = out + self.bias
         return out
+
+    def infer_shape(self, *shapes: Tuple[int, ...]) -> Tuple[int, ...]:
+        shape = shapes[0]
+        if shape[-1] != self.weight.shape[1]:
+            raise ValueError(
+                f"input has {shape[-1]} features but the frozen weight expects "
+                f"{self.weight.shape[1]}"
+            )
+        return shape[:-1] + (self.weight.shape[0],)
 
     def run_sampled(
         self, x: np.ndarray, weights: np.ndarray, x_stacked: bool
@@ -230,6 +249,12 @@ class ConvOp(PlanOp):
         out = out.reshape(num_samples, batch, out_h, out_w, out_channels)
         return out.transpose(0, 1, 4, 2, 3)
 
+    def infer_shape(self, *shapes: Tuple[int, ...]) -> Tuple[int, ...]:
+        channels, height, width = shapes[0]
+        self._check_channels(channels)
+        out_h, out_w = self._geometry(height, width)
+        return (self.weight.shape[0], out_h, out_w)
+
 
 @dataclass
 class ActivationOp(PlanOp):
@@ -290,6 +315,9 @@ class MaxPoolOp(PlanOp):
     def run(self, x: np.ndarray) -> np.ndarray:
         return _pool(x, self.kernel, self.stride, reducer="max")
 
+    def infer_shape(self, *shapes: Tuple[int, ...]) -> Tuple[int, ...]:
+        return _pool_shape(shapes[0], self.kernel, self.stride)
+
 
 @dataclass
 class AvgPoolOp(PlanOp):
@@ -301,6 +329,9 @@ class AvgPoolOp(PlanOp):
     def run(self, x: np.ndarray) -> np.ndarray:
         return _pool(x, self.kernel, self.stride, reducer="avg")
 
+    def infer_shape(self, *shapes: Tuple[int, ...]) -> Tuple[int, ...]:
+        return _pool_shape(shapes[0], self.kernel, self.stride)
+
 
 @dataclass
 class GlobalAvgPoolOp(PlanOp):
@@ -309,6 +340,9 @@ class GlobalAvgPoolOp(PlanOp):
     def run(self, x: np.ndarray) -> np.ndarray:
         return x.mean(axis=(2, 3))
 
+    def infer_shape(self, *shapes: Tuple[int, ...]) -> Tuple[int, ...]:
+        return (shapes[0][0],)
+
 
 @dataclass
 class FlattenOp(PlanOp):
@@ -316,6 +350,12 @@ class FlattenOp(PlanOp):
 
     def run(self, x: np.ndarray) -> np.ndarray:
         return x.reshape(x.shape[0], -1)
+
+    def infer_shape(self, *shapes: Tuple[int, ...]) -> Tuple[int, ...]:
+        size = 1
+        for extent in shapes[0]:
+            size *= extent
+        return (size,)
 
 
 @dataclass
@@ -360,6 +400,15 @@ def _pool(
     return accumulated / (kernel[0] * kernel[1])
 
 
+def _pool_shape(
+    shape: Tuple[int, ...], kernel: Tuple[int, int], stride: Tuple[int, int]
+) -> Tuple[int, ...]:
+    channels, height, width = shape
+    out_h = conv_output_size(height, kernel[0], stride[0], 0)
+    out_w = conv_output_size(width, kernel[1], stride[1], 0)
+    return (channels, out_h, out_w)
+
+
 # ---------------------------------------------------------------------- #
 # The plan itself
 # ---------------------------------------------------------------------- #
@@ -376,14 +425,18 @@ class InferencePlan:
     output: int = 0
     num_slots: int = 1
     source: str = ""
+    input_shape: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
+        if self.input_shape is not None:
+            self.input_shape = tuple(int(extent) for extent in self.input_shape)
         # Last-use index per slot, so intermediate values free eagerly.
         self._last_use: Dict[int, int] = {}
         for index, op in enumerate(self.ops):
             for slot in op.inputs:
                 self._last_use[slot] = index
         self._cast_cache: Dict[str, "InferencePlan"] = {}
+        self._shape_cache: Dict[Tuple[int, ...], List[Tuple[int, ...]]] = {}
 
     @property
     def crossbar_ops(self) -> List[PlanOp]:
@@ -413,7 +466,8 @@ class InferencePlan:
             }
             ops.append(dataclasses.replace(op, **replacements) if replacements else op)
         twin = InferencePlan(
-            ops=ops, output=self.output, num_slots=self.num_slots, source=self.source
+            ops=ops, output=self.output, num_slots=self.num_slots,
+            source=self.source, input_shape=self.input_shape,
         )
         self._cast_cache[key] = twin
         return twin
@@ -421,6 +475,36 @@ class InferencePlan:
     @property
     def num_crossbar_layers(self) -> int:
         return len(self.crossbar_ops)
+
+    def output_shapes(
+        self, input_shape: Optional[Tuple[int, ...]] = None
+    ) -> List[Tuple[int, ...]]:
+        """Per-op output shapes (batch axis excluded), in program order.
+
+        Shapes are propagated symbolically through :meth:`PlanOp.infer_shape`
+        — no sample is executed — and memoised per input shape, so repeated
+        lookups (hardware estimation, cache sizing) are free.  With no
+        argument the shape captured at compile time is used.
+        """
+        if input_shape is None:
+            input_shape = self.input_shape
+        if input_shape is None:
+            raise ValueError(
+                "this plan has no compile-time input shape; pass input_shape "
+                "explicitly"
+            )
+        key = tuple(int(extent) for extent in input_shape)
+        cached = self._shape_cache.get(key)
+        if cached is not None:
+            return cached
+        slot_shapes: Dict[int, Tuple[int, ...]] = {0: key}
+        shapes: List[Tuple[int, ...]] = []
+        for op in self.ops:
+            shape = op.infer_shape(*(slot_shapes[slot] for slot in op.inputs))
+            slot_shapes[op.output] = shape
+            shapes.append(shape)
+        self._shape_cache[key] = shapes
+        return shapes
 
     def run(self, images: np.ndarray) -> np.ndarray:
         """Execute the plan on one input batch; returns the logits ndarray."""
@@ -485,6 +569,7 @@ class InferencePlan:
             "output": self.output,
             "num_slots": self.num_slots,
             "source": self.source,
+            "input_shape": list(self.input_shape) if self.input_shape else None,
         }
         np.savez_compressed(
             self._normalize_path(path),
@@ -525,5 +610,7 @@ class InferencePlan:
                         quantizer_bits=spec_meta["quantizer_bits"],
                     )
                 ops.append(klass(**kwargs))
+        input_shape = meta.get("input_shape")
         return cls(ops=ops, output=meta["output"], num_slots=meta["num_slots"],
-                   source=meta.get("source", ""))
+                   source=meta.get("source", ""),
+                   input_shape=tuple(input_shape) if input_shape else None)

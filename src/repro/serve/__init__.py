@@ -1,0 +1,40 @@
+"""Plan-serving subsystem: registry, micro-batching, and parallel studies.
+
+This package is the request/response layer on top of the compiled runtime —
+the step from "a trained model can be frozen into a serialisable
+:class:`~repro.runtime.plan.InferencePlan`" to "a process serves many such
+plans to concurrent clients":
+
+* :class:`PlanRegistry` (:mod:`repro.serve.registry`) — a directory of plan
+  artifacts indexed by ``(model, bits, mapping)``, loaded lazily, kept
+  resident in a bounded LRU cache, and addressable by content digest.
+* :class:`MicroBatchScheduler` (:mod:`repro.serve.scheduler`) — dynamic
+  micro-batching: concurrent requests coalesce (up to ``max_batch`` rows /
+  ``max_wait_ms``) into single stacked plan executions whose rows scatter
+  back onto per-request futures.
+* :class:`InferenceService` (:mod:`repro.serve.service`) — the façade:
+  deterministic ``predict`` (bit-equivalent to the evaluation helpers) and
+  seeded ``predict_under_variation`` Monte-Carlo ensembles with per-request
+  sigma, returning mean logits and vote confidence.
+* :func:`run_variation_study_parallel` (:mod:`repro.serve.pool`) — the
+  Fig. 6 study fanned out over a process pool, one worker per independent
+  (bits, mapping) training cell.
+"""
+
+from repro.serve.registry import PlanEntry, PlanKey, PlanRegistry
+from repro.serve.scheduler import MicroBatchScheduler, SchedulerStats
+from repro.serve.service import InferenceService, VariationPrediction
+from repro.serve.pool import StudyCell, run_study_cell, run_variation_study_parallel
+
+__all__ = [
+    "InferenceService",
+    "MicroBatchScheduler",
+    "PlanEntry",
+    "PlanKey",
+    "PlanRegistry",
+    "SchedulerStats",
+    "StudyCell",
+    "VariationPrediction",
+    "run_study_cell",
+    "run_variation_study_parallel",
+]

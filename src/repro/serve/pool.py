@@ -1,0 +1,119 @@
+"""Process-pool driver for the Fig. 6 variation study.
+
+``run_variation_study`` trains one model per (bits, mapping) cell and sweeps
+device-variation sigma over it — the cells share nothing (each regenerates
+its deterministic synthetic dataset and trains from its own seed), so the
+study is embarrassingly parallel across cores.  This module fans the cells
+out over a :class:`~concurrent.futures.ProcessPoolExecutor` and reassembles
+the exact :class:`VariationStudyResult` the sequential driver produces:
+training and sweep seeds are per-cell, so the parallel result is
+bit-identical to the sequential one, independent of completion order.
+
+``experiments.fig6.run_variation_study(max_workers=N)`` delegates here, so
+existing callers opt in with one argument.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.experiments.config import ExperimentScale, SCALE_FAST, dataset_for, model_for
+from repro.experiments.fig6 import VariationStudyResult
+from repro.train.evaluate import VariationSweepResult, variation_sweep
+from repro.train.trainer import Trainer, TrainingConfig
+
+
+@dataclass(frozen=True)
+class StudyCell:
+    """One independent unit of the study: train + sweep a single model."""
+
+    network: str
+    mapping: str
+    bits: Optional[int]
+    sigmas: Tuple[float, ...]
+    scale: ExperimentScale
+    seed: int
+    use_runtime: Optional[bool]
+
+
+def run_study_cell(cell: StudyCell) -> Tuple[Optional[int], str, VariationSweepResult]:
+    """Train one (bits, mapping) model and sweep it (executed in a worker).
+
+    Module-level (not nested) so it pickles across process boundaries.
+    """
+    train_set, test_set = dataset_for(cell.network, cell.scale)
+    model = model_for(
+        cell.network, cell.mapping, quantizer_bits=cell.bits,
+        scale=cell.scale, seed=cell.seed,
+    )
+    config = TrainingConfig(
+        epochs=cell.scale.epochs,
+        batch_size=cell.scale.batch_size,
+        lr=cell.scale.lr,
+        activation_bits=8,
+        seed=cell.seed,
+    )
+    Trainer(model, train_set, test_set, config).fit()
+    sweep = variation_sweep(
+        model,
+        test_set,
+        sigmas=list(cell.sigmas),
+        num_samples=cell.scale.variation_samples,
+        seed=cell.seed,
+        use_runtime=cell.use_runtime,
+    )
+    return cell.bits, cell.mapping, sweep
+
+
+def run_variation_study_parallel(
+    network: str = "vgg9",
+    bits: Sequence[int] = (1, 3, 4, 6),
+    sigmas: Sequence[float] = (0.0, 0.05, 0.10, 0.15, 0.20, 0.25),
+    mappings: Sequence[str] = ("de", "acm", "bc"),
+    scale: ExperimentScale = SCALE_FAST,
+    seed: int = 1,
+    use_runtime: Optional[bool] = None,
+    max_workers: Optional[int] = None,
+) -> VariationStudyResult:
+    """Fig. 6 study with the independent (bits, mapping) cells run in parallel.
+
+    Same signature and result as
+    :func:`repro.experiments.fig6.run_variation_study`, plus ``max_workers``
+    (defaults to the CPU count).  With one cell or one worker the pool is
+    skipped entirely and the cells run in-process.
+    """
+    cells = [
+        StudyCell(
+            network=network, mapping=mapping, bits=precision,
+            sigmas=tuple(float(s) for s in sigmas), scale=scale,
+            seed=seed, use_runtime=use_runtime,
+        )
+        for precision in bits
+        for mapping in mappings
+    ]
+    if max_workers is None:
+        max_workers = os.cpu_count() or 1
+    max_workers = max(1, min(max_workers, len(cells)))
+    if max_workers == 1 or len(cells) == 1:
+        outcomes = [run_study_cell(cell) for cell in cells]
+    else:
+        with ProcessPoolExecutor(max_workers=max_workers) as executor:
+            outcomes = list(executor.map(run_study_cell, cells))
+
+    sweeps: Dict[Tuple[Optional[int], str], VariationSweepResult] = {
+        (precision, mapping): sweep for precision, mapping, sweep in outcomes
+    }
+    result = VariationStudyResult(
+        network=network, bits=list(bits), sigmas=[float(s) for s in sigmas]
+    )
+    for precision in bits:
+        result.accuracy[precision] = {}
+        result.sweeps[precision] = {}
+        for mapping in mappings:
+            sweep = sweeps[(precision, mapping)]
+            result.accuracy[precision][mapping] = list(sweep.mean_accuracy)
+            result.sweeps[precision][mapping] = sweep
+    return result

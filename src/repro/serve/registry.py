@@ -1,0 +1,245 @@
+"""Multi-model plan registry: on-disk artifacts, lazy loading, LRU caching.
+
+A :class:`PlanRegistry` manages a directory of ``InferencePlan.save``
+artifacts as the deployment catalogue of a serving process.  Artifacts are
+named canonically — ``{model}__{bits}__{mapping}.npz``, e.g.
+``lenet__4b__acm.npz`` or ``vgg9__fp32__de.npz`` — so the registry can index
+a directory without opening a single file; plans are deserialised only on
+first use and a bounded LRU cache keeps the hottest ones resident, evicting
+cold plans back to disk (reloading later is transparent).
+
+Every artifact also has a SHA-256 *content digest*, computed lazily and
+cached against the file's stat signature.  Digests give deployments an
+integrity/version handle: a client can pin ``get_by_digest(digest)`` and be
+served exactly the artifact it validated, independent of what key it is
+published under.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.runtime.plan import InferencePlan
+
+
+def _bits_token(bits: Optional[int]) -> str:
+    return "fp32" if bits is None else f"{int(bits)}b"
+
+
+def _parse_bits(token: str) -> Optional[int]:
+    if token == "fp32":
+        return None
+    if token.endswith("b") and token[:-1].isdigit():
+        return int(token[:-1])
+    raise ValueError(f"unrecognised bits token {token!r}")
+
+
+@dataclass(frozen=True)
+class PlanKey:
+    """Identity of one served model: (model name, device bits, mapping)."""
+
+    model: str
+    bits: Optional[int]
+    mapping: str
+
+    def canonical(self) -> str:
+        """Filesystem-safe canonical stem, e.g. ``lenet__4b__acm``."""
+        return f"{self.model}__{_bits_token(self.bits)}__{self.mapping}"
+
+    @classmethod
+    def parse(cls, stem: str) -> Optional["PlanKey"]:
+        """Inverse of :meth:`canonical`; None for foreign file names."""
+        parts = stem.split("__")
+        if len(parts) != 3:
+            return None
+        try:
+            return cls(model=parts[0], bits=_parse_bits(parts[1]), mapping=parts[2])
+        except ValueError:
+            return None
+
+
+@dataclass
+class PlanEntry:
+    """One indexed artifact: its key, path, and memoised content digest."""
+
+    key: PlanKey
+    path: Path
+    _digest: Optional[str] = field(default=None, repr=False)
+    _stat: Optional[Tuple[int, int]] = field(default=None, repr=False)
+
+    def digest(self) -> str:
+        """SHA-256 hex digest of the artifact bytes (cached until the file
+        changes, detected via its size/mtime signature)."""
+        stat = self.path.stat()
+        signature = (stat.st_size, stat.st_mtime_ns)
+        if self._digest is None or self._stat != signature:
+            self._digest = hashlib.sha256(self.path.read_bytes()).hexdigest()
+            self._stat = signature
+        return self._digest
+
+
+class PlanRegistry:
+    """Directory-backed, LRU-cached store of compiled inference plans.
+
+    ``capacity`` bounds how many *deserialised* plans stay in memory at
+    once; the on-disk catalogue is unbounded.  All methods are thread-safe,
+    so one registry can back every scheduler thread of a serving process.
+    """
+
+    def __init__(self, directory, capacity: int = 4) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.capacity = capacity
+        self._entries: Dict[PlanKey, PlanEntry] = {}
+        self._loaded: "OrderedDict[PlanKey, InferencePlan]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.refresh()
+
+    # ------------------------------------------------------------------ #
+    # Catalogue
+    # ------------------------------------------------------------------ #
+    def refresh(self) -> None:
+        """Re-scan the directory for canonically named ``.npz`` artifacts."""
+        with self._lock:
+            self._entries = {}
+            for path in sorted(self.directory.glob("*.npz")):
+                key = PlanKey.parse(path.name[: -len(".npz")])
+                if key is not None:
+                    self._entries[key] = PlanEntry(key=key, path=path)
+
+    def keys(self) -> List[PlanKey]:
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: PlanKey) -> bool:
+        return key in self._entries
+
+    @property
+    def cached_keys(self) -> List[PlanKey]:
+        """Keys currently resident in the LRU cache, least-recent first."""
+        with self._lock:
+            return list(self._loaded)
+
+    # ------------------------------------------------------------------ #
+    # Publishing
+    # ------------------------------------------------------------------ #
+    def publish(
+        self, plan: InferencePlan, model: str, bits: Optional[int], mapping: str
+    ) -> PlanEntry:
+        """Save ``plan`` under its canonical name and index it (hot in LRU)."""
+        key = PlanKey(model=model, bits=bits, mapping=mapping)
+        path = self.directory / f"{key.canonical()}.npz"
+        plan.save(path)
+        with self._lock:
+            entry = PlanEntry(key=key, path=path)
+            self._entries[key] = entry
+            self._loaded[key] = plan
+            self._loaded.move_to_end(key)
+            self._evict_over_capacity()
+            return entry
+
+    def publish_model(
+        self,
+        model_module,
+        model: str,
+        bits: Optional[int],
+        mapping: str,
+        optimize: bool = False,
+    ) -> PlanEntry:
+        """Compile an eager model and publish the resulting plan.
+
+        Uses :func:`repro.train.evaluate.plan_for` — the same plan builder
+        the evaluation helpers use — so a model with per-layer variation
+        enabled is rejected instead of silently freezing ideal weights.
+        ``optimize=True`` applies the plan-level optimiser before saving.
+        """
+        from repro.train.evaluate import plan_for
+
+        plan = plan_for(model_module, use_runtime=True)
+        if optimize:
+            from repro.runtime.optimize import optimize_plan
+
+            plan = optimize_plan(plan)
+        return self.publish(plan, model=model, bits=bits, mapping=mapping)
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def get(self, model: str, bits: Optional[int], mapping: str) -> InferencePlan:
+        """The plan for ``(model, bits, mapping)``, loading it if evicted."""
+        key = PlanKey(model=model, bits=bits, mapping=mapping)
+        with self._lock:
+            plan = self._loaded.get(key)
+            if plan is not None:
+                self.hits += 1
+                self._loaded.move_to_end(key)
+                return plan
+            entry = self._entries.get(key)
+            if entry is None:
+                known = ", ".join(k.canonical() for k in self._entries) or "<none>"
+                raise KeyError(
+                    f"no plan published for {key.canonical()!r}; available: {known}"
+                )
+        # Deserialising reads the whole artifact; do it outside the lock so a
+        # cold load of one model cannot stall cache hits on every other.
+        plan = InferencePlan.load(entry.path)
+        with self._lock:
+            racer = self._loaded.get(key)
+            if racer is not None:
+                self.hits += 1
+                self._loaded.move_to_end(key)
+                return racer
+            self.misses += 1
+            self._loaded[key] = plan
+            self._evict_over_capacity()
+            return plan
+
+    def entry(self, model: str, bits: Optional[int], mapping: str) -> PlanEntry:
+        key = PlanKey(model=model, bits=bits, mapping=mapping)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                raise KeyError(f"no plan published for {key.canonical()!r}")
+            return entry
+
+    def digest(self, model: str, bits: Optional[int], mapping: str) -> str:
+        """Content digest of the artifact behind one key."""
+        return self.entry(model, bits, mapping).digest()
+
+    def get_by_digest(self, digest: str) -> InferencePlan:
+        """Resolve a plan by (a prefix of) its content digest.
+
+        A digest names immutable content, so this lookup cannot be satisfied
+        by a same-key artifact that was republished with different weights.
+        """
+        if len(digest) < 8:
+            raise ValueError("digest prefix must be at least 8 hex characters")
+        with self._lock:
+            entries = list(self._entries.values())
+        # Hashing reads every candidate artifact; do it outside the lock so
+        # a cold digest lookup cannot stall concurrent get()/publish() calls.
+        matches = [entry for entry in entries if entry.digest().startswith(digest)]
+        if not matches:
+            raise KeyError(f"no artifact with digest {digest!r}")
+        if len(matches) > 1:
+            raise KeyError(f"digest prefix {digest!r} is ambiguous")
+        key = matches[0].key
+        return self.get(key.model, key.bits, key.mapping)
+
+    def _evict_over_capacity(self) -> None:
+        while len(self._loaded) > self.capacity:
+            self._loaded.popitem(last=False)
+            self.evictions += 1

@@ -1,0 +1,284 @@
+"""The serving façade: deterministic and variation-aware inference requests.
+
+:class:`InferenceService` ties the registry and the scheduler together into
+the request/response layer of the plan-serving subsystem.  Each published
+``(model, bits, mapping)`` gets its own lazily created
+:class:`MicroBatchScheduler`, so concurrent deterministic requests against
+the same model coalesce into stacked plan executions while different models
+run independently.
+
+Two request flavours mirror the paper's two readouts:
+
+* :meth:`InferenceService.predict` — deterministic logits from the frozen
+  plan (the sigma=0 operating point).  Execution is ``InferencePlan.run`` in
+  float64, so results are bit-equivalent to
+  ``evaluate_accuracy(use_runtime=True)`` regardless of how requests were
+  micro-batched (row-independent matmuls).
+* :meth:`InferenceService.predict_under_variation` — a seeded Monte-Carlo
+  ensemble over device-variation draws (the Fig. 6 protocol as a serving
+  scenario): per-request sigma and sample count, returning mean logits plus
+  a majority-vote class and its vote confidence.  A fixed seed makes the
+  whole response reproducible.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.runtime.montecarlo import (
+    _prepare,
+    run_plan_samples,
+    sample_crossbar_weights,
+)
+from repro.runtime.plan import InferencePlan
+from repro.serve.registry import PlanKey, PlanRegistry
+from repro.serve.scheduler import MicroBatchScheduler, SchedulerStats
+
+
+@dataclass
+class VariationPrediction:
+    """Response of one variation-aware ensemble request.
+
+    Attributes
+    ----------
+    mean_logits:
+        Logits averaged over the variation draws, shape ``(batch, classes)``
+        (leading axis dropped for a single-sample request).
+    predictions:
+        Majority-vote class per input across the per-draw argmaxes.
+    confidence:
+        Fraction of draws that voted for the winning class — 1.0 means the
+        prediction is stable under the requested device variation.
+    vote_counts:
+        Per-class vote counts, shape ``(batch, classes)``.
+    sigma_fraction, num_samples, seed:
+        The request parameters, echoed for reproducibility.
+    """
+
+    mean_logits: np.ndarray
+    predictions: np.ndarray
+    confidence: np.ndarray
+    vote_counts: np.ndarray
+    sigma_fraction: float
+    num_samples: int
+    seed: int
+
+
+class InferenceService:
+    """Multi-model serving façade over a :class:`PlanRegistry`."""
+
+    def __init__(
+        self,
+        registry: PlanRegistry,
+        max_batch: int = 64,
+        max_wait_ms: float = 2.0,
+    ) -> None:
+        self.registry = registry
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self._schedulers: Dict[PlanKey, MicroBatchScheduler] = {}
+        # Plans pinned per active scheduler: request handling must not pay a
+        # registry LRU miss (a full .npz deserialisation) per request, and a
+        # scheduler's runner has to keep serving the exact plan it was
+        # created with even after the registry evicts it.
+        self._plans: Dict[PlanKey, InferencePlan] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+    def scheduler_for(
+        self, model: str, bits: Optional[int], mapping: str
+    ) -> MicroBatchScheduler:
+        """The (lazily created) micro-batching scheduler of one plan key."""
+        scheduler, _ = self._serving_pair(PlanKey(model, bits, mapping))
+        return scheduler
+
+    def _pinned_plan(self, key: PlanKey) -> InferencePlan:
+        """The plan this service serves for ``key``, pinned on first use.
+
+        Both request flavours resolve through here, so deterministic and
+        ensemble responses for one key always come from the same artifact
+        even if the registry republishes or evicts it mid-flight.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            plan = self._plans.get(key)
+            if plan is None:
+                plan = self.registry.get(key.model, key.bits, key.mapping)
+                self._plans[key] = plan
+            return plan
+
+    def _serving_pair(self, key: PlanKey):
+        plan = self._pinned_plan(key)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            scheduler = self._schedulers.get(key)
+            if scheduler is None:
+                scheduler = MicroBatchScheduler(
+                    plan.run,
+                    max_batch=self.max_batch,
+                    max_wait_ms=self.max_wait_ms,
+                    name=key.canonical(),
+                )
+                self._schedulers[key] = scheduler
+            return scheduler, plan
+
+    @staticmethod
+    def _normalize(plan: InferencePlan, images: np.ndarray):
+        """Add the batch axis to a single-sample request; report if we did.
+
+        For plans with a recorded input shape the per-sample geometry is also
+        validated symbolically before the request is enqueued, so a malformed
+        request fails in its caller's thread instead of poisoning the whole
+        micro-batch it would have been coalesced into.
+        """
+        array = np.asarray(images)
+        single = (
+            plan.input_shape is not None and array.ndim == len(plan.input_shape)
+        )
+        if single:
+            array = array[None]
+        if plan.input_shape is not None:
+            try:
+                plan.output_shapes(array.shape[1:])
+            except (ValueError, TypeError) as error:
+                raise ValueError(
+                    f"request of shape {np.asarray(images).shape} is "
+                    f"incompatible with plan input shape {plan.input_shape}: "
+                    f"{error}"
+                ) from None
+        return array, single
+
+    @property
+    def stats(self) -> Dict[str, SchedulerStats]:
+        """Per-model batching statistics, keyed by canonical plan name."""
+        with self._lock:
+            return {
+                key.canonical(): scheduler.stats
+                for key, scheduler in self._schedulers.items()
+            }
+
+    def close(self) -> None:
+        """Flush and stop every scheduler; further requests are rejected."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            schedulers = list(self._schedulers.values())
+        for scheduler in schedulers:
+            scheduler.close()
+
+    def __enter__(self) -> "InferenceService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Deterministic requests
+    # ------------------------------------------------------------------ #
+    def predict_async(
+        self,
+        images: np.ndarray,
+        *,
+        model: str,
+        mapping: str,
+        bits: Optional[int] = None,
+    ) -> Future:
+        """Submit a deterministic request; resolves to the logits ndarray.
+
+        ``images`` may be a single sample (the plan's input shape) or a
+        pre-batched array; the future's result matches — single samples
+        resolve to ``(classes,)`` logits.
+        """
+        scheduler, plan = self._serving_pair(PlanKey(model, bits, mapping))
+        array, single = self._normalize(plan, images)
+        future = scheduler.submit(array)
+        if not single:
+            return future
+        unwrapped: Future = Future()
+
+        def _unwrap(done: Future) -> None:
+            error = done.exception()
+            if error is not None:
+                unwrapped.set_exception(error)
+            else:
+                unwrapped.set_result(done.result()[0])
+
+        future.add_done_callback(_unwrap)
+        return unwrapped
+
+    def predict(
+        self,
+        images: np.ndarray,
+        *,
+        model: str,
+        mapping: str,
+        bits: Optional[int] = None,
+        timeout: Optional[float] = 60.0,
+    ) -> np.ndarray:
+        """Deterministic logits, micro-batched with concurrent requests."""
+        return self.predict_async(
+            images, model=model, bits=bits, mapping=mapping
+        ).result(timeout=timeout)
+
+    # ------------------------------------------------------------------ #
+    # Variation-aware requests
+    # ------------------------------------------------------------------ #
+    def predict_under_variation(
+        self,
+        images: np.ndarray,
+        *,
+        model: str,
+        mapping: str,
+        bits: Optional[int] = None,
+        sigma_fraction: float = 0.1,
+        num_samples: int = 25,
+        seed: int = 0,
+        dtype=np.float64,
+    ) -> VariationPrediction:
+        """Seeded Monte-Carlo ensemble prediction under device variation.
+
+        Draws ``num_samples`` variation perturbations of every crossbar in
+        the plan (one seeded generator, so the whole response is
+        reproducible), executes the vectorized sample-stacked plan once, and
+        aggregates: mean logits, per-draw argmax votes, the majority class
+        and its vote fraction.
+        """
+        if num_samples < 1:
+            raise ValueError("num_samples must be at least 1")
+        plan = self._pinned_plan(PlanKey(model, bits, mapping))
+        array, single = self._normalize(plan, images)
+        rng = np.random.default_rng(seed)
+        sampled = sample_crossbar_weights(plan, sigma_fraction, num_samples, rng=rng)
+        exec_plan, sampled = _prepare(plan, sampled, dtype)
+        logits = run_plan_samples(exec_plan, array, sampled, num_samples, dtype=dtype)
+        mean_logits = logits.mean(axis=0)
+        votes = logits.argmax(axis=-1)  # (num_samples, batch)
+        num_classes = logits.shape[-1]
+        vote_counts = (votes[:, :, None] == np.arange(num_classes)).sum(axis=0)
+        predictions = vote_counts.argmax(axis=-1)
+        confidence = vote_counts.max(axis=-1) / num_samples
+        if single:
+            mean_logits = mean_logits[0]
+            vote_counts = vote_counts[0]
+            predictions = predictions[0]
+            confidence = confidence[0]
+        return VariationPrediction(
+            mean_logits=mean_logits,
+            predictions=predictions,
+            confidence=confidence,
+            vote_counts=vote_counts,
+            sigma_fraction=float(sigma_fraction),
+            num_samples=int(num_samples),
+            seed=int(seed),
+        )

@@ -43,12 +43,17 @@ def _mapped_layers(model: Module) -> List[_MappedBase]:
     return [module for module in model.modules() if isinstance(module, _MappedBase)]
 
 
-def _plan_for(model: Module, use_runtime: Optional[bool]) -> Optional[InferencePlan]:
+def plan_for(model: Module, use_runtime: Optional[bool] = True) -> Optional[InferencePlan]:
     """Resolve the runtime/eager choice to a plan (or ``None`` for eager).
 
     A model with per-layer variation currently enabled (``set_variation``)
     must evaluate eagerly — the plan freezes ideal weights and would silently
     drop the variation — so ``use_runtime=None`` falls back in that case.
+
+    This is the canonical "trained model -> deployable plan" builder: the
+    serving registry (:meth:`repro.serve.registry.PlanRegistry.publish_model`)
+    uses it so published artifacts carry exactly the semantics the evaluation
+    helpers are tested against.
     """
     if use_runtime is False:
         return None
@@ -66,6 +71,10 @@ def _plan_for(model: Module, use_runtime: Optional[bool]) -> Optional[InferenceP
     return try_compile(model)
 
 
+#: Backwards-compatible alias from before the helper was public.
+_plan_for = plan_for
+
+
 def evaluate_accuracy(
     model: Module,
     dataset: ArrayDataset,
@@ -73,7 +82,7 @@ def evaluate_accuracy(
     use_runtime: Optional[bool] = None,
 ) -> float:
     """Classification accuracy of ``model`` on ``dataset`` (no gradients)."""
-    plan = _plan_for(model, use_runtime)
+    plan = plan_for(model, use_runtime)
     if plan is not None:
         return plan_accuracy(plan, dataset, batch_size=batch_size)
     was_training = model.training
@@ -110,7 +119,7 @@ def evaluate_under_variation(
         raise ValueError(
             "evaluate_under_variation requires a model with crossbar-mapped layers"
         )
-    plan = _plan_for(model, use_runtime)
+    plan = plan_for(model, use_runtime)
     if plan is not None:
         if sigma_fraction == 0.0:
             return plan_accuracy(plan, dataset, batch_size=batch_size)
@@ -200,7 +209,7 @@ def variation_sweep(
         )
     result = VariationSweepResult()
     rng = np.random.default_rng(seed)
-    plan = _plan_for(model, use_runtime)
+    plan = plan_for(model, use_runtime)
     for sigma in sigmas:
         if sigma == 0.0:
             if plan is not None:

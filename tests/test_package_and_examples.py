@@ -37,26 +37,28 @@ class TestPublicAPI:
         import repro.models
         import repro.nn
         import repro.optim
+        import repro.serve
         import repro.tensor
         import repro.train
         import repro.xbar
         for module in (repro.data, repro.experiments, repro.hardware, repro.mapping,
-                       repro.models, repro.nn, repro.optim, repro.tensor, repro.train,
-                       repro.xbar):
+                       repro.models, repro.nn, repro.optim, repro.serve, repro.tensor,
+                       repro.train, repro.xbar):
             assert module.__doc__, f"{module.__name__} is missing a module docstring"
 
     def test_all_exports_resolve_in_subpackages(self):
         import repro.mapping as mapping
+        import repro.serve as serve
         import repro.xbar as xbar
         import repro.hardware as hardware
-        for module in (mapping, xbar, hardware):
+        for module in (mapping, serve, xbar, hardware):
             for name in module.__all__:
                 assert hasattr(module, name), f"{module.__name__} missing {name}"
 
 
 class TestExamples:
     @pytest.mark.parametrize("script", ["quickstart.py", "low_precision_training.py",
-                                        "variation_resilience.py"])
+                                        "variation_resilience.py", "serving.py"])
     def test_example_scripts_compile(self, script):
         path = EXAMPLES_DIR / script
         assert path.exists(), f"example {script} is missing"

@@ -10,6 +10,7 @@ from repro.nn.module import Module
 from repro.runtime import (
     ConvOp,
     DenseOp,
+    FlattenOp,
     InferencePlan,
     PlanCompilationError,
     compile_model,
@@ -19,6 +20,7 @@ from repro.runtime import (
     plan_logits,
     run_plan_samples,
     sample_crossbar_weights,
+    stacked_image_target,
     trace_shapes,
     try_compile,
 )
@@ -102,6 +104,14 @@ class TestCompiler:
 
         assert try_compile(Strange()) is None
 
+    def test_inconsistent_example_input_shape_is_a_compilation_error(self):
+        """A stale advertised shape must trigger the eager fallback, not crash."""
+        model = make_mlp(input_size=16, hidden_sizes=(8,), seed=0)
+        model.input_size = 99  # example_input_shape now contradicts the layers
+        with pytest.raises(PlanCompilationError):
+            compile_model(model)
+        assert try_compile(model) is None
+
     def test_crossbar_layer_count(self):
         model = make_mlp(input_size=16, hidden_sizes=(8,), mapping="acm",
                          quantizer_bits=4, seed=0)
@@ -130,6 +140,41 @@ class TestCompiler:
             if isinstance(op, ConvOp)
         ]
         assert conv_shapes == [(6, 16, 16), (16, 8, 8)]
+
+    def test_compile_records_model_input_shape(self):
+        plan = compile_model(make_lenet(mapping="acm", quantizer_bits=4, seed=0))
+        assert plan.input_shape == (1, 16, 16)
+        # trace_shapes needs no input shape for a plan compiled from a model.
+        assert trace_shapes(plan) == trace_shapes(plan, (1, 16, 16))
+
+    def test_output_shapes_match_executed_shapes(self, rng):
+        model = make_lenet(mapping="de", quantizer_bits=4, seed=1)
+        plan = compile_model(model)
+        inputs = rng.normal(size=(2, 1, 16, 16))
+        values = {0: inputs}
+        for op, symbolic in zip(plan.ops, plan.output_shapes()):
+            values[op.output] = op.run(*(values[slot] for slot in op.inputs))
+            assert values[op.output].shape[1:] == symbolic
+
+    def test_output_shapes_memoised_and_overridable(self):
+        plan = compile_model(make_lenet(mapping="acm", quantizer_bits=4, seed=0))
+        assert plan.output_shapes() is plan.output_shapes()
+        # LeNet's flatten feeds a fixed-width dense layer, so a resolution
+        # the frozen weights cannot accept fails symbolically (no execution).
+        with pytest.raises(ValueError):
+            plan.output_shapes((1, 20, 20))
+        # A fully convolutional network propagates other resolutions fine.
+        resnet = compile_model(
+            make_resnet20(mapping="acm", quantizer_bits=4, blocks_per_stage=1, seed=0)
+        )
+        assert resnet.output_shapes((3, 24, 24))[0] == (8, 24, 24)
+
+    def test_output_shapes_without_input_shape_raises(self):
+        plan = InferencePlan(ops=[FlattenOp(inputs=(0,), output=1)], output=1,
+                             num_slots=2)
+        with pytest.raises(ValueError):
+            plan.output_shapes()
+        assert plan.output_shapes((3, 4)) == [(12,)]
 
     def test_plan_batched_execution_matches_single_pass(self, rng):
         model = make_mlp(input_size=16, hidden_sizes=(8,), mapping="acm", seed=0)
@@ -248,6 +293,13 @@ class TestPlanSerialization:
         plan = compile_model(model)
         assert plan.cast(np.float32) is plan.cast(np.float32)
 
+    def test_save_load_preserves_input_shape(self, tmp_path):
+        plan = compile_model(make_lenet(mapping="acm", quantizer_bits=4, seed=0))
+        plan.save(tmp_path / "plan.npz")
+        loaded = InferencePlan.load(tmp_path / "plan.npz")
+        assert loaded.input_shape == (1, 16, 16)
+        assert loaded.output_shapes() == plan.output_shapes()
+
     def test_loaded_plan_supports_monte_carlo(self, tmp_path, rng):
         model = make_mlp(input_size=16, hidden_sizes=(8,), mapping="acm",
                          quantizer_bits=4, seed=0)
@@ -261,6 +313,64 @@ class TestPlanSerialization:
         reloaded = monte_carlo_logits(loaded, inputs, 0.1, 4,
                                       rng=np.random.default_rng(9), dtype=np.float64)
         np.testing.assert_allclose(original, reloaded, atol=1e-12)
+
+
+class TestAdaptiveStackingTarget:
+    """The Monte-Carlo image cap must follow the cache size, not a constant."""
+
+    @pytest.fixture
+    def conv_plan(self):
+        return compile_model(make_lenet(mapping="acm", quantizer_bits=4, seed=0))
+
+    def test_target_scales_with_cache_size(self, conv_plan, monkeypatch):
+        from repro.runtime import montecarlo
+
+        targets = []
+        for llc_bytes in (4 << 20, 64 << 20):
+            monkeypatch.setattr(montecarlo, "_last_level_cache_bytes",
+                                lambda size=llc_bytes: size)
+            conv_plan.__dict__.pop("_image_target_cache", None)
+            targets.append(stacked_image_target(conv_plan))
+        assert targets[0] < targets[1]
+
+    def test_target_respects_bounds_and_memoises(self, conv_plan, monkeypatch):
+        from repro.runtime import montecarlo
+
+        monkeypatch.setattr(montecarlo, "_last_level_cache_bytes", lambda: 1 << 10)
+        conv_plan.__dict__.pop("_image_target_cache", None)
+        low, high = montecarlo._IMAGE_TARGET_BOUNDS
+        assert stacked_image_target(conv_plan) == low
+        monkeypatch.setattr(montecarlo, "_last_level_cache_bytes", lambda: 1 << 40)
+        assert stacked_image_target(conv_plan) == low  # memoised on the plan
+        conv_plan.__dict__.pop("_image_target_cache", None)
+        assert stacked_image_target(conv_plan) == high
+
+    def test_env_override_wins(self, conv_plan, monkeypatch):
+        monkeypatch.setenv("REPRO_STACKED_IMAGE_TARGET", "96")
+        assert stacked_image_target(conv_plan) == 96
+
+    def test_shapeless_plan_falls_back_to_default(self):
+        from repro.runtime import montecarlo
+
+        plan = InferencePlan(ops=[FlattenOp(inputs=(0,), output=1)], output=1,
+                             num_slots=2)
+        assert stacked_image_target(plan) == montecarlo._DEFAULT_IMAGE_TARGET
+
+    def test_effective_batch_uses_dataset_sample_shape(self, conv_plan, monkeypatch):
+        from repro.runtime import montecarlo
+
+        monkeypatch.setattr(montecarlo, "_last_level_cache_bytes", lambda: 8 << 20)
+        conv_plan.__dict__.pop("_image_target_cache", None)
+        target = stacked_image_target(conv_plan, (1, 16, 16))
+        batch = montecarlo._effective_batch(conv_plan, 512, num_samples=4,
+                                            sample_shape=(1, 16, 16))
+        assert batch == max(1, min(512, target // 4))
+
+    def test_dense_plan_keeps_caller_batch(self):
+        from repro.runtime import montecarlo
+
+        plan = compile_model(make_mlp(input_size=16, hidden_sizes=(8,), seed=0))
+        assert montecarlo._effective_batch(plan, 999, num_samples=8) == 999
 
 
 class TestEvaluateIntegration:

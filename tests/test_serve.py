@@ -1,0 +1,403 @@
+"""Tests for the plan-serving subsystem (registry, scheduler, service, pool)."""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ArrayDataset
+from repro.models import make_lenet, make_mlp
+from repro.runtime import compile_model
+from repro.serve import (
+    InferenceService,
+    MicroBatchScheduler,
+    PlanKey,
+    PlanRegistry,
+)
+from repro.train.evaluate import evaluate_accuracy
+
+
+def small_mlp(mapping="acm", bits=4, seed=0):
+    return make_mlp(input_size=16, hidden_sizes=(8,), mapping=mapping,
+                    quantizer_bits=bits, seed=seed)
+
+
+# ---------------------------------------------------------------------- #
+# Registry
+# ---------------------------------------------------------------------- #
+class TestPlanKey:
+    def test_canonical_round_trip(self):
+        for key in (PlanKey("lenet", 4, "acm"), PlanKey("vgg9", None, "de")):
+            assert PlanKey.parse(key.canonical()) == key
+
+    def test_parse_rejects_foreign_names(self):
+        assert PlanKey.parse("checkpoint") is None
+        assert PlanKey.parse("a__bogus__c") is None
+
+
+class TestPlanRegistry:
+    @pytest.fixture
+    def registry(self, tmp_path):
+        registry = PlanRegistry(tmp_path / "plans", capacity=4)
+        for mapping, seed in (("acm", 0), ("de", 1), ("bc", 2)):
+            registry.publish_model(small_mlp(mapping=mapping, seed=seed),
+                                   "mlp", 4, mapping)
+        return registry
+
+    def test_scan_indexes_artifacts_without_loading(self, tmp_path):
+        plan = compile_model(small_mlp())
+        plan.save(tmp_path / "mlp__4b__acm.npz")
+        plan.save(tmp_path / "not-a-plan-key.npz")
+        registry = PlanRegistry(tmp_path, capacity=2)
+        assert registry.keys() == [PlanKey("mlp", 4, "acm")]
+        assert registry.cached_keys == []  # nothing deserialised yet
+
+    def test_get_loads_lazily_and_caches(self, registry, rng):
+        registry._loaded.clear()
+        inputs = rng.normal(size=(3, 1, 4, 4))
+        first = registry.get("mlp", 4, "acm")
+        assert registry.misses == 1
+        second = registry.get("mlp", 4, "acm")
+        assert second is first and registry.hits == 1
+        expected = compile_model(small_mlp()).run(inputs)
+        np.testing.assert_array_equal(first.run(inputs), expected)
+
+    def test_lru_eviction_and_reload_round_trip(self, tmp_path, rng):
+        registry = PlanRegistry(tmp_path, capacity=1)
+        registry.publish_model(small_mlp(mapping="acm", seed=0), "mlp", 4, "acm")
+        reference = registry.get("mlp", 4, "acm")
+        registry.publish_model(small_mlp(mapping="de", seed=1), "mlp", 4, "de")
+        assert registry.evictions == 1
+        assert registry.cached_keys == [PlanKey("mlp", 4, "de")]
+        # The evicted plan reloads transparently from disk, bit-identically.
+        inputs = rng.normal(size=(4, 1, 4, 4))
+        reloaded = registry.get("mlp", 4, "acm")
+        assert reloaded is not reference
+        np.testing.assert_array_equal(reloaded.run(inputs), reference.run(inputs))
+
+    def test_unknown_key_raises_with_catalogue(self, registry):
+        with pytest.raises(KeyError, match="mlp__4b__acm"):
+            registry.get("resnet", 4, "acm")
+
+    def test_digest_lookup(self, registry, rng):
+        digest = registry.digest("mlp", 4, "de")
+        assert len(digest) == 64
+        assert registry.digest("mlp", 4, "de") == digest  # stable
+        plan = registry.get_by_digest(digest[:16])
+        inputs = rng.normal(size=(2, 1, 4, 4))
+        np.testing.assert_array_equal(
+            plan.run(inputs), registry.get("mlp", 4, "de").run(inputs)
+        )
+        with pytest.raises(KeyError):
+            registry.get_by_digest("0" * 16)
+
+    def test_digests_distinguish_contents(self, registry):
+        digests = {registry.digest("mlp", 4, m) for m in ("acm", "de", "bc")}
+        assert len(digests) == 3
+
+    def test_fp32_bits_round_trip(self, tmp_path):
+        registry = PlanRegistry(tmp_path)
+        registry.publish_model(small_mlp(bits=None), "mlp", None, "acm")
+        assert (tmp_path / "mlp__fp32__acm.npz").exists()
+        assert registry.get("mlp", None, "acm").num_crossbar_layers == 2
+
+
+# ---------------------------------------------------------------------- #
+# Scheduler
+# ---------------------------------------------------------------------- #
+class TestMicroBatchScheduler:
+    def test_straggler_request_flushed_at_max_wait(self):
+        """A lone request must be executed once the wait window expires."""
+        with MicroBatchScheduler(lambda x: x * 2.0, max_batch=64,
+                                 max_wait_ms=30) as scheduler:
+            start = time.monotonic()
+            result = scheduler.submit(np.ones((1, 4))).result(timeout=10)
+            elapsed = time.monotonic() - start
+        np.testing.assert_array_equal(result, 2.0 * np.ones((1, 4)))
+        assert list(scheduler.stats.batches) == [(1, 1)]
+        assert elapsed < 5.0  # flushed by the deadline, not stuck forever
+
+    def test_overfull_queue_splits_into_multiple_microbatches(self):
+        """More queued rows than max_batch must yield several capped batches."""
+        release = threading.Event()
+
+        def runner(x):
+            release.wait(10)
+            return x + 1.0
+
+        with MicroBatchScheduler(runner, max_batch=4, max_wait_ms=5) as scheduler:
+            futures = [scheduler.submit(np.full((1, 2), i)) for i in range(10)]
+            release.set()
+            results = [future.result(timeout=10) for future in futures]
+        for i, result in enumerate(results):
+            np.testing.assert_array_equal(result, np.full((1, 2), i + 1.0))
+        stats = scheduler.stats
+        assert stats.num_requests == 10
+        assert stats.num_rows == 10
+        assert stats.max_rows_per_batch <= 4
+        assert stats.num_batches >= 3  # ceil(10 / 4), first batch may be smaller
+
+    def test_concurrent_requests_coalesce(self):
+        """Requests arriving within the window ride in fewer executions."""
+        release = threading.Event()
+
+        def runner(x):
+            release.wait(10)
+            return x
+
+        with MicroBatchScheduler(runner, max_batch=64, max_wait_ms=200) as scheduler:
+            futures = [scheduler.submit(np.zeros((1, 2))) for _ in range(8)]
+            release.set()
+            for future in futures:
+                future.result(timeout=10)
+        assert scheduler.stats.num_batches <= 2
+
+    def test_multi_row_requests_scatter_correctly(self):
+        with MicroBatchScheduler(lambda x: x.sum(axis=1, keepdims=True),
+                                 max_batch=16, max_wait_ms=50) as scheduler:
+            first = scheduler.submit(np.ones((2, 3)))
+            second = scheduler.submit(np.full((3, 3), 2.0))
+            np.testing.assert_array_equal(first.result(10), np.full((2, 1), 3.0))
+            np.testing.assert_array_equal(second.result(10), np.full((3, 1), 6.0))
+
+    def test_oversized_request_runs_as_its_own_batch(self):
+        with MicroBatchScheduler(lambda x: x, max_batch=4, max_wait_ms=5) as scheduler:
+            result = scheduler.submit(np.zeros((9, 2))).result(timeout=10)
+        assert result.shape == (9, 2)
+        assert scheduler.stats.max_rows_per_batch == 9
+
+    def test_request_that_would_overflow_cap_opens_next_batch(self):
+        """Coalescing must hold back a request that would breach max_batch."""
+        release = threading.Event()
+
+        def runner(x):
+            release.wait(10)
+            return x
+
+        with MicroBatchScheduler(runner, max_batch=64, max_wait_ms=100) as scheduler:
+            first = scheduler.submit(np.zeros((60, 2)))
+            second = scheduler.submit(np.ones((60, 2)))
+            release.set()
+            first.result(timeout=10)
+            second.result(timeout=10)
+        assert scheduler.stats.num_batches == 2
+        assert scheduler.stats.max_rows_per_batch == 60
+
+    def test_runner_exception_fails_the_batch_only(self):
+        def runner(x):
+            if np.isnan(x).any():
+                raise ValueError("poisoned batch")
+            return x
+
+        with MicroBatchScheduler(runner, max_batch=4, max_wait_ms=5) as scheduler:
+            bad = scheduler.submit(np.full((1, 2), np.nan))
+            with pytest.raises(ValueError, match="poisoned"):
+                bad.result(timeout=10)
+            good = scheduler.submit(np.zeros((1, 2)))
+            np.testing.assert_array_equal(good.result(timeout=10), np.zeros((1, 2)))
+
+    def test_submit_after_close_raises(self):
+        scheduler = MicroBatchScheduler(lambda x: x, max_batch=2, max_wait_ms=1)
+        scheduler.close()
+        with pytest.raises(RuntimeError):
+            scheduler.submit(np.zeros((1, 2)))
+
+    def test_close_flushes_queued_requests(self):
+        def runner(x):
+            time.sleep(0.01)
+            return x
+
+        scheduler = MicroBatchScheduler(runner, max_batch=1, max_wait_ms=0)
+        futures = [scheduler.submit(np.full((1, 1), i)) for i in range(5)]
+        scheduler.close()
+        for i, future in enumerate(futures):
+            np.testing.assert_array_equal(future.result(timeout=10),
+                                          np.full((1, 1), i))
+
+    def test_rejects_empty_requests(self):
+        with MicroBatchScheduler(lambda x: x, max_batch=2, max_wait_ms=1) as scheduler:
+            with pytest.raises(ValueError):
+                scheduler.submit(np.zeros((0, 3)))
+
+    def test_heterogeneous_shapes_degrade_to_per_request_runs(self):
+        """Requests that cannot stack must each run alone, not fail together."""
+        release = threading.Event()
+
+        def runner(x):
+            release.wait(10)
+            return x * 2.0
+
+        with MicroBatchScheduler(runner, max_batch=8, max_wait_ms=100) as scheduler:
+            narrow = scheduler.submit(np.ones((1, 3)))
+            wide = scheduler.submit(np.ones((1, 5)))
+            release.set()
+            np.testing.assert_array_equal(narrow.result(10), np.full((1, 3), 2.0))
+            np.testing.assert_array_equal(wide.result(10), np.full((1, 5), 2.0))
+
+
+# ---------------------------------------------------------------------- #
+# Service
+# ---------------------------------------------------------------------- #
+class TestInferenceService:
+    @pytest.fixture
+    def served(self, tmp_path):
+        model = make_lenet(mapping="acm", quantizer_bits=4, seed=0)
+        registry = PlanRegistry(tmp_path / "plans")
+        registry.publish_model(model, "lenet", 4, "acm")
+        rng = np.random.default_rng(0)
+        dataset = ArrayDataset(
+            rng.normal(size=(40, 1, 16, 16)), rng.integers(0, 10, size=40)
+        )
+        return model, registry, dataset
+
+    def test_predict_bit_equivalent_to_runtime_evaluation(self, served):
+        """The acceptance bar: serving must not change deterministic results."""
+        model, registry, dataset = served
+        plan = compile_model(model)
+        with InferenceService(registry, max_batch=16, max_wait_ms=5) as service:
+            logits = service.predict(dataset.images, model="lenet", bits=4,
+                                     mapping="acm")
+            np.testing.assert_allclose(logits, plan.run(dataset.images),
+                                       atol=1e-10, rtol=0)
+            served_accuracy = float(
+                (logits.argmax(axis=-1) == dataset.labels).sum() / len(dataset)
+            )
+        assert served_accuracy == evaluate_accuracy(model, dataset, use_runtime=True)
+
+    def test_concurrent_single_requests_are_batched_and_correct(self, served):
+        model, registry, dataset = served
+        plan = compile_model(model)
+        expected = plan.run(dataset.images)
+        with InferenceService(registry, max_batch=16, max_wait_ms=20) as service:
+            with ThreadPoolExecutor(max_workers=8) as clients:
+                results = list(clients.map(
+                    lambda i: service.predict(dataset.images[i], model="lenet",
+                                              bits=4, mapping="acm"),
+                    range(len(dataset)),
+                ))
+            stats = service.stats["lenet__4b__acm"]
+        np.testing.assert_allclose(np.stack(results), expected, atol=1e-10, rtol=0)
+        assert stats.num_requests == len(dataset)
+        assert stats.num_batches <= stats.num_requests
+
+    def test_single_sample_request_drops_batch_axis(self, served):
+        model, registry, dataset = served
+        with InferenceService(registry) as service:
+            logits = service.predict(dataset.images[0], model="lenet", bits=4,
+                                     mapping="acm")
+        assert logits.shape == (10,)
+
+    def test_ensemble_deterministic_under_fixed_seed(self, served):
+        _, registry, dataset = served
+        images = dataset.images[:6]
+        with InferenceService(registry) as service:
+            kwargs = dict(model="lenet", bits=4, mapping="acm",
+                          sigma_fraction=0.2, num_samples=9, seed=11)
+            first = service.predict_under_variation(images, **kwargs)
+            second = service.predict_under_variation(images, **kwargs)
+            other_seed = service.predict_under_variation(
+                images, **{**kwargs, "seed": 12}
+            )
+        np.testing.assert_array_equal(first.mean_logits, second.mean_logits)
+        np.testing.assert_array_equal(first.predictions, second.predictions)
+        np.testing.assert_array_equal(first.confidence, second.confidence)
+        assert not np.array_equal(first.mean_logits, other_seed.mean_logits)
+
+    def test_ensemble_aggregates_votes(self, served):
+        _, registry, dataset = served
+        with InferenceService(registry) as service:
+            response = service.predict_under_variation(
+                dataset.images[:5], model="lenet", bits=4, mapping="acm",
+                sigma_fraction=0.15, num_samples=7, seed=3,
+            )
+        assert response.mean_logits.shape == (5, 10)
+        assert response.vote_counts.shape == (5, 10)
+        assert (response.vote_counts.sum(axis=-1) == 7).all()
+        assert ((response.confidence > 0) & (response.confidence <= 1.0)).all()
+        # The majority class is the one the counts say won.
+        np.testing.assert_array_equal(
+            response.predictions, response.vote_counts.argmax(axis=-1)
+        )
+
+    def test_zero_sigma_ensemble_matches_deterministic_predict(self, served):
+        model, registry, dataset = served
+        images = dataset.images[:4]
+        with InferenceService(registry) as service:
+            deterministic = service.predict(images, model="lenet", bits=4,
+                                            mapping="acm")
+            ensemble = service.predict_under_variation(
+                images, model="lenet", bits=4, mapping="acm",
+                sigma_fraction=0.0, num_samples=3, seed=0,
+            )
+        np.testing.assert_allclose(ensemble.mean_logits, deterministic, atol=1e-12)
+        assert (ensemble.confidence == 1.0).all()
+
+    def test_malformed_request_rejected_before_batching(self, served):
+        """A bad shape must fail its own caller, not poison the micro-batch."""
+        _, registry, dataset = served
+        with InferenceService(registry, max_batch=16, max_wait_ms=30) as service:
+            good = service.predict_async(dataset.images[0], model="lenet",
+                                         bits=4, mapping="acm")
+            with pytest.raises(ValueError, match="incompatible"):
+                service.predict(np.zeros((2, 3, 16, 16)), model="lenet",
+                                bits=4, mapping="acm")
+            with pytest.raises(ValueError, match="incompatible"):
+                service.predict(np.zeros((1, 9, 9)), model="lenet",
+                                bits=4, mapping="acm")
+            # The concurrent valid request is unaffected.
+            assert good.result(timeout=10).shape == (10,)
+
+    def test_closed_service_rejects_requests(self, served):
+        _, registry, dataset = served
+        service = InferenceService(registry)
+        service.predict(dataset.images[:2], model="lenet", bits=4, mapping="acm")
+        service.close()
+        with pytest.raises(RuntimeError):
+            service.scheduler_for("lenet", 4, "acm")
+        with pytest.raises(RuntimeError):
+            service.predict_under_variation(
+                dataset.images[:2], model="lenet", bits=4, mapping="acm",
+                sigma_fraction=0.1, num_samples=2,
+            )
+
+    def test_both_request_flavours_serve_the_same_pinned_plan(self, served):
+        """A republish must not split deterministic vs ensemble responses."""
+        model, registry, dataset = served
+        images = dataset.images[:3]
+        with InferenceService(registry) as service:
+            before = service.predict(images, model="lenet", bits=4, mapping="acm")
+            # Republish different weights under the same key mid-flight.
+            other = make_lenet(mapping="acm", quantizer_bits=4, seed=99)
+            registry.publish_model(other, "lenet", 4, "acm")
+            after = service.predict(images, model="lenet", bits=4, mapping="acm")
+            ensemble = service.predict_under_variation(
+                images, model="lenet", bits=4, mapping="acm",
+                sigma_fraction=0.0, num_samples=2, seed=0,
+            )
+        np.testing.assert_array_equal(after, before)
+        np.testing.assert_allclose(ensemble.mean_logits, before, atol=1e-12)
+
+
+# ---------------------------------------------------------------------- #
+# Parallel study driver
+# ---------------------------------------------------------------------- #
+class TestParallelStudy:
+    def test_process_pool_study_matches_sequential(self):
+        from repro.experiments.config import SCALE_SMOKE
+        from repro.experiments.fig6 import run_variation_study
+
+        kwargs = dict(network="mlp", bits=(4,), mappings=("acm", "de"),
+                      sigmas=(0.0, 0.2), scale=SCALE_SMOKE, seed=3,
+                      use_runtime=True)
+        sequential = run_variation_study(**kwargs)
+        parallel = run_variation_study(**kwargs, max_workers=2)
+        assert parallel.accuracy == sequential.accuracy
+        assert parallel.sigmas == sequential.sigmas
+        for precision in sequential.bits:
+            for mapping in ("acm", "de"):
+                assert (parallel.sweeps[precision][mapping].samples
+                        == sequential.sweeps[precision][mapping].samples)
