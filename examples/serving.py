@@ -15,22 +15,41 @@ A walkthrough of the plan-serving subsystem (``repro.serve``), end to end:
    ``predict_under_variation`` requests: a seeded Monte-Carlo ensemble over
    device-variation draws with per-request sigma, returning mean logits plus
    a majority-vote class and its vote confidence (the paper's Fig. 6
-   protocol, reshaped into a serving scenario).
+   protocol, reshaped into a serving scenario).  Repeated requests at the
+   same (sigma, seed) operating point reuse the cached sampled weight
+   stacks.
+4. **Serve over HTTP** — start the stdlib JSON front-end
+   (:class:`~repro.serve.PlanServer`) on the same registry and issue real
+   wire requests: ``POST /v1/predict`` with base64-packed float64 images
+   (bit-equivalent responses), ``POST /v1/predict_under_variation``, and
+   ``GET /v1/models`` for the digest catalogue.
+5. **Optionally shard across processes** — with ``--workers N`` the same
+   plan directory is served by a :class:`~repro.serve.PlanCluster`: N
+   worker processes, models partitioned by a stable key hash, so distinct
+   models run in true parallel.
+
+The standalone deployment equivalent of this walkthrough is the CLI::
+
+    python -m repro.serve --plan-dir DIR --port 8100 [--workers N]
 
 Run with:  python examples/serving.py [--plan-dir DIR] [--sigma 0.15]
+                                      [--workers N]
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import tempfile
+import urllib.request
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
 from repro.data.synthetic import synthetic_mnist
 from repro.models import make_lenet, make_mlp
-from repro.serve import InferenceService, PlanRegistry
+from repro.runtime.wire import decode_array, encode_array
+from repro.serve import InferenceService, PlanCluster, PlanRegistry, PlanServer
 from repro.train.evaluate import evaluate_accuracy
 from repro.train.trainer import Trainer, TrainingConfig
 
@@ -43,6 +62,9 @@ def parse_args() -> argparse.Namespace:
                         help="device-variation sigma for the ensemble requests")
     parser.add_argument("--epochs", type=int, default=2,
                         help="training epochs per published model")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="also demo a sharded plan cluster with N worker "
+                             "processes (default: skip)")
     return parser.parse_args()
 
 
@@ -94,6 +116,62 @@ def serve_ensembles(service: InferenceService, test_set, sigma: float) -> None:
               f"({stable}/8 stable under variation)")
 
 
+def serve_http(registry: PlanRegistry, test_set, sigma: float) -> None:
+    """The same stack, reachable over the wire via the HTTP front-end."""
+    print()
+    print("HTTP front-end: stdlib JSON endpoint over the same registry")
+    service = InferenceService(registry, max_batch=32, max_wait_ms=5.0)
+    with PlanServer(service) as server:
+        print(f"  listening on {server.url}")
+        with urllib.request.urlopen(f"{server.url}/v1/models") as response:
+            catalogue = json.loads(response.read())["models"]
+        for entry in catalogue:
+            print(f"  GET /v1/models -> {entry['name']} "
+                  f"digest={entry['digest'][:12]}")
+        images = test_set.images[:4]
+        body = json.dumps({
+            "model": "lenet", "bits": 4, "mapping": "acm",
+            "images": encode_array(np.asarray(images)),  # base64-packed float64
+        }).encode()
+        request = urllib.request.Request(f"{server.url}/v1/predict", data=body)
+        with urllib.request.urlopen(request) as response:
+            logits = decode_array(json.loads(response.read())["logits"])
+        in_process = service.predict(images, model="lenet", bits=4, mapping="acm")
+        print(f"  POST /v1/predict -> predictions "
+              f"{logits.argmax(axis=-1).tolist()} "
+              f"(bit-equal to in-process: "
+              f"{bool(np.array_equal(logits, in_process))})")
+        body = json.dumps({
+            "model": "mlp", "bits": 4, "mapping": "acm",
+            "images": np.asarray(images).tolist(),  # nested lists work too
+            "sigma_fraction": sigma, "num_samples": 25, "seed": 42,
+            "encoding": "list",
+        }).encode()
+        request = urllib.request.Request(
+            f"{server.url}/v1/predict_under_variation", data=body
+        )
+        with urllib.request.urlopen(request) as response:
+            ensemble = json.loads(response.read())
+        print(f"  POST /v1/predict_under_variation -> predictions "
+              f"{ensemble['predictions']} votes "
+              f"{[round(v, 2) for v in ensemble['confidence']]}")
+
+
+def serve_cluster(plan_dir, test_set, num_workers: int) -> None:
+    """Shard the same plan directory across worker processes."""
+    print()
+    print(f"plan cluster: {num_workers} worker processes over {plan_dir}")
+    with PlanCluster(plan_dir, num_workers=num_workers) as cluster:
+        cluster.wait_ready()
+        for entry in cluster.models():
+            print(f"  {entry['name']} -> worker {entry['worker']}")
+        for name in ("lenet", "mlp"):
+            logits = cluster.predict(test_set.images[:8], model=name, bits=4,
+                                     mapping="acm")
+            print(f"  {name:5s}: cluster predictions "
+                  f"{logits.argmax(axis=-1).tolist()}")
+
+
 def main() -> None:
     args = parse_args()
     plan_dir = args.plan_dir or tempfile.mkdtemp(prefix="repro-plans-")
@@ -106,9 +184,15 @@ def main() -> None:
         serve_deterministic(service, test_set)
         serve_ensembles(service, test_set, args.sigma)
 
+    serve_http(registry, test_set, args.sigma)
+    if args.workers > 0:
+        serve_cluster(plan_dir, test_set, args.workers)
+
     print()
     print(f"registry: {len(registry)} artifacts, "
           f"{registry.hits} cache hits / {registry.misses} loads")
+    print("deploy standalone with: python -m repro.serve "
+          f"--plan-dir {plan_dir} --port 8100 --workers 2")
 
 
 if __name__ == "__main__":

@@ -48,6 +48,7 @@ from repro.runtime.montecarlo import (
     stacked_image_target,
 )
 from repro.runtime.optimize import optimize_plan
+from repro.runtime.wire import WireFormatError, decode_array, encode_array
 
 __all__ = [
     "ActivationOp",
@@ -69,6 +70,9 @@ __all__ = [
     "register_lowering",
     "trace_shapes",
     "try_compile",
+    "WireFormatError",
+    "decode_array",
+    "encode_array",
     "monte_carlo_accuracy",
     "monte_carlo_logits",
     "optimize_plan",

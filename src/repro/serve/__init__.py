@@ -1,9 +1,9 @@
-"""Plan-serving subsystem: registry, micro-batching, and parallel studies.
+"""Plan-serving subsystem: registry, micro-batching, HTTP, and sharding.
 
 This package is the request/response layer on top of the compiled runtime —
 the step from "a trained model can be frozen into a serialisable
-:class:`~repro.runtime.plan.InferencePlan`" to "a process serves many such
-plans to concurrent clients":
+:class:`~repro.runtime.plan.InferencePlan`" to "a deployment serves many
+such plans to concurrent clients over the network":
 
 * :class:`PlanRegistry` (:mod:`repro.serve.registry`) — a directory of plan
   artifacts indexed by ``(model, bits, mapping)``, loaded lazily, kept
@@ -12,29 +12,54 @@ plans to concurrent clients":
   micro-batching: concurrent requests coalesce (up to ``max_batch`` rows /
   ``max_wait_ms``) into single stacked plan executions whose rows scatter
   back onto per-request futures.
-* :class:`InferenceService` (:mod:`repro.serve.service`) — the façade:
-  deterministic ``predict`` (bit-equivalent to the evaluation helpers) and
-  seeded ``predict_under_variation`` Monte-Carlo ensembles with per-request
-  sigma, returning mean logits and vote confidence.
+* :class:`InferenceService` (:mod:`repro.serve.service`) — the in-process
+  façade: deterministic ``predict`` (bit-equivalent to the evaluation
+  helpers) and seeded ``predict_under_variation`` Monte-Carlo ensembles
+  whose sampled weight stacks are cached per (plan, sigma, samples, seed).
+* :class:`PlanServer` (:mod:`repro.serve.http`) — the stdlib HTTP/JSON
+  front-end: ``POST /v1/predict``, ``POST /v1/predict_under_variation``,
+  ``GET /v1/models``, ``GET /v1/stats``, ``GET /healthz``, with arrays
+  carried base64-packed or as nested lists and failures mapped to 4xx.
+* :class:`PlanCluster` (:mod:`repro.serve.cluster`) — cross-process
+  sharding: N worker processes over one registry directory, models
+  partitioned by a stable key hash (:func:`shard_index`), each worker
+  running its own schedulers so independent models serve in true parallel.
 * :func:`run_variation_study_parallel` (:mod:`repro.serve.pool`) — the
   Fig. 6 study fanned out over a process pool, one worker per independent
   (bits, mapping) training cell.
+
+``python -m repro.serve --plan-dir DIR [--workers N]`` starts the HTTP
+endpoint over either backend (:mod:`repro.serve.__main__`).
 """
 
-from repro.serve.registry import PlanEntry, PlanKey, PlanRegistry
+from repro.serve.registry import (
+    PlanArtifactError,
+    PlanEntry,
+    PlanKey,
+    PlanRegistry,
+    parse_bits,
+)
 from repro.serve.scheduler import MicroBatchScheduler, SchedulerStats
 from repro.serve.service import InferenceService, VariationPrediction
+from repro.serve.http import PlanServer, RequestError
+from repro.serve.cluster import PlanCluster, shard_index
 from repro.serve.pool import StudyCell, run_study_cell, run_variation_study_parallel
 
 __all__ = [
     "InferenceService",
     "MicroBatchScheduler",
+    "PlanArtifactError",
+    "PlanCluster",
     "PlanEntry",
     "PlanKey",
     "PlanRegistry",
+    "PlanServer",
+    "RequestError",
     "SchedulerStats",
     "StudyCell",
     "VariationPrediction",
+    "parse_bits",
     "run_study_cell",
     "run_variation_study_parallel",
+    "shard_index",
 ]

@@ -1,0 +1,113 @@
+"""``python -m repro.serve`` — serve a plan directory over HTTP.
+
+Starts the HTTP front-end (:mod:`repro.serve.http`) over either an
+in-process :class:`~repro.serve.service.InferenceService` (``--workers 0``,
+the default) or a sharded multi-process
+:class:`~repro.serve.cluster.PlanCluster` (``--workers N`` with N >= 1).
+
+Examples::
+
+    # Single-process serving of every plan in ./plans on port 8100:
+    python -m repro.serve --plan-dir ./plans --port 8100
+
+    # Four serving workers behind the same endpoint (model-key sharding):
+    python -m repro.serve --plan-dir ./plans --port 8100 --workers 4
+
+The process serves until interrupted (Ctrl-C), then shuts down
+gracefully: in-flight HTTP requests finish, micro-batches drain, worker
+processes exit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import threading
+from typing import List, Optional
+
+from repro.serve.cluster import PlanCluster
+from repro.serve.http import PlanServer
+from repro.serve.registry import PlanRegistry
+from repro.serve.service import InferenceService
+
+#: Set by tests (or a signal handler) to stop a running ``main`` promptly.
+_stop = threading.Event()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve a directory of compiled inference plans over HTTP.",
+    )
+    parser.add_argument("--plan-dir", required=True,
+                        help="directory of canonically named plan artifacts")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8100,
+                        help="bind port; 0 picks an ephemeral port (default: 8100)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="serving worker processes; 0 serves in-process "
+                             "(default: 0)")
+    parser.add_argument("--max-batch", type=int, default=64,
+                        help="micro-batch row cap per scheduler (default: 64)")
+    parser.add_argument("--max-wait-ms", type=float, default=2.0,
+                        help="micro-batch coalescing window (default: 2.0)")
+    parser.add_argument("--capacity", type=int, default=4,
+                        help="plans kept resident per process (default: 4)")
+    parser.add_argument("--run-for", type=float, default=None,
+                        help="serve for N seconds then exit (default: forever)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the per-request access log")
+    return parser
+
+
+def build_backend(args: argparse.Namespace):
+    """The serving backend the arguments describe (service or cluster)."""
+    if args.workers >= 1:
+        return PlanCluster(
+            args.plan_dir,
+            num_workers=args.workers,
+            capacity=args.capacity,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+        )
+    registry = PlanRegistry(args.plan_dir, capacity=args.capacity)
+    return InferenceService(
+        registry, max_batch=args.max_batch, max_wait_ms=args.max_wait_ms
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        # SIGTERM (docker stop, kubectl delete, subprocess.terminate) takes
+        # the same graceful-drain path as Ctrl-C and --run-for.
+        signal.signal(signal.SIGTERM, lambda signum, frame: _stop.set())
+    except ValueError:
+        pass  # not the main thread (in-process tests drive _stop directly)
+    backend = build_backend(args)
+    server = PlanServer(
+        backend, host=args.host, port=args.port, verbose=not args.quiet
+    )
+    server.start()
+    models = backend.models()
+    topology = (f"{args.workers} worker process(es)" if args.workers >= 1
+                else "in-process service")
+    print(f"serving {len(models)} plan(s) at {server.url} ({topology})")
+    for entry in models:
+        shard = f"  worker {entry['worker']}" if "worker" in entry else ""
+        print(f"  {entry['name']:32s} digest={entry['digest'][:12]}{shard}")
+    print("endpoints: POST /v1/predict  POST /v1/predict_under_variation  "
+          "GET /v1/models  GET /v1/stats  GET /healthz")
+    try:
+        _stop.wait(timeout=args.run_for)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        print("shutting down (draining in-flight requests)...")
+        server.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,390 @@
+"""Cross-process plan sharding: one registry directory, N serving workers.
+
+A :class:`PlanCluster` turns a single :class:`~repro.serve.registry.PlanRegistry`
+directory into a multi-process serving deployment.  Each worker process
+builds its own registry over the shared directory and runs a full
+:class:`~repro.serve.service.InferenceService` (one micro-batching
+scheduler per model it serves); the parent keeps only the catalogue index
+plus one duplex pipe per worker.  Models are partitioned across workers by
+a *stable* hash of their canonical key (:func:`shard_index`), so:
+
+* every request for one model always lands on the same worker — its
+  micro-batching scheduler sees the full stream for that model and keeps
+  coalescing;
+* distinct models live in distinct processes, so they execute in true
+  parallel, each behind its own GIL;
+* the partition is a pure function of ``(key, num_workers)`` — any client
+  or router replica computes the same shard without coordination.
+
+The parent/worker protocol is asynchronous: requests carry a correlation
+id down the pipe, a pool of handler threads inside the worker serves them
+concurrently (so micro-batches still form), and a receiver thread in the
+parent scatters replies back onto per-request futures.  Results are exact
+— the same float64 arrays an in-process service would return, moved across
+a pickle boundary.
+
+Shutdown is graceful: :meth:`PlanCluster.close` sends each worker a
+shutdown sentinel; workers stop reading, finish every in-flight request,
+drain their schedulers (:meth:`InferenceService.close`), acknowledge, and
+exit.
+
+``PlanCluster`` satisfies the same backend contract as
+``InferenceService``, so :class:`~repro.serve.http.PlanServer` can front
+either interchangeably.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import multiprocessing
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.serve.registry import PlanKey, PlanRegistry
+from repro.serve.service import InferenceService, VariationPrediction
+
+_SHUTDOWN = None
+
+
+def shard_index(key: PlanKey, num_workers: int) -> int:
+    """The worker that serves ``key``: a stable hash of the canonical name.
+
+    Uses SHA-256 rather than Python's ``hash`` so the partition is
+    deterministic across processes and interpreter runs (``hash(str)`` is
+    salted per process).
+    """
+    if num_workers < 1:
+        raise ValueError("num_workers must be at least 1")
+    digest = hashlib.sha256(key.canonical().encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % num_workers
+
+
+# ---------------------------------------------------------------------- #
+# Worker process
+# ---------------------------------------------------------------------- #
+def _worker_main(
+    conn,
+    directory: str,
+    capacity: int,
+    max_batch: int,
+    max_wait_ms: float,
+    handler_threads: int,
+) -> None:
+    """Serve requests from the pipe until the shutdown sentinel arrives.
+
+    Module-level so it pickles under the ``spawn`` start method.  Replies
+    are ``(request_id, ok, payload)`` where ``payload`` is the result or
+    the exception object itself (exceptions re-raise in the caller's
+    process with their original type).
+    """
+    registry = PlanRegistry(directory, capacity=capacity)
+    service = InferenceService(registry, max_batch=max_batch, max_wait_ms=max_wait_ms)
+    send_lock = threading.Lock()
+
+    def reply(request_id, ok, payload) -> None:
+        try:
+            with send_lock:
+                conn.send((request_id, ok, payload))
+        except Exception as error:  # unpicklable payload; degrade to a message
+            with send_lock:
+                conn.send((request_id, False,
+                           RuntimeError(f"{type(payload).__name__}: {error}")))
+
+    def handle(request_id, kind, payload) -> None:
+        try:
+            result = _dispatch(kind, payload)
+        except BaseException as error:  # noqa: BLE001 - forwarded to caller
+            reply(request_id, False, error)
+            return
+        reply(request_id, True, result)
+
+    def _dispatch(kind, payload):
+        if kind == "predict" or kind == "ensemble":
+            try:
+                return _run_request(kind, payload)
+            except KeyError:
+                # The plan may have been published after this worker
+                # indexed the directory; re-scan once and retry.
+                registry.refresh()
+                return _run_request(kind, payload)
+        if kind == "models":
+            return service.models()
+        if kind == "stats":
+            return service.stats_summary()
+        if kind == "ping":
+            return "pong"
+        raise ValueError(f"unknown request kind {kind!r}")
+
+    def _run_request(kind, payload):
+        if kind == "predict":
+            return service.predict(**payload)
+        return service.predict_under_variation(**payload)
+
+    with ThreadPoolExecutor(
+        max_workers=handler_threads, thread_name_prefix="plan-worker"
+    ) as pool:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            if message is _SHUTDOWN:
+                break
+            pool.submit(handle, *message)
+        # The executor's __exit__ waits for every in-flight request, so all
+        # replies are sent before the shutdown acknowledgement below.
+    service.close()
+    try:
+        conn.send((_SHUTDOWN, True, "closed"))
+    except (BrokenPipeError, OSError):  # parent already gone
+        pass
+    conn.close()
+
+
+# ---------------------------------------------------------------------- #
+# Parent-side worker handle
+# ---------------------------------------------------------------------- #
+class _WorkerClient:
+    """One worker process: pipe, pending-future table, receiver thread."""
+
+    def __init__(self, context, index: int, directory: str, capacity: int,
+                 max_batch: int, max_wait_ms: float, handler_threads: int) -> None:
+        self.index = index
+        parent_conn, child_conn = context.Pipe(duplex=True)
+        self.process = context.Process(
+            target=_worker_main,
+            args=(child_conn, directory, capacity, max_batch, max_wait_ms,
+                  handler_threads),
+            name=f"plan-worker-{index}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self._conn = parent_conn
+        self._pending: Dict[int, Future] = {}
+        self._ids = itertools.count()
+        self._lock = threading.Lock()
+        self._closed = False
+        self._receiver = threading.Thread(
+            target=self._receive_loop, name=f"plan-worker-{index}-recv", daemon=True
+        )
+        self._receiver.start()
+
+    def submit(self, kind: str, payload) -> Future:
+        future: Future = Future()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cluster is closed")
+            request_id = next(self._ids)
+            self._pending[request_id] = future
+            try:
+                self._conn.send((request_id, kind, payload))
+            except (BrokenPipeError, OSError) as error:
+                self._pending.pop(request_id, None)
+                raise RuntimeError(
+                    f"worker {self.index} is not reachable: {error}"
+                ) from None
+        return future
+
+    def _receive_loop(self) -> None:
+        while True:
+            try:
+                request_id, ok, payload = self._conn.recv()
+            except (EOFError, OSError):
+                break
+            if request_id is _SHUTDOWN:
+                break
+            with self._lock:
+                future = self._pending.pop(request_id, None)
+            if future is None:
+                continue
+            if ok:
+                future.set_result(payload)
+            elif isinstance(payload, BaseException):
+                future.set_exception(payload)
+            else:  # pragma: no cover - defensive
+                future.set_exception(RuntimeError(str(payload)))
+        self._fail_pending(RuntimeError(f"worker {self.index} exited"))
+
+    def _fail_pending(self, error: BaseException) -> None:
+        with self._lock:
+            pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(error)
+
+    def close(self, timeout: Optional[float]) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._conn.send(_SHUTDOWN)
+            except (BrokenPipeError, OSError):
+                pass
+        self._receiver.join(timeout=timeout)
+        self.process.join(timeout=timeout)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.terminate()
+            self.process.join(timeout=1.0)
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        self._fail_pending(RuntimeError(f"worker {self.index} is closed"))
+
+
+# ---------------------------------------------------------------------- #
+# The cluster façade
+# ---------------------------------------------------------------------- #
+class PlanCluster:
+    """Multi-process plan serving over one registry directory.
+
+    Parameters mirror :class:`InferenceService` (each worker builds one
+    with ``max_batch`` / ``max_wait_ms`` / ``capacity``), plus the process
+    topology: ``num_workers`` serving processes and ``handler_threads``
+    concurrent requests per worker (keep > 1 or micro-batches cannot
+    form).  ``start_method`` selects the multiprocessing context; the
+    ``spawn`` default gives workers a clean interpreter regardless of
+    parent threads, at the cost of slower startup.
+    """
+
+    def __init__(
+        self,
+        directory,
+        num_workers: int = 2,
+        capacity: int = 4,
+        max_batch: int = 64,
+        max_wait_ms: float = 2.0,
+        handler_threads: int = 4,
+        start_method: str = "spawn",
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        if handler_threads < 1:
+            raise ValueError("handler_threads must be at least 1")
+        # The parent never deserialises a plan; its registry is the
+        # catalogue index used for listings (capacity 1 keeps it tiny).
+        self.catalogue = PlanRegistry(directory, capacity=1)
+        self.num_workers = num_workers
+        context = multiprocessing.get_context(start_method)
+        self._workers = [
+            _WorkerClient(context, index, str(self.catalogue.directory), capacity,
+                          max_batch, max_wait_ms, handler_threads)
+            for index in range(num_workers)
+        ]
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    def worker_for(self, model: str, bits: Optional[int], mapping: str) -> int:
+        """Index of the worker that serves one plan key."""
+        return shard_index(PlanKey(model, bits, mapping), self.num_workers)
+
+    def _route(self, model: str, bits: Optional[int], mapping: str) -> _WorkerClient:
+        if self._closed:
+            raise RuntimeError("cluster is closed")
+        return self._workers[self.worker_for(model, bits, mapping)]
+
+    # ------------------------------------------------------------------ #
+    # Requests
+    # ------------------------------------------------------------------ #
+    def predict_async(
+        self,
+        images: np.ndarray,
+        *,
+        model: str,
+        mapping: str,
+        bits: Optional[int] = None,
+    ) -> Future:
+        """Submit a deterministic request to its shard; resolves to logits."""
+        worker = self._route(model, bits, mapping)
+        payload = {"images": np.asarray(images), "model": model, "bits": bits,
+                   "mapping": mapping}
+        return worker.submit("predict", payload)
+
+    def predict(
+        self,
+        images: np.ndarray,
+        *,
+        model: str,
+        mapping: str,
+        bits: Optional[int] = None,
+        timeout: Optional[float] = 60.0,
+    ) -> np.ndarray:
+        """Deterministic logits from the worker that owns this model."""
+        return self.predict_async(
+            images, model=model, bits=bits, mapping=mapping
+        ).result(timeout=timeout)
+
+    def predict_under_variation(
+        self,
+        images: np.ndarray,
+        *,
+        model: str,
+        mapping: str,
+        bits: Optional[int] = None,
+        sigma_fraction: float = 0.1,
+        num_samples: int = 25,
+        seed: int = 0,
+        timeout: Optional[float] = 120.0,
+    ) -> VariationPrediction:
+        """Seeded Monte-Carlo ensemble request, served by the model's shard."""
+        worker = self._route(model, bits, mapping)
+        payload = {
+            "images": np.asarray(images), "model": model, "bits": bits,
+            "mapping": mapping, "sigma_fraction": sigma_fraction,
+            "num_samples": num_samples, "seed": seed,
+        }
+        return worker.submit("ensemble", payload).result(timeout=timeout)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def models(self) -> List[dict]:
+        """The shared catalogue with digests, annotated with each shard."""
+        self.catalogue.refresh()
+        described = self.catalogue.describe()
+        for entry in described:
+            entry["worker"] = self.worker_for(
+                entry["model"], entry["bits"], entry["mapping"]
+            )
+        return described
+
+    def stats_summary(self, timeout: Optional[float] = 10.0) -> Dict[str, dict]:
+        """Per-worker serving statistics (JSON-ready), keyed ``worker-N``."""
+        if self._closed:
+            raise RuntimeError("cluster is closed")
+        futures = [worker.submit("stats", None) for worker in self._workers]
+        return {
+            f"worker-{index}": future.result(timeout=timeout)
+            for index, future in enumerate(futures)
+        }
+
+    def wait_ready(self, timeout: Optional[float] = 60.0) -> None:
+        """Block until every worker process answers a ping."""
+        futures = [worker.submit("ping", None) for worker in self._workers]
+        for future in futures:
+            future.result(timeout=timeout)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self, timeout: Optional[float] = 30.0) -> None:
+        """Drain every worker (in-flight requests and micro-batches) and exit."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            worker.close(timeout)
+
+    def __enter__(self) -> "PlanCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,378 @@
+"""HTTP front-end: the serving stack as a stdlib JSON-over-HTTP endpoint.
+
+:class:`PlanServer` exposes a *backend* — an in-process
+:class:`~repro.serve.service.InferenceService` or a multi-process
+:class:`~repro.serve.cluster.PlanCluster` — over a threaded
+``http.server`` endpoint, making the registry + scheduler stack reachable
+from other processes and languages.  The wire protocol:
+
+``POST /v1/predict``
+    ``{"model", "mapping", "bits", "images", "encoding"?}`` → deterministic
+    logits.  ``images`` is a wire array payload (base64-packed or nested
+    lists, see :mod:`repro.runtime.wire`); ``bits`` is an int, ``null``, or
+    a canonical token (``"4b"``, ``"fp32"``); ``encoding`` picks the
+    response array form (``"b64"`` default, ``"list"``).
+``POST /v1/predict_under_variation``
+    The ensemble flavour: adds ``sigma_fraction``, ``num_samples``,
+    ``seed``; returns mean logits, majority-vote predictions, vote
+    confidence, and per-class vote counts.
+``GET /v1/models``
+    The registry catalogue with content digests.
+``GET /v1/stats``
+    Per-model micro-batching statistics.
+``GET /healthz``
+    Liveness probe.
+
+Malformed requests are mapped to proper 4xx responses (400 bad payloads,
+404 unknown models/paths, 405 wrong method, 413 oversized body) with a JSON
+error body; a closed backend answers 503.  Responses carried base64-packed
+as float64 are bit-equivalent to in-process results.
+
+Shutdown is graceful: :meth:`PlanServer.close` stops accepting
+connections, waits for in-flight requests to finish, and then closes the
+backend — which drains every in-flight micro-batch — before returning.
+
+The backend contract (satisfied by ``InferenceService`` and
+``PlanCluster``): ``predict(images, *, model, bits, mapping)``,
+``predict_under_variation(images, *, model, bits, mapping, sigma_fraction,
+num_samples, seed)``, ``models()``, ``stats_summary()``, ``close()``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.runtime.wire import WireFormatError, decode_array, encode_array
+from repro.serve.registry import PlanArtifactError, parse_bits
+
+#: Hard cap on request body size; a request over this answers 413 before
+#: any bytes are read.
+MAX_BODY_BYTES = 1 << 30
+
+
+class RequestError(Exception):
+    """An HTTP-visible request failure with an explicit status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _status_for(error: BaseException) -> int:
+    """Map a backend exception onto the HTTP status it should produce."""
+    if isinstance(error, RequestError):
+        return error.status
+    if isinstance(error, KeyError):
+        return 404  # unknown plan key
+    if isinstance(error, (WireFormatError, ValueError, TypeError)):
+        return 400  # malformed payload / geometry
+    if isinstance(error, FutureTimeoutError):
+        return 504
+    if isinstance(error, PlanArtifactError):
+        return 500
+    if isinstance(error, RuntimeError):
+        return 503  # backend closed / shutting down
+    return 500
+
+
+def _error_body(status: int, error: BaseException) -> dict:
+    message = str(error)
+    if isinstance(error, KeyError) and error.args:
+        # KeyError str() wraps its message in quotes; unwrap for clients.
+        message = str(error.args[0])
+    return {"error": {
+        "status": status,
+        "type": type(error).__name__,
+        "message": message,
+    }}
+
+
+def _parse_bits_field(value) -> Optional[int]:
+    """The ``bits`` request field: int, null, or a canonical token."""
+    if value is None or isinstance(value, int):
+        return value
+    if isinstance(value, str):
+        return parse_bits(value)
+    raise RequestError(400, f"bits must be an int, null, or token, not {value!r}")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Route table + JSON plumbing; state lives on the server object."""
+
+    protocol_version = "HTTP/1.1"
+    # Idle keep-alive connections drop after this long, so they can never
+    # hold the server open across a shutdown.
+    timeout = 30.0
+    server_version = "repro-serve/1.0"
+
+    # -------------------------------------------------------------- #
+    # Plumbing
+    # -------------------------------------------------------------- #
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.server.verbose:  # pragma: no cover - disabled in tests
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, body: dict) -> None:
+        payload = json.dumps(body, allow_nan=False).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_error_json(self, status: int, error: BaseException) -> None:
+        # Several error paths (unknown route, 405, 413, bad Content-Length)
+        # respond before the request body was read; under HTTP/1.1
+        # keep-alive the unread bytes would be parsed as the next request
+        # line, corrupting every later exchange on the connection.  Closing
+        # after any error keeps the stream unambiguous.
+        self.close_connection = True
+        self._send_json(status, _error_body(status, error))
+
+    def _read_request_body(self) -> dict:
+        length_header = self.headers.get("Content-Length")
+        if length_header is None:
+            raise RequestError(400, "Content-Length header is required")
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise RequestError(400, f"invalid Content-Length {length_header!r}")
+        if length < 0:
+            raise RequestError(400, "Content-Length must be non-negative")
+        if length > MAX_BODY_BYTES:
+            raise RequestError(413, f"request body over {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise RequestError(400, f"request body is not valid JSON: {error}")
+        if not isinstance(body, dict):
+            raise RequestError(400, "request body must be a JSON object")
+        return body
+
+    def _require(self, body: dict, field: str):
+        if field not in body:
+            raise RequestError(400, f"missing required field {field!r}")
+        return body[field]
+
+    @staticmethod
+    def _response_encoding(body: dict) -> str:
+        encoding = body.get("encoding", "b64")
+        if encoding not in ("b64", "list"):
+            raise RequestError(
+                400, f"encoding must be 'b64' or 'list', not {encoding!r}"
+            )
+        return encoding
+
+    # -------------------------------------------------------------- #
+    # Routes
+    # -------------------------------------------------------------- #
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        routes = {
+            ("GET", "/healthz"): self._handle_health,
+            ("GET", "/v1/models"): self._handle_models,
+            ("GET", "/v1/stats"): self._handle_stats,
+            ("POST", "/v1/predict"): self._handle_predict,
+            ("POST", "/v1/predict_under_variation"): self._handle_ensemble,
+        }
+        path = self.path.split("?", 1)[0]
+        self.server.request_started()
+        try:
+            handler = routes.get((method, path))
+            if handler is None:
+                known_paths = {route_path for _, route_path in routes}
+                if path in known_paths:
+                    raise RequestError(405, f"{method} is not allowed on {path}")
+                raise RequestError(404, f"unknown path {path!r}")
+            handler()
+        except Exception as error:  # noqa: BLE001 - every failure becomes JSON
+            try:
+                self._send_error_json(_status_for(error), error)
+            except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+                pass
+        finally:
+            self.server.request_finished()
+
+    def _handle_health(self) -> None:
+        self._send_json(200, {
+            "status": "ok",
+            "models": len(self.server.backend.models()),
+        })
+
+    def _handle_models(self) -> None:
+        self._send_json(200, {"models": self.server.backend.models()})
+
+    def _handle_stats(self) -> None:
+        self._send_json(200, {"stats": self.server.backend.stats_summary()})
+
+    def _predict_args(self) -> Tuple[dict, np.ndarray, dict, str]:
+        body = self._read_request_body()
+        images = decode_array(self._require(body, "images"))
+        key_kwargs = {
+            "model": self._require(body, "model"),
+            "mapping": self._require(body, "mapping"),
+            "bits": _parse_bits_field(body.get("bits")),
+        }
+        if not isinstance(key_kwargs["model"], str):
+            raise RequestError(400, "model must be a string")
+        if not isinstance(key_kwargs["mapping"], str):
+            raise RequestError(400, "mapping must be a string")
+        return body, images, key_kwargs, self._response_encoding(body)
+
+    def _handle_predict(self) -> None:
+        _, images, key_kwargs, encoding = self._predict_args()
+        logits = self.server.backend.predict(images, **key_kwargs)
+        self._send_json(200, {
+            **{k: key_kwargs[k] for k in ("model", "bits", "mapping")},
+            "logits": encode_array(logits, encoding=encoding),
+        })
+
+    def _handle_ensemble(self) -> None:
+        body, images, key_kwargs, encoding = self._predict_args()
+        sigma_fraction = body.get("sigma_fraction", 0.1)
+        num_samples = body.get("num_samples", 25)
+        seed = body.get("seed", 0)
+        if not isinstance(sigma_fraction, (int, float)) or isinstance(
+            sigma_fraction, bool
+        ) or sigma_fraction < 0:
+            raise RequestError(400, "sigma_fraction must be a non-negative number")
+        if not isinstance(num_samples, int) or isinstance(num_samples, bool) \
+                or num_samples < 1:
+            raise RequestError(400, "num_samples must be a positive integer")
+        if not isinstance(seed, int) or isinstance(seed, bool) or seed < 0:
+            raise RequestError(400, "seed must be a non-negative integer")
+        response = self.server.backend.predict_under_variation(
+            images, sigma_fraction=float(sigma_fraction),
+            num_samples=num_samples, seed=seed, **key_kwargs,
+        )
+        self._send_json(200, {
+            **{k: key_kwargs[k] for k in ("model", "bits", "mapping")},
+            "sigma_fraction": response.sigma_fraction,
+            "num_samples": response.num_samples,
+            "seed": response.seed,
+            "mean_logits": encode_array(response.mean_logits, encoding=encoding),
+            "predictions": encode_array(
+                np.asarray(response.predictions, dtype=np.int64), encoding=encoding
+            ),
+            "confidence": encode_array(
+                np.asarray(response.confidence, dtype=np.float64), encoding=encoding
+            ),
+            "vote_counts": encode_array(
+                np.asarray(response.vote_counts, dtype=np.int64), encoding=encoding
+            ),
+        })
+
+
+class _PlanHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server carrying the backend and in-flight accounting."""
+
+    # Handler threads are daemonic: an idle keep-alive connection must not
+    # block shutdown.  In-flight *requests* are tracked explicitly instead,
+    # so close() can drain real work and ignore idle sockets.
+    daemon_threads = True
+    # With daemon threads there is nothing for server_close() to join.
+    block_on_close = False
+
+    def __init__(self, address, backend, verbose: bool) -> None:
+        self.backend = backend
+        self.verbose = verbose
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
+        super().__init__(address, _Handler)
+
+    def request_started(self) -> None:
+        with self._inflight_cv:
+            self._inflight += 1
+
+    def request_finished(self) -> None:
+        with self._inflight_cv:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._inflight_cv.notify_all()
+
+    def drain(self, timeout: Optional[float]) -> bool:
+        """Wait until no request is mid-handling; True if fully drained."""
+        with self._inflight_cv:
+            return self._inflight_cv.wait_for(
+                lambda: self._inflight == 0, timeout=timeout
+            )
+
+
+class PlanServer:
+    """Lifecycle wrapper: serve a backend over HTTP until closed.
+
+    ``port=0`` binds an ephemeral port (see :attr:`url` after
+    :meth:`start`).  With ``own_backend=True`` (default) closing the server
+    also closes the backend, draining its in-flight micro-batches.
+    """
+
+    def __init__(
+        self,
+        backend,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        own_backend: bool = True,
+        verbose: bool = False,
+    ) -> None:
+        self.backend = backend
+        self.own_backend = own_backend
+        self._httpd = _PlanHTTPServer((host, port), backend, verbose)
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` pair."""
+        host, port = self._httpd.server_address[:2]
+        return host, port
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "PlanServer":
+        """Begin serving on a background thread; returns ``self``."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="plan-http-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self, timeout: Optional[float] = 10.0) -> None:
+        """Graceful shutdown: stop accepting, drain in-flight, close backend."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=timeout)
+        self._httpd.drain(timeout)
+        if self.own_backend:
+            self.backend.close()
+        self._httpd.server_close()
+
+    def __enter__(self) -> "PlanServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -27,16 +27,29 @@ from typing import Dict, List, Optional, Tuple
 from repro.runtime.plan import InferencePlan
 
 
+class PlanArtifactError(RuntimeError):
+    """An indexed artifact exists but cannot be deserialised.
+
+    Raised (with the offending path) when a plan file is truncated,
+    corrupted, or not a plan at all; the registry itself stays consistent —
+    other keys keep serving and a repaired artifact loads on the next get.
+    """
+
+
 def _bits_token(bits: Optional[int]) -> str:
     return "fp32" if bits is None else f"{int(bits)}b"
 
 
-def _parse_bits(token: str) -> Optional[int]:
+def parse_bits(token: str) -> Optional[int]:
+    """Parse a canonical bits token (``"4b"`` → 4, ``"fp32"`` → None)."""
     if token == "fp32":
         return None
     if token.endswith("b") and token[:-1].isdigit():
         return int(token[:-1])
     raise ValueError(f"unrecognised bits token {token!r}")
+
+
+_parse_bits = parse_bits
 
 
 @dataclass(frozen=True)
@@ -46,6 +59,33 @@ class PlanKey:
     model: str
     bits: Optional[int]
     mapping: str
+
+    def __post_init__(self) -> None:
+        # Names must survive the canonical round trip: a model called
+        # "a__b" (or "a_", whose trailing underscore merges with the "__"
+        # separator) would serialise to a stem that parses back as a
+        # different (or no) key, leaving the published artifact unreachable.
+        for label, token in (("model", self.model), ("mapping", self.mapping)):
+            if not isinstance(token, str) or not token:
+                raise ValueError(f"{label} must be a non-empty string")
+            if (
+                "__" in token
+                or token.startswith("_")
+                or token.endswith("_")
+                or "/" in token
+                or "\x00" in token
+            ):
+                raise ValueError(
+                    f"{label} {token!r} may not contain '__', start or end "
+                    f"with '_', or contain '/' or NUL (it must round-trip "
+                    f"through the canonical file name)"
+                )
+        if self.bits is not None and (
+            isinstance(self.bits, bool)
+            or not isinstance(self.bits, int)
+            or self.bits < 1
+        ):
+            raise ValueError(f"bits must be a positive int or None, got {self.bits!r}")
 
     def canonical(self) -> str:
         """Filesystem-safe canonical stem, e.g. ``lenet__4b__acm``."""
@@ -109,13 +149,27 @@ class PlanRegistry:
     # Catalogue
     # ------------------------------------------------------------------ #
     def refresh(self) -> None:
-        """Re-scan the directory for canonically named ``.npz`` artifacts."""
+        """Re-scan the directory for canonically named ``.npz`` artifacts.
+
+        Entries whose path is unchanged are kept (not rebuilt) so their
+        memoised content digests survive the re-scan — a polling caller
+        (the HTTP ``/v1/models`` and ``/healthz`` handlers refresh on every
+        request) must not re-hash every artifact per poll.  A replaced file
+        is still detected: :meth:`PlanEntry.digest` self-invalidates on the
+        file's size/mtime signature.
+        """
         with self._lock:
-            self._entries = {}
+            fresh: Dict[PlanKey, PlanEntry] = {}
             for path in sorted(self.directory.glob("*.npz")):
                 key = PlanKey.parse(path.name[: -len(".npz")])
-                if key is not None:
-                    self._entries[key] = PlanEntry(key=key, path=path)
+                if key is None:
+                    continue
+                existing = self._entries.get(key)
+                if existing is not None and existing.path == path:
+                    fresh[key] = existing
+                else:
+                    fresh[key] = PlanEntry(key=key, path=path)
+            self._entries = fresh
 
     def keys(self) -> List[PlanKey]:
         with self._lock:
@@ -195,7 +249,16 @@ class PlanRegistry:
                 )
         # Deserialising reads the whole artifact; do it outside the lock so a
         # cold load of one model cannot stall cache hits on every other.
-        plan = InferencePlan.load(entry.path)
+        try:
+            plan = InferencePlan.load(entry.path)
+        except Exception as error:
+            # Truncated download, partial write, or a foreign file under a
+            # canonical name: surface one typed error naming the artifact
+            # instead of whatever zipfile/numpy internals happened to throw.
+            raise PlanArtifactError(
+                f"cannot load plan artifact {entry.path}: "
+                f"{type(error).__name__}: {error}"
+            ) from error
         with self._lock:
             racer = self._loaded.get(key)
             if racer is not None:
@@ -206,6 +269,37 @@ class PlanRegistry:
             self._loaded[key] = plan
             self._evict_over_capacity()
             return plan
+
+    def describe(self) -> List[dict]:
+        """The catalogue as JSON-ready dicts (one per artifact, with digest).
+
+        This is the payload behind the HTTP ``GET /v1/models`` listing:
+        key fields, the canonical name, the content digest, and the artifact
+        size.  Digests hash each file once and are then cached, so repeated
+        listings are cheap.
+        """
+        with self._lock:
+            entries = sorted(
+                self._entries.values(), key=lambda entry: entry.key.canonical()
+            )
+        described = []
+        for entry in entries:
+            try:
+                stat_size = entry.path.stat().st_size
+                digest = entry.digest()
+            except OSError:
+                # Deleted out from under the index; skip rather than fail
+                # the whole listing.
+                continue
+            described.append({
+                "model": entry.key.model,
+                "bits": entry.key.bits,
+                "mapping": entry.key.mapping,
+                "name": entry.key.canonical(),
+                "digest": digest,
+                "size_bytes": stat_size,
+            })
+        return described
 
     def entry(self, model: str, bits: Optional[int], mapping: str) -> PlanEntry:
         key = PlanKey(model=model, bits=bits, mapping=mapping)

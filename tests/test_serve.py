@@ -99,6 +99,22 @@ class TestPlanRegistry:
         digests = {registry.digest("mlp", 4, m) for m in ("acm", "de", "bc")}
         assert len(digests) == 3
 
+    def test_refresh_preserves_entries_and_their_digest_cache(self, registry):
+        """Regression: pollers refresh per request; re-scans must not throw
+        away memoised digests (full re-hash of every artifact per poll)."""
+        digest = registry.digest("mlp", 4, "acm")
+        entry = registry.entry("mlp", 4, "acm")
+        assert entry._digest is not None
+        registry.refresh()
+        assert registry.entry("mlp", 4, "acm") is entry
+        assert registry.digest("mlp", 4, "acm") == digest
+        # A genuinely replaced artifact still changes digest (the stat
+        # signature invalidates the memo).
+        other = PlanRegistry(registry.directory)
+        other.publish_model(small_mlp(seed=7), "mlp", 4, "acm")
+        registry.refresh()
+        assert registry.digest("mlp", 4, "acm") != digest
+
     def test_fp32_bits_round_trip(self, tmp_path):
         registry = PlanRegistry(tmp_path)
         registry.publish_model(small_mlp(bits=None), "mlp", None, "acm")
@@ -380,6 +396,150 @@ class TestInferenceService:
             )
         np.testing.assert_array_equal(after, before)
         np.testing.assert_allclose(ensemble.mean_logits, before, atol=1e-12)
+
+
+# ---------------------------------------------------------------------- #
+# Ensemble weight-stack cache
+# ---------------------------------------------------------------------- #
+class TestEnsembleWeightStackCache:
+    """Repeated identical ensemble requests must skip Monte-Carlo resampling.
+
+    Sampling the per-crossbar weight stacks is the image-independent cost of
+    an ensemble request; the service caches them per
+    ``(plan, sigma, num_samples, seed, dtype)`` draw identity.
+    """
+
+    @pytest.fixture
+    def served(self, tmp_path):
+        registry = PlanRegistry(tmp_path / "plans")
+        registry.publish_model(small_mlp(), "mlp", 4, "acm")
+        images = np.random.default_rng(1).normal(size=(5, 1, 4, 4))
+        return registry, images
+
+    @staticmethod
+    def _counting(monkeypatch):
+        import repro.serve.service as service_module
+
+        calls = []
+        real = service_module.sample_crossbar_weights
+
+        def wrapper(*args, **kwargs):
+            calls.append(args)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(service_module, "sample_crossbar_weights", wrapper)
+        return calls
+
+    def test_identical_requests_resample_once_and_stay_bit_identical(
+        self, served, monkeypatch
+    ):
+        registry, images = served
+        calls = self._counting(monkeypatch)
+        kwargs = dict(model="mlp", bits=4, mapping="acm",
+                      sigma_fraction=0.2, num_samples=6, seed=9)
+        with InferenceService(registry) as service:
+            first = service.predict_under_variation(images, **kwargs)
+            second = service.predict_under_variation(images, **kwargs)
+            assert len(calls) == 1  # the regression: no resampling
+            assert service.ensemble_cache_hits == 1
+            assert service.ensemble_cache_misses == 1
+            np.testing.assert_array_equal(first.mean_logits, second.mean_logits)
+            np.testing.assert_array_equal(first.vote_counts, second.vote_counts)
+            np.testing.assert_array_equal(first.predictions, second.predictions)
+            # Different images under the same draw identity: still no
+            # resampling (the stacks are image-independent).
+            service.predict_under_variation(images[:2], **kwargs)
+            assert len(calls) == 1
+
+    @pytest.mark.parametrize("change", [
+        {"seed": 10}, {"sigma_fraction": 0.25}, {"num_samples": 7},
+    ])
+    def test_changed_draw_identity_resamples(self, served, monkeypatch, change):
+        registry, images = served
+        calls = self._counting(monkeypatch)
+        kwargs = dict(model="mlp", bits=4, mapping="acm",
+                      sigma_fraction=0.2, num_samples=6, seed=9)
+        with InferenceService(registry) as service:
+            baseline = service.predict_under_variation(images, **kwargs)
+            changed = service.predict_under_variation(images, **{**kwargs, **change})
+            assert len(calls) == 2
+            assert not np.array_equal(baseline.mean_logits, changed.mean_logits)
+
+    def test_cache_is_bounded_lru(self, served, monkeypatch):
+        registry, images = served
+        calls = self._counting(monkeypatch)
+        with InferenceService(registry, ensemble_cache_size=2) as service:
+            for seed in (1, 2, 3):  # seed 1 evicted by seed 3
+                service.predict_under_variation(
+                    images, model="mlp", bits=4, mapping="acm",
+                    sigma_fraction=0.1, num_samples=3, seed=seed,
+                )
+            assert len(calls) == 3
+            service.predict_under_variation(  # seed 3 still cached
+                images, model="mlp", bits=4, mapping="acm",
+                sigma_fraction=0.1, num_samples=3, seed=3,
+            )
+            assert len(calls) == 3
+            evicted = service.predict_under_variation(  # seed 1 re-samples
+                images, model="mlp", bits=4, mapping="acm",
+                sigma_fraction=0.1, num_samples=3, seed=1,
+            )
+            assert len(calls) == 4
+            assert evicted.seed == 1
+
+    def test_cached_result_matches_fresh_service_bitwise(self, served):
+        """A cache hit must serve the exact bits a cold service computes."""
+        registry, images = served
+        kwargs = dict(model="mlp", bits=4, mapping="acm",
+                      sigma_fraction=0.15, num_samples=5, seed=4)
+        with InferenceService(registry) as warm:
+            warm.predict_under_variation(images, **kwargs)
+            hit = warm.predict_under_variation(images, **kwargs)
+        with InferenceService(registry) as cold:
+            fresh = cold.predict_under_variation(images, **kwargs)
+        np.testing.assert_array_equal(hit.mean_logits, fresh.mean_logits)
+        np.testing.assert_array_equal(hit.vote_counts, fresh.vote_counts)
+
+
+# ---------------------------------------------------------------------- #
+# Catalogue / stats hooks behind the HTTP front-end
+# ---------------------------------------------------------------------- #
+class TestServiceCatalogue:
+    def test_models_lists_catalogue_with_digests(self, tmp_path):
+        registry = PlanRegistry(tmp_path / "plans")
+        registry.publish_model(small_mlp(seed=0), "mlp", 4, "acm")
+        registry.publish_model(small_mlp(mapping="de", seed=1), "mlp", 4, "de")
+        with InferenceService(registry) as service:
+            listed = service.models()
+        assert [entry["name"] for entry in listed] == ["mlp__4b__acm", "mlp__4b__de"]
+        for entry in listed:
+            assert entry["digest"] == registry.digest(
+                entry["model"], entry["bits"], entry["mapping"]
+            )
+            assert entry["size_bytes"] > 0
+
+    def test_models_sees_externally_published_artifacts(self, tmp_path):
+        registry = PlanRegistry(tmp_path / "plans")
+        with InferenceService(registry) as service:
+            assert service.models() == []
+            # Another process drops an artifact into the directory.
+            other = PlanRegistry(tmp_path / "plans")
+            other.publish_model(small_mlp(), "late", 4, "acm")
+            assert [entry["name"] for entry in service.models()] == ["late__4b__acm"]
+
+    def test_stats_summary_is_json_ready(self, tmp_path):
+        import json
+
+        registry = PlanRegistry(tmp_path / "plans")
+        registry.publish_model(small_mlp(), "mlp", 4, "acm")
+        images = np.zeros((3, 1, 4, 4))
+        with InferenceService(registry) as service:
+            service.predict(images, model="mlp", bits=4, mapping="acm")
+            summary = service.stats_summary()
+        assert summary["mlp__4b__acm"]["num_requests"] == 1
+        assert summary["mlp__4b__acm"]["num_rows"] == 3
+        assert summary["ensemble_cache"] == {"hits": 0, "misses": 0, "size": 0}
+        json.dumps(summary)  # must serialise without custom encoders
 
 
 # ---------------------------------------------------------------------- #

@@ -1,0 +1,232 @@
+"""Tests for the sharded multi-process serving cluster.
+
+Certifies the three cluster contracts: results are exactly what an
+in-process service produces (the pickle boundary adds nothing), the
+model-key partition is stable and total, and shutdown drains in-flight
+work instead of dropping it.  One cluster is shared per module — spawning
+worker processes is the expensive part.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from types import SimpleNamespace
+
+from repro.models import make_mlp
+from repro.runtime import compile_model, decode_array
+from repro.serve import (
+    InferenceService,
+    PlanCluster,
+    PlanKey,
+    PlanRegistry,
+    PlanServer,
+    shard_index,
+)
+from tests.test_serve_http import _predict_body, _request
+
+MODEL_NAMES = ("alpha", "beta", "gamma")
+
+
+@pytest.fixture(scope="module")
+def cluster_env(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("cluster-plans")
+    registry = PlanRegistry(directory)
+    plans = {}
+    for seed, name in enumerate(MODEL_NAMES):
+        model = make_mlp(input_size=16, hidden_sizes=(6,), mapping="acm",
+                         quantizer_bits=4, seed=seed)
+        registry.publish_model(model, name, 4, "acm")
+        plans[name] = compile_model(model)
+    cluster = PlanCluster(directory, num_workers=2, max_batch=16,
+                          max_wait_ms=2.0)
+    cluster.wait_ready(timeout=120)
+    images = np.random.default_rng(3).normal(size=(6, 1, 4, 4))
+    yield SimpleNamespace(
+        directory=directory, registry=registry, plans=plans,
+        cluster=cluster, images=images,
+    )
+    cluster.close()
+
+
+class TestSharding:
+    def test_partition_is_stable_total_and_in_range(self):
+        keys = [PlanKey(f"m{i}", bits, mapping)
+                for i in range(20)
+                for bits in (1, 4, None)
+                for mapping in ("acm", "de", "bc")]
+        for workers in (1, 2, 3, 7):
+            shards = [shard_index(key, workers) for key in keys]
+            assert all(0 <= shard < workers for shard in shards)
+            # Pure function: same key, same shard, every time.
+            assert shards == [shard_index(key, workers) for key in keys]
+        # With enough keys the hash uses every worker.
+        assert set(shard_index(key, 2) for key in keys) == {0, 1}
+
+    def test_worker_for_matches_shard_index(self, cluster_env):
+        for name in MODEL_NAMES:
+            assert cluster_env.cluster.worker_for(name, 4, "acm") == shard_index(
+                PlanKey(name, 4, "acm"), cluster_env.cluster.num_workers
+            )
+
+    def test_invalid_worker_counts_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            shard_index(PlanKey("m", 4, "acm"), 0)
+        with pytest.raises(ValueError):
+            PlanCluster(tmp_path, num_workers=0)
+        with pytest.raises(ValueError):
+            PlanCluster(tmp_path, num_workers=2, handler_threads=0)
+
+
+class TestClusterRequests:
+    def test_predict_exact_for_every_model(self, cluster_env):
+        for name, plan in cluster_env.plans.items():
+            logits = cluster_env.cluster.predict(
+                cluster_env.images, model=name, bits=4, mapping="acm"
+            )
+            np.testing.assert_array_equal(logits, plan.run(cluster_env.images))
+
+    def test_single_sample_request_drops_batch_axis(self, cluster_env):
+        # The MLP plans take flat (16,) samples; a single flat vector must
+        # come back as (10,) logits, not a one-row batch.
+        sample = cluster_env.images[0].reshape(-1)
+        logits = cluster_env.cluster.predict(
+            sample, model="alpha", bits=4, mapping="acm"
+        )
+        assert logits.shape == (10,)
+        np.testing.assert_array_equal(
+            logits, cluster_env.plans["alpha"].run(sample[None])[0]
+        )
+
+    def test_concurrent_requests_across_models_all_exact(self, cluster_env):
+        futures = [
+            (name, index, cluster_env.cluster.predict_async(
+                cluster_env.images[index], model=name, bits=4, mapping="acm"))
+            for index in range(len(cluster_env.images))
+            for name in MODEL_NAMES
+        ]
+        for name, index, future in futures:
+            expected = cluster_env.plans[name].run(
+                cluster_env.images[index:index + 1]
+            )
+            np.testing.assert_allclose(future.result(timeout=60), expected,
+                                       atol=1e-10, rtol=0)
+
+    def test_ensemble_bit_identical_to_in_process_service(self, cluster_env):
+        kwargs = dict(model="beta", bits=4, mapping="acm",
+                      sigma_fraction=0.2, num_samples=7, seed=5)
+        via_cluster = cluster_env.cluster.predict_under_variation(
+            cluster_env.images, **kwargs
+        )
+        with InferenceService(PlanRegistry(cluster_env.directory)) as reference:
+            in_process = reference.predict_under_variation(
+                cluster_env.images, **kwargs
+            )
+        np.testing.assert_array_equal(via_cluster.mean_logits,
+                                      in_process.mean_logits)
+        np.testing.assert_array_equal(via_cluster.predictions,
+                                      in_process.predictions)
+        np.testing.assert_array_equal(via_cluster.vote_counts,
+                                      in_process.vote_counts)
+
+    def test_unknown_model_raises_keyerror_in_caller(self, cluster_env):
+        with pytest.raises(KeyError, match="unknown"):
+            cluster_env.cluster.predict(
+                cluster_env.images, model="unknown", bits=4, mapping="acm"
+            )
+
+    def test_malformed_geometry_raises_valueerror_in_caller(self, cluster_env):
+        with pytest.raises(ValueError, match="incompatible"):
+            cluster_env.cluster.predict(
+                np.zeros((2, 3, 3)), model="alpha", bits=4, mapping="acm"
+            )
+
+    def test_late_published_model_is_served_after_refresh(self, cluster_env):
+        late = make_mlp(input_size=16, hidden_sizes=(6,), mapping="de",
+                        quantizer_bits=6, seed=11)
+        cluster_env.registry.publish_model(late, "late", 6, "de")
+        logits = cluster_env.cluster.predict(
+            cluster_env.images, model="late", bits=6, mapping="de"
+        )
+        np.testing.assert_array_equal(logits,
+                                      compile_model(late).run(cluster_env.images))
+
+
+class TestClusterIntrospection:
+    def test_models_lists_catalogue_with_shards(self, cluster_env):
+        listed = {entry["name"]: entry for entry in cluster_env.cluster.models()}
+        for name in MODEL_NAMES:
+            entry = listed[f"{name}__4b__acm"]
+            assert entry["digest"] == cluster_env.registry.digest(name, 4, "acm")
+            assert entry["worker"] == cluster_env.cluster.worker_for(name, 4, "acm")
+
+    def test_stats_summary_covers_every_worker(self, cluster_env):
+        cluster_env.cluster.predict(
+            cluster_env.images, model="alpha", bits=4, mapping="acm"
+        )
+        summary = cluster_env.cluster.stats_summary()
+        assert set(summary) == {"worker-0", "worker-1"}
+        total_requests = sum(
+            stats.get("num_requests", 0)
+            for worker_stats in summary.values()
+            for name, stats in worker_stats.items()
+            if name != "ensemble_cache"
+        )
+        assert total_requests >= 1
+
+    def test_http_front_end_over_cluster(self, cluster_env):
+        with PlanServer(cluster_env.cluster, own_backend=False) as server:
+            status, body = _request(
+                server.address, "POST", "/v1/predict",
+                _predict_body(cluster_env.images, model="gamma", bits=4,
+                              mapping="acm"),
+            )
+            assert status == 200
+            np.testing.assert_array_equal(
+                decode_array(body["logits"]),
+                cluster_env.plans["gamma"].run(cluster_env.images),
+            )
+            status, body = _request(
+                server.address, "POST", "/v1/predict",
+                _predict_body(cluster_env.images, model="missing", bits=4,
+                              mapping="acm"),
+            )
+            assert status == 404
+            status, body = _request(server.address, "GET", "/v1/models")
+            assert status == 200
+            assert {"worker"} <= set(body["models"][0])
+        # own_backend=False: the cluster survives the server.
+        cluster_env.cluster.predict(
+            cluster_env.images[:1], model="alpha", bits=4, mapping="acm"
+        )
+
+
+class TestClusterLifecycle:
+    def test_close_drains_inflight_requests(self, tmp_path):
+        registry = PlanRegistry(tmp_path / "plans")
+        model = make_mlp(input_size=16, hidden_sizes=(4,), mapping="acm",
+                         quantizer_bits=4, seed=0)
+        registry.publish_model(model, "solo", 4, "acm")
+        plan = compile_model(model)
+        images = np.random.default_rng(0).normal(size=(2, 1, 4, 4))
+        cluster = PlanCluster(tmp_path / "plans", num_workers=1,
+                              max_wait_ms=50.0)
+        cluster.wait_ready(timeout=120)
+        futures = [
+            cluster.predict_async(images, model="solo", bits=4, mapping="acm")
+            for _ in range(8)
+        ]
+        cluster.close()
+        for future in futures:
+            np.testing.assert_array_equal(future.result(timeout=10),
+                                          plan.run(images))
+
+    def test_closed_cluster_rejects_requests(self, tmp_path):
+        cluster = PlanCluster(tmp_path / "plans", num_workers=1)
+        cluster.close()
+        cluster.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            cluster.predict(np.zeros((1, 1, 4, 4)), model="m", bits=4,
+                            mapping="acm")
+        with pytest.raises(RuntimeError):
+            cluster.stats_summary()
