@@ -1,57 +1,57 @@
-"""Serve compiled crossbar plans: registry, micro-batching, ensemble requests.
+"""One client script, three backends: serving through ``repro.api``.
 
-A walkthrough of the plan-serving subsystem (``repro.serve``), end to end:
+The walkthrough publishes two trained crossbar-mapped plans into a
+registry directory, then runs the *same* typed client script — catalogue
+listing, concurrent deterministic predictions, a seeded variation
+ensemble, and a Fig. 6-style sigma sweep — against all three backends of
+the unified client layer:
 
-1. **Publish** — train two small crossbar-mapped models, freeze each into an
-   :class:`~repro.runtime.plan.InferencePlan`, and publish the artifacts into
-   a :class:`~repro.serve.PlanRegistry` directory (canonically named,
-   content-addressable, LRU-cached ``.npz`` files).
-2. **Serve deterministic traffic** — start an
-   :class:`~repro.serve.InferenceService` and issue concurrent single-image
-   ``predict`` requests; the micro-batching scheduler coalesces them into
-   stacked plan executions (see the batch statistics it prints) while every
-   client gets back exactly the logits a standalone run would produce.
-3. **Serve variation-aware traffic** — the same service answers
-   ``predict_under_variation`` requests: a seeded Monte-Carlo ensemble over
-   device-variation draws with per-request sigma, returning mean logits plus
-   a majority-vote class and its vote confidence (the paper's Fig. 6
-   protocol, reshaped into a serving scenario).  Repeated requests at the
-   same (sigma, seed) operating point reuse the cached sampled weight
-   stacks.
-4. **Serve over HTTP** — start the stdlib JSON front-end
-   (:class:`~repro.serve.PlanServer`) on the same registry and issue real
-   wire requests: ``POST /v1/predict`` with base64-packed float64 images
-   (bit-equivalent responses), ``POST /v1/predict_under_variation``, and
-   ``GET /v1/models`` for the digest catalogue.
-5. **Optionally shard across processes** — with ``--workers N`` the same
-   plan directory is served by a :class:`~repro.serve.PlanCluster`: N
-   worker processes, models partitioned by a stable key hash, so distinct
-   models run in true parallel.
+1. ``local:DIR``   — in-process :class:`~repro.serve.InferenceService`
+   (micro-batching schedulers included);
+2. ``http://...``  — a live :class:`~repro.serve.PlanServer` endpoint,
+   here with bearer-token auth enabled (the client sends
+   ``Authorization: Bearer ...``; a tokenless client gets a typed 401);
+3. ``cluster:DIR?workers=N`` — a sharded multi-process
+   :class:`~repro.serve.PlanCluster`.
 
-The standalone deployment equivalent of this walkthrough is the CLI::
+The script only ever touches :func:`repro.api.connect`, the typed
+request/response dataclasses, and the :class:`~repro.api.client.Client`
+protocol — the backend is one connect-target string.  At the end the
+per-backend float64 results are compared and must be **bit-identical**,
+which is the unified layer's core guarantee (and what the
+backend-equivalence test matrix enforces in CI).
 
-    python -m repro.serve --plan-dir DIR --port 8100 [--workers N]
+The standalone deployment equivalent is the CLI::
+
+    python -m repro.serve --plan-dir DIR --port 8100 \\
+        [--workers N] [--auth-token SECRET] [--max-queue-depth 64]
 
 Run with:  python examples/serving.py [--plan-dir DIR] [--sigma 0.15]
-                                      [--workers N]
+                                      [--workers 2] [--epochs 2]
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import tempfile
-import urllib.request
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
+from repro.api import (
+    ApiAuthError,
+    EnsembleRequest,
+    PredictRequest,
+    connect,
+    variation_sweep_via_client,
+)
 from repro.data.synthetic import synthetic_mnist
 from repro.models import make_lenet, make_mlp
-from repro.runtime.wire import decode_array, encode_array
-from repro.serve import InferenceService, PlanCluster, PlanRegistry, PlanServer
+from repro.serve import InferenceService, PlanRegistry, PlanServer
 from repro.train.evaluate import evaluate_accuracy
 from repro.train.trainer import Trainer, TrainingConfig
+
+AUTH_TOKEN = "example-shared-secret"
 
 
 def parse_args() -> argparse.Namespace:
@@ -62,9 +62,9 @@ def parse_args() -> argparse.Namespace:
                         help="device-variation sigma for the ensemble requests")
     parser.add_argument("--epochs", type=int, default=2,
                         help="training epochs per published model")
-    parser.add_argument("--workers", type=int, default=0,
-                        help="also demo a sharded plan cluster with N worker "
-                             "processes (default: skip)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="cluster worker processes for the cluster: "
+                             "backend (0 skips the cluster demo)")
     return parser.parse_args()
 
 
@@ -85,91 +85,56 @@ def publish_models(registry: PlanRegistry, epochs: int):
     return test_set
 
 
-def serve_deterministic(service: InferenceService, test_set) -> None:
-    print()
-    print("deterministic traffic: 64 concurrent single-image requests")
-    images = test_set.images[:64]
-    with ThreadPoolExecutor(max_workers=8) as clients:
-        logits = list(clients.map(
-            lambda i: service.predict(images[i], model="lenet", bits=4,
-                                      mapping="acm"),
+def run_client_script(client, test_set, sigma: float) -> dict:
+    """The one script every backend serves; returns its float64 results."""
+    # 1. Catalogue: every backend lists the same digests.
+    for info in client.models():
+        shard = f"  worker {info.worker}" if info.worker is not None else ""
+        print(f"    {info.name:24s} digest={info.digest[:12]}{shard}")
+
+    # 2. Concurrent deterministic traffic (micro-batched server-side).
+    images = test_set.images[:32]
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        logits = np.stack(list(pool.map(
+            lambda i: client.predict(PredictRequest(
+                images=images[i], model="lenet", mapping="acm", bits=4,
+            )).logits,
             range(len(images)),
-        ))
-    predictions = np.stack(logits).argmax(axis=-1)
-    stats = service.stats["lenet__4b__acm"]
-    print(f"  answered {stats.num_requests} requests in {stats.num_batches} "
-          f"micro-batches (mean {stats.mean_rows_per_batch:.1f} images/batch)")
-    print(f"  first predictions: {predictions[:10].tolist()}")
+        )))
+    print(f"    predict: 32 concurrent single-image requests -> "
+          f"predictions {logits.argmax(axis=-1)[:10].tolist()}...")
 
+    # 3. One pre-batched request: a fixed execution geometry, so the
+    # logits must be *bit-identical* on every backend.
+    batch_logits = client.predict(PredictRequest(
+        images=images, model="lenet", mapping="acm", bits=4,
+    )).logits
 
-def serve_ensembles(service: InferenceService, test_set, sigma: float) -> None:
-    print()
-    print(f"variation-aware traffic: seeded ensembles at sigma={sigma:.0%}")
-    for name in ("lenet", "mlp"):
-        response = service.predict_under_variation(
-            test_set.images[:8], model=name, bits=4, mapping="acm",
-            sigma_fraction=sigma, num_samples=25, seed=42,
-        )
-        stable = (response.confidence == 1.0).sum()
-        print(f"  {name:5s}: predictions {response.predictions.tolist()} "
-              f"votes {np.round(response.confidence, 2).tolist()} "
-              f"({stable}/8 stable under variation)")
+    # 4. A seeded variation ensemble (the Fig. 6 protocol as one request).
+    ensemble = client.ensemble(EnsembleRequest(
+        images=test_set.images[:8], model="mlp", mapping="acm", bits=4,
+        sigma_fraction=sigma, num_samples=25, seed=42,
+    ))
+    stable = int((np.asarray(ensemble.confidence) == 1.0).sum())
+    print(f"    ensemble @ sigma={sigma:.0%}: predictions "
+          f"{np.asarray(ensemble.predictions).tolist()} "
+          f"({stable}/8 stable under variation)")
 
+    # 5. The sigma sweep, through the same facade.
+    sweep = variation_sweep_via_client(
+        client, test_set.images[:16], test_set.labels[:16],
+        model="lenet", mapping="acm", bits=4,
+        sigmas=(0.0, sigma), num_samples=15, seed=7,
+    )
+    for row in sweep.as_rows():
+        print(f"    {row}")
 
-def serve_http(registry: PlanRegistry, test_set, sigma: float) -> None:
-    """The same stack, reachable over the wire via the HTTP front-end."""
-    print()
-    print("HTTP front-end: stdlib JSON endpoint over the same registry")
-    service = InferenceService(registry, max_batch=32, max_wait_ms=5.0)
-    with PlanServer(service) as server:
-        print(f"  listening on {server.url}")
-        with urllib.request.urlopen(f"{server.url}/v1/models") as response:
-            catalogue = json.loads(response.read())["models"]
-        for entry in catalogue:
-            print(f"  GET /v1/models -> {entry['name']} "
-                  f"digest={entry['digest'][:12]}")
-        images = test_set.images[:4]
-        body = json.dumps({
-            "model": "lenet", "bits": 4, "mapping": "acm",
-            "images": encode_array(np.asarray(images)),  # base64-packed float64
-        }).encode()
-        request = urllib.request.Request(f"{server.url}/v1/predict", data=body)
-        with urllib.request.urlopen(request) as response:
-            logits = decode_array(json.loads(response.read())["logits"])
-        in_process = service.predict(images, model="lenet", bits=4, mapping="acm")
-        print(f"  POST /v1/predict -> predictions "
-              f"{logits.argmax(axis=-1).tolist()} "
-              f"(bit-equal to in-process: "
-              f"{bool(np.array_equal(logits, in_process))})")
-        body = json.dumps({
-            "model": "mlp", "bits": 4, "mapping": "acm",
-            "images": np.asarray(images).tolist(),  # nested lists work too
-            "sigma_fraction": sigma, "num_samples": 25, "seed": 42,
-            "encoding": "list",
-        }).encode()
-        request = urllib.request.Request(
-            f"{server.url}/v1/predict_under_variation", data=body
-        )
-        with urllib.request.urlopen(request) as response:
-            ensemble = json.loads(response.read())
-        print(f"  POST /v1/predict_under_variation -> predictions "
-              f"{ensemble['predictions']} votes "
-              f"{[round(v, 2) for v in ensemble['confidence']]}")
-
-
-def serve_cluster(plan_dir, test_set, num_workers: int) -> None:
-    """Shard the same plan directory across worker processes."""
-    print()
-    print(f"plan cluster: {num_workers} worker processes over {plan_dir}")
-    with PlanCluster(plan_dir, num_workers=num_workers) as cluster:
-        cluster.wait_ready()
-        for entry in cluster.models():
-            print(f"  {entry['name']} -> worker {entry['worker']}")
-        for name in ("lenet", "mlp"):
-            logits = cluster.predict(test_set.images[:8], model=name, bits=4,
-                                     mapping="acm")
-            print(f"  {name:5s}: cluster predictions "
-                  f"{logits.argmax(axis=-1).tolist()}")
+    return {
+        "batch_logits": np.asarray(batch_logits),
+        "ensemble_mean": np.asarray(ensemble.mean_logits),
+        "sweep_accuracy": np.asarray(sweep.accuracies),
+        "concurrent_logits": logits,
+    }
 
 
 def main() -> None:
@@ -179,20 +144,59 @@ def main() -> None:
 
     registry = PlanRegistry(plan_dir, capacity=4)
     test_set = publish_models(registry, epochs=args.epochs)
+    results = {}
 
-    with InferenceService(registry, max_batch=32, max_wait_ms=5.0) as service:
-        serve_deterministic(service, test_set)
-        serve_ensembles(service, test_set, args.sigma)
+    # Backend 1: in-process.
+    target = f"local:{plan_dir}?max_batch=32&max_wait_ms=5"
+    print(f"\n[local] connect({target!r})")
+    with connect(target) as client:
+        results["local"] = run_client_script(client, test_set, args.sigma)
 
-    serve_http(registry, test_set, args.sigma)
+    # Backend 2: a live HTTP endpoint with bearer-token auth.
+    service = InferenceService(registry, max_batch=32, max_wait_ms=5.0)
+    with PlanServer(service, own_backend=True,
+                    auth_token=AUTH_TOKEN) as server:
+        print(f"\n[http] connect({server.url!r}, token=...)")
+        try:
+            connect(server.url).models()
+        except ApiAuthError as error:
+            print(f"    without token: typed {type(error).__name__} "
+                  f"(code={error.code}) — as it should be")
+        with connect(server.url, token=AUTH_TOKEN) as client:
+            results["http"] = run_client_script(client, test_set, args.sigma)
+
+    # Backend 3: a sharded multi-process cluster.
     if args.workers > 0:
-        serve_cluster(plan_dir, test_set, args.workers)
+        target = f"cluster:{plan_dir}?workers={args.workers}"
+        print(f"\n[cluster] connect({target!r})")
+        with connect(target) as client:
+            client.backend.wait_ready()
+            results["cluster"] = run_client_script(client, test_set, args.sigma)
 
-    print()
-    print(f"registry: {len(registry)} artifacts, "
-          f"{registry.hits} cache hits / {registry.misses} loads")
-    print("deploy standalone with: python -m repro.serve "
-          f"--plan-dir {plan_dir} --port 8100 --workers 2")
+    print("\nbackend equivalence (same script through every backend):")
+    reference = results["local"]
+    for backend, result in results.items():
+        if backend == "local":
+            continue
+        # Fixed-geometry requests (one batch, seeded ensembles, the sweep)
+        # are bit-identical.  The *concurrent* single-image traffic
+        # coalesces into backend-specific micro-batch geometries, where
+        # BLAS blocking may differ in the last bits — 1e-10 is the serving
+        # equivalence bar (same as the test suite's).
+        exact = all(
+            np.array_equal(result[key], reference[key])
+            for key in ("batch_logits", "ensemble_mean", "sweep_accuracy")
+        )
+        coalesced = bool(np.allclose(
+            result["concurrent_logits"], reference["concurrent_logits"],
+            atol=1e-10, rtol=0,
+        ))
+        print(f"  local == {backend}: bit-identical={exact}  "
+              f"coalesced traffic within 1e-10: {coalesced}")
+
+    print(f"\ndeploy standalone with: python -m repro.serve "
+          f"--plan-dir {plan_dir} --port 8100 --workers 2 "
+          f"--auth-token SECRET --max-queue-depth 64")
 
 
 if __name__ == "__main__":

@@ -34,6 +34,12 @@ contribution:
     LRU caching, content digests), a dynamic micro-batching scheduler, an
     inference service with deterministic and variation-ensemble requests,
     and a process-pool driver that parallelises the Fig. 6 study.
+``repro.api``
+    The unified typed client layer over the serving stack: one ``Client``
+    protocol with interchangeable in-process, HTTP, and cluster backends
+    (``repro.api.connect("local:DIR" | "http://host:port" |
+    "cluster:DIR?workers=N")``), shared request/response dataclasses, and
+    a typed error hierarchy with stable machine-readable codes.
 ``repro.hardware``
     A NeuroSim-style analytical area/energy/delay estimator used to reproduce
     the paper's Table I.

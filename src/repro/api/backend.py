@@ -1,0 +1,80 @@
+"""The shared typed-entry-point fold every backend implementation uses.
+
+``InferenceService`` and ``PlanCluster`` both expose the typed backend
+contract (``predict_request`` / ``ensemble_request``); this module holds
+the one implementation of the surrounding fold — normalise the request
+images, call the backend's legacy kwargs method, pass typed errors
+through, fold everything else via
+:func:`~repro.api.errors.map_exception`, assemble the shared result
+dataclass — so the two backends cannot drift apart.
+
+Import-pure (NumPy + the pure ``repro.api`` leaves only), so the serve
+modules can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.api.errors import ApiError, map_exception
+from repro.api.types import (
+    EnsembleRequest,
+    EnsembleResult,
+    PredictRequest,
+    PredictResult,
+)
+
+
+def typed_predict(
+    predict: Callable[..., Any],
+    request: PredictRequest,
+    **call_kwargs: Any,
+) -> PredictResult:
+    """Run a legacy ``predict(images, *, model, bits, mapping, ...)`` callable
+    for one typed request, with the shared exception fold."""
+    try:
+        logits = predict(
+            np.asarray(request.images), model=request.model,
+            bits=request.bits, mapping=request.mapping, **call_kwargs,
+        )
+    except ApiError:
+        raise
+    except Exception as error:
+        raise map_exception(error) from error
+    return PredictResult(
+        model=request.model, bits=request.bits, mapping=request.mapping,
+        logits=np.asarray(logits),
+    )
+
+
+def typed_ensemble(
+    ensemble: Callable[..., Any],
+    request: EnsembleRequest,
+    **call_kwargs: Any,
+) -> EnsembleResult:
+    """Run a legacy ``predict_under_variation(...)`` callable for one typed
+    request, with the shared exception fold.
+
+    The legacy callables already return the shared :class:`EnsembleResult`
+    (it is the one ensemble-response type in the system), so no assembly
+    is needed on the way out.
+    """
+    try:
+        result = ensemble(
+            np.asarray(request.images), model=request.model,
+            bits=request.bits, mapping=request.mapping,
+            sigma_fraction=request.sigma_fraction,
+            num_samples=request.num_samples, seed=request.seed,
+            **call_kwargs,
+        )
+    except ApiError:
+        raise
+    except Exception as error:
+        raise map_exception(error) from error
+    if not isinstance(result, EnsembleResult):  # pragma: no cover - defensive
+        raise map_exception(TypeError(
+            f"backend returned {type(result).__name__}, not EnsembleResult"
+        ))
+    return result

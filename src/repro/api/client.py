@@ -1,0 +1,204 @@
+"""The ``Client`` protocol and its in-process backend implementations.
+
+A :class:`Client` is the one surface every consumer codes against:
+typed requests in (:class:`~repro.api.types.PredictRequest`,
+:class:`~repro.api.types.EnsembleRequest`), typed results out, typed
+:class:`~repro.api.errors.ApiError` failures — with the transport an
+implementation detail chosen at :func:`~repro.api.connect.connect` time:
+
+* :class:`LocalClient` — wraps an in-process
+  :class:`~repro.serve.service.InferenceService` (micro-batching included);
+* :class:`~repro.api.http_client.HttpClient` — speaks the JSON wire
+  protocol against a :class:`~repro.serve.http.PlanServer`;
+* :class:`ClusterClient` — wraps a sharded multi-process
+  :class:`~repro.serve.cluster.PlanCluster`.
+
+All three return bit-identical float64 predictions for the same request
+and raise the identical typed error for the same malformed input — the
+backend-equivalence test matrix enforces both properties.
+"""
+
+from __future__ import annotations
+
+from types import TracebackType
+from typing import Any, Dict, List, Optional, Protocol, Type, TypeVar, cast
+
+from repro.api.errors import ApiError, map_exception
+from repro.api.types import (
+    EnsembleRequest,
+    EnsembleResult,
+    HealthStatus,
+    ModelInfo,
+    PredictRequest,
+    PredictResult,
+)
+from repro.serve.cluster import PlanCluster
+from repro.serve.service import InferenceService
+
+
+class Client(Protocol):
+    """Transport-agnostic serving client (structural protocol).
+
+    Implementations are context managers; ``close()`` releases whatever
+    the client owns (for ``own_backend=True`` wrappers, the backend too).
+    """
+
+    def predict(self, request: PredictRequest) -> PredictResult:
+        """Deterministic logits for one request (bit-exact across backends)."""
+        ...
+
+    def ensemble(self, request: EnsembleRequest) -> EnsembleResult:
+        """Seeded Monte-Carlo ensemble prediction under device variation."""
+        ...
+
+    def models(self) -> List[ModelInfo]:
+        """The backend's published-plan catalogue (with content digests)."""
+        ...
+
+    def stats(self) -> Dict[str, Any]:
+        """Serving statistics (micro-batching, caches, queue depths)."""
+        ...
+
+    def health(self) -> HealthStatus:
+        """Liveness probe: backend status and catalogue size."""
+        ...
+
+    def close(self) -> None:
+        """Release the client (and, when owned, its backend)."""
+        ...
+
+    def __enter__(self) -> "Client":
+        ...
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        ...
+
+
+_ClientT = TypeVar("_ClientT", bound="_BackendClient")
+
+
+class _BackendClient:
+    """Shared plumbing of the two backend-wrapping clients."""
+
+    def __init__(self, backend: Any, own_backend: bool) -> None:
+        self.backend = backend
+        self.own_backend = own_backend
+        self._closed = False
+
+    def models(self) -> List[ModelInfo]:
+        try:
+            entries = self.backend.models()
+        except ApiError:
+            raise
+        except Exception as error:
+            raise map_exception(error) from error
+        return [ModelInfo.from_wire(entry) for entry in entries]
+
+    def stats(self) -> Dict[str, Any]:
+        try:
+            return cast(Dict[str, Any], self.backend.stats_summary())
+        except ApiError:
+            raise
+        except Exception as error:
+            raise map_exception(error) from error
+
+    def health(self) -> HealthStatus:
+        return HealthStatus(status="ok", models=len(self.models()))
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self.own_backend:
+            self.backend.close()
+
+    def __enter__(self: _ClientT) -> _ClientT:
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.close()
+
+
+class LocalClient(_BackendClient):
+    """In-process backend: the service's schedulers, caches, and registry.
+
+    ``connect("local:plans/")`` builds the registry + service and returns
+    one of these with ``own_backend=True`` (closing the client drains the
+    schedulers).  Wrap an existing service with ``own_backend=False`` to
+    share it between a client and, say, an HTTP front-end.
+    """
+
+    def __init__(
+        self,
+        service: InferenceService,
+        own_backend: bool = True,
+        timeout: Optional[float] = 60.0,
+    ) -> None:
+        super().__init__(service, own_backend)
+        self.timeout = timeout
+
+    @property
+    def service(self) -> InferenceService:
+        return cast(InferenceService, self.backend)
+
+    def predict(self, request: PredictRequest) -> PredictResult:
+        return cast(
+            PredictResult,
+            self.backend.predict_request(request, timeout=self.timeout),
+        )
+
+    def ensemble(self, request: EnsembleRequest) -> EnsembleResult:
+        return cast(
+            EnsembleResult, self.backend.ensemble_request(request)
+        )
+
+
+class ClusterClient(_BackendClient):
+    """Sharded multi-process backend: one worker process per model shard.
+
+    ``connect("cluster:plans/?workers=4")`` spawns the cluster and returns
+    one of these with ``own_backend=True``.  A dead worker surfaces as the
+    typed :class:`~repro.api.errors.WorkerDied` on its shard (other shards
+    keep serving); ``client.backend.restart_worker(i)`` re-admits it.
+    """
+
+    def __init__(
+        self,
+        cluster: PlanCluster,
+        own_backend: bool = True,
+        timeout: Optional[float] = 60.0,
+        ensemble_timeout: Optional[float] = 120.0,
+    ) -> None:
+        super().__init__(cluster, own_backend)
+        self.timeout = timeout
+        # Ensembles run num_samples stacked passes, so they get the
+        # cluster backend's larger default budget rather than inheriting
+        # the deterministic-request timeout.
+        self.ensemble_timeout = ensemble_timeout
+
+    @property
+    def cluster(self) -> PlanCluster:
+        return cast(PlanCluster, self.backend)
+
+    def predict(self, request: PredictRequest) -> PredictResult:
+        return cast(
+            PredictResult,
+            self.backend.predict_request(request, timeout=self.timeout),
+        )
+
+    def ensemble(self, request: EnsembleRequest) -> EnsembleResult:
+        return cast(
+            EnsembleResult,
+            self.backend.ensemble_request(request,
+                                          timeout=self.ensemble_timeout),
+        )

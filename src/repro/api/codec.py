@@ -1,0 +1,282 @@
+"""JSON-body codecs between the typed API dataclasses and the wire protocol.
+
+One module owns the translation in both directions, so the HTTP server
+(:class:`~repro.serve.http.PlanServer`) and the HTTP client
+(:class:`~repro.api.http_client.HttpClient`) can never disagree about the
+protocol: the server decodes request bodies with the same functions whose
+encoders the client used to produce them, and vice versa for responses.
+
+Arrays ride as :mod:`repro.runtime.wire` payloads (base64-packed bytes or
+nested lists, selected per request by the ``encoding`` field); float64
+packing round-trips exact bits, which is what makes HTTP responses
+certifiably bit-equivalent to in-process results.  Any malformed body
+raises the typed :class:`~repro.api.errors.InvalidRequest` so the error a
+client sees is identical whether the decode failed locally or server-side.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.api.errors import (
+    ApiBackpressure,
+    ApiError,
+    InvalidRequest,
+    error_for,
+    map_exception,
+)
+from repro.api.types import (
+    EnsembleRequest,
+    EnsembleResult,
+    PredictRequest,
+    PredictResult,
+    parse_bits_token,
+)
+from repro.runtime.wire import decode_array, encode_array
+
+#: Response array encodings a request may select.
+ENCODINGS = ("b64", "list")
+
+
+def response_encoding(body: Mapping[str, Any]) -> str:
+    """The validated ``encoding`` field of a request body (default b64)."""
+    encoding = body.get("encoding", "b64")
+    if encoding not in ENCODINGS:
+        raise InvalidRequest(
+            f"encoding must be 'b64' or 'list', not {encoding!r}"
+        )
+    return str(encoding)
+
+
+def _require(body: Mapping[str, Any], field: str) -> Any:
+    if field not in body:
+        raise InvalidRequest(f"missing required field {field!r}")
+    return body[field]
+
+
+def _decode_images(payload: Any) -> np.ndarray:
+    try:
+        return np.asarray(decode_array(payload))
+    except ApiError:
+        raise
+    except Exception as error:  # WireFormatError and friends -> typed
+        raise map_exception(error) from error
+
+
+def _decode_bits(value: Any) -> Optional[int]:
+    """The ``bits`` request field: int, null, or a canonical token."""
+    if value is None or (isinstance(value, int) and not isinstance(value, bool)):
+        return value
+    if isinstance(value, str):
+        return parse_bits_token(value)
+    raise InvalidRequest(f"bits must be an int, null, or token, not {value!r}")
+
+
+def _key_fields(body: Mapping[str, Any]) -> Tuple[str, Optional[int], str]:
+    model = _require(body, "model")
+    mapping = _require(body, "mapping")
+    if not isinstance(model, str):
+        raise InvalidRequest("model must be a string")
+    if not isinstance(mapping, str):
+        raise InvalidRequest("mapping must be a string")
+    return model, _decode_bits(body.get("bits")), mapping
+
+
+# ---------------------------------------------------------------------- #
+# Requests
+# ---------------------------------------------------------------------- #
+def encode_predict_request(
+    request: PredictRequest, encoding: str = "b64"
+) -> Dict[str, Any]:
+    """Render a :class:`PredictRequest` as a ``POST /v1/predict`` body."""
+    return {
+        "model": request.model,
+        "bits": request.bits,
+        "mapping": request.mapping,
+        "images": encode_array(np.asarray(request.images)),
+        "encoding": encoding,
+    }
+
+
+def decode_predict_request(
+    body: Mapping[str, Any],
+) -> Tuple[PredictRequest, str]:
+    """Parse a ``POST /v1/predict`` body; returns (request, response encoding)."""
+    model, bits, mapping = _key_fields(body)
+    request = PredictRequest(
+        images=_decode_images(_require(body, "images")),
+        model=model,
+        bits=bits,
+        mapping=mapping,
+    )
+    return request, response_encoding(body)
+
+
+def encode_ensemble_request(
+    request: EnsembleRequest, encoding: str = "b64"
+) -> Dict[str, Any]:
+    """Render an :class:`EnsembleRequest` as a ``POST /v1/predict_under_variation`` body."""
+    return {
+        "model": request.model,
+        "bits": request.bits,
+        "mapping": request.mapping,
+        "images": encode_array(np.asarray(request.images)),
+        "sigma_fraction": request.sigma_fraction,
+        "num_samples": request.num_samples,
+        "seed": request.seed,
+        "encoding": encoding,
+    }
+
+
+def decode_ensemble_request(
+    body: Mapping[str, Any],
+) -> Tuple[EnsembleRequest, str]:
+    """Parse a ``POST /v1/predict_under_variation`` body.
+
+    Field presence and JSON types are checked here; the numeric-range
+    invariants (non-negative sigma, positive sample count) live in
+    :class:`EnsembleRequest` itself, so they hold for every transport.
+    """
+    model, bits, mapping = _key_fields(body)
+    sigma = body.get("sigma_fraction", 0.1)
+    if isinstance(sigma, (int, float)) and not isinstance(sigma, bool):
+        sigma = float(sigma)
+    # Non-numeric sigma (and any bad num_samples/seed) flows into the
+    # request constructor unchanged, whose validation raises the same
+    # InvalidRequest a local caller would see.
+    request = EnsembleRequest(
+        images=_decode_images(_require(body, "images")),
+        model=model,
+        bits=bits,
+        mapping=mapping,
+        sigma_fraction=sigma,
+        num_samples=body.get("num_samples", 25),
+        seed=body.get("seed", 0),
+    )
+    return request, response_encoding(body)
+
+
+# ---------------------------------------------------------------------- #
+# Results
+# ---------------------------------------------------------------------- #
+def encode_predict_result(
+    result: PredictResult, encoding: str = "b64"
+) -> Dict[str, Any]:
+    """Render a :class:`PredictResult` as the ``/v1/predict`` response body."""
+    return {
+        "model": result.model,
+        "bits": result.bits,
+        "mapping": result.mapping,
+        "logits": encode_array(np.asarray(result.logits), encoding=encoding),
+    }
+
+
+def decode_predict_result(body: Mapping[str, Any]) -> PredictResult:
+    """Parse a ``/v1/predict`` response body back into a :class:`PredictResult`."""
+    return PredictResult(
+        model=str(_require(body, "model")),
+        bits=_decode_bits(body.get("bits")),
+        mapping=str(_require(body, "mapping")),
+        logits=_decode_images(_require(body, "logits")),
+    )
+
+
+def encode_ensemble_result(
+    result: EnsembleResult, encoding: str = "b64"
+) -> Dict[str, Any]:
+    """Render an :class:`EnsembleResult` as the ensemble response body.
+
+    The integer aggregates are packed as int64 and the confidence as
+    float64, matching the in-process dtypes exactly.
+    """
+    return {
+        "model": result.model,
+        "bits": result.bits,
+        "mapping": result.mapping,
+        "sigma_fraction": result.sigma_fraction,
+        "num_samples": result.num_samples,
+        "seed": result.seed,
+        "mean_logits": encode_array(
+            np.asarray(result.mean_logits), encoding=encoding
+        ),
+        "predictions": encode_array(
+            np.asarray(result.predictions, dtype=np.int64), encoding=encoding
+        ),
+        "confidence": encode_array(
+            np.asarray(result.confidence, dtype=np.float64), encoding=encoding
+        ),
+        "vote_counts": encode_array(
+            np.asarray(result.vote_counts, dtype=np.int64), encoding=encoding
+        ),
+    }
+
+
+def decode_ensemble_result(body: Mapping[str, Any]) -> EnsembleResult:
+    """Parse the ensemble response body back into an :class:`EnsembleResult`."""
+    sigma = _require(body, "sigma_fraction")
+    num_samples = _require(body, "num_samples")
+    seed = _require(body, "seed")
+    if not isinstance(sigma, (int, float)) or isinstance(sigma, bool):
+        raise InvalidRequest(f"sigma_fraction must be a number, not {sigma!r}")
+    if not isinstance(num_samples, int) or isinstance(num_samples, bool):
+        raise InvalidRequest(f"num_samples must be an int, not {num_samples!r}")
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        raise InvalidRequest(f"seed must be an int, not {seed!r}")
+    return EnsembleResult(
+        model=str(_require(body, "model")),
+        bits=_decode_bits(body.get("bits")),
+        mapping=str(_require(body, "mapping")),
+        mean_logits=_decode_images(_require(body, "mean_logits")),
+        predictions=_decode_images(_require(body, "predictions")),
+        confidence=_decode_images(_require(body, "confidence")),
+        vote_counts=_decode_images(_require(body, "vote_counts")),
+        sigma_fraction=float(sigma),
+        num_samples=num_samples,
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Errors
+# ---------------------------------------------------------------------- #
+def encode_error(
+    error: BaseException, status: Optional[int] = None, code: Optional[str] = None
+) -> Dict[str, Any]:
+    """Render any exception as the protocol's JSON error body.
+
+    Non-typed exceptions are folded through
+    :func:`~repro.api.errors.map_exception` first so the embedded ``code``
+    is always one a client can resolve; ``status`` / ``code`` override the
+    mapped values for protocol-level failures (404 path, 405 method, ...)
+    that are not typed API errors.
+    """
+    api = map_exception(error)
+    return {"error": {
+        "status": api.status if status is None else status,
+        "code": api.code if code is None else code,
+        "type": type(error).__name__,
+        "message": api.message,
+    }}
+
+
+def decode_error(
+    body: Any, status: int, retry_after: Optional[float] = None
+) -> ApiError:
+    """Resurrect the typed error from an error response body.
+
+    ``retry_after`` (parsed from the HTTP header) is attached to
+    :class:`~repro.api.errors.ApiBackpressure` instances.
+    """
+    code = ""
+    message = f"HTTP {status}"
+    if isinstance(body, Mapping):
+        detail = body.get("error")
+        if isinstance(detail, Mapping):
+            code = str(detail.get("code", ""))
+            message = str(detail.get("message", message))
+    error = error_for(code, status, message)
+    if retry_after is not None and isinstance(error, ApiBackpressure):
+        error.retry_after = float(retry_after)
+    return error

@@ -1,0 +1,241 @@
+"""``HttpClient``: the :class:`~repro.api.client.Client` protocol over HTTP.
+
+Speaks the JSON wire protocol of :class:`~repro.serve.http.PlanServer`
+(``POST /v1/predict``, ``POST /v1/predict_under_variation``, ``GET
+/v1/models``, ``GET /v1/stats``, ``GET /healthz``) through the shared
+codecs in :mod:`repro.api.codec`, so requests and responses are the exact
+dataclasses every other backend consumes — base64-packed float64 arrays
+make the results bit-equivalent to in-process execution.
+
+Failure handling:
+
+* HTTP error responses are resolved back to the typed
+  :class:`~repro.api.errors.ApiError` hierarchy via the machine-readable
+  ``code`` the server embeds (429 additionally carries the parsed
+  ``Retry-After`` as :attr:`ApiBackpressure.retry_after`).
+* Transport-level failures (connection refused/reset, a dropped
+  keep-alive socket) are retried up to ``retries`` times with a small
+  backoff.  Every request in this protocol is idempotent — predictions
+  are deterministic functions of the request — so retrying a POST whose
+  response never arrived is safe.  Exhausted retries raise the typed
+  :class:`~repro.api.errors.ApiConnectionError`.  Socket *timeouts* are
+  deliberately not retried: the server is still computing, so a re-send
+  only multiplies its load — they raise
+  :class:`~repro.api.errors.ApiTimeout`, matching every other backend.
+* An optional bearer ``token`` is sent as ``Authorization: Bearer ...``;
+  a 401 raises :class:`~repro.api.errors.ApiAuthError`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.parse
+from types import TracebackType
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Type
+
+from repro.api.codec import (
+    decode_ensemble_result,
+    decode_error,
+    decode_predict_result,
+    encode_ensemble_request,
+    encode_predict_request,
+)
+from repro.api.errors import ApiConnectionError, ApiTimeout, InvalidRequest
+from repro.api.types import (
+    EnsembleRequest,
+    EnsembleResult,
+    HealthStatus,
+    ModelInfo,
+    PredictRequest,
+    PredictResult,
+)
+
+#: Transport-level failures worth a retry: the request may never have
+#: reached the server, or the (idempotent) response was lost in flight.
+_RETRYABLE = (ConnectionError, http.client.HTTPException, OSError)
+
+
+class HttpClient:
+    """Typed client for a :class:`~repro.serve.http.PlanServer` endpoint.
+
+    Parameters
+    ----------
+    base_url:
+        ``http://host:port`` (a trailing path prefix is kept and prepended
+        to every route, so a reverse-proxied deployment works too).
+    token:
+        Optional shared secret; sent as ``Authorization: Bearer <token>``.
+    timeout:
+        Socket timeout per attempt, seconds.
+    retries:
+        Additional attempts after a transport-level failure (not after an
+        HTTP error response, which is authoritative).
+    retry_backoff:
+        Sleep before retry ``n`` is ``retry_backoff * 2**(n-1)`` seconds.
+    encoding:
+        Response array form requested from the server: ``"b64"`` (exact
+        bits, compact) or ``"list"`` (human-readable JSON).
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        token: Optional[str] = None,
+        timeout: Optional[float] = 60.0,
+        retries: int = 2,
+        retry_backoff: float = 0.05,
+        encoding: str = "b64",
+    ) -> None:
+        parts = urllib.parse.urlsplit(base_url)
+        if parts.scheme not in ("http", "https"):
+            raise ValueError(
+                f"base_url must start with http:// or https://, got {base_url!r}"
+            )
+        host = parts.hostname
+        if not host:
+            raise ValueError(f"base_url {base_url!r} has no host")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        if encoding not in ("b64", "list"):
+            raise ValueError(f"encoding must be 'b64' or 'list', not {encoding!r}")
+        self.base_url = base_url.rstrip("/")
+        self.token = token
+        self.timeout = timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.encoding = encoding
+        self._scheme = parts.scheme
+        self._host: str = host
+        self._port = parts.port or (443 if parts.scheme == "https" else 80)
+        self._prefix = parts.path.rstrip("/")
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._scheme == "https":
+            return http.client.HTTPSConnection(
+                self._host, self._port, timeout=self.timeout
+            )
+        return http.client.HTTPConnection(
+            self._host, self._port, timeout=self.timeout
+        )
+
+    def _attempt(
+        self, method: str, path: str, payload: Optional[bytes]
+    ) -> Tuple[int, Dict[str, str], Any]:
+        """One request over a fresh connection; returns (status, headers, body)."""
+        headers = {"Content-Type": "application/json"}
+        if self.token is not None:
+            headers["Authorization"] = f"Bearer {self.token}"
+        connection = self._connection()
+        try:
+            connection.request(
+                method, self._prefix + path, body=payload, headers=headers
+            )
+            response = connection.getresponse()
+            raw = response.read()
+            status = response.status
+            header_map = {key.lower(): value for key, value in response.getheaders()}
+        finally:
+            connection.close()
+        try:
+            body = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            body = {}
+        return status, header_map, body
+
+    def _call(
+        self, method: str, path: str, body: Optional[Mapping[str, Any]] = None
+    ) -> Any:
+        """Issue one API call, retrying transport failures; typed errors out."""
+        payload = (
+            None if body is None
+            else json.dumps(body, allow_nan=False).encode("utf-8")
+        )
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+            try:
+                status, headers, parsed = self._attempt(method, path, payload)
+            except TimeoutError as error:
+                # socket.timeout.  The request reached the server and is
+                # (still) being computed — re-sending it would multiply the
+                # server load without helping, and the typed contract maps
+                # timeouts to ApiTimeout everywhere.  Caught before
+                # _RETRYABLE: TimeoutError is an OSError subclass.
+                raise ApiTimeout(
+                    f"{method} {path} against {self.base_url} timed out "
+                    f"after {self.timeout}s"
+                ) from error
+            except _RETRYABLE as error:
+                last_error = error
+                continue
+            if status == 200:
+                return parsed
+            retry_after: Optional[float] = None
+            header = headers.get("retry-after")
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    retry_after = None
+            raise decode_error(parsed, status, retry_after=retry_after)
+        raise ApiConnectionError(
+            f"{self.base_url} unreachable after {self.retries + 1} attempt(s): "
+            f"{type(last_error).__name__}: {last_error}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Client protocol
+    # ------------------------------------------------------------------ #
+    def predict(self, request: PredictRequest) -> PredictResult:
+        body = self._call(
+            "POST", "/v1/predict",
+            encode_predict_request(request, encoding=self.encoding),
+        )
+        if not isinstance(body, Mapping):
+            raise InvalidRequest(f"malformed predict response: {body!r}")
+        return decode_predict_result(body)
+
+    def ensemble(self, request: EnsembleRequest) -> EnsembleResult:
+        body = self._call(
+            "POST", "/v1/predict_under_variation",
+            encode_ensemble_request(request, encoding=self.encoding),
+        )
+        if not isinstance(body, Mapping):
+            raise InvalidRequest(f"malformed ensemble response: {body!r}")
+        return decode_ensemble_result(body)
+
+    def models(self) -> List[ModelInfo]:
+        body = self._call("GET", "/v1/models")
+        entries = body.get("models", []) if isinstance(body, Mapping) else []
+        return [ModelInfo.from_wire(entry) for entry in entries]
+
+    def stats(self) -> Dict[str, Any]:
+        body = self._call("GET", "/v1/stats")
+        stats = body.get("stats", {}) if isinstance(body, Mapping) else {}
+        return dict(stats)
+
+    def health(self) -> HealthStatus:
+        body = self._call("GET", "/healthz")
+        if not isinstance(body, Mapping):
+            raise InvalidRequest(f"malformed health response: {body!r}")
+        return HealthStatus.from_wire(body)
+
+    def close(self) -> None:
+        """Connections are per-request; nothing persistent to release."""
+
+    def __enter__(self) -> "HttpClient":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.close()

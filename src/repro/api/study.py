@@ -1,0 +1,120 @@
+"""The Fig. 6 variation study, driven through the ``repro.api`` facade.
+
+:func:`variation_sweep_via_client` replays the paper's device-variation
+protocol — accuracy versus sigma, averaged over seeded Monte-Carlo draws —
+as a sequence of :class:`~repro.api.types.EnsembleRequest` calls against
+*any* :class:`~repro.api.client.Client`.  Because every backend returns
+bit-identical ensembles for the same seeded request, the sweep result is
+the same whether it ran in-process, over HTTP, or against a cluster —
+which turns the study itself into a serving-equivalence certificate.
+
+(The training side of Fig. 6 still lives in
+:func:`repro.experiments.fig6.run_variation_study` /
+:mod:`repro.serve.pool`; this module covers the inference sweep over
+*published* plans, the part a deployment actually re-runs.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.api.client import Client
+from repro.api.types import EnsembleRequest
+
+
+@dataclass(frozen=True)
+class SigmaPoint:
+    """One operating point of a sweep: accuracy and vote stability at a sigma."""
+
+    sigma_fraction: float
+    accuracy: float
+    mean_confidence: float
+    stable_fraction: float
+
+
+@dataclass(frozen=True)
+class ClientSweepResult:
+    """Accuracy versus device-variation sigma for one served plan."""
+
+    model: str
+    bits: Optional[int]
+    mapping: str
+    num_samples: int
+    seed: int
+    points: Tuple[SigmaPoint, ...]
+
+    @property
+    def sigmas(self) -> List[float]:
+        return [point.sigma_fraction for point in self.points]
+
+    @property
+    def accuracies(self) -> List[float]:
+        return [point.accuracy for point in self.points]
+
+    def as_rows(self) -> List[str]:
+        """Formatted rows, one per sigma point (same shape as Fig. 6 rows)."""
+        name = f"{self.model}/{self.mapping}"
+        return [
+            f"{name:16s} sigma={point.sigma_fraction * 100.0:5.1f}%  "
+            f"accuracy={point.accuracy * 100.0:6.2f}%  "
+            f"stable={point.stable_fraction * 100.0:5.1f}%"
+            for point in self.points
+        ]
+
+
+def variation_sweep_via_client(
+    client: Client,
+    images: Any,
+    labels: Any,
+    *,
+    model: str,
+    mapping: str,
+    bits: Optional[int] = None,
+    sigmas: Sequence[float] = (0.0, 0.05, 0.10, 0.15, 0.20, 0.25),
+    num_samples: int = 25,
+    seed: int = 0,
+) -> ClientSweepResult:
+    """Sweep ensemble accuracy over ``sigmas`` for one published plan.
+
+    For each sigma, one seeded :class:`EnsembleRequest` covers the whole
+    evaluation batch; accuracy scores the majority-vote predictions against
+    ``labels``, and the confidence statistics summarise how stable the
+    votes are under that much device variation.
+    """
+    image_array = np.asarray(images)
+    label_array = np.asarray(labels)
+    if label_array.ndim != 1 or image_array.shape[0] != label_array.shape[0]:
+        raise ValueError(
+            f"labels must be one per image; got images {image_array.shape} "
+            f"and labels {label_array.shape}"
+        )
+    points: List[SigmaPoint] = []
+    for sigma in sigmas:
+        result = client.ensemble(EnsembleRequest(
+            images=image_array,
+            model=model,
+            mapping=mapping,
+            bits=bits,
+            sigma_fraction=float(sigma),
+            num_samples=num_samples,
+            seed=seed,
+        ))
+        predictions = np.asarray(result.predictions)
+        confidence = np.asarray(result.confidence, dtype=np.float64)
+        points.append(SigmaPoint(
+            sigma_fraction=float(sigma),
+            accuracy=float((predictions == label_array).mean()),
+            mean_confidence=float(confidence.mean()),
+            stable_fraction=float((confidence == 1.0).mean()),
+        ))
+    return ClientSweepResult(
+        model=model,
+        bits=bits,
+        mapping=mapping,
+        num_samples=num_samples,
+        seed=seed,
+        points=tuple(points),
+    )

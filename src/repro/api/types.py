@@ -1,0 +1,263 @@
+"""Typed request/response dataclasses shared by every ``repro.api`` backend.
+
+These are the transport-agnostic vocabulary of the client layer: a
+:class:`PredictRequest` or :class:`EnsembleRequest` goes in, a
+:class:`PredictResult` or :class:`EnsembleResult` comes out — whether the
+call executed in-process (:class:`~repro.api.client.LocalClient`), over
+HTTP (:class:`~repro.api.http_client.HttpClient`), or against a sharded
+cluster (:class:`~repro.api.client.ClusterClient`).  The serve-side
+backends consume and produce the same objects internally, so the HTTP
+handlers are nothing but codecs (:mod:`repro.api.codec`) around them and
+the cluster moves them across its pickle boundary verbatim.
+
+Request construction validates the cheap invariants up front (non-empty
+names, non-negative sigma, positive sample count) and raises the typed
+:class:`~repro.api.errors.InvalidRequest`, so a malformed request fails
+identically through every backend — before any transport is involved.
+
+This module is import-pure (NumPy + stdlib only), so the low-level serve
+modules may depend on it without import cycles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.api.errors import InvalidRequest
+
+
+def bits_token(bits: Optional[int]) -> str:
+    """Canonical device-precision token: ``4 -> "4b"``, ``None -> "fp32"``."""
+    return "fp32" if bits is None else f"{int(bits)}b"
+
+
+def parse_bits_token(token: str) -> Optional[int]:
+    """Inverse of :func:`bits_token` (``"4b" -> 4``, ``"fp32" -> None``)."""
+    if token == "fp32":
+        return None
+    if token.endswith("b") and token[:-1].isdigit():
+        return int(token[:-1])
+    raise InvalidRequest(f"unrecognised bits token {token!r}")
+
+
+def canonical_name(model: str, bits: Optional[int], mapping: str) -> str:
+    """The canonical plan name of one key, e.g. ``lenet__4b__acm``."""
+    return f"{model}__{bits_token(bits)}__{mapping}"
+
+
+def _validate_key_fields(model: object, mapping: object, bits: object) -> None:
+    if not isinstance(model, str) or not model:
+        raise InvalidRequest(f"model must be a non-empty string, not {model!r}")
+    if not isinstance(mapping, str) or not mapping:
+        raise InvalidRequest(f"mapping must be a non-empty string, not {mapping!r}")
+    if bits is not None and (
+        isinstance(bits, bool) or not isinstance(bits, int) or bits < 1
+    ):
+        raise InvalidRequest(f"bits must be a positive int or None, not {bits!r}")
+
+
+@dataclass(frozen=True, eq=False)
+class PredictRequest:
+    """One deterministic inference request against a published plan.
+
+    ``images`` is a single sample (the plan's input shape) or a pre-batched
+    array; the result's ``logits`` mirror the choice — single samples come
+    back as ``(classes,)`` logits without a batch axis.
+    """
+
+    images: np.ndarray
+    model: str
+    mapping: str
+    bits: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _validate_key_fields(self.model, self.mapping, self.bits)
+
+    @property
+    def name(self) -> str:
+        """Canonical name of the plan this request addresses."""
+        return canonical_name(self.model, self.bits, self.mapping)
+
+
+@dataclass(frozen=True, eq=False)
+class EnsembleRequest:
+    """One seeded Monte-Carlo ensemble request under device variation.
+
+    The Fig. 6 protocol as a serving call: ``num_samples`` variation draws
+    of every crossbar at ``sigma_fraction``, executed as one stacked pass.
+    A fixed ``seed`` makes the whole response reproducible bit-for-bit.
+    """
+
+    images: np.ndarray
+    model: str
+    mapping: str
+    bits: Optional[int] = None
+    sigma_fraction: float = 0.1
+    num_samples: int = 25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _validate_key_fields(self.model, self.mapping, self.bits)
+        sigma = self.sigma_fraction
+        if (
+            isinstance(sigma, bool)
+            or not isinstance(sigma, (int, float))
+            or not math.isfinite(sigma)
+            or sigma < 0
+        ):
+            raise InvalidRequest(
+                f"sigma_fraction must be a non-negative number, not {sigma!r}"
+            )
+        if isinstance(self.num_samples, bool) or not isinstance(
+            self.num_samples, int
+        ) or self.num_samples < 1:
+            raise InvalidRequest(
+                f"num_samples must be a positive integer, not {self.num_samples!r}"
+            )
+        if isinstance(self.seed, bool) or not isinstance(self.seed, int) \
+                or self.seed < 0:
+            raise InvalidRequest(
+                f"seed must be a non-negative integer, not {self.seed!r}"
+            )
+
+    @property
+    def name(self) -> str:
+        """Canonical name of the plan this request addresses."""
+        return canonical_name(self.model, self.bits, self.mapping)
+
+
+@dataclass(frozen=True, eq=False)
+class PredictResult:
+    """Deterministic logits for one :class:`PredictRequest`.
+
+    ``logits`` is ``(batch, classes)`` float64 — or ``(classes,)`` when the
+    request carried a single un-batched sample.  Results are bit-equivalent
+    across backends: LocalClient, HttpClient (base64-packed float64), and
+    ClusterClient all return the exact same array.
+    """
+
+    model: str
+    bits: Optional[int]
+    mapping: str
+    logits: np.ndarray
+
+
+@dataclass(frozen=True, eq=False)
+class EnsembleResult:
+    """Aggregated Monte-Carlo ensemble response for one :class:`EnsembleRequest`.
+
+    Attributes
+    ----------
+    mean_logits:
+        Logits averaged over the variation draws, ``(batch, classes)``
+        (leading axis dropped for a single-sample request).
+    predictions:
+        Majority-vote class per input across the per-draw argmaxes.
+    confidence:
+        Fraction of draws that voted for the winning class — 1.0 means the
+        prediction is stable under the requested device variation.
+    vote_counts:
+        Per-class vote counts, ``(batch, classes)``.
+    sigma_fraction, num_samples, seed:
+        The request parameters, echoed for reproducibility.
+    """
+
+    model: str
+    bits: Optional[int]
+    mapping: str
+    mean_logits: np.ndarray
+    predictions: np.ndarray
+    confidence: np.ndarray
+    vote_counts: np.ndarray
+    sigma_fraction: float
+    num_samples: int
+    seed: int
+
+
+@dataclass(frozen=True)
+class ModelInfo:
+    """One catalogue entry: a published plan and its content digest.
+
+    ``worker`` is the owning shard index when the listing came from a
+    cluster backend; ``None`` for single-process backends.
+    """
+
+    model: str
+    bits: Optional[int]
+    mapping: str
+    name: str
+    digest: str
+    size_bytes: int
+    worker: Optional[int] = None
+
+    @classmethod
+    def from_wire(cls, entry: Mapping[str, Any]) -> "ModelInfo":
+        """Build from a catalogue dict (the ``GET /v1/models`` entry form)."""
+        try:
+            return cls(
+                model=str(entry["model"]),
+                bits=None if entry["bits"] is None else int(entry["bits"]),
+                mapping=str(entry["mapping"]),
+                name=str(entry["name"]),
+                digest=str(entry["digest"]),
+                size_bytes=int(entry["size_bytes"]),
+                worker=None if entry.get("worker") is None
+                else int(entry["worker"]),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise InvalidRequest(
+                f"malformed catalogue entry {dict(entry)!r}: {error}"
+            ) from None
+
+    def to_wire(self) -> Dict[str, Any]:
+        """The catalogue dict form (inverse of :meth:`from_wire`)."""
+        entry: Dict[str, Any] = {
+            "model": self.model,
+            "bits": self.bits,
+            "mapping": self.mapping,
+            "name": self.name,
+            "digest": self.digest,
+            "size_bytes": self.size_bytes,
+        }
+        if self.worker is not None:
+            entry["worker"] = self.worker
+        return entry
+
+
+@dataclass(frozen=True)
+class HealthStatus:
+    """Liveness probe result: backend status and catalogue size."""
+
+    status: str
+    models: int
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {"status": self.status, "models": self.models}
+
+    @classmethod
+    def from_wire(cls, body: Mapping[str, Any]) -> "HealthStatus":
+        return cls(status=str(body.get("status", "unknown")),
+                   models=int(body.get("models", 0)))
+
+
+# Explicit names help `from repro.api.types import *` stay intentional and
+# give the lazily re-exporting package __init__ one list to mirror.
+__all__ = [
+    "EnsembleRequest",
+    "EnsembleResult",
+    "HealthStatus",
+    "ModelInfo",
+    "PredictRequest",
+    "PredictResult",
+    "bits_token",
+    "canonical_name",
+    "parse_bits_token",
+]

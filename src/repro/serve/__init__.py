@@ -30,6 +30,13 @@ such plans to concurrent clients over the network":
 
 ``python -m repro.serve --plan-dir DIR [--workers N]`` starts the HTTP
 endpoint over either backend (:mod:`repro.serve.__main__`).
+
+Consumers should not usually code against these classes directly:
+:mod:`repro.api` is the typed, transport-agnostic facade —
+``repro.api.connect("local:DIR" | "http://host:port" |
+"cluster:DIR?workers=N")`` returns interchangeable clients speaking the
+shared request/response dataclasses, and both backends here implement its
+typed entry points (``predict_request`` / ``ensemble_request``) natively.
 """
 
 from repro.serve.registry import (

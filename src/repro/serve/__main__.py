@@ -1,9 +1,12 @@
 """``python -m repro.serve`` — serve a plan directory over HTTP.
 
-Starts the HTTP front-end (:mod:`repro.serve.http`) over either an
-in-process :class:`~repro.serve.service.InferenceService` (``--workers 0``,
-the default) or a sharded multi-process
-:class:`~repro.serve.cluster.PlanCluster` (``--workers N`` with N >= 1).
+Builds its backend through the unified client layer
+(:func:`repro.api.connect`): ``--workers 0`` (the default) serves the
+``local:`` backend in-process, ``--workers N`` the sharded ``cluster:``
+backend, and the HTTP front-end (:mod:`repro.serve.http`) exposes either
+one to the network.  Remote consumers then connect with the same facade::
+
+    client = repro.api.connect("http://host:8100", token=...)
 
 Examples::
 
@@ -12,6 +15,10 @@ Examples::
 
     # Four serving workers behind the same endpoint (model-key sharding):
     python -m repro.serve --plan-dir ./plans --port 8100 --workers 4
+
+    # Edge-hardened: bearer-token auth + 429 backpressure past depth 64:
+    python -m repro.serve --plan-dir ./plans --auth-token SECRET \\
+        --max-queue-depth 64
 
 The process serves until interrupted (Ctrl-C), then shuts down
 gracefully: in-flight HTTP requests finish, micro-batches drain, worker
@@ -25,10 +32,8 @@ import signal
 import threading
 from typing import List, Optional
 
-from repro.serve.cluster import PlanCluster
+from repro.api.connect import connect
 from repro.serve.http import PlanServer
-from repro.serve.registry import PlanRegistry
-from repro.serve.service import InferenceService
 
 #: Set by tests (or a signal handler) to stop a running ``main`` promptly.
 _stop = threading.Event()
@@ -54,6 +59,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="micro-batch coalescing window (default: 2.0)")
     parser.add_argument("--capacity", type=int, default=4,
                         help="plans kept resident per process (default: 4)")
+    parser.add_argument("--max-queue-depth", type=int, default=None,
+                        help="reject (HTTP 429 + Retry-After) deterministic "
+                             "requests once a scheduler queue holds this many "
+                             "requests (default: unlimited)")
+    parser.add_argument("--auth-token", default=None, metavar="TOKEN",
+                        help="require 'Authorization: Bearer TOKEN' on every "
+                             "route except /healthz (default: open)")
     parser.add_argument("--run-for", type=float, default=None,
                         help="serve for N seconds then exit (default: forever)")
     parser.add_argument("--quiet", action="store_true",
@@ -61,20 +73,28 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_target(args: argparse.Namespace) -> str:
+    """The ``repro.api`` connect target the arguments describe."""
+    scheme = "cluster" if args.workers >= 1 else "local"
+    return f"{scheme}:{args.plan_dir}"
+
+
 def build_backend(args: argparse.Namespace):
-    """The serving backend the arguments describe (service or cluster)."""
+    """The serving backend the arguments describe (service or cluster).
+
+    Routed through :func:`repro.api.connect` so the CLI, the examples, and
+    library consumers all construct backends the exact same way.
+    """
+    options = {
+        "capacity": args.capacity,
+        "max_batch": args.max_batch,
+        "max_wait_ms": args.max_wait_ms,
+    }
+    if args.max_queue_depth is not None:
+        options["max_queue_depth"] = args.max_queue_depth
     if args.workers >= 1:
-        return PlanCluster(
-            args.plan_dir,
-            num_workers=args.workers,
-            capacity=args.capacity,
-            max_batch=args.max_batch,
-            max_wait_ms=args.max_wait_ms,
-        )
-    registry = PlanRegistry(args.plan_dir, capacity=args.capacity)
-    return InferenceService(
-        registry, max_batch=args.max_batch, max_wait_ms=args.max_wait_ms
-    )
+        options["workers"] = args.workers
+    return connect(build_target(args), **options).backend
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -87,7 +107,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         pass  # not the main thread (in-process tests drive _stop directly)
     backend = build_backend(args)
     server = PlanServer(
-        backend, host=args.host, port=args.port, verbose=not args.quiet
+        backend, host=args.host, port=args.port, verbose=not args.quiet,
+        auth_token=args.auth_token,
     )
     server.start()
     models = backend.models()
@@ -99,6 +120,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"  {entry['name']:32s} digest={entry['digest'][:12]}{shard}")
     print("endpoints: POST /v1/predict  POST /v1/predict_under_variation  "
           "GET /v1/models  GET /v1/stats  GET /healthz")
+    guards = []
+    if args.auth_token is not None:
+        guards.append("bearer-token auth")
+    if args.max_queue_depth is not None:
+        guards.append(f"429 backpressure past queue depth {args.max_queue_depth}")
+    if guards:
+        print(f"guards: {', '.join(guards)}")
+    token_hint = ", token=..." if args.auth_token is not None else ""
+    print(f"client: repro.api.connect('{server.url}'{token_hint})")
     try:
         _stop.wait(timeout=args.run_for)
     except KeyboardInterrupt:

@@ -28,9 +28,19 @@ shutdown sentinel; workers stop reading, finish every in-flight request,
 drain their schedulers (:meth:`InferenceService.close`), acknowledge, and
 exit.
 
+Worker death is detected, not hung on: the parent's receiver thread sees
+the pipe EOF the moment a worker process dies, fails every in-flight
+future of that worker with the typed
+:class:`~repro.api.errors.WorkerDied`, and excludes the shard — further
+requests routed to it fail fast with the same typed error while every
+other shard keeps serving — until :meth:`PlanCluster.restart_worker`
+spawns a replacement process.
+
 ``PlanCluster`` satisfies the same backend contract as
-``InferenceService``, so :class:`~repro.serve.http.PlanServer` can front
-either interchangeably.
+``InferenceService`` — including the typed
+:meth:`~PlanCluster.predict_request` / :meth:`~PlanCluster.ensemble_request`
+entry points of the ``repro.api`` layer — so
+:class:`~repro.serve.http.PlanServer` can front either interchangeably.
 """
 
 from __future__ import annotations
@@ -44,6 +54,14 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.api.backend import typed_ensemble, typed_predict
+from repro.api.errors import WorkerDied
+from repro.api.types import (
+    EnsembleRequest,
+    EnsembleResult,
+    PredictRequest,
+    PredictResult,
+)
 from repro.serve.registry import PlanKey, PlanRegistry
 from repro.serve.service import InferenceService, VariationPrediction
 
@@ -73,16 +91,20 @@ def _worker_main(
     max_batch: int,
     max_wait_ms: float,
     handler_threads: int,
+    max_queue_depth: Optional[int] = None,
 ) -> None:
     """Serve requests from the pipe until the shutdown sentinel arrives.
 
     Module-level so it pickles under the ``spawn`` start method.  Replies
     are ``(request_id, ok, payload)`` where ``payload`` is the result or
     the exception object itself (exceptions re-raise in the caller's
-    process with their original type).
+    process with their original type — including the typed ``ApiError``
+    subclasses, e.g. backpressure raised by the worker's service).
     """
     registry = PlanRegistry(directory, capacity=capacity)
-    service = InferenceService(registry, max_batch=max_batch, max_wait_ms=max_wait_ms)
+    service = InferenceService(registry, max_batch=max_batch,
+                               max_wait_ms=max_wait_ms,
+                               max_queue_depth=max_queue_depth)
     send_lock = threading.Lock()
 
     def reply(request_id, ok, payload) -> None:
@@ -152,13 +174,14 @@ class _WorkerClient:
     """One worker process: pipe, pending-future table, receiver thread."""
 
     def __init__(self, context, index: int, directory: str, capacity: int,
-                 max_batch: int, max_wait_ms: float, handler_threads: int) -> None:
+                 max_batch: int, max_wait_ms: float, handler_threads: int,
+                 max_queue_depth: Optional[int] = None) -> None:
         self.index = index
         parent_conn, child_conn = context.Pipe(duplex=True)
         self.process = context.Process(
             target=_worker_main,
             args=(child_conn, directory, capacity, max_batch, max_wait_ms,
-                  handler_threads),
+                  handler_threads, max_queue_depth),
             name=f"plan-worker-{index}",
             daemon=True,
         )
@@ -169,6 +192,11 @@ class _WorkerClient:
         self._ids = itertools.count()
         self._lock = threading.Lock()
         self._closed = False
+        # Flipped (exactly once, by the receiver thread or a failed send)
+        # when the worker process died rather than shut down: pending
+        # futures get the typed WorkerDied and the shard is excluded until
+        # PlanCluster.restart_worker replaces this handle.
+        self.dead = False
         self._receiver = threading.Thread(
             target=self._receive_loop, name=f"plan-worker-{index}-recv", daemon=True
         )
@@ -179,13 +207,19 @@ class _WorkerClient:
         with self._lock:
             if self._closed:
                 raise RuntimeError("cluster is closed")
+            if self.dead:
+                raise WorkerDied(
+                    f"worker {self.index} has died; its shard is excluded "
+                    f"until restart_worker({self.index})"
+                )
             request_id = next(self._ids)
             self._pending[request_id] = future
             try:
                 self._conn.send((request_id, kind, payload))
             except (BrokenPipeError, OSError) as error:
                 self._pending.pop(request_id, None)
-                raise RuntimeError(
+                self.dead = True
+                raise WorkerDied(
                     f"worker {self.index} is not reachable: {error}"
                 ) from None
         return future
@@ -208,7 +242,20 @@ class _WorkerClient:
                 future.set_exception(payload)
             else:  # pragma: no cover - defensive
                 future.set_exception(RuntimeError(str(payload)))
-        self._fail_pending(RuntimeError(f"worker {self.index} exited"))
+        with self._lock:
+            closed = self._closed
+            if not closed:
+                # The pipe hit EOF without a shutdown handshake: the worker
+                # process died underneath us.  Mark the shard dead *before*
+                # failing the stranded futures so no new request can slip
+                # into the pending table in between.
+                self.dead = True
+        if closed:
+            self._fail_pending(RuntimeError(f"worker {self.index} exited"))
+        else:
+            self._fail_pending(WorkerDied(
+                f"worker {self.index} died with the request in flight"
+            ))
 
     def _fail_pending(self, error: BaseException) -> None:
         with self._lock:
@@ -262,6 +309,7 @@ class PlanCluster:
         max_wait_ms: float = 2.0,
         handler_threads: int = 4,
         start_method: str = "spawn",
+        max_queue_depth: Optional[int] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be at least 1")
@@ -271,10 +319,14 @@ class PlanCluster:
         # catalogue index used for listings (capacity 1 keeps it tiny).
         self.catalogue = PlanRegistry(directory, capacity=1)
         self.num_workers = num_workers
-        context = multiprocessing.get_context(start_method)
+        self._context = multiprocessing.get_context(start_method)
+        # Kept so restart_worker can spawn an identically configured
+        # replacement for a dead shard.
+        self._worker_config = (str(self.catalogue.directory), capacity,
+                               max_batch, max_wait_ms, handler_threads,
+                               max_queue_depth)
         self._workers = [
-            _WorkerClient(context, index, str(self.catalogue.directory), capacity,
-                          max_batch, max_wait_ms, handler_threads)
+            _WorkerClient(self._context, index, *self._worker_config)
             for index in range(num_workers)
         ]
         self._closed = False
@@ -289,7 +341,41 @@ class PlanCluster:
     def _route(self, model: str, bits: Optional[int], mapping: str) -> _WorkerClient:
         if self._closed:
             raise RuntimeError("cluster is closed")
-        return self._workers[self.worker_for(model, bits, mapping)]
+        worker = self._workers[self.worker_for(model, bits, mapping)]
+        if worker.dead:
+            raise WorkerDied(
+                f"worker {worker.index} has died; its shard is excluded "
+                f"until restart_worker({worker.index})"
+            )
+        return worker
+
+    @property
+    def dead_workers(self) -> List[int]:
+        """Indices of workers whose process has died (shards excluded)."""
+        return [worker.index for worker in self._workers if worker.dead]
+
+    def restart_worker(self, index: int) -> None:
+        """Replace one worker process, re-admitting its shard.
+
+        Safe for both dead and live workers (a live one is drained and
+        shut down first), so it doubles as a rolling-restart primitive.
+        The replacement rebuilds its registry over the shared directory
+        and serves the exact same shard — the partition is a pure function
+        of ``(key, num_workers)``, so no other worker is disturbed.
+        """
+        if self._closed:
+            raise RuntimeError("cluster is closed")
+        if not 0 <= index < self.num_workers:
+            raise ValueError(
+                f"worker index {index} out of range 0..{self.num_workers - 1}"
+            )
+        old = self._workers[index]
+        # For a dead worker this just reaps the corpse and fails any
+        # straggler futures; for a live one it is the graceful drain.
+        old.close(timeout=30.0)
+        self._workers[index] = _WorkerClient(
+            self._context, index, *self._worker_config
+        )
 
     # ------------------------------------------------------------------ #
     # Requests
@@ -344,6 +430,29 @@ class PlanCluster:
         return worker.submit("ensemble", payload).result(timeout=timeout)
 
     # ------------------------------------------------------------------ #
+    # Typed entry points (the repro.api backend contract)
+    # ------------------------------------------------------------------ #
+    def predict_request(
+        self, request: PredictRequest, timeout: Optional[float] = 60.0
+    ) -> PredictResult:
+        """Serve one typed deterministic request via the owning shard.
+
+        Exceptions crossing the pickle boundary (``KeyError`` for unknown
+        plans, ``ValueError`` for bad geometry, typed ``ApiError`` raised
+        inside the worker's service) go through the same shared fold
+        (:mod:`repro.api.backend`) the in-process service uses, so a
+        cluster-backed client reports the identical typed failure.
+        """
+        return typed_predict(self.predict, request, timeout=timeout)
+
+    def ensemble_request(
+        self, request: EnsembleRequest, timeout: Optional[float] = 120.0
+    ) -> EnsembleResult:
+        """Serve one typed ensemble request via the owning shard."""
+        return typed_ensemble(self.predict_under_variation, request,
+                              timeout=timeout)
+
+    # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     def models(self) -> List[dict]:
@@ -357,14 +466,32 @@ class PlanCluster:
         return described
 
     def stats_summary(self, timeout: Optional[float] = 10.0) -> Dict[str, dict]:
-        """Per-worker serving statistics (JSON-ready), keyed ``worker-N``."""
+        """Per-worker serving statistics (JSON-ready), keyed ``worker-N``.
+
+        A dead worker reports ``{"status": {"dead": True}}`` instead of
+        failing the whole listing, so monitoring keeps working while a
+        shard is down.
+        """
         if self._closed:
             raise RuntimeError("cluster is closed")
-        futures = [worker.submit("stats", None) for worker in self._workers]
-        return {
-            f"worker-{index}": future.result(timeout=timeout)
-            for index, future in enumerate(futures)
-        }
+        futures: Dict[int, Future] = {}
+        for worker in self._workers:
+            if worker.dead:
+                continue
+            try:
+                futures[worker.index] = worker.submit("stats", None)
+            except WorkerDied:
+                pass  # died between the check and the send
+        summary: Dict[str, dict] = {}
+        for worker in self._workers:
+            future = futures.get(worker.index)
+            try:
+                if future is None:
+                    raise WorkerDied(f"worker {worker.index} is dead")
+                summary[f"worker-{worker.index}"] = future.result(timeout=timeout)
+            except WorkerDied:
+                summary[f"worker-{worker.index}"] = {"status": {"dead": True}}
+        return summary
 
     def wait_ready(self, timeout: Optional[float] = 60.0) -> None:
         """Block until every worker process answers a ping."""

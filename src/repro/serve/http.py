@@ -25,81 +25,89 @@ from other processes and languages.  The wire protocol:
 
 Malformed requests are mapped to proper 4xx responses (400 bad payloads,
 404 unknown models/paths, 405 wrong method, 413 oversized body) with a JSON
-error body; a closed backend answers 503.  Responses carried base64-packed
-as float64 are bit-equivalent to in-process results.
+error body carrying the stable machine-readable ``code`` of the typed
+:mod:`repro.api.errors` hierarchy; a closed backend answers 503, a
+scheduler queue past the backend's ``max_queue_depth`` answers 429 with a
+``Retry-After`` header, and (with ``auth_token`` set) a request without
+the matching ``Authorization: Bearer`` token answers 401 — the token
+compare is constant-time.  Responses carried base64-packed as float64 are
+bit-equivalent to in-process results.
 
 Shutdown is graceful: :meth:`PlanServer.close` stops accepting
 connections, waits for in-flight requests to finish, and then closes the
 backend — which drains every in-flight micro-batch — before returning.
 
-The backend contract (satisfied by ``InferenceService`` and
-``PlanCluster``): ``predict(images, *, model, bits, mapping)``,
-``predict_under_variation(images, *, model, bits, mapping, sigma_fraction,
-num_samples, seed)``, ``models()``, ``stats_summary()``, ``close()``.
+The handlers are thin codecs (:mod:`repro.api.codec`) over the shared
+request/response dataclasses: the backend contract (satisfied by
+``InferenceService`` and ``PlanCluster``) is the typed pair
+``predict_request(PredictRequest) -> PredictResult`` /
+``ensemble_request(EnsembleRequest) -> EnsembleResult`` plus ``models()``,
+``stats_summary()``, ``close()``.
 """
 
 from __future__ import annotations
 
+import hmac
 import json
+import math
 import threading
-from concurrent.futures import TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
-import numpy as np
-
-from repro.runtime.wire import WireFormatError, decode_array, encode_array
-from repro.serve.registry import PlanArtifactError, parse_bits
+from repro.api.codec import (
+    decode_ensemble_request,
+    decode_predict_request,
+    encode_ensemble_result,
+    encode_error,
+    encode_predict_result,
+)
+from repro.api.errors import ApiAuthError, ApiBackpressure, map_exception
 
 #: Hard cap on request body size; a request over this answers 413 before
 #: any bytes are read.
 MAX_BODY_BYTES = 1 << 30
 
+#: Machine-readable codes for the protocol-level failures that are not
+#: typed API errors (they never reach a backend).
+_PROTOCOL_CODES = {
+    400: "invalid_request",
+    404: "not_found",
+    405: "method_not_allowed",
+    413: "payload_too_large",
+}
 
-class RequestError(Exception):
-    """An HTTP-visible request failure with an explicit status code."""
+
+class RequestError(ValueError):
+    """An HTTP-visible protocol failure with an explicit status code.
+
+    A ``ValueError`` subclass so that one escaping through the shared
+    exception mapping still reads as an invalid request (400); the
+    explicit ``status``/``code`` carried here win whenever the HTTP layer
+    handles it itself (404 unknown path, 405 method, 413 oversized body).
+    """
 
     def __init__(self, status: int, message: str) -> None:
         super().__init__(message)
         self.status = status
+        self.code = _PROTOCOL_CODES.get(status, "internal")
 
 
 def _status_for(error: BaseException) -> int:
-    """Map a backend exception onto the HTTP status it should produce."""
+    """Map an exception onto the HTTP status it should produce.
+
+    Typed errors carry their own status; everything else goes through the
+    shared :func:`repro.api.errors.map_exception`, so the HTTP mapping can
+    never drift from what the other transports report.
+    """
     if isinstance(error, RequestError):
         return error.status
-    if isinstance(error, KeyError):
-        return 404  # unknown plan key
-    if isinstance(error, (WireFormatError, ValueError, TypeError)):
-        return 400  # malformed payload / geometry
-    if isinstance(error, FutureTimeoutError):
-        return 504
-    if isinstance(error, PlanArtifactError):
-        return 500
-    if isinstance(error, RuntimeError):
-        return 503  # backend closed / shutting down
-    return 500
+    return map_exception(error).status
 
 
 def _error_body(status: int, error: BaseException) -> dict:
-    message = str(error)
-    if isinstance(error, KeyError) and error.args:
-        # KeyError str() wraps its message in quotes; unwrap for clients.
-        message = str(error.args[0])
-    return {"error": {
-        "status": status,
-        "type": type(error).__name__,
-        "message": message,
-    }}
-
-
-def _parse_bits_field(value) -> Optional[int]:
-    """The ``bits`` request field: int, null, or a canonical token."""
-    if value is None or isinstance(value, int):
-        return value
-    if isinstance(value, str):
-        return parse_bits(value)
-    raise RequestError(400, f"bits must be an int, null, or token, not {value!r}")
+    if isinstance(error, RequestError):
+        return encode_error(error, status=status, code=error.code)
+    return encode_error(error, status=status)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -118,11 +126,15 @@ class _Handler(BaseHTTPRequestHandler):
         if self.server.verbose:  # pragma: no cover - disabled in tests
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, body: dict) -> None:
+    def _send_json(
+        self, status: int, body: dict, headers: Optional[Dict[str, str]] = None
+    ) -> None:
         payload = json.dumps(body, allow_nan=False).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(payload)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         if self.close_connection:
             self.send_header("Connection", "close")
         self.end_headers()
@@ -135,7 +147,14 @@ class _Handler(BaseHTTPRequestHandler):
         # line, corrupting every later exchange on the connection.  Closing
         # after any error keeps the stream unambiguous.
         self.close_connection = True
-        self._send_json(status, _error_body(status, error))
+        headers: Dict[str, str] = {}
+        if isinstance(error, ApiBackpressure):
+            # Retry-After is integral seconds per RFC 9110; round up so the
+            # hint is never shorter than the backend asked for.
+            headers["Retry-After"] = str(max(1, math.ceil(error.retry_after)))
+        if isinstance(error, ApiAuthError):
+            headers["WWW-Authenticate"] = "Bearer"
+        self._send_json(status, _error_body(status, error), headers)
 
     def _read_request_body(self) -> dict:
         length_header = self.headers.get("Content-Length")
@@ -158,19 +177,23 @@ class _Handler(BaseHTTPRequestHandler):
             raise RequestError(400, "request body must be a JSON object")
         return body
 
-    def _require(self, body: dict, field: str):
-        if field not in body:
-            raise RequestError(400, f"missing required field {field!r}")
-        return body[field]
-
-    @staticmethod
-    def _response_encoding(body: dict) -> str:
-        encoding = body.get("encoding", "b64")
-        if encoding not in ("b64", "list"):
-            raise RequestError(
-                400, f"encoding must be 'b64' or 'list', not {encoding!r}"
+    def _check_auth(self) -> None:
+        """Enforce the optional shared bearer token (constant-time compare)."""
+        token = self.server.auth_token
+        if token is None:
+            return
+        supplied = self.headers.get("Authorization", "")
+        expected = f"Bearer {token}"
+        # hmac.compare_digest keeps the comparison constant-time in the
+        # length-equal case, so the token cannot be recovered byte-by-byte
+        # from response timing.
+        if not hmac.compare_digest(
+            supplied.encode("utf-8"), expected.encode("utf-8")
+        ):
+            raise ApiAuthError(
+                "missing or invalid bearer token; send "
+                "'Authorization: Bearer <token>'"
             )
-        return encoding
 
     # -------------------------------------------------------------- #
     # Routes
@@ -192,6 +215,10 @@ class _Handler(BaseHTTPRequestHandler):
         path = self.path.split("?", 1)[0]
         self.server.request_started()
         try:
+            # The liveness probe stays open so orchestrators can health-check
+            # without holding the secret; everything else requires the token.
+            if path != "/healthz":
+                self._check_auth()
             handler = routes.get((method, path))
             if handler is None:
                 known_paths = {route_path for _, route_path in routes}
@@ -219,62 +246,20 @@ class _Handler(BaseHTTPRequestHandler):
     def _handle_stats(self) -> None:
         self._send_json(200, {"stats": self.server.backend.stats_summary()})
 
-    def _predict_args(self) -> Tuple[dict, np.ndarray, dict, str]:
-        body = self._read_request_body()
-        images = decode_array(self._require(body, "images"))
-        key_kwargs = {
-            "model": self._require(body, "model"),
-            "mapping": self._require(body, "mapping"),
-            "bits": _parse_bits_field(body.get("bits")),
-        }
-        if not isinstance(key_kwargs["model"], str):
-            raise RequestError(400, "model must be a string")
-        if not isinstance(key_kwargs["mapping"], str):
-            raise RequestError(400, "mapping must be a string")
-        return body, images, key_kwargs, self._response_encoding(body)
-
+    # The two prediction routes are nothing but codec shells: JSON body ->
+    # shared request dataclass -> typed backend entry point -> shared
+    # result dataclass -> JSON body.  All validation lives in the codec
+    # and the dataclasses themselves, so every transport applies it
+    # identically.
     def _handle_predict(self) -> None:
-        _, images, key_kwargs, encoding = self._predict_args()
-        logits = self.server.backend.predict(images, **key_kwargs)
-        self._send_json(200, {
-            **{k: key_kwargs[k] for k in ("model", "bits", "mapping")},
-            "logits": encode_array(logits, encoding=encoding),
-        })
+        request, encoding = decode_predict_request(self._read_request_body())
+        result = self.server.backend.predict_request(request)
+        self._send_json(200, encode_predict_result(result, encoding=encoding))
 
     def _handle_ensemble(self) -> None:
-        body, images, key_kwargs, encoding = self._predict_args()
-        sigma_fraction = body.get("sigma_fraction", 0.1)
-        num_samples = body.get("num_samples", 25)
-        seed = body.get("seed", 0)
-        if not isinstance(sigma_fraction, (int, float)) or isinstance(
-            sigma_fraction, bool
-        ) or sigma_fraction < 0:
-            raise RequestError(400, "sigma_fraction must be a non-negative number")
-        if not isinstance(num_samples, int) or isinstance(num_samples, bool) \
-                or num_samples < 1:
-            raise RequestError(400, "num_samples must be a positive integer")
-        if not isinstance(seed, int) or isinstance(seed, bool) or seed < 0:
-            raise RequestError(400, "seed must be a non-negative integer")
-        response = self.server.backend.predict_under_variation(
-            images, sigma_fraction=float(sigma_fraction),
-            num_samples=num_samples, seed=seed, **key_kwargs,
-        )
-        self._send_json(200, {
-            **{k: key_kwargs[k] for k in ("model", "bits", "mapping")},
-            "sigma_fraction": response.sigma_fraction,
-            "num_samples": response.num_samples,
-            "seed": response.seed,
-            "mean_logits": encode_array(response.mean_logits, encoding=encoding),
-            "predictions": encode_array(
-                np.asarray(response.predictions, dtype=np.int64), encoding=encoding
-            ),
-            "confidence": encode_array(
-                np.asarray(response.confidence, dtype=np.float64), encoding=encoding
-            ),
-            "vote_counts": encode_array(
-                np.asarray(response.vote_counts, dtype=np.int64), encoding=encoding
-            ),
-        })
+        request, encoding = decode_ensemble_request(self._read_request_body())
+        result = self.server.backend.ensemble_request(request)
+        self._send_json(200, encode_ensemble_result(result, encoding=encoding))
 
 
 class _PlanHTTPServer(ThreadingHTTPServer):
@@ -287,9 +272,11 @@ class _PlanHTTPServer(ThreadingHTTPServer):
     # With daemon threads there is nothing for server_close() to join.
     block_on_close = False
 
-    def __init__(self, address, backend, verbose: bool) -> None:
+    def __init__(self, address, backend, verbose: bool,
+                 auth_token: Optional[str] = None) -> None:
         self.backend = backend
         self.verbose = verbose
+        self.auth_token = auth_token
         self._inflight = 0
         self._inflight_cv = threading.Condition()
         super().__init__(address, _Handler)
@@ -318,6 +305,10 @@ class PlanServer:
     ``port=0`` binds an ephemeral port (see :attr:`url` after
     :meth:`start`).  With ``own_backend=True`` (default) closing the server
     also closes the backend, draining its in-flight micro-batches.
+    ``auth_token`` turns on shared-token auth: every route except
+    ``/healthz`` requires ``Authorization: Bearer <token>`` and answers
+    401 otherwise (clients: ``HttpClient(url, token=...)`` or
+    ``repro.api.connect(url, token=...)``).
     """
 
     def __init__(
@@ -327,10 +318,12 @@ class PlanServer:
         port: int = 0,
         own_backend: bool = True,
         verbose: bool = False,
+        auth_token: Optional[str] = None,
     ) -> None:
         self.backend = backend
         self.own_backend = own_backend
-        self._httpd = _PlanHTTPServer((host, port), backend, verbose)
+        self._httpd = _PlanHTTPServer((host, port), backend, verbose,
+                                      auth_token=auth_token)
         self._thread: Optional[threading.Thread] = None
         self._closed = False
 

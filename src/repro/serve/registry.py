@@ -24,6 +24,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from repro.api.errors import InvalidRequest
+from repro.api.types import parse_bits_token
 from repro.runtime.plan import InferencePlan
 
 
@@ -41,12 +43,16 @@ def _bits_token(bits: Optional[int]) -> str:
 
 
 def parse_bits(token: str) -> Optional[int]:
-    """Parse a canonical bits token (``"4b"`` → 4, ``"fp32"`` → None)."""
-    if token == "fp32":
-        return None
-    if token.endswith("b") and token[:-1].isdigit():
-        return int(token[:-1])
-    raise ValueError(f"unrecognised bits token {token!r}")
+    """Parse a canonical bits token (``"4b"`` → 4, ``"fp32"`` → None).
+
+    Delegates to the API layer's parser so the token grammar has exactly
+    one owner; the typed error is translated back to the ``ValueError``
+    this legacy surface has always raised.
+    """
+    try:
+        return parse_bits_token(token)
+    except InvalidRequest as error:
+        raise ValueError(str(error)) from None
 
 
 _parse_bits = parse_bits

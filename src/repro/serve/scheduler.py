@@ -128,6 +128,18 @@ class MicroBatchScheduler:
             self._queue.put((array, future))
         return future
 
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting to be coalesced (approximate).
+
+        This is the backpressure signal: the number of submitted requests
+        the worker thread has not yet drained into a micro-batch.  A
+        saturated service shows a persistently positive depth; the serving
+        layer turns a configurable threshold on it into typed
+        ``ApiBackpressure`` / HTTP 429 responses.
+        """
+        return self._queue.qsize()
+
     def close(self, timeout: Optional[float] = 10.0) -> None:
         """Stop accepting requests, flush everything queued, join the worker."""
         with self._submit_lock:

@@ -19,6 +19,18 @@ Two request flavours mirror the paper's two readouts:
   scenario): per-request sigma and sample count, returning mean logits plus
   a majority-vote class and its vote confidence.  A fixed seed makes the
   whole response reproducible.
+
+Both flavours also exist as *typed* entry points —
+:meth:`InferenceService.predict_request` /
+:meth:`InferenceService.ensemble_request` — consuming and producing the
+shared ``repro.api`` dataclasses and raising the typed
+:class:`~repro.api.errors.ApiError` hierarchy.  The HTTP front-end and the
+:class:`~repro.api.client.LocalClient` both route through them, so every
+transport shares one request/response vocabulary.  ``max_queue_depth``
+adds backpressure: a deterministic request that finds its scheduler queue
+past the threshold is rejected with the typed
+:class:`~repro.api.errors.ApiBackpressure` (HTTP 429) instead of deepening
+the queue.
 """
 
 from __future__ import annotations
@@ -26,11 +38,18 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from concurrent.futures import Future
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.api.backend import typed_ensemble, typed_predict
+from repro.api.errors import ApiBackpressure
+from repro.api.types import (
+    EnsembleRequest,
+    EnsembleResult,
+    PredictRequest,
+    PredictResult,
+)
 from repro.runtime.montecarlo import (
     _prepare,
     run_plan_samples,
@@ -40,34 +59,10 @@ from repro.runtime.plan import InferencePlan
 from repro.serve.registry import PlanKey, PlanRegistry
 from repro.serve.scheduler import MicroBatchScheduler, SchedulerStats
 
-
-@dataclass
-class VariationPrediction:
-    """Response of one variation-aware ensemble request.
-
-    Attributes
-    ----------
-    mean_logits:
-        Logits averaged over the variation draws, shape ``(batch, classes)``
-        (leading axis dropped for a single-sample request).
-    predictions:
-        Majority-vote class per input across the per-draw argmaxes.
-    confidence:
-        Fraction of draws that voted for the winning class — 1.0 means the
-        prediction is stable under the requested device variation.
-    vote_counts:
-        Per-class vote counts, shape ``(batch, classes)``.
-    sigma_fraction, num_samples, seed:
-        The request parameters, echoed for reproducibility.
-    """
-
-    mean_logits: np.ndarray
-    predictions: np.ndarray
-    confidence: np.ndarray
-    vote_counts: np.ndarray
-    sigma_fraction: float
-    num_samples: int
-    seed: int
+#: Backwards-compatible name: the ensemble response *is* the shared API
+#: dataclass now, so service, cluster, HTTP, and clients all hand around
+#: the identical type (it crosses the cluster's pickle boundary verbatim).
+VariationPrediction = EnsembleResult
 
 
 class InferenceService:
@@ -79,10 +74,17 @@ class InferenceService:
         max_batch: int = 64,
         max_wait_ms: float = 2.0,
         ensemble_cache_size: int = 8,
+        max_queue_depth: Optional[int] = None,
     ) -> None:
+        if max_queue_depth is not None and max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be non-negative or None")
         self.registry = registry
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
+        # Backpressure threshold: a deterministic request whose scheduler
+        # already holds this many undrained requests is rejected with the
+        # typed ApiBackpressure instead of queueing (None disables).
+        self.max_queue_depth = max_queue_depth
         self._schedulers: Dict[PlanKey, MicroBatchScheduler] = {}
         # Plans pinned per active scheduler: request handling must not pay a
         # registry LRU miss (a full .npz deserialisation) per request, and a
@@ -194,9 +196,23 @@ class InferenceService:
                 for key, scheduler in self._schedulers.items()
             }
 
+    def queue_depths(self) -> Dict[str, int]:
+        """Scheduler queue depth per canonical plan name (the 429 signal)."""
+        with self._lock:
+            return {
+                key.canonical(): scheduler.queue_depth
+                for key, scheduler in self._schedulers.items()
+            }
+
+    def queue_depth(self) -> int:
+        """The deepest scheduler queue (0 when idle or before first request)."""
+        depths = self.queue_depths()
+        return max(depths.values()) if depths else 0
+
     def stats_summary(self) -> Dict[str, dict]:
         """The batching statistics as JSON-ready dicts (HTTP ``/v1/stats``)."""
         summary = {}
+        depths = self.queue_depths()
         for name, stats in self.stats.items():
             summary[name] = {
                 "num_batches": stats.num_batches,
@@ -204,6 +220,7 @@ class InferenceService:
                 "num_rows": stats.num_rows,
                 "max_rows_per_batch": stats.max_rows_per_batch,
                 "mean_rows_per_batch": stats.mean_rows_per_batch,
+                "queue_depth": depths.get(name, 0),
             }
         summary["ensemble_cache"] = {
             "hits": self.ensemble_cache_hits,
@@ -245,8 +262,20 @@ class InferenceService:
         pre-batched array; the future's result matches — single samples
         resolve to ``(classes,)`` logits.
         """
-        scheduler, plan = self._serving_pair(PlanKey(model, bits, mapping))
+        key = PlanKey(model, bits, mapping)
+        scheduler, plan = self._serving_pair(key)
         array, single = self._normalize(plan, images)
+        if self.max_queue_depth is not None:
+            depth = scheduler.queue_depth
+            if depth >= self.max_queue_depth:
+                # Reject before enqueueing: a 429'd client retries against a
+                # queue that can only have shrunk, instead of deepening it.
+                raise ApiBackpressure(
+                    f"scheduler queue for {key.canonical()!r} holds {depth} "
+                    f"request(s), at or over the max_queue_depth of "
+                    f"{self.max_queue_depth}; retry shortly",
+                    retry_after=1.0,
+                )
         future = scheduler.submit(array)
         if not single:
             return future
@@ -275,6 +304,28 @@ class InferenceService:
         return self.predict_async(
             images, model=model, bits=bits, mapping=mapping
         ).result(timeout=timeout)
+
+    # ------------------------------------------------------------------ #
+    # Typed entry points (the repro.api backend contract)
+    # ------------------------------------------------------------------ #
+    def predict_request(
+        self, request: PredictRequest, timeout: Optional[float] = 60.0
+    ) -> PredictResult:
+        """Serve one typed deterministic request; typed errors on failure.
+
+        This is the entry point the HTTP front-end and
+        :class:`~repro.api.client.LocalClient` share: legacy exceptions
+        (``KeyError`` for unknown plans, ``ValueError`` for bad geometry,
+        ``RuntimeError`` for a closed service) are folded into the
+        :class:`~repro.api.errors.ApiError` hierarchy by the one shared
+        fold (:mod:`repro.api.backend`), so every transport reports the
+        identical typed failure.
+        """
+        return typed_predict(self.predict, request, timeout=timeout)
+
+    def ensemble_request(self, request: EnsembleRequest) -> EnsembleResult:
+        """Serve one typed ensemble request; typed errors on failure."""
+        return typed_ensemble(self.predict_under_variation, request)
 
     # ------------------------------------------------------------------ #
     # Variation-aware requests
@@ -359,7 +410,10 @@ class InferenceService:
             vote_counts = vote_counts[0]
             predictions = predictions[0]
             confidence = confidence[0]
-        return VariationPrediction(
+        return EnsembleResult(
+            model=model,
+            bits=bits,
+            mapping=mapping,
             mean_logits=mean_logits,
             predictions=predictions,
             confidence=confidence,

@@ -1,0 +1,184 @@
+"""The backend-equivalence matrix: one script, three transports, one answer.
+
+This is the acceptance test of the unified client layer: the *same*
+sequence of typed calls runs against a ``local:`` backend, a live HTTP
+endpoint, and a ``cluster:`` deployment over the same plan directory, and
+must produce
+
+* bit-identical float64 predictions (deterministic and ensemble), and
+* the identical typed error (class and machine-readable code) for the
+  same malformed inputs,
+
+through every backend.  The Fig. 6 sigma sweep helper is part of the
+script, so the study protocol itself is certified backend-independent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from types import SimpleNamespace
+
+from repro.api import connect
+from repro.api.errors import ApiError
+from repro.api.study import variation_sweep_via_client
+from repro.api.types import EnsembleRequest, PredictRequest
+from repro.models import make_mlp
+from repro.runtime import compile_model
+from repro.serve import InferenceService, PlanRegistry, PlanServer
+
+MODELS = (("alpha", 4, "acm"), ("beta", None, "de"))
+BACKENDS = ("local", "http", "cluster")
+
+
+@pytest.fixture(scope="module")
+def matrix(tmp_path_factory):
+    """One plan directory, three live backends, shared evaluation data."""
+    directory = tmp_path_factory.mktemp("equivalence-plans")
+    registry = PlanRegistry(directory)
+    plans = {}
+    for seed, (name, bits, mapping) in enumerate(MODELS):
+        model = make_mlp(input_size=16, hidden_sizes=(8,), mapping=mapping,
+                         quantizer_bits=bits, seed=seed)
+        registry.publish_model(model, name, bits, mapping)
+        plans[name] = compile_model(model)
+
+    http_service = InferenceService(PlanRegistry(directory), max_batch=16)
+    server = PlanServer(http_service, own_backend=True).start()
+    clients = {
+        "local": connect(f"local:{directory}?max_batch=16&max_wait_ms=2"),
+        "http": connect(server.url),
+        "cluster": connect(f"cluster:{directory}?workers=2&max_batch=16"),
+    }
+    clients["cluster"].backend.wait_ready(timeout=120)
+    rng = np.random.default_rng(11)
+    images = rng.normal(size=(8, 16))
+    labels = rng.integers(0, 10, size=8)
+    yield SimpleNamespace(directory=directory, plans=plans, clients=clients,
+                          images=images, labels=labels)
+    for client in clients.values():
+        client.close()
+    server.close()
+
+
+def run_script(client, images, labels):
+    """The one client script; must behave identically on every backend."""
+    out = {}
+    for name, bits, mapping in MODELS:
+        out[f"predict:{name}"] = client.predict(PredictRequest(
+            images=images, model=name, mapping=mapping, bits=bits)).logits
+        out[f"single:{name}"] = client.predict(PredictRequest(
+            images=images[0], model=name, mapping=mapping, bits=bits)).logits
+        ensemble = client.ensemble(EnsembleRequest(
+            images=images, model=name, mapping=mapping, bits=bits,
+            sigma_fraction=0.15, num_samples=7, seed=21))
+        out[f"ensemble_mean:{name}"] = ensemble.mean_logits
+        out[f"ensemble_votes:{name}"] = ensemble.vote_counts
+        out[f"ensemble_pred:{name}"] = ensemble.predictions
+    sweep = variation_sweep_via_client(
+        client, images, labels, model="alpha", mapping="acm", bits=4,
+        sigmas=(0.0, 0.2), num_samples=5, seed=3,
+    )
+    out["sweep_accuracy"] = np.asarray(sweep.accuracies)
+    out["sweep_confidence"] = np.asarray(
+        [point.mean_confidence for point in sweep.points]
+    )
+    return out
+
+
+class TestBitEquivalence:
+    def test_same_script_identical_through_every_backend(self, matrix):
+        results = {
+            backend: run_script(matrix.clients[backend], matrix.images,
+                                matrix.labels)
+            for backend in BACKENDS
+        }
+        reference = results["local"]
+        # The local backend itself must match the bare compiled plan.
+        for name, _, _ in MODELS:
+            np.testing.assert_array_equal(
+                reference[f"predict:{name}"],
+                matrix.plans[name].run(matrix.images),
+            )
+        for backend in ("http", "cluster"):
+            for key, expected in reference.items():
+                actual = results[backend][key]
+                assert np.asarray(actual).dtype == np.asarray(expected).dtype, \
+                    f"{backend}:{key} dtype drifted"
+                np.testing.assert_array_equal(
+                    actual, expected,
+                    err_msg=f"{backend}:{key} is not bit-identical",
+                )
+
+    def test_float64_is_preserved_end_to_end(self, matrix):
+        for backend in BACKENDS:
+            logits = matrix.clients[backend].predict(PredictRequest(
+                images=matrix.images, model="alpha", mapping="acm",
+                bits=4)).logits
+            assert np.asarray(logits).dtype == np.float64
+
+    def test_catalogues_agree(self, matrix):
+        listings = {
+            backend: {info.name: info.digest
+                      for info in matrix.clients[backend].models()}
+            for backend in BACKENDS
+        }
+        assert listings["local"] == listings["http"] == listings["cluster"]
+        assert set(listings["local"]) == {"alpha__4b__acm", "beta__fp32__de"}
+
+    def test_health_everywhere(self, matrix):
+        for backend in BACKENDS:
+            health = matrix.clients[backend].health()
+            assert health.ok and health.models == len(MODELS)
+
+
+def _typed_failure(client, request, flavour):
+    call = client.ensemble if flavour == "ensemble" else client.predict
+    try:
+        call(request)
+    except ApiError as error:
+        return type(error), error.code
+    raise AssertionError("expected a typed ApiError")
+
+
+class TestErrorEquivalence:
+    CASES = [
+        ("unknown model", "predict", dict(model="ghost", mapping="acm")),
+        ("unknown ensemble model", "ensemble", dict(model="ghost",
+                                                    mapping="acm")),
+        ("wrong geometry", "predict", dict(model="alpha", mapping="acm",
+                                           bits=4, shape=(2, 3))),
+        ("wrong ensemble geometry", "ensemble", dict(model="alpha",
+                                                     mapping="acm", bits=4,
+                                                     shape=(1, 2, 3))),
+        ("wrong mapping key", "predict", dict(model="alpha", mapping="bc",
+                                              bits=4)),
+    ]
+
+    @pytest.mark.parametrize("label,flavour,spec",
+                             CASES, ids=[case[0] for case in CASES])
+    def test_same_typed_error_through_every_backend(self, matrix, label,
+                                                    flavour, spec):
+        shape = spec.pop("shape", (2, 16))
+        images = np.zeros(shape)
+        outcomes = {}
+        for backend in BACKENDS:
+            if flavour == "ensemble":
+                request = EnsembleRequest(images=images, num_samples=3, **spec)
+            else:
+                request = PredictRequest(images=images, **spec)
+            outcomes[backend] = _typed_failure(matrix.clients[backend],
+                                               request, flavour)
+        assert outcomes["local"] == outcomes["http"] == outcomes["cluster"], \
+            f"{label}: {outcomes}"
+        spec["shape"] = shape  # restore for parametrize reuse safety
+
+    def test_construction_time_validation_is_backend_free(self, matrix):
+        # Bad ensemble parameters never reach a transport: the shared
+        # request type rejects them identically for every backend.
+        from repro.api import InvalidRequest
+
+        for _ in BACKENDS:
+            with pytest.raises(InvalidRequest):
+                EnsembleRequest(images=np.zeros((1, 16)), model="alpha",
+                                mapping="acm", bits=4, num_samples=0)

@@ -30,6 +30,7 @@ class TestPublicAPI:
         np.testing.assert_allclose(periphery.matrix @ factor, weights, atol=1e-8)
 
     def test_subpackages_importable(self):
+        import repro.api
         import repro.data
         import repro.experiments
         import repro.hardware
@@ -41,10 +42,17 @@ class TestPublicAPI:
         import repro.tensor
         import repro.train
         import repro.xbar
-        for module in (repro.data, repro.experiments, repro.hardware, repro.mapping,
-                       repro.models, repro.nn, repro.optim, repro.serve, repro.tensor,
-                       repro.train, repro.xbar):
+        for module in (repro.api, repro.data, repro.experiments, repro.hardware,
+                       repro.mapping, repro.models, repro.nn, repro.optim,
+                       repro.serve, repro.tensor, repro.train, repro.xbar):
             assert module.__doc__, f"{module.__name__} is missing a module docstring"
+
+    def test_api_lazy_exports_resolve(self):
+        import repro.api
+
+        for name in repro.api.__all__:
+            assert hasattr(repro.api, name), f"repro.api missing {name}"
+        assert "connect" in dir(repro.api)
 
     def test_all_exports_resolve_in_subpackages(self):
         import repro.mapping as mapping

@@ -230,3 +230,102 @@ class TestClusterLifecycle:
                             mapping="acm")
         with pytest.raises(RuntimeError):
             cluster.stats_summary()
+
+
+class TestWorkerDeath:
+    """A dead worker strands nothing: typed failures, shard exclusion, restart."""
+
+    @pytest.fixture
+    def death_env(self, tmp_path):
+        directory = tmp_path / "plans"
+        registry = PlanRegistry(directory)
+        # Big enough that an ensemble request is reliably still in flight
+        # when the worker process is killed underneath it.
+        model = make_mlp(input_size=256, hidden_sizes=(256, 256),
+                         mapping="acm", quantizer_bits=4, seed=0)
+        registry.publish_model(model, "big", 4, "acm")
+        small = make_mlp(input_size=16, hidden_sizes=(4,), mapping="acm",
+                         quantizer_bits=4, seed=1)
+        registry.publish_model(small, "small", 4, "acm")
+        cluster = PlanCluster(directory, num_workers=2, handler_threads=2)
+        cluster.wait_ready(timeout=120)
+        yield SimpleNamespace(cluster=cluster, directory=directory,
+                              plans={"big": compile_model(model),
+                                     "small": compile_model(small)})
+        cluster.close()
+
+    @staticmethod
+    def _kill_worker(cluster, index):
+        worker = cluster._workers[index]
+        worker.process.kill()
+        worker.process.join(timeout=30)
+
+    @staticmethod
+    def _wait_dead(cluster, index, timeout=30.0):
+        import time
+
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if cluster._workers[index].dead:
+                return
+            time.sleep(0.01)
+        raise AssertionError(f"worker {index} never marked dead")
+
+    def test_inflight_futures_fail_with_typed_worker_died(self, death_env):
+        from repro.api.errors import WorkerDied
+
+        cluster = death_env.cluster
+        shard = cluster.worker_for("big", 4, "acm")
+        images = np.random.default_rng(2).normal(size=(32, 256))
+        worker = cluster._workers[shard]
+        # A heavyweight ensemble keeps the worker busy while we kill it.
+        future = worker.submit("ensemble", {
+            "images": images, "model": "big", "bits": 4, "mapping": "acm",
+            "sigma_fraction": 0.1, "num_samples": 64, "seed": 0,
+        })
+        self._kill_worker(cluster, shard)
+        with pytest.raises(WorkerDied):
+            future.result(timeout=60)
+
+    def test_dead_shard_is_excluded_and_restartable(self, death_env):
+        from repro.api import ClusterClient, PredictRequest, WorkerDied
+
+        cluster = death_env.cluster
+        shard = cluster.worker_for("big", 4, "acm")
+        other_models = [name for name in ("big", "small")
+                        if cluster.worker_for(name, 4, "acm") != shard]
+        self._kill_worker(cluster, shard)
+        self._wait_dead(cluster, shard)
+        assert cluster.dead_workers == [shard]
+
+        images = np.random.default_rng(3).normal(size=(4, 256))
+        # New requests to the dead shard fail fast with the typed error...
+        with pytest.raises(WorkerDied):
+            cluster.predict(images, model="big", bits=4, mapping="acm")
+        client = ClusterClient(cluster, own_backend=False)
+        with pytest.raises(WorkerDied):
+            client.predict(PredictRequest(images=images, model="big",
+                                          mapping="acm", bits=4))
+        # ...while every other shard keeps serving...
+        for name in other_models:
+            small_images = np.random.default_rng(4).normal(size=(3, 16))
+            np.testing.assert_array_equal(
+                cluster.predict(small_images, model=name, bits=4,
+                                mapping="acm"),
+                death_env.plans[name].run(small_images),
+            )
+        # ...and monitoring reports the dead shard instead of failing.
+        summary = cluster.stats_summary()
+        assert summary[f"worker-{shard}"] == {"status": {"dead": True}}
+
+        # Restart re-admits the shard with exact results.
+        cluster.restart_worker(shard)
+        assert cluster.dead_workers == []
+        np.testing.assert_array_equal(
+            cluster.predict(images, model="big", bits=4, mapping="acm"),
+            death_env.plans["big"].run(images),
+        )
+
+    def test_restart_worker_validates_index(self, death_env):
+        with pytest.raises(ValueError):
+            death_env.cluster.restart_worker(99)

@@ -426,7 +426,10 @@ class TestLifecycle:
             status, response = _request(server.address, "POST", "/v1/predict",
                                         body)
         assert status == 503
-        assert response["error"]["type"] == "RuntimeError"
+        # The typed layer folds the backend's RuntimeError into the stable
+        # machine-readable BackendClosed error.
+        assert response["error"]["type"] == "BackendClosed"
+        assert response["error"]["code"] == "backend_closed"
 
     def test_graceful_close_completes_inflight_request(self, tmp_path):
         """close() must drain a request already being handled, not drop it."""
