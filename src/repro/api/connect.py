@@ -16,7 +16,13 @@ site:
 ``cluster:plans/?workers=4``
     Spawn a sharded :class:`~repro.serve.cluster.PlanCluster` over the
     directory; returns a :class:`~repro.api.client.ClusterClient` that
-    owns it.
+    owns it.  Self-healing and transport knobs ride along:
+    ``auto_restart=true`` (supervised respawn of dead workers, with
+    ``max_restarts`` / ``restart_backoff`` / ``stability_window``
+    shaping the crash-loop circuit breaker), ``shm_threshold=BYTES``
+    (shared-memory array transport; ``off`` disables), and
+    ``worker_died_retries`` / ``worker_died_backoff`` for the client's
+    transparent retry of requests a dying worker stranded.
 
 Example — the same script against any backend::
 
@@ -35,6 +41,25 @@ from repro.serve.cluster import PlanCluster
 from repro.serve.registry import PlanRegistry
 from repro.serve.service import InferenceService
 
+def _parse_bool(text: str) -> bool:
+    """Parse a query-string boolean (``auto_restart=true`` and friends)."""
+    lowered = text.strip().lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise ValueError(f"expected a boolean, got {text!r}")
+
+
+def _parse_shm_threshold(text: str) -> Any:
+    """``shm_threshold`` query value: bytes, or a negative value / ``off``
+    to disable the shared-memory transport."""
+    if text.strip().lower() in ("off", "none"):
+        return None
+    value = int(text)
+    return None if value < 0 else value
+
+
 #: Query parameters each directory-backed scheme understands, with the
 #: parser applied to the (string) query value.
 _LOCAL_PARAMS: Dict[str, Callable[[str], Any]] = {
@@ -42,6 +67,7 @@ _LOCAL_PARAMS: Dict[str, Callable[[str], Any]] = {
     "max_batch": int,
     "max_wait_ms": float,
     "max_queue_depth": int,
+    "max_concurrent_ensembles": int,
     "ensemble_cache_size": int,
     "timeout": float,
 }
@@ -51,10 +77,20 @@ _CLUSTER_PARAMS: Dict[str, Callable[[str], Any]] = {
     "max_batch": int,
     "max_wait_ms": float,
     "max_queue_depth": int,
+    "max_concurrent_ensembles": int,
     "handler_threads": int,
     "start_method": str,
     "timeout": float,
     "ensemble_timeout": float,
+    "shm_threshold": _parse_shm_threshold,
+    "auto_restart": _parse_bool,
+    "max_restarts": int,
+    "restart_backoff": float,
+    "max_restart_backoff": float,
+    "stability_window": float,
+    "worker_died_retries": int,
+    "worker_died_backoff": float,
+    "worker_died_backoff_cap": float,
 }
 _HTTP_PARAMS: Dict[str, Callable[[str], Any]] = {
     "token": str,
@@ -140,10 +176,17 @@ def connect(target: str, **options: Any) -> Client:
         )
         timeout = params.pop("timeout", 60.0)
         ensemble_timeout = params.pop("ensemble_timeout", 120.0)
+        client_options = {
+            key: params.pop(key)
+            for key in ("worker_died_retries", "worker_died_backoff",
+                        "worker_died_backoff_cap")
+            if key in params
+        }
         params["num_workers"] = params.pop("workers", 2)
         cluster = PlanCluster(path, **params)
         return ClusterClient(cluster, own_backend=True, timeout=timeout,
-                             ensemble_timeout=ensemble_timeout)
+                             ensemble_timeout=ensemble_timeout,
+                             **client_options)
 
     raise ValueError(
         f"unrecognised connect target {target!r}; expected 'local:DIR', "

@@ -23,7 +23,7 @@ low-level serve modules — may depend on it without cycles.
 from __future__ import annotations
 
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from typing import Dict, Type
+from typing import Dict, Optional, Type
 
 
 class ApiError(Exception):
@@ -114,13 +114,37 @@ class WorkerDied(ApiError):
     """A cluster worker process died.
 
     Raised for the in-flight requests the dead worker stranded *and* for
-    new requests routed to its shard, which stays excluded until
-    :meth:`~repro.serve.cluster.PlanCluster.restart_worker` replaces the
-    process.
+    new requests routed to its shard while it is down.  The metadata tells
+    a client what to do next:
+
+    * ``worker_index`` — the shard whose process died (``None`` when the
+      failure could not be attributed to one worker).
+    * ``breaker_open`` — ``True`` when the shard's circuit breaker is open:
+      the worker crash-looped past the cluster's ``max_restarts`` budget
+      and will *not* be respawned automatically, so retrying is pointless
+      until an operator calls
+      :meth:`~repro.serve.cluster.PlanCluster.restart_worker`.  With the
+      breaker closed, every protocol request is idempotent/deterministic
+      and safe to retry — a self-healing cluster will have respawned the
+      shard shortly (:class:`~repro.api.client.ClusterClient` retries
+      transparently in exactly this case).
+
+    Extra attributes live in ``__dict__`` and therefore survive pickling
+    across the cluster's process boundary (see :class:`ApiError`).
     """
 
     code = "worker_died"
     status = 503
+
+    def __init__(
+        self,
+        message: str,
+        worker_index: Optional[int] = None,
+        breaker_open: bool = False,
+    ) -> None:
+        super().__init__(message)
+        self.worker_index = worker_index
+        self.breaker_open = bool(breaker_open)
 
 
 class ApiTimeout(ApiError):

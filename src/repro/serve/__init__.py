@@ -24,6 +24,10 @@ such plans to concurrent clients over the network":
   sharding: N worker processes over one registry directory, models
   partitioned by a stable key hash (:func:`shard_index`), each worker
   running its own schedulers so independent models serve in true parallel.
+  Large arrays cross the process boundary over shared memory
+  (:mod:`repro.serve.shm`), and ``auto_restart=True`` makes the cluster
+  self-healing: dead workers respawn with backoff behind a crash-loop
+  circuit breaker.
 * :func:`run_variation_study_parallel` (:mod:`repro.serve.pool`) — the
   Fig. 6 study fanned out over a process pool, one worker per independent
   (bits, mapping) training cell.
@@ -50,9 +54,11 @@ from repro.serve.scheduler import MicroBatchScheduler, SchedulerStats
 from repro.serve.service import InferenceService, VariationPrediction
 from repro.serve.http import PlanServer, RequestError
 from repro.serve.cluster import PlanCluster, shard_index
+from repro.serve.shm import DEFAULT_SHM_THRESHOLD, ShmRef
 from repro.serve.pool import StudyCell, run_study_cell, run_variation_study_parallel
 
 __all__ = [
+    "DEFAULT_SHM_THRESHOLD",
     "InferenceService",
     "MicroBatchScheduler",
     "PlanArtifactError",
@@ -63,6 +69,7 @@ __all__ = [
     "PlanServer",
     "RequestError",
     "SchedulerStats",
+    "ShmRef",
     "StudyCell",
     "VariationPrediction",
     "parse_bits",

@@ -18,7 +18,13 @@ Examples::
 
     # Edge-hardened: bearer-token auth + 429 backpressure past depth 64:
     python -m repro.serve --plan-dir ./plans --auth-token SECRET \\
-        --max-queue-depth 64
+        --max-queue-depth 64 --max-concurrent-ensembles 8
+
+    # Production posture: self-healing workers (supervised respawn with a
+    # crash-loop circuit breaker) + shared-memory transport for batches
+    # over 1 MiB:
+    python -m repro.serve --plan-dir ./plans --workers 4 --auto-restart \\
+        --shm-threshold 1048576
 
 The process serves until interrupted (Ctrl-C), then shuts down
 gracefully: in-flight HTTP requests finish, micro-batches drain, worker
@@ -63,6 +69,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="reject (HTTP 429 + Retry-After) deterministic "
                              "requests once a scheduler queue holds this many "
                              "requests (default: unlimited)")
+    parser.add_argument("--max-concurrent-ensembles", type=int, default=None,
+                        help="reject (HTTP 429 + Retry-After) ensemble "
+                             "requests once this many are mid-flight "
+                             "(default: unlimited)")
+    parser.add_argument("--auto-restart", action="store_true",
+                        help="self-heal the cluster: respawn dead worker "
+                             "processes with exponential backoff, opening a "
+                             "circuit breaker after repeated crash-loops "
+                             "(cluster backend only)")
+    parser.add_argument("--max-restarts", type=int, default=5,
+                        help="consecutive crashes of one worker before its "
+                             "circuit breaker opens (default: 5)")
+    parser.add_argument("--shm-threshold", type=int, default=None,
+                        metavar="BYTES",
+                        help="move request/response arrays of at least BYTES "
+                             "over shared memory instead of the worker pipe; "
+                             "negative disables (default: 65536, cluster "
+                             "backend only)")
     parser.add_argument("--auth-token", default=None, metavar="TOKEN",
                         help="require 'Authorization: Bearer TOKEN' on every "
                              "route except /healthz (default: open)")
@@ -92,8 +116,17 @@ def build_backend(args: argparse.Namespace):
     }
     if args.max_queue_depth is not None:
         options["max_queue_depth"] = args.max_queue_depth
+    if args.max_concurrent_ensembles is not None:
+        options["max_concurrent_ensembles"] = args.max_concurrent_ensembles
     if args.workers >= 1:
         options["workers"] = args.workers
+        if args.auto_restart:
+            options["auto_restart"] = True
+            options["max_restarts"] = args.max_restarts
+        if args.shm_threshold is not None:
+            options["shm_threshold"] = (
+                None if args.shm_threshold < 0 else args.shm_threshold
+            )
     return connect(build_target(args), **options).backend
 
 
@@ -125,6 +158,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         guards.append("bearer-token auth")
     if args.max_queue_depth is not None:
         guards.append(f"429 backpressure past queue depth {args.max_queue_depth}")
+    if args.max_concurrent_ensembles is not None:
+        guards.append(f"429 backpressure past "
+                      f"{args.max_concurrent_ensembles} concurrent ensemble(s)")
+    if args.workers >= 1 and args.auto_restart:
+        guards.append(f"self-healing workers (breaker after "
+                      f"{args.max_restarts} crash-loops)")
     if guards:
         print(f"guards: {', '.join(guards)}")
     token_hint = ", token=..." if args.auth_token is not None else ""

@@ -23,18 +23,35 @@ parent scatters replies back onto per-request futures.  Results are exact
 — the same float64 arrays an in-process service would return, moved across
 a pickle boundary.
 
+**Shared-memory transport** (:mod:`repro.serve.shm`): request/response
+arrays at or above ``shm_threshold`` bytes do not ride the pickle stream —
+they are copied once into a named ``multiprocessing.shared_memory``
+segment and travel as a tiny ``(name, dtype, shape)`` descriptor; the
+receiving side copies the bytes out and unlinks the segment.  Results stay
+bit-identical (the copy is a memcpy and the descriptor carries the full
+dtype), small payloads keep using the pipe, and segment cleanup is
+accounted: the parent tracks every in-flight segment per request and
+sweeps the per-worker name prefix when a worker dies, so a SIGKILL'd
+worker cannot leak ``/dev/shm`` entries.
+
+**Self-healing** (``auto_restart=True``): a supervisor thread watches for
+dead workers and respawns each one with bounded exponential backoff
+(``restart_backoff`` doubling up to ``max_restart_backoff``).  A worker
+that keeps crash-looping — ``max_restarts`` consecutive deaths without
+surviving ``stability_window`` seconds — trips its shard's *circuit
+breaker*: the supervisor stops respawning it and requests to the shard
+fail fast with :class:`~repro.api.errors.WorkerDied` carrying
+``breaker_open=True`` until an operator re-admits it via
+:meth:`PlanCluster.restart_worker` (which resets the breaker).  While the
+breaker is *closed*, every protocol request is idempotent/deterministic,
+so :class:`~repro.api.client.ClusterClient` transparently retries requests
+that failed with ``WorkerDied`` — the combination loses zero requests
+across a worker SIGKILL.
+
 Shutdown is graceful: :meth:`PlanCluster.close` sends each worker a
 shutdown sentinel; workers stop reading, finish every in-flight request,
 drain their schedulers (:meth:`InferenceService.close`), acknowledge, and
 exit.
-
-Worker death is detected, not hung on: the parent's receiver thread sees
-the pipe EOF the moment a worker process dies, fails every in-flight
-future of that worker with the typed
-:class:`~repro.api.errors.WorkerDied`, and excludes the shard — further
-requests routed to it fail fast with the same typed error while every
-other shard keeps serving — until :meth:`PlanCluster.restart_worker`
-spawns a replacement process.
 
 ``PlanCluster`` satisfies the same backend contract as
 ``InferenceService`` — including the typed
@@ -48,9 +65,11 @@ from __future__ import annotations
 import hashlib
 import itertools
 import multiprocessing
+import os
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -64,8 +83,20 @@ from repro.api.types import (
 )
 from repro.serve.registry import PlanKey, PlanRegistry
 from repro.serve.service import InferenceService, VariationPrediction
+from repro.serve.shm import (
+    DEFAULT_SHM_THRESHOLD,
+    SegmentStats,
+    cleanup_prefix,
+    offload_payload,
+    restore_payload,
+    unlink_segment,
+)
 
 _SHUTDOWN = None
+
+#: Distinguishes the shared-memory prefixes of clusters living in one
+#: parent process (tests routinely run several clusters per process).
+_CLUSTER_IDS = itertools.count()
 
 
 def shard_index(key: PlanKey, num_workers: int) -> int:
@@ -92,6 +123,9 @@ def _worker_main(
     max_wait_ms: float,
     handler_threads: int,
     max_queue_depth: Optional[int] = None,
+    max_concurrent_ensembles: Optional[int] = None,
+    shm_threshold: Optional[int] = None,
+    shm_prefix: str = "",
 ) -> None:
     """Serve requests from the pipe until the shutdown sentinel arrives.
 
@@ -99,25 +133,40 @@ def _worker_main(
     are ``(request_id, ok, payload)`` where ``payload`` is the result or
     the exception object itself (exceptions re-raise in the caller's
     process with their original type — including the typed ``ApiError``
-    subclasses, e.g. backpressure raised by the worker's service).
+    subclasses, e.g. backpressure raised by the worker's service).  Arrays
+    above ``shm_threshold`` arrive and leave as shared-memory descriptors
+    (consumed destructively on receipt), named under ``shm_prefix`` so the
+    parent can sweep anything this process leaves behind if it dies.
     """
     registry = PlanRegistry(directory, capacity=capacity)
     service = InferenceService(registry, max_batch=max_batch,
                                max_wait_ms=max_wait_ms,
-                               max_queue_depth=max_queue_depth)
+                               max_queue_depth=max_queue_depth,
+                               max_concurrent_ensembles=max_concurrent_ensembles)
     send_lock = threading.Lock()
+    segment_seq = itertools.count()
+
+    def allocate_name() -> str:
+        return f"{shm_prefix}{next(segment_seq)}"
 
     def reply(request_id, ok, payload) -> None:
+        names: List[str] = []
+        if ok:
+            payload, names = offload_payload(payload, shm_threshold,
+                                             allocate_name)
         try:
             with send_lock:
                 conn.send((request_id, ok, payload))
         except Exception as error:  # unpicklable payload; degrade to a message
+            for name in names:  # the descriptors never reached the parent
+                unlink_segment(name)
             with send_lock:
                 conn.send((request_id, False,
                            RuntimeError(f"{type(payload).__name__}: {error}")))
 
     def handle(request_id, kind, payload) -> None:
         try:
+            payload = restore_payload(payload)
             result = _dispatch(kind, payload)
         except BaseException as error:  # noqa: BLE001 - forwarded to caller
             reply(request_id, False, error)
@@ -175,54 +224,100 @@ class _WorkerClient:
 
     def __init__(self, context, index: int, directory: str, capacity: int,
                  max_batch: int, max_wait_ms: float, handler_threads: int,
-                 max_queue_depth: Optional[int] = None) -> None:
+                 max_queue_depth: Optional[int] = None,
+                 max_concurrent_ensembles: Optional[int] = None,
+                 shm_threshold: Optional[int] = None,
+                 shm_base: str = "", incarnation: int = 0) -> None:
         self.index = index
+        self.incarnation = incarnation
+        self.shm_threshold = shm_threshold
+        # Segment names are per-(worker, incarnation): "...p..." segments
+        # are created by the parent for this worker, "...w..." segments by
+        # the worker itself.  Both prefixes are swept when the process dies
+        # or the handle is closed, so no incarnation can leak into the next.
+        self._parent_prefix = f"{shm_base}p{index}i{incarnation}n"
+        self._worker_prefix = f"{shm_base}w{index}i{incarnation}n"
+        self._segment_seq = itertools.count()
+        self.transport = SegmentStats()
         parent_conn, child_conn = context.Pipe(duplex=True)
         self.process = context.Process(
             target=_worker_main,
             args=(child_conn, directory, capacity, max_batch, max_wait_ms,
-                  handler_threads, max_queue_depth),
+                  handler_threads, max_queue_depth, max_concurrent_ensembles,
+                  shm_threshold, self._worker_prefix),
             name=f"plan-worker-{index}",
             daemon=True,
         )
         self.process.start()
         child_conn.close()
         self._conn = parent_conn
-        self._pending: Dict[int, Future] = {}
+        # request_id -> (future, names of in-flight shm segments the parent
+        # created for this request; swept if the worker dies before
+        # consuming them).
+        self._pending: Dict[int, Tuple[Future, List[str]]] = {}
         self._ids = itertools.count()
         self._lock = threading.Lock()
         self._closed = False
         # Flipped (exactly once, by the receiver thread or a failed send)
         # when the worker process died rather than shut down: pending
         # futures get the typed WorkerDied and the shard is excluded until
-        # PlanCluster.restart_worker replaces this handle.
+        # a restart replaces this handle.
         self.dead = False
         self._receiver = threading.Thread(
             target=self._receive_loop, name=f"plan-worker-{index}-recv", daemon=True
         )
         self._receiver.start()
 
+    def _allocate_name(self) -> str:
+        return f"{self._parent_prefix}{next(self._segment_seq)}"
+
+    def active_segments(self) -> int:
+        """Parent-created segments still in flight (0 when drained)."""
+        with self._lock:
+            return sum(len(names) for _, names in self._pending.values())
+
+    def transport_stats(self) -> Dict[str, object]:
+        """JSON-ready shared-memory transport counters (parent side)."""
+        stats: Dict[str, object] = dict(self.transport.snapshot())
+        stats["active_segments"] = self.active_segments()
+        stats["shm_threshold"] = self.shm_threshold
+        return stats
+
     def submit(self, kind: str, payload) -> Future:
+        # Offloading copies the request arrays, so it happens before the
+        # lock — a big batch must not stall the receiver's reply handling.
+        payload, names = offload_payload(payload, self.shm_threshold,
+                                         self._allocate_name, self.transport)
         future: Future = Future()
         with self._lock:
             if self._closed:
+                self._discard_segments(names)
                 raise RuntimeError("cluster is closed")
             if self.dead:
+                self._discard_segments(names)
                 raise WorkerDied(
                     f"worker {self.index} has died; its shard is excluded "
-                    f"until restart_worker({self.index})"
+                    f"until it is restarted",
+                    worker_index=self.index,
                 )
             request_id = next(self._ids)
-            self._pending[request_id] = future
+            self._pending[request_id] = (future, names)
             try:
                 self._conn.send((request_id, kind, payload))
             except (BrokenPipeError, OSError) as error:
                 self._pending.pop(request_id, None)
+                self._discard_segments(names)
                 self.dead = True
                 raise WorkerDied(
-                    f"worker {self.index} is not reachable: {error}"
+                    f"worker {self.index} is not reachable: {error}",
+                    worker_index=self.index,
                 ) from None
         return future
+
+    def _discard_segments(self, names: List[str]) -> None:
+        removed = sum(1 for name in names if unlink_segment(name))
+        if removed:
+            self.transport.cleaned(removed)
 
     def _receive_loop(self) -> None:
         while True:
@@ -233,10 +328,25 @@ class _WorkerClient:
             if request_id is _SHUTDOWN:
                 break
             with self._lock:
-                future = self._pending.pop(request_id, None)
-            if future is None:
+                entry = self._pending.pop(request_id, None)
+            if entry is None:
                 continue
+            future, names = entry
+            # The worker consumed the request segments before dispatching;
+            # anything still present (a reply sent before restore, which
+            # only a buggy worker could produce) is swept here so no reply
+            # path can leak parent-created segments.
+            self._discard_segments(names)
             if ok:
+                try:
+                    payload = restore_payload(payload, self.transport)
+                except Exception as error:  # segment swept under us
+                    future.set_exception(WorkerDied(
+                        f"worker {self.index} reply lost its shared-memory "
+                        f"payload: {error}",
+                        worker_index=self.index,
+                    ))
+                    continue
                 future.set_result(payload)
             elif isinstance(payload, BaseException):
                 future.set_exception(payload)
@@ -254,15 +364,24 @@ class _WorkerClient:
             self._fail_pending(RuntimeError(f"worker {self.index} exited"))
         else:
             self._fail_pending(WorkerDied(
-                f"worker {self.index} died with the request in flight"
+                f"worker {self.index} died with the request in flight",
+                worker_index=self.index,
             ))
+        # Sweep both shm prefixes: request segments the dead worker never
+        # consumed and reply segments whose descriptors never arrived.
+        self._sweep_segments()
 
     def _fail_pending(self, error: BaseException) -> None:
         with self._lock:
             pending, self._pending = self._pending, {}
-        for future in pending.values():
+        for future, names in pending.values():
+            self._discard_segments(names)
             if not future.done():
                 future.set_exception(error)
+
+    def _sweep_segments(self) -> None:
+        cleanup_prefix(self._parent_prefix, self.transport)
+        cleanup_prefix(self._worker_prefix, self.transport)
 
     def close(self, timeout: Optional[float]) -> None:
         with self._lock:
@@ -283,6 +402,7 @@ class _WorkerClient:
         except OSError:  # pragma: no cover
             pass
         self._fail_pending(RuntimeError(f"worker {self.index} is closed"))
+        self._sweep_segments()
 
 
 # ---------------------------------------------------------------------- #
@@ -292,12 +412,24 @@ class PlanCluster:
     """Multi-process plan serving over one registry directory.
 
     Parameters mirror :class:`InferenceService` (each worker builds one
-    with ``max_batch`` / ``max_wait_ms`` / ``capacity``), plus the process
+    with ``max_batch`` / ``max_wait_ms`` / ``capacity`` /
+    ``max_queue_depth`` / ``max_concurrent_ensembles``), plus the process
     topology: ``num_workers`` serving processes and ``handler_threads``
     concurrent requests per worker (keep > 1 or micro-batches cannot
     form).  ``start_method`` selects the multiprocessing context; the
     ``spawn`` default gives workers a clean interpreter regardless of
     parent threads, at the cost of slower startup.
+
+    ``shm_threshold`` switches request/response arrays of at least that
+    many bytes onto the shared-memory transport (``None`` or a negative
+    value keeps everything on the pipe; ``0`` forces every array through
+    shared memory — useful in tests).  ``auto_restart=True`` starts the
+    self-healing supervisor: dead workers respawn with exponential backoff
+    (``restart_backoff`` doubling per consecutive crash up to
+    ``max_restart_backoff``); ``max_restarts`` consecutive crashes — a
+    crash "streak" resets once a worker survives ``stability_window``
+    seconds — open the shard's circuit breaker instead of retrying
+    forever.
     """
 
     def __init__(
@@ -310,26 +442,72 @@ class PlanCluster:
         handler_threads: int = 4,
         start_method: str = "spawn",
         max_queue_depth: Optional[int] = None,
+        max_concurrent_ensembles: Optional[int] = None,
+        shm_threshold: Optional[int] = DEFAULT_SHM_THRESHOLD,
+        auto_restart: bool = False,
+        max_restarts: int = 5,
+        restart_backoff: float = 0.05,
+        max_restart_backoff: float = 2.0,
+        stability_window: float = 2.0,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be at least 1")
         if handler_threads < 1:
             raise ValueError("handler_threads must be at least 1")
+        if max_restarts < 1:
+            raise ValueError("max_restarts must be at least 1")
+        if restart_backoff < 0 or max_restart_backoff < 0:
+            raise ValueError("restart backoffs must be non-negative")
         # The parent never deserialises a plan; its registry is the
         # catalogue index used for listings (capacity 1 keeps it tiny).
         self.catalogue = PlanRegistry(directory, capacity=1)
         self.num_workers = num_workers
+        self.auto_restart = bool(auto_restart)
+        self.max_restarts = max_restarts
+        self.restart_backoff = restart_backoff
+        self.max_restart_backoff = max_restart_backoff
+        self.stability_window = stability_window
         self._context = multiprocessing.get_context(start_method)
-        # Kept so restart_worker can spawn an identically configured
-        # replacement for a dead shard.
+        # The trailing "_" terminates the cluster id so close()'s
+        # cleanup_prefix for cluster 1 can never match cluster 11's
+        # segments in the same process.
+        self._shm_base = f"rps{os.getpid():x}c{next(_CLUSTER_IDS)}_"
+        # Kept so worker restarts can spawn identically configured
+        # replacements for a dead shard.
         self._worker_config = (str(self.catalogue.directory), capacity,
                                max_batch, max_wait_ms, handler_threads,
-                               max_queue_depth)
+                               max_queue_depth, max_concurrent_ensembles,
+                               shm_threshold)
         self._workers = [
-            _WorkerClient(self._context, index, *self._worker_config)
+            self._spawn_worker(index, incarnation=0)
             for index in range(num_workers)
         ]
         self._closed = False
+        # Supervisor bookkeeping, all guarded by _sup_lock.  _restart_lock
+        # serialises actual worker replacement (supervisor vs. manual
+        # restart_worker) without holding up state reads.
+        self._sup_lock = threading.Lock()
+        self._restart_lock = threading.Lock()
+        self._restarts = [0] * num_workers
+        self._consecutive = [0] * num_workers
+        self._breaker = [False] * num_workers
+        self._restart_due: List[Optional[float]] = [None] * num_workers
+        self._last_restart: List[Optional[float]] = [None] * num_workers
+        self._incarnations = [0] * num_workers
+        self._sup_stop = threading.Event()
+        self._supervisor: Optional[threading.Thread] = None
+        if self.auto_restart:
+            self._supervisor = threading.Thread(
+                target=self._supervise, name="plan-cluster-supervisor",
+                daemon=True,
+            )
+            self._supervisor.start()
+
+    def _spawn_worker(self, index: int, incarnation: int) -> _WorkerClient:
+        return _WorkerClient(
+            self._context, index, *self._worker_config,
+            shm_base=self._shm_base, incarnation=incarnation,
+        )
 
     # ------------------------------------------------------------------ #
     # Routing
@@ -341,27 +519,130 @@ class PlanCluster:
     def _route(self, model: str, bits: Optional[int], mapping: str) -> _WorkerClient:
         if self._closed:
             raise RuntimeError("cluster is closed")
-        worker = self._workers[self.worker_for(model, bits, mapping)]
+        index = self.worker_for(model, bits, mapping)
+        worker = self._workers[index]
         if worker.dead:
+            with self._sup_lock:
+                breaker_open = self._breaker[index]
+            if breaker_open:
+                raise WorkerDied(
+                    f"worker {index} crash-looped {self.max_restarts} time(s); "
+                    f"its circuit breaker is open and the shard stays down "
+                    f"until restart_worker({index}) re-admits it",
+                    worker_index=index, breaker_open=True,
+                )
+            if self.auto_restart:
+                raise WorkerDied(
+                    f"worker {index} died and is being respawned; the "
+                    f"request is safe to retry shortly",
+                    worker_index=index,
+                )
             raise WorkerDied(
-                f"worker {worker.index} has died; its shard is excluded "
-                f"until restart_worker({worker.index})"
+                f"worker {index} has died; its shard is excluded "
+                f"until restart_worker({index})",
+                worker_index=index,
             )
         return worker
 
     @property
     def dead_workers(self) -> List[int]:
         """Indices of workers whose process has died (shards excluded)."""
-        return [worker.index for worker in self._workers if worker.dead]
+        return [worker.index for worker in list(self._workers) if worker.dead]
+
+    @property
+    def open_breakers(self) -> List[int]:
+        """Shards whose circuit breaker is open (no automatic respawn)."""
+        with self._sup_lock:
+            return [index for index, is_open in enumerate(self._breaker)
+                    if is_open]
+
+    # ------------------------------------------------------------------ #
+    # Self-healing supervisor
+    # ------------------------------------------------------------------ #
+    def _supervise(self) -> None:
+        while not self._sup_stop.wait(0.02):
+            now = time.monotonic()
+            for index in range(self.num_workers):
+                if self._sup_stop.is_set():
+                    return
+                try:
+                    self._supervise_one(index, now)
+                except Exception:  # noqa: BLE001
+                    # A failed respawn (fd/process exhaustion mid
+                    # crash-storm) must not kill the supervisor: the shard
+                    # stays dead, the next tick reschedules it with a
+                    # larger backoff, and the breaker still bounds the
+                    # loop.  Swallowing here is what keeps self-healing
+                    # alive for every other shard too.
+                    continue
+
+    def _supervise_one(self, index: int, now: float) -> None:
+        with self._sup_lock:
+            if self._closed or self._breaker[index]:
+                return
+            worker = self._workers[index]
+            if not worker.dead:
+                # Healthy: once the latest respawn has survived the
+                # stability window, the crash streak is forgiven.
+                last = self._last_restart[index]
+                if (self._consecutive[index] and last is not None
+                        and now - last >= self.stability_window):
+                    self._consecutive[index] = 0
+                self._restart_due[index] = None
+                return
+            if self._consecutive[index] >= self.max_restarts:
+                # Crash-looping past the budget: trip the breaker instead
+                # of burning CPU respawning a shard that cannot stay up.
+                self._breaker[index] = True
+                self._restart_due[index] = None
+                return
+            due = self._restart_due[index]
+            if due is None:
+                delay = min(
+                    self.restart_backoff * (2 ** self._consecutive[index]),
+                    self.max_restart_backoff,
+                )
+                self._restart_due[index] = now + delay
+                return
+            if now < due:
+                return
+            self._restart_due[index] = None
+            self._consecutive[index] += 1
+        self._respawn(index)
+
+    def _respawn(self, index: int) -> None:
+        """Replace one dead worker (supervisor path; spawning is slow, so
+        it happens outside ``_sup_lock``)."""
+        with self._restart_lock:
+            if self._closed:
+                return
+            old = self._workers[index]
+            if not old.dead:  # raced with a manual restart_worker
+                return
+            old.close(timeout=10.0)
+            with self._sup_lock:
+                incarnation = self._incarnations[index] + 1
+            # May raise under resource exhaustion; counters update only on
+            # success so a failed attempt is retried (with backoff) rather
+            # than recorded as a restart.
+            replacement = self._spawn_worker(index, incarnation)
+            with self._sup_lock:
+                self._incarnations[index] = incarnation
+                self._restarts[index] += 1
+                self._last_restart[index] = time.monotonic()
+            self._workers[index] = replacement
 
     def restart_worker(self, index: int) -> None:
         """Replace one worker process, re-admitting its shard.
 
         Safe for both dead and live workers (a live one is drained and
         shut down first), so it doubles as a rolling-restart primitive.
-        The replacement rebuilds its registry over the shared directory
-        and serves the exact same shard — the partition is a pure function
-        of ``(key, num_workers)``, so no other worker is disturbed.
+        A manual restart also resets the shard's crash streak and closes
+        its circuit breaker — this is the operator's re-admission path
+        after a crash-loop.  The replacement rebuilds its registry over
+        the shared directory and serves the exact same shard — the
+        partition is a pure function of ``(key, num_workers)``, so no
+        other worker is disturbed.
         """
         if self._closed:
             raise RuntimeError("cluster is closed")
@@ -369,13 +650,22 @@ class PlanCluster:
             raise ValueError(
                 f"worker index {index} out of range 0..{self.num_workers - 1}"
             )
-        old = self._workers[index]
-        # For a dead worker this just reaps the corpse and fails any
-        # straggler futures; for a live one it is the graceful drain.
-        old.close(timeout=30.0)
-        self._workers[index] = _WorkerClient(
-            self._context, index, *self._worker_config
-        )
+        with self._restart_lock:
+            if self._closed:
+                raise RuntimeError("cluster is closed")
+            old = self._workers[index]
+            # For a dead worker this just reaps the corpse and fails any
+            # straggler futures; for a live one it is the graceful drain.
+            old.close(timeout=30.0)
+            with self._sup_lock:
+                self._incarnations[index] += 1
+                self._restarts[index] += 1
+                self._consecutive[index] = 0
+                self._breaker[index] = False
+                self._restart_due[index] = None
+                self._last_restart[index] = time.monotonic()
+                incarnation = self._incarnations[index]
+            self._workers[index] = self._spawn_worker(index, incarnation)
 
     # ------------------------------------------------------------------ #
     # Requests
@@ -465,37 +755,54 @@ class PlanCluster:
             )
         return described
 
+    def _supervisor_stats(self, index: int) -> Dict[str, object]:
+        with self._sup_lock:
+            return {
+                "auto_restart": self.auto_restart,
+                "restarts": self._restarts[index],
+                "consecutive_crashes": self._consecutive[index],
+                "breaker_open": self._breaker[index],
+            }
+
     def stats_summary(self, timeout: Optional[float] = 10.0) -> Dict[str, dict]:
         """Per-worker serving statistics (JSON-ready), keyed ``worker-N``.
 
-        A dead worker reports ``{"status": {"dead": True}}`` instead of
-        failing the whole listing, so monitoring keeps working while a
-        shard is down.
+        Each worker's service stats are annotated parent-side with a
+        ``transport`` block (shared-memory segments/bytes moved, in-flight
+        segment gauge) and a ``supervisor`` block (restart counts, crash
+        streak, breaker state).  A dead worker reports ``{"status":
+        {"dead": True}}`` instead of failing the whole listing, so
+        monitoring keeps working while a shard is down.
         """
         if self._closed:
             raise RuntimeError("cluster is closed")
+        workers = list(self._workers)
         futures: Dict[int, Future] = {}
-        for worker in self._workers:
+        for worker in workers:
             if worker.dead:
                 continue
             try:
                 futures[worker.index] = worker.submit("stats", None)
-            except WorkerDied:
-                pass  # died between the check and the send
+            except (WorkerDied, RuntimeError):
+                pass  # died (or closed) between the check and the send
         summary: Dict[str, dict] = {}
-        for worker in self._workers:
+        for worker in workers:
             future = futures.get(worker.index)
             try:
                 if future is None:
-                    raise WorkerDied(f"worker {worker.index} is dead")
-                summary[f"worker-{worker.index}"] = future.result(timeout=timeout)
+                    raise WorkerDied(f"worker {worker.index} is dead",
+                                     worker_index=worker.index)
+                stats = dict(future.result(timeout=timeout))
             except WorkerDied:
-                summary[f"worker-{worker.index}"] = {"status": {"dead": True}}
+                stats = {"status": {"dead": True}}
+            stats["transport"] = worker.transport_stats()
+            stats["supervisor"] = self._supervisor_stats(worker.index)
+            summary[f"worker-{worker.index}"] = stats
         return summary
 
     def wait_ready(self, timeout: Optional[float] = 60.0) -> None:
         """Block until every worker process answers a ping."""
-        futures = [worker.submit("ping", None) for worker in self._workers]
+        futures = [worker.submit("ping", None) for worker in list(self._workers)]
         for future in futures:
             future.result(timeout=timeout)
 
@@ -507,8 +814,16 @@ class PlanCluster:
         if self._closed:
             return
         self._closed = True
-        for worker in self._workers:
-            worker.close(timeout)
+        self._sup_stop.set()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=timeout)
+        with self._restart_lock:
+            for worker in self._workers:
+                worker.close(timeout)
+        # Belt and braces: nothing under this cluster's prefix may survive
+        # (worker sweeps already ran per handle; this catches a handle
+        # replaced mid-close).
+        cleanup_prefix(self._shm_base)
 
     def __enter__(self) -> "PlanCluster":
         return self

@@ -30,7 +30,10 @@ transport shares one request/response vocabulary.  ``max_queue_depth``
 adds backpressure: a deterministic request that finds its scheduler queue
 past the threshold is rejected with the typed
 :class:`~repro.api.errors.ApiBackpressure` (HTTP 429) instead of deepening
-the queue.
+the queue.  ``max_concurrent_ensembles`` is the ensemble lane's
+counterpart: ensembles execute synchronously in their caller's thread, so
+the pressure signal there is the number mid-flight, and one past the cap
+is rejected the same typed way before any sampling happens.
 """
 
 from __future__ import annotations
@@ -75,9 +78,14 @@ class InferenceService:
         max_wait_ms: float = 2.0,
         ensemble_cache_size: int = 8,
         max_queue_depth: Optional[int] = None,
+        max_concurrent_ensembles: Optional[int] = None,
     ) -> None:
         if max_queue_depth is not None and max_queue_depth < 0:
             raise ValueError("max_queue_depth must be non-negative or None")
+        if max_concurrent_ensembles is not None and max_concurrent_ensembles < 0:
+            raise ValueError(
+                "max_concurrent_ensembles must be non-negative or None"
+            )
         self.registry = registry
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
@@ -85,6 +93,15 @@ class InferenceService:
         # already holds this many undrained requests is rejected with the
         # typed ApiBackpressure instead of queueing (None disables).
         self.max_queue_depth = max_queue_depth
+        # The ensemble lane's counterpart: ensembles run num_samples
+        # stacked passes synchronously in their caller's thread, so the
+        # pressure signal is how many are mid-flight, not a queue depth.
+        # One past the cap is rejected with the same typed ApiBackpressure
+        # (HTTP 429) instead of piling more stacked passes onto the
+        # executor (None disables).
+        self.max_concurrent_ensembles = max_concurrent_ensembles
+        self._ensembles_in_flight = 0
+        self.ensembles_rejected = 0
         self._schedulers: Dict[PlanKey, MicroBatchScheduler] = {}
         # Plans pinned per active scheduler: request handling must not pay a
         # registry LRU miss (a full .npz deserialisation) per request, and a
@@ -227,6 +244,12 @@ class InferenceService:
             "misses": self.ensemble_cache_misses,
             "size": len(self._ensemble_cache),
         }
+        with self._lock:
+            summary["ensemble_lane"] = {
+                "max_concurrent": self.max_concurrent_ensembles,
+                "in_flight": self._ensembles_in_flight,
+                "rejected": self.ensembles_rejected,
+            }
         return summary
 
     def close(self) -> None:
@@ -330,6 +353,29 @@ class InferenceService:
     # ------------------------------------------------------------------ #
     # Variation-aware requests
     # ------------------------------------------------------------------ #
+    def _acquire_ensemble_slot(self, key: PlanKey) -> None:
+        """Admit one ensemble into the lane or reject with backpressure."""
+        if self.max_concurrent_ensembles is None:
+            return
+        with self._lock:
+            if self._ensembles_in_flight >= self.max_concurrent_ensembles:
+                self.ensembles_rejected += 1
+                raise ApiBackpressure(
+                    f"{self._ensembles_in_flight} ensemble request(s) already "
+                    f"in flight for this service, at or over the "
+                    f"max_concurrent_ensembles cap of "
+                    f"{self.max_concurrent_ensembles}; retry shortly "
+                    f"(requested plan: {key.canonical()!r})",
+                    retry_after=1.0,
+                )
+            self._ensembles_in_flight += 1
+
+    def _release_ensemble_slot(self) -> None:
+        if self.max_concurrent_ensembles is None:
+            return
+        with self._lock:
+            self._ensembles_in_flight -= 1
+
     def _sampled_stacks(
         self,
         key: PlanKey,
@@ -395,10 +441,19 @@ class InferenceService:
         key = PlanKey(model, bits, mapping)
         plan = self._pinned_plan(key)
         array, single = self._normalize(plan, images)
-        exec_plan, sampled = self._sampled_stacks(
-            key, plan, float(sigma_fraction), int(num_samples), int(seed), dtype
-        )
-        logits = run_plan_samples(exec_plan, array, sampled, num_samples, dtype=dtype)
+        # Backpressure gates the expensive part only: validation above
+        # fails a malformed request with its real typed error even when the
+        # lane is saturated.
+        self._acquire_ensemble_slot(key)
+        try:
+            exec_plan, sampled = self._sampled_stacks(
+                key, plan, float(sigma_fraction), int(num_samples), int(seed),
+                dtype,
+            )
+            logits = run_plan_samples(exec_plan, array, sampled, num_samples,
+                                      dtype=dtype)
+        finally:
+            self._release_ensemble_slot()
         mean_logits = logits.mean(axis=0)
         votes = logits.argmax(axis=-1)  # (num_samples, batch)
         num_classes = logits.shape[-1]

@@ -166,6 +166,24 @@ class TestConnectTargets:
         with pytest.raises(ValueError, match="unknown http"):
             connect("http://127.0.0.1:59999", bogus=1)
 
+    def test_cluster_retry_knobs_flow_from_the_target_string(self, tmp_path):
+        with connect(
+            f"cluster:{tmp_path / 'rk-plans'}?workers=1"
+            f"&worker_died_retries=4&worker_died_backoff=0.02"
+            f"&worker_died_backoff_cap=0.25&auto_restart=true"
+            f"&max_restarts=9&restart_backoff=0.03&max_restart_backoff=0.5"
+            f"&stability_window=1.5&shm_threshold=off"
+        ) as client:
+            assert client.worker_died_retries == 4
+            assert client.worker_died_backoff == 0.02
+            assert client.worker_died_backoff_cap == 0.25
+            assert client.backend.auto_restart is True
+            assert client.backend.max_restarts == 9
+            assert client.backend.restart_backoff == 0.03
+            assert client.backend.max_restart_backoff == 0.5
+            assert client.backend.stability_window == 1.5
+            assert client.backend._worker_config[-1] is None  # shm off
+
     def test_cluster_ensemble_timeout_default_exceeds_predict_timeout(self):
         from repro.api import ClusterClient
 
@@ -366,6 +384,92 @@ class TestBackpressure:
                 images=env.images, model="mlp", mapping="acm", bits=4,
                 num_samples=3, seed=1))
             assert result.num_samples == 3
+
+
+class TestEnsembleBackpressure:
+    """The ensemble lane's concurrent-request cap (429 through every path)."""
+
+    def _ensemble(self, client, images, num_samples=3):
+        return client.ensemble(EnsembleRequest(
+            images=images, model="mlp", mapping="acm", bits=4,
+            num_samples=num_samples, seed=1))
+
+    def test_cap_zero_rejects_every_ensemble_locally(self, env):
+        with connect(
+            f"local:{env.directory}?max_concurrent_ensembles=0"
+        ) as client:
+            with pytest.raises(ApiBackpressure) as excinfo:
+                self._ensemble(client, env.images)
+            assert excinfo.value.retry_after > 0
+            assert excinfo.value.code == "backpressure"
+            lane = client.backend.stats_summary()["ensemble_lane"]
+            assert lane == {"max_concurrent": 0, "in_flight": 0, "rejected": 1}
+
+    def test_deterministic_requests_bypass_the_ensemble_cap(self, env):
+        with connect(
+            f"local:{env.directory}?max_concurrent_ensembles=0"
+        ) as client:
+            logits = client.predict(PredictRequest(
+                images=env.images, model="mlp", mapping="acm", bits=4)).logits
+            np.testing.assert_array_equal(logits, env.plan.run(env.images))
+
+    def test_full_lane_rejects_and_frees_on_release(self, tmp_path):
+        registry, _ = _publish(tmp_path / "lane-plans")
+        service = InferenceService(registry, max_concurrent_ensembles=1)
+        with LocalClient(service) as client:
+            # Occupy the lane's single slot as an in-flight ensemble would.
+            from repro.serve import PlanKey
+
+            service._acquire_ensemble_slot(PlanKey("mlp", 4, "acm"))
+            with pytest.raises(ApiBackpressure):
+                self._ensemble(client, np.zeros((1, 16)))
+            service._release_ensemble_slot()
+            result = self._ensemble(client, np.zeros((1, 16)))
+            assert result.num_samples == 3
+            lane = service.stats_summary()["ensemble_lane"]
+            assert lane == {"max_concurrent": 1, "in_flight": 0, "rejected": 1}
+
+    def test_saturated_lane_still_validates_requests_first(self, tmp_path):
+        # A malformed ensemble reports its real error, not backpressure.
+        registry, _ = _publish(tmp_path / "lane-val-plans")
+        service = InferenceService(registry, max_concurrent_ensembles=0)
+        with LocalClient(service) as client:
+            with pytest.raises(ModelNotFound):
+                client.ensemble(EnsembleRequest(
+                    images=np.zeros((1, 16)), model="ghost", mapping="acm",
+                    num_samples=3))
+            with pytest.raises(InvalidRequest):
+                client.ensemble(EnsembleRequest(
+                    images=np.zeros((1, 3)), model="mlp", mapping="acm",
+                    bits=4, num_samples=3))
+
+    def test_http_ensemble_backpressure_is_429_with_retry_after(self, tmp_path):
+        registry, _ = _publish(tmp_path / "ebp-plans")
+        service = InferenceService(registry, max_concurrent_ensembles=0)
+        with PlanServer(service) as server:
+            body = {"model": "mlp", "bits": 4, "mapping": "acm",
+                    "images": np.zeros((1, 16)).tolist(), "num_samples": 3}
+            connection = http.client.HTTPConnection(*server.address,
+                                                    timeout=30)
+            try:
+                connection.request("POST", "/v1/predict_under_variation",
+                                   body=json.dumps(body).encode())
+                response = connection.getresponse()
+                parsed = json.loads(response.read())
+            finally:
+                connection.close()
+            assert response.status == 429
+            assert parsed["error"]["code"] == "backpressure"
+            assert int(response.headers["Retry-After"]) >= 1
+            with connect(server.url) as client:
+                with pytest.raises(ApiBackpressure) as excinfo:
+                    self._ensemble(client, np.zeros((1, 16)))
+                assert excinfo.value.retry_after >= 1
+
+    def test_invalid_cap_rejected(self, tmp_path):
+        registry, _ = _publish(tmp_path / "cap-plans")
+        with pytest.raises(ValueError):
+            InferenceService(registry, max_concurrent_ensembles=-1)
 
 
 class TestStudyHelper:

@@ -28,12 +28,16 @@ from repro.runtime import compile_model
 from repro.serve import InferenceService, PlanRegistry, PlanServer
 
 MODELS = (("alpha", 4, "acm"), ("beta", None, "de"))
-BACKENDS = ("local", "http", "cluster")
+#: "cluster-shm" is the same sharded backend with ``shm_threshold=0``:
+#: every request/response array is forced over the shared-memory
+#: transport, so its bit-identity with the pipe-based "cluster" (and with
+#: everything else) is enforced by every test in this module.
+BACKENDS = ("local", "http", "cluster", "cluster-shm")
 
 
 @pytest.fixture(scope="module")
 def matrix(tmp_path_factory):
-    """One plan directory, three live backends, shared evaluation data."""
+    """One plan directory, four live backends, shared evaluation data."""
     directory = tmp_path_factory.mktemp("equivalence-plans")
     registry = PlanRegistry(directory)
     plans = {}
@@ -48,17 +52,28 @@ def matrix(tmp_path_factory):
     clients = {
         "local": connect(f"local:{directory}?max_batch=16&max_wait_ms=2"),
         "http": connect(server.url),
-        "cluster": connect(f"cluster:{directory}?workers=2&max_batch=16"),
+        "cluster": connect(
+            f"cluster:{directory}?workers=2&max_batch=16&shm_threshold=off"
+        ),
+        "cluster-shm": connect(
+            f"cluster:{directory}?workers=2&max_batch=16&shm_threshold=0"
+        ),
     }
     clients["cluster"].backend.wait_ready(timeout=120)
+    clients["cluster-shm"].backend.wait_ready(timeout=120)
     rng = np.random.default_rng(11)
     images = rng.normal(size=(8, 16))
     labels = rng.integers(0, 10, size=8)
     yield SimpleNamespace(directory=directory, plans=plans, clients=clients,
                           images=images, labels=labels)
+    shm_base = clients["cluster-shm"].backend._shm_base
     for client in clients.values():
         client.close()
     server.close()
+    # The shm-forced cluster may not leave a single orphaned segment.
+    from repro.serve.shm import list_segments
+
+    assert list_segments(shm_base) == []
 
 
 def run_script(client, images, labels):
@@ -100,7 +115,7 @@ class TestBitEquivalence:
                 reference[f"predict:{name}"],
                 matrix.plans[name].run(matrix.images),
             )
-        for backend in ("http", "cluster"):
+        for backend in BACKENDS[1:]:
             for key, expected in reference.items():
                 actual = results[backend][key]
                 assert np.asarray(actual).dtype == np.asarray(expected).dtype, \
@@ -123,7 +138,8 @@ class TestBitEquivalence:
                       for info in matrix.clients[backend].models()}
             for backend in BACKENDS
         }
-        assert listings["local"] == listings["http"] == listings["cluster"]
+        for backend in BACKENDS[1:]:
+            assert listings["local"] == listings[backend], backend
         assert set(listings["local"]) == {"alpha__4b__acm", "beta__fp32__de"}
 
     def test_health_everywhere(self, matrix):
@@ -169,8 +185,8 @@ class TestErrorEquivalence:
                 request = PredictRequest(images=images, **spec)
             outcomes[backend] = _typed_failure(matrix.clients[backend],
                                                request, flavour)
-        assert outcomes["local"] == outcomes["http"] == outcomes["cluster"], \
-            f"{label}: {outcomes}"
+        assert all(outcomes[backend] == outcomes["local"]
+                   for backend in BACKENDS), f"{label}: {outcomes}"
         spec["shape"] = shape  # restore for parametrize reuse safety
 
     def test_construction_time_validation_is_backend_free(self, matrix):
@@ -182,3 +198,52 @@ class TestErrorEquivalence:
             with pytest.raises(InvalidRequest):
                 EnsembleRequest(images=np.zeros((1, 16)), model="alpha",
                                 mapping="acm", bits=4, num_samples=0)
+
+
+class TestEnsembleBackpressureEquivalence:
+    """A saturated ensemble lane 429s identically through every backend."""
+
+    @pytest.fixture(scope="class")
+    def saturated(self, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("ebp-equivalence-plans")
+        registry = PlanRegistry(directory)
+        model = make_mlp(input_size=16, hidden_sizes=(6,), mapping="acm",
+                         quantizer_bits=4, seed=0)
+        registry.publish_model(model, "alpha", 4, "acm")
+        service = InferenceService(PlanRegistry(directory),
+                                   max_concurrent_ensembles=0)
+        server = PlanServer(service, own_backend=True).start()
+        clients = {
+            "local": connect(
+                f"local:{directory}?max_concurrent_ensembles=0"
+            ),
+            "http": connect(server.url),
+            "cluster": connect(
+                f"cluster:{directory}?workers=1&max_concurrent_ensembles=0"
+            ),
+        }
+        clients["cluster"].backend.wait_ready(timeout=120)
+        yield clients
+        for client in clients.values():
+            client.close()
+        server.close()
+
+    def test_saturated_lane_rejects_identically(self, saturated):
+        from repro.api import ApiBackpressure
+
+        outcomes = {}
+        for backend, client in saturated.items():
+            request = EnsembleRequest(images=np.zeros((2, 16)), model="alpha",
+                                      mapping="acm", bits=4, num_samples=3)
+            with pytest.raises(ApiBackpressure) as excinfo:
+                client.ensemble(request)
+            assert excinfo.value.retry_after > 0, backend
+            outcomes[backend] = (type(excinfo.value), excinfo.value.code)
+        assert len(set(outcomes.values())) == 1, outcomes
+
+    def test_deterministic_requests_unaffected_everywhere(self, saturated):
+        for backend, client in saturated.items():
+            logits = client.predict(PredictRequest(
+                images=np.zeros((2, 16)), model="alpha", mapping="acm",
+                bits=4)).logits
+            assert np.asarray(logits).shape == (2, 10), backend

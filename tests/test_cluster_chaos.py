@@ -1,0 +1,429 @@
+"""Fault-injection suite: SIGKILL cluster workers under load, lose nothing.
+
+This is the proof of the self-healing story.  A killer thread SIGKILLs
+random workers at randomized points — before a request is submitted, while
+a micro-batch is mid-execution, and while responses are in flight — under
+concurrent mixed predict/ensemble load from multiple threads.  With
+``auto_restart`` on, the supervisor respawns dead shards and the
+``ClusterClient`` transparently retries the stranded (idempotent)
+requests, so the suite asserts:
+
+* **zero lost requests** — every one of the 200+ requests eventually
+  succeeds, *bit-identically* to a single-process reference;
+* **typed surfacing discipline** — ``WorkerDied`` reaches the caller only
+  when a shard's circuit breaker is open (a crash-looping worker), never
+  during ordinary self-healing;
+* **no residue** — after the chaos run plus clean shutdown, no shared-
+  memory segment under the cluster's prefix survives and the transport
+  gauges are back to zero.
+
+Determinism: all load mixes and kill schedules derive from the fixed
+seeds below.  A failure replays with the exact same request streams and
+kill points (modulo OS scheduling) — do not replace the seeds with
+entropy.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+from types import SimpleNamespace
+
+from repro.api import ClusterClient, EnsembleRequest, PredictRequest, WorkerDied
+from repro.models import make_mlp
+from repro.runtime import compile_model
+from repro.serve import InferenceService, PlanCluster, PlanRegistry
+from repro.serve.shm import list_segments
+
+#: Fixed seeds — the whole suite replays deterministically from these.
+CHAOS_SEED = 20260729
+LOAD_THREADS = 4
+REQUESTS_PER_THREAD = 60          # 240 total, over the 200-request floor
+KILLS = 3
+
+#: One model per load thread: requests for one model are then issued
+#: strictly sequentially, so each is its own micro-batch and the
+#: bit-exactness oracle (the plan run on the request's own geometry) is
+#: well-defined even under concurrency.  (BLAS kernels legitimately differ
+#: at the last bit between a coalesced gemm and a lone-request gemv, which
+#: is why cross-thread coalescing would break a *bitwise* oracle.)
+MODELS = ("chaos-a", "chaos-b", "chaos-c", "chaos-d")
+
+pytestmark = pytest.mark.chaos
+
+
+def _alive_worker_indices(cluster):
+    return [w.index for w in list(cluster._workers)
+            if not w.dead and w.process.is_alive()]
+
+
+def _wait_for(predicate, timeout, what):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.02)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+@pytest.fixture
+def chaos_env(tmp_path):
+    directory = tmp_path / "plans"
+    registry = PlanRegistry(directory)
+    plans = {}
+    for seed, name in enumerate(MODELS):
+        model = make_mlp(input_size=16, hidden_sizes=(8,), mapping="acm",
+                         quantizer_bits=4, seed=seed)
+        registry.publish_model(model, name, 4, "acm")
+        plans[name] = compile_model(model)
+    rng = np.random.default_rng(CHAOS_SEED)
+    images = rng.normal(size=(32, 16))
+    # The bit-exactness oracle: one in-process service over the same
+    # artifacts (ensemble sampling is a pure function of the request).
+    reference = InferenceService(PlanRegistry(directory), max_batch=16)
+    yield SimpleNamespace(directory=directory, plans=plans, images=images,
+                          reference=reference)
+    reference.close()
+
+
+class TestChaosMixedLoad:
+    """The headline run: kills at random points, nothing lost, bits exact."""
+
+    def test_no_request_lost_under_random_sigkills(self, chaos_env):
+        cluster = PlanCluster(
+            chaos_env.directory, num_workers=2, handler_threads=4,
+            max_batch=16, max_wait_ms=1.0,
+            auto_restart=True, max_restarts=50,   # breaker must never open
+            restart_backoff=0.02, stability_window=0.5,
+            shm_threshold=1024,                   # batches ride shared memory
+        )
+        shm_base = cluster._shm_base
+        client = ClusterClient(cluster, own_backend=True,
+                               worker_died_retries=20,
+                               worker_died_backoff=0.05)
+        try:
+            cluster.wait_ready(timeout=180)
+            results = {}
+            failures = []
+            stop_killing = threading.Event()
+            kills_done = []
+            progress = [0]
+            progress_lock = threading.Lock()
+            # Kills land when the run has completed this many requests —
+            # progress-anchored so the schedule is machine-speed
+            # independent: requests are guaranteed to be in flight before,
+            # during, and after every kill.
+            total = LOAD_THREADS * REQUESTS_PER_THREAD
+            milestones = (total // 8, total // 2, (7 * total) // 8)
+
+            def load(thread_index):
+                rng = np.random.default_rng(CHAOS_SEED + 1 + thread_index)
+                name = MODELS[thread_index]
+                for j in range(REQUESTS_PER_THREAD):
+                    start = int(rng.integers(0, 24))
+                    rows = int(rng.integers(1, 9))
+                    batch = chaos_env.images[start:start + rows]
+                    try:
+                        if rng.random() < 0.25:
+                            seed = int(rng.integers(0, 32))
+                            out = client.ensemble(EnsembleRequest(
+                                images=batch, model=name, mapping="acm",
+                                bits=4, sigma_fraction=0.1, num_samples=5,
+                                seed=seed))
+                            results[(thread_index, j)] = (
+                                "ensemble", name, start, rows, seed,
+                                out.mean_logits, out.predictions,
+                                out.vote_counts,
+                            )
+                        else:
+                            out = client.predict(PredictRequest(
+                                images=batch, model=name, mapping="acm",
+                                bits=4))
+                            results[(thread_index, j)] = (
+                                "predict", name, start, rows, None,
+                                out.logits,
+                            )
+                    except Exception as error:  # noqa: BLE001 - recorded
+                        failures.append(((thread_index, j), error))
+                    finally:
+                        with progress_lock:
+                            progress[0] += 1
+
+            def killer():
+                rng = np.random.default_rng(CHAOS_SEED)
+                for milestone in milestones[:KILLS]:
+                    while not stop_killing.is_set():
+                        with progress_lock:
+                            reached = progress[0] >= milestone
+                        if reached:
+                            break
+                        time.sleep(0.005)
+                    if stop_killing.is_set():
+                        return
+                    # A small seeded jitter varies the exact kill point
+                    # (pre-submit / mid-batch / mid-response) across the
+                    # concurrent request streams.
+                    time.sleep(float(rng.uniform(0.0, 0.03)))
+                    alive = _alive_worker_indices(cluster)
+                    if not alive:
+                        continue
+                    index = alive[int(rng.integers(len(alive)))]
+                    worker = cluster._workers[index]
+                    worker.process.kill()
+                    kills_done.append(index)
+
+            threads = [threading.Thread(target=load, args=(i,))
+                       for i in range(LOAD_THREADS)]
+            killer_thread = threading.Thread(target=killer)
+            for thread in threads:
+                thread.start()
+            killer_thread.start()
+            for thread in threads:
+                thread.join(timeout=600)
+                assert not thread.is_alive(), "load thread hung"
+            stop_killing.set()
+            killer_thread.join(timeout=60)
+
+            # Discipline: with the breaker closed throughout, WorkerDied
+            # (or anything else) must never have reached a caller.
+            assert failures == [], (
+                f"{len(failures)} of {LOAD_THREADS * REQUESTS_PER_THREAD} "
+                f"requests failed; first: {failures[0]!r}"
+            )
+            assert len(results) == LOAD_THREADS * REQUESTS_PER_THREAD
+            assert cluster.open_breakers == []
+            assert kills_done, "the killer never fired; the run proved nothing"
+
+            # Bit-exactness of every single response against the
+            # single-process reference.
+            for key, record in results.items():
+                kind, name, start, rows, seed = record[:5]
+                batch = chaos_env.images[start:start + rows]
+                if kind == "predict":
+                    np.testing.assert_array_equal(
+                        record[5], chaos_env.plans[name].run(batch),
+                        err_msg=f"request {key} not bit-identical",
+                    )
+                else:
+                    expected = chaos_env.reference.predict_under_variation(
+                        batch, model=name, bits=4, mapping="acm",
+                        sigma_fraction=0.1, num_samples=5, seed=seed,
+                    )
+                    np.testing.assert_array_equal(record[5],
+                                                  expected.mean_logits)
+                    np.testing.assert_array_equal(record[6],
+                                                  expected.predictions)
+                    np.testing.assert_array_equal(record[7],
+                                                  expected.vote_counts)
+
+            # Every kill produces exactly one supervised respawn — the last
+            # kill may land as the load drains, so healing is awaited, not
+            # assumed instantaneous.
+            def _total_restarts():
+                summary = cluster.stats_summary()
+                return sum(summary[f"worker-{i}"]["supervisor"]["restarts"]
+                           for i in range(cluster.num_workers))
+
+            _wait_for(
+                lambda: not cluster.dead_workers
+                and _total_restarts() == len(kills_done),
+                timeout=60,
+                what="the supervisor to finish healing every kill",
+            )
+            summary = cluster.stats_summary()
+            for i in range(cluster.num_workers):
+                transport = summary[f"worker-{i}"]["transport"]
+                assert transport["active_segments"] == 0
+        finally:
+            client.close()
+        # The leak regression half: chaos plus clean shutdown leaves no
+        # orphaned shared-memory segment behind.
+        assert list_segments(shm_base) == []
+
+
+class TestKillPoints:
+    """Targeted kill points: pre-submit, mid-batch, and mid-response."""
+
+    @pytest.fixture
+    def healing_cluster(self, chaos_env):
+        cluster = PlanCluster(
+            chaos_env.directory, num_workers=2, handler_threads=2,
+            auto_restart=True, max_restarts=20, restart_backoff=0.02,
+            stability_window=0.5, shm_threshold=0,
+        )
+        client = ClusterClient(cluster, own_backend=True,
+                               worker_died_retries=20,
+                               worker_died_backoff=0.05)
+        cluster.wait_ready(timeout=180)
+        yield SimpleNamespace(cluster=cluster, client=client, **vars(chaos_env))
+        client.close()
+
+    def test_kill_before_submit_then_request_succeeds(self, healing_cluster):
+        name = MODELS[0]
+        shard = healing_cluster.cluster.worker_for(name, 4, "acm")
+        healing_cluster.cluster._workers[shard].process.kill()
+        batch = healing_cluster.images[:4]
+        logits = healing_cluster.client.predict(PredictRequest(
+            images=batch, model=name, mapping="acm", bits=4)).logits
+        np.testing.assert_array_equal(logits,
+                                      healing_cluster.plans[name].run(batch))
+
+    def test_kill_mid_request_then_retry_succeeds(self, healing_cluster):
+        name = MODELS[1]
+        shard = healing_cluster.cluster.worker_for(name, 4, "acm")
+        batch = healing_cluster.images[:8]
+        done = []
+
+        def issue():
+            out = healing_cluster.client.ensemble(EnsembleRequest(
+                images=batch, model=name, mapping="acm", bits=4,
+                sigma_fraction=0.1, num_samples=25, seed=3))
+            done.append(out)
+
+        thread = threading.Thread(target=issue)
+        thread.start()
+        time.sleep(0.05)  # let the request reach the worker
+        healing_cluster.cluster._workers[shard].process.kill()
+        thread.join(timeout=300)
+        assert not thread.is_alive() and len(done) == 1
+        expected = healing_cluster.reference.predict_under_variation(
+            batch, model=name, bits=4, mapping="acm", sigma_fraction=0.1,
+            num_samples=25, seed=3,
+        )
+        np.testing.assert_array_equal(done[0].mean_logits,
+                                      expected.mean_logits)
+        np.testing.assert_array_equal(done[0].predictions,
+                                      expected.predictions)
+
+
+class TestCircuitBreaker:
+    """A crash-looping shard opens its breaker instead of retrying forever."""
+
+    def test_crash_loop_opens_breaker_and_manual_restart_closes_it(
+        self, chaos_env
+    ):
+        max_restarts = 2
+        cluster = PlanCluster(
+            chaos_env.directory, num_workers=1, handler_threads=2,
+            auto_restart=True, max_restarts=max_restarts,
+            restart_backoff=0.01, max_restart_backoff=0.05,
+            stability_window=60.0,  # a streak never resets mid-test
+        )
+        client = ClusterClient(cluster, own_backend=True,
+                               worker_died_retries=3,
+                               worker_died_backoff=0.01)
+        name = MODELS[0]
+        batch = chaos_env.images[:2]
+        try:
+            cluster.wait_ready(timeout=180)
+            # Kill every incarnation the moment it appears.
+            killed_pids = set()
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                if cluster.open_breakers == [0]:
+                    break
+                worker = cluster._workers[0]
+                pid = worker.process.pid
+                if pid not in killed_pids and worker.process.is_alive():
+                    worker.process.kill()
+                    killed_pids.add(pid)
+                time.sleep(0.01)
+            assert cluster.open_breakers == [0], \
+                "breaker never opened under a sustained crash loop"
+            # The supervisor spent its budget, then stopped respawning.
+            supervisor = cluster.stats_summary()["worker-0"]["supervisor"]
+            assert supervisor["breaker_open"] is True
+            assert supervisor["restarts"] == max_restarts
+            assert supervisor["consecutive_crashes"] == max_restarts
+
+            # Only now may WorkerDied surface — immediately, breaker-marked,
+            # without burning the retry budget.
+            start = time.monotonic()
+            with pytest.raises(WorkerDied) as excinfo:
+                client.predict(PredictRequest(images=batch, model=name,
+                                              mapping="acm", bits=4))
+            assert excinfo.value.breaker_open is True
+            assert excinfo.value.worker_index == 0
+            assert excinfo.value.code == "worker_died"
+            assert time.monotonic() - start < 5.0, \
+                "an open breaker must fail fast, not retry"
+
+            # Manual re-admission: restart_worker resets the breaker and
+            # the shard serves bit-exact results again.
+            cluster.restart_worker(0)
+            assert cluster.open_breakers == []
+            logits = client.predict(PredictRequest(
+                images=batch, model=name, mapping="acm", bits=4)).logits
+            np.testing.assert_array_equal(logits,
+                                          chaos_env.plans[name].run(batch))
+            supervisor = cluster.stats_summary()["worker-0"]["supervisor"]
+            assert supervisor["breaker_open"] is False
+            assert supervisor["consecutive_crashes"] == 0
+        finally:
+            client.close()
+
+    def test_supervisor_survives_a_failed_respawn(self, chaos_env):
+        # Spawn failure (fd/process exhaustion) during a respawn must not
+        # kill the supervisor: the attempt is retried with backoff and the
+        # shard still heals.
+        cluster = PlanCluster(
+            chaos_env.directory, num_workers=1, handler_threads=2,
+            auto_restart=True, max_restarts=10, restart_backoff=0.01,
+            max_restart_backoff=0.05, stability_window=0.5,
+        )
+        client = ClusterClient(cluster, own_backend=True,
+                               worker_died_retries=30,
+                               worker_died_backoff=0.05)
+        try:
+            cluster.wait_ready(timeout=180)
+            original = cluster._spawn_worker
+            spawn_calls = []
+
+            def flaky_spawn(index, incarnation):
+                spawn_calls.append(incarnation)
+                if len(spawn_calls) == 1:
+                    raise OSError("simulated resource exhaustion")
+                return original(index, incarnation)
+
+            cluster._spawn_worker = flaky_spawn
+            cluster._workers[0].process.kill()
+            batch = chaos_env.images[:2]
+            logits = client.predict(PredictRequest(
+                images=batch, model=MODELS[0], mapping="acm", bits=4)).logits
+            np.testing.assert_array_equal(
+                logits, chaos_env.plans[MODELS[0]].run(batch))
+            assert len(spawn_calls) >= 2, "the failed spawn was not retried"
+            supervisor = cluster.stats_summary()["worker-0"]["supervisor"]
+            # Only the successful attempt counts as a restart.
+            assert supervisor["restarts"] == 1
+            assert supervisor["breaker_open"] is False
+        finally:
+            client.close()
+
+    def test_without_auto_restart_worker_died_surfaces_unretried(
+        self, chaos_env
+    ):
+        # The pre-existing manual mode is unchanged: no supervisor, no
+        # client retry loop — the typed error surfaces at once.
+        cluster = PlanCluster(chaos_env.directory, num_workers=1,
+                              handler_threads=2)
+        client = ClusterClient(cluster, own_backend=True)
+        try:
+            cluster.wait_ready(timeout=180)
+            worker = cluster._workers[0]
+            worker.process.kill()
+            worker.process.join(timeout=60)
+            _wait_for(lambda: cluster.dead_workers == [0], 30,
+                      "worker marked dead")
+            start = time.monotonic()
+            with pytest.raises(WorkerDied) as excinfo:
+                client.predict(PredictRequest(images=chaos_env.images[:2],
+                                              model=MODELS[0], mapping="acm",
+                                              bits=4))
+            assert excinfo.value.breaker_open is False
+            assert time.monotonic() - start < 5.0
+        finally:
+            client.close()

@@ -49,6 +49,36 @@ class TestArgumentParsing:
         assert isinstance(backend, PlanCluster)
         backend.close()
 
+    def test_self_healing_and_transport_flags(self, tmp_path):
+        args = cli.build_parser().parse_args([
+            "--plan-dir", str(tmp_path / "c"), "--workers", "1",
+            "--auto-restart", "--max-restarts", "7",
+            "--shm-threshold", "1024", "--max-concurrent-ensembles", "3",
+        ])
+        assert args.auto_restart is True
+        assert args.max_restarts == 7
+        assert args.shm_threshold == 1024
+        assert args.max_concurrent_ensembles == 3
+        backend = cli.build_backend(args)
+        try:
+            assert isinstance(backend, PlanCluster)
+            assert backend.auto_restart is True
+            assert backend.max_restarts == 7
+            assert backend._worker_config[-1] == 1024  # shm_threshold
+        finally:
+            backend.close()
+
+    def test_negative_shm_threshold_disables_the_transport(self, tmp_path):
+        args = cli.build_parser().parse_args([
+            "--plan-dir", str(tmp_path / "d"), "--workers", "1",
+            "--shm-threshold", "-1",
+        ])
+        backend = cli.build_backend(args)
+        try:
+            assert backend._worker_config[-1] is None
+        finally:
+            backend.close()
+
 
 class TestMainLoop:
     def test_main_serves_until_stopped(self, tmp_path, capsys):

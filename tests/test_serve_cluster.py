@@ -314,9 +314,11 @@ class TestWorkerDeath:
                                 mapping="acm"),
                 death_env.plans[name].run(small_images),
             )
-        # ...and monitoring reports the dead shard instead of failing.
+        # ...and monitoring reports the dead shard instead of failing
+        # (the parent-side transport/supervisor blocks stay available).
         summary = cluster.stats_summary()
-        assert summary[f"worker-{shard}"] == {"status": {"dead": True}}
+        assert summary[f"worker-{shard}"]["status"] == {"dead": True}
+        assert summary[f"worker-{shard}"]["supervisor"]["breaker_open"] is False
 
         # Restart re-admits the shard with exact results.
         cluster.restart_worker(shard)
