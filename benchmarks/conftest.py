@@ -12,8 +12,11 @@ variable (``smoke``, ``fast`` — the default — or ``full``).
 
 from __future__ import annotations
 
+import json
 import os
+import time
 from dataclasses import replace
+from pathlib import Path
 
 import pytest
 
@@ -61,3 +64,34 @@ def print_header(title: str) -> None:
     print("=" * 78)
     print(title)
     print("=" * 78)
+
+
+def persist_results(name: str, payload: dict) -> Path:
+    """Write the measured numbers of one benchmark to ``BENCH_<name>.json``.
+
+    The perf trajectory across PRs lives in these files: each benchmark
+    records its measured ratios (never just the pass/fail verdict) together
+    with the host core count, the benchmark scale, and a timestamp, so a
+    later change can be compared against the committed history instead of a
+    fresh run on different hardware.
+
+    * Output directory: ``REPRO_BENCH_RESULTS_DIR`` (default: the
+      ``benchmarks/`` directory itself, where the files are committed).
+    * Timestamp: ``REPRO_BENCH_TIMESTAMP`` when set (so a committed rerun
+      can be pinned/reproducible), else the current UNIX time.
+    """
+    directory = Path(
+        os.environ.get("REPRO_BENCH_RESULTS_DIR", Path(__file__).parent)
+    )
+    directory.mkdir(parents=True, exist_ok=True)
+    timestamp = os.environ.get("REPRO_BENCH_TIMESTAMP")
+    record = {
+        "benchmark": name,
+        "timestamp": float(timestamp) if timestamp else round(time.time(), 3),
+        "cores": len(os.sched_getaffinity(0)),
+        "scale": os.environ.get("REPRO_BENCH_SCALE", "fast").lower(),
+        **payload,
+    }
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,129 @@
+"""im2col regression benchmark: single-copy lowering vs the two-copy loop.
+
+``repro.tensor.functional.im2col`` feeds both eager conv training and the
+runtime's :class:`~repro.runtime.plan.ConvOp`, so its copy count is paid on
+every conv forward everywhere.  The rewritten lowering materialises the
+column buffer once (``sliding_window_view`` + one ``ascontiguousarray``);
+this benchmark keeps the previous two-copy implementation inline as the
+reference, asserts the outputs stay bit-identical across geometries, and
+records the measured ratio so a future refactor cannot silently regress
+to double-copying.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import persist_results, print_header, run_once
+from repro.tensor.functional import conv_output_size, im2col
+
+#: (batch, channels, height, width, kernel, stride, padding) — LeNet's two
+#: convs plus a strided VGG-ish layer so non-unit stride stays covered.
+GEOMETRIES = (
+    (64, 1, 16, 16, 5, 1, 2),
+    (64, 6, 8, 8, 5, 1, 2),
+    (32, 32, 16, 16, 3, 2, 1),
+)
+REPEATS = 30
+WARMUP = 3
+SPEEDUP_FLOOR = 1.0         # enforced on >= 2 cores: never slower than two-copy
+SINGLE_CORE_GUARD = 0.7
+
+
+def _im2col_two_copy(images, kernel_size, stride, padding):
+    """The previous implementation: one copy per kernel offset + reshape copy."""
+    batch, channels, height, width = images.shape
+    kernel_h, kernel_w = kernel_size
+    stride_h, stride_w = stride
+    pad_h, pad_w = padding
+    out_h = conv_output_size(height, kernel_h, stride_h, pad_h)
+    out_w = conv_output_size(width, kernel_w, stride_w, pad_w)
+    if pad_h or pad_w:
+        padded = np.pad(images, ((0, 0), (0, 0), (pad_h, pad_h), (pad_w, pad_w)))
+    else:
+        padded = images
+    columns = np.empty(
+        (batch, channels, kernel_h, kernel_w, out_h, out_w), dtype=images.dtype
+    )
+    for y in range(kernel_h):
+        y_end = y + stride_h * out_h
+        for x in range(kernel_w):
+            x_end = x + stride_w * out_w
+            columns[:, :, y, x, :, :] = padded[:, :, y:y_end:stride_h,
+                                               x:x_end:stride_w]
+    columns = columns.transpose(0, 4, 5, 1, 2, 3)
+    return columns.reshape(batch * out_h * out_w,
+                           channels * kernel_h * kernel_w)
+
+
+def _median_seconds(function) -> float:
+    for _ in range(WARMUP):
+        function()
+    samples = []
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        function()
+        samples.append(time.perf_counter() - start)
+    return float(np.median(samples))
+
+
+def _comparison() -> dict:
+    rng = np.random.default_rng(5)
+    cases = []
+    for batch, channels, height, width, kernel, stride, padding in GEOMETRIES:
+        images = rng.normal(size=(batch, channels, height, width))
+        geometry = ((kernel, kernel), (stride, stride), (padding, padding))
+        # Bit-identity against the two-copy reference, unconditionally.
+        np.testing.assert_array_equal(
+            im2col(images, *geometry), _im2col_two_copy(images, *geometry)
+        )
+        cases.append((images, geometry))
+
+    def run_new() -> None:
+        for images, geometry in cases:
+            im2col(images, *geometry)
+
+    def run_old() -> None:
+        for images, geometry in cases:
+            _im2col_two_copy(images, *geometry)
+
+    old_seconds = _median_seconds(run_old)
+    new_seconds = _median_seconds(run_new)
+    return {
+        "two_copy_ms": old_seconds * 1e3,
+        "single_copy_ms": new_seconds * 1e3,
+        "speedup": old_seconds / new_seconds,
+    }
+
+
+@pytest.mark.benchmark(group="int-kernels")
+def test_single_copy_im2col_not_slower_than_two_copy(benchmark):
+    outcome = run_once(benchmark, _comparison)
+    cores = len(os.sched_getaffinity(0))
+    sanity_only = bool(os.environ.get("REPRO_BENCH_SANITY_ONLY"))
+
+    print_header(f"im2col: single-copy vs two-copy lowering ({cores} core(s))")
+    print(f"two-copy:    {outcome['two_copy_ms']:8.3f} ms median")
+    print(f"single-copy: {outcome['single_copy_ms']:8.3f} ms median")
+    print(f"speedup: {outcome['speedup']:.2f}x (floor {SPEEDUP_FLOOR}x)")
+
+    persist_results("im2col", {
+        "two_copy_ms": outcome["two_copy_ms"],
+        "single_copy_ms": outcome["single_copy_ms"],
+        "speedup": outcome["speedup"],
+        "geometries": [list(geometry) for geometry in GEOMETRIES],
+        "floor": SPEEDUP_FLOOR,
+        "floor_enforced": cores >= 2 and not sanity_only,
+    })
+
+    if cores >= 2 and not sanity_only:
+        assert outcome["speedup"] >= SPEEDUP_FLOOR, (
+            f"single-copy im2col is slower than the two-copy loop "
+            f"({outcome['speedup']:.2f}x)"
+        )
+    else:
+        assert outcome["speedup"] >= SINGLE_CORE_GUARD

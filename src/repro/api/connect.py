@@ -9,6 +9,9 @@ site:
     Build a :class:`~repro.serve.registry.PlanRegistry` over the directory
     plus an in-process :class:`~repro.serve.service.InferenceService`;
     returns a :class:`~repro.api.client.LocalClient` that owns both.
+    ``precision=int8`` (or ``int16``/``float32``) serves every plan through
+    :meth:`~repro.runtime.plan.InferencePlan.with_precision` — grid-exact
+    weight ops run on the integer kernels.
 ``http://host:port``  (or ``https://``)
     Return an :class:`~repro.api.http_client.HttpClient` for a running
     :class:`~repro.serve.http.PlanServer` (options: ``token``,
@@ -23,6 +26,8 @@ site:
     (shared-memory array transport; ``off`` disables), and
     ``worker_died_retries`` / ``worker_died_backoff`` for the client's
     transparent retry of requests a dying worker stranded.
+    ``precision=int8`` lowers plans inside every worker, exactly like the
+    ``local:`` knob.
 
 Example — the same script against any backend::
 
@@ -69,6 +74,7 @@ _LOCAL_PARAMS: Dict[str, Callable[[str], Any]] = {
     "max_queue_depth": int,
     "max_concurrent_ensembles": int,
     "ensemble_cache_size": int,
+    "precision": str,
     "timeout": float,
 }
 _CLUSTER_PARAMS: Dict[str, Callable[[str], Any]] = {
@@ -80,6 +86,7 @@ _CLUSTER_PARAMS: Dict[str, Callable[[str], Any]] = {
     "max_concurrent_ensembles": int,
     "handler_threads": int,
     "start_method": str,
+    "precision": str,
     "timeout": float,
     "ensemble_timeout": float,
     "shm_threshold": _parse_shm_threshold,

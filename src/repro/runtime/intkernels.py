@@ -1,0 +1,302 @@
+"""Exact integer GEMM kernels and the quantisation helpers around them.
+
+The paper's premise is low-bit crossbar inference, yet the float plans pay
+full-precision BLAS for weights that live on a ``2^B``-level conductance
+grid.  This module provides the integer execution primitives behind
+:meth:`~repro.runtime.plan.InferencePlan.with_precision`:
+
+* :func:`int_matmul` — a cache-blocked integer GEMM.  Integer-valued
+  operands are multiplied block-by-block in float32 (int8 mode) or float64
+  (int16 mode) so each block rides the BLAS fast path, and the per-block
+  partial sums are accumulated exactly in int32 (widened to int64 when the
+  worst-case magnitude could wrap).  The block length is chosen so every
+  partial sum stays below the mantissa bound of the compute dtype
+  (``2^24`` for float32, ``2^53`` for float64), which makes the result
+  **bit-identical** to a pure int64 matmul — the float32 trip is a speed
+  trick, not an approximation.
+* :func:`quantize_weight` — decompose a frozen effective weight into
+  ``scales[o] * q[o, :]`` with integer ``q`` and per-output-channel scales.
+  The candidate step comes from the crossbar quantiser grid; signed
+  periphery rows (one ``+1`` and one ``-1`` per output) cancel the
+  ``g_min`` offset, so grid-quantised weights decompose with residuals at
+  float64 rounding level.  A per-row gcd refinement folds common factors
+  into the scale, shrinking the stored integers.  Anything off-grid or out
+  of range returns ``None`` — the caller keeps the float op.
+* :func:`quantize_activations` — per-batch lossless quantisation with a
+  power-of-two scale.  Scaling by ``2^-e`` is exact in binary floating
+  point, so "every scaled value is an integer" is decidable exactly; when
+  it does not hold, the caller falls back to the float path for that batch
+  and the serving guarantees (argmax bit-identity, 1e-6 logits agreement)
+  hold unconditionally.
+* :func:`requantize` — saturating rescale between integer domains,
+  flagging whether the conversion was exact.
+* :func:`dequantize` — fold the activation scale, the per-channel weight
+  scales, and the bias back into float64 logits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: Execution precisions a plan can be lowered to.
+PRECISIONS = ("float64", "float32", "int8", "int16")
+#: The subset that routes through the integer kernels.
+INT_PRECISIONS = ("int8", "int16")
+
+#: Storage dtype, symmetric magnitude bound, and BLAS compute dtype per
+#: integer precision.  The int8 mode computes in float32 (about twice the
+#: dgemm throughput); the int16 mode needs float64 products so it trades
+#: speed for the wider exact grid (e.g. 8-bit devices whose integer
+#: weights exceed the int8 range).
+_INT_SPECS = {
+    "int8": (np.int8, 127, np.float32),
+    "int16": (np.int16, 32767, np.float64),
+}
+
+#: Largest contiguous integer range of each compute dtype: every partial
+#: sum inside one GEMM block must stay strictly within it to be exact.
+_EXACT_SUM_BOUND = {np.float32: 2 ** 24, np.float64: 2 ** 53}
+
+#: Residual tolerance of the weight decomposition, relative to the weight
+#: magnitude.  Grid-quantised weights reconstruct to ~1e-15; anything
+#: genuinely off-grid misses by a sizeable fraction of the quantiser step.
+_RESIDUAL_RTOL = 1e-9
+
+
+def activation_qmax(precision: str) -> int:
+    """Symmetric activation magnitude bound of one integer precision."""
+    return _INT_SPECS[_check_precision(precision)][1]
+
+
+def compute_dtype(precision: str):
+    """The BLAS compute dtype of one integer precision (float32 for int8).
+
+    Integer values up to the precision's magnitude bound are exactly
+    representable in it, so operands stored in this dtype enter the blocked
+    kernel without any per-call conversion.
+    """
+    return _INT_SPECS[_check_precision(precision)][2]
+
+
+def _check_precision(precision: str) -> str:
+    if precision not in _INT_SPECS:
+        raise ValueError(
+            f"unknown integer precision {precision!r}; expected one of "
+            f"{INT_PRECISIONS}"
+        )
+    return precision
+
+
+# ---------------------------------------------------------------------- #
+# The blocked kernel
+# ---------------------------------------------------------------------- #
+def int_matmul(
+    qa: np.ndarray,
+    qb: np.ndarray,
+    precision: str = "int8",
+    a_max: Optional[int] = None,
+    b_max: Optional[int] = None,
+    block: Optional[int] = None,
+) -> np.ndarray:
+    """Exact ``acc[m, n] = sum_k qa[m, k] * qb[n, k]`` over integer values.
+
+    ``qa`` (``(M, K)``) and ``qb`` (``(N, K)``) hold integer *values* in
+    any integer or float dtype.  ``a_max`` / ``b_max`` bound the operand
+    magnitudes (computed when omitted; callers that know their bounds —
+    the plan ops do — skip the extra pass).  ``block`` caps the K-block
+    length; it is always clamped to the exactness bound, so passing a
+    large block can never trade correctness for speed.
+
+    Returns int32 when the worst-case accumulator fits, otherwise int64 —
+    max-magnitude operands over a long reduction widen instead of
+    wrapping.
+    """
+    _check_precision(precision)
+    qa = np.asarray(qa)
+    qb = np.asarray(qb)
+    if qa.ndim != 2 or qb.ndim != 2 or qa.shape[1] != qb.shape[1]:
+        raise ValueError(
+            f"expected (M, K) x (N, K) operands, got {qa.shape} x {qb.shape}"
+        )
+    rows, depth = qa.shape
+    cols = qb.shape[0]
+    if a_max is None:
+        a_max = int(np.abs(qa).max(initial=0))
+    if b_max is None:
+        b_max = int(np.abs(qb).max(initial=0))
+    product = max(1, int(a_max) * int(b_max))
+    out_dtype = np.int64 if depth * product >= 2 ** 31 else np.int32
+    if depth == 0:
+        return np.zeros((rows, cols), dtype=out_dtype)
+    compute = _INT_SPECS[precision][2]
+    if product > _EXACT_SUM_BOUND[np.float32]:
+        # A single product already exceeds float32's exact range; float64
+        # keeps every block exact (products here are far below 2^53).
+        compute = np.float64
+    exact_block = max(1, _EXACT_SUM_BOUND[compute] // product)
+    step = min(depth, exact_block if block is None else min(block, exact_block))
+
+    def partial(start: int) -> np.ndarray:
+        left = np.asarray(qa[:, start:start + step], dtype=compute)
+        right = np.asarray(qb[:, start:start + step], dtype=compute)
+        return left @ right.T
+
+    # Every partial sum is an exact integer in `compute`, so the unsafe
+    # casts back to the integer accumulator truncate nothing.  Seeding the
+    # accumulator from the first block (instead of zeros + add) matters:
+    # operands short enough for a single block — every LeNet-sized layer —
+    # skip the accumulation pass entirely.
+    acc = partial(0).astype(out_dtype)
+    for start in range(step, depth, step):
+        np.add(acc, partial(start), out=acc, casting="unsafe")
+    return acc
+
+
+# ---------------------------------------------------------------------- #
+# Weight decomposition
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class QuantizedWeight:
+    """One weight matrix decomposed as ``scales[o] * q[o, :]``."""
+
+    q: np.ndarray        # (N, K) int8/int16 integers
+    scales: np.ndarray   # (N,) float64 per-output-channel scales
+    precision: str
+
+
+def quantize_weight(
+    weight: np.ndarray, step: float, precision: str
+) -> Optional[QuantizedWeight]:
+    """Decompose ``weight`` over the grid ``step`` or return ``None``.
+
+    The decomposition is validated, not assumed: ``rint(weight / step)``
+    must reconstruct the weight to float64 rounding level
+    (:data:`_RESIDUAL_RTOL`, relative to the weight magnitude), every
+    integer must fit the precision's storage range, and a per-row gcd is
+    folded into the per-output-channel scale first so rows with a common
+    factor store the smallest possible integers.
+    """
+    _check_precision(precision)
+    weight = np.asarray(weight, dtype=np.float64)
+    if weight.ndim != 2 or weight.size == 0:
+        return None
+    if not (np.isfinite(step) and step > 0) or not np.isfinite(weight).all():
+        return None
+    candidate = np.rint(weight / step)
+    magnitude = float(np.abs(weight).max(initial=0.0))
+    residual = float(np.abs(candidate * step - weight).max(initial=0.0))
+    if residual > _RESIDUAL_RTOL * max(1.0, magnitude):
+        return None
+    integers = candidate.astype(np.int64)
+    if not np.array_equal(integers, candidate):
+        return None  # beyond int64: certainly not a grid weight
+    row_gcd = np.gcd.reduce(np.abs(integers), axis=1)
+    row_gcd[row_gcd == 0] = 1  # all-zero rows keep the plain step
+    integers //= row_gcd[:, None]
+    dtype, qmax, _ = _INT_SPECS[precision]
+    if int(np.abs(integers).max(initial=0)) > qmax:
+        return None
+    return QuantizedWeight(
+        q=integers.astype(dtype),
+        scales=step * row_gcd.astype(np.float64),
+        precision=precision,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Activation quantisation
+# ---------------------------------------------------------------------- #
+def quantize_activations(
+    x: np.ndarray, precision: str
+) -> Tuple[np.ndarray, float, bool]:
+    """Losslessly quantise a batch → ``(q, scale, exact)``.
+
+    Two scale candidates are tried, cheapest first:
+
+    1. The smallest power of two with ``max|x| / scale <= qmax``.
+       Multiplying by ``2^-e`` is exact in binary floating point, so
+       "every scaled value is an integer" is decidable with one exact
+       comparison; inputs on dyadic grids (``k * 2^-j``) always pass.
+    2. The batch's own arithmetic grid: its smallest nonzero magnitude.
+       This catches non-dyadic multiplicative grids — data constructed as
+       ``k * s`` for an arbitrary float step ``s`` (scaled sensor counts,
+       lookup tables) whenever the unit cell appears in the batch — and is
+       verified by exact reconstruction (``q * scale == x`` bit-for-bit)
+       plus an explicit range check, so a false positive is impossible.
+       Grids built by *division* (``k / 255``) generally do not reconstruct
+       bit-for-bit in binary floating point and correctly fall back.
+
+    ``exact=False`` means the caller must take the float path for this
+    batch.  On success ``q`` is returned as integer values carried in the
+    precision's BLAS compute dtype (:func:`compute_dtype` — exact for every
+    value within the magnitude bound), so the blocked kernel consumes it
+    with no further conversion pass.
+    """
+    _, qmax, compute = _INT_SPECS[_check_precision(precision)]
+    x = np.asarray(x, dtype=np.float64)
+    magnitudes = np.abs(x)
+    amax = float(magnitudes.max()) if x.size else 0.0
+    if amax == 0.0:
+        return np.zeros(x.shape, dtype=compute), 1.0, True
+    if not math.isfinite(amax):
+        return x, 1.0, False
+    # frexp gives amax = m * 2^p with m in [0.5, 1); start near the right
+    # exponent and settle exactly (each loop runs at most twice).
+    exponent = math.frexp(amax)[1] - qmax.bit_length()
+    while math.ldexp(qmax, exponent) < amax:
+        exponent += 1
+    while math.ldexp(qmax, exponent - 1) >= amax:
+        exponent -= 1
+    scale = math.ldexp(1.0, exponent)
+    scaled = x * math.ldexp(1.0, -exponent)
+    q = np.rint(scaled)
+    if np.array_equal(q, scaled):
+        return np.asarray(q, dtype=compute), scale, True
+    grid = float(np.min(np.where(magnitudes == 0.0, np.inf, magnitudes)))
+    if grid > 0.0 and math.isfinite(grid) and amax <= qmax * grid:
+        q_grid = np.rint(x / grid)
+        if (
+            float(np.abs(q_grid).max(initial=0.0)) <= qmax
+            and np.array_equal(q_grid * grid, x)
+        ):
+            return np.asarray(q_grid, dtype=compute), grid, True
+    return q, scale, False
+
+
+# ---------------------------------------------------------------------- #
+# Rescaling
+# ---------------------------------------------------------------------- #
+def dequantize(
+    acc: np.ndarray,
+    activation_scale: float,
+    scales: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Integer accumulators back to float64: ``acc * (s_x * s_w[o]) + b``."""
+    out = acc * (activation_scale * np.asarray(scales, dtype=np.float64))
+    if bias is not None:
+        out += bias  # `out` is freshly allocated float64; add in place
+    return out
+
+
+def requantize(
+    acc: np.ndarray, scale_in: float, scale_out: float, precision: str
+) -> Tuple[np.ndarray, bool]:
+    """Saturating rescale of integer accumulators between scale domains.
+
+    Returns ``(q, exact)`` where ``q = clip(rint(acc * scale_in /
+    scale_out))`` in the target precision's range.  ``exact`` is True iff
+    neither rounding nor saturation changed a value — only then may a
+    chained integer consumer use ``q`` without breaking bit-identity;
+    otherwise the caller must dequantise and take the float path.
+    """
+    _, qmax, _ = _INT_SPECS[_check_precision(precision)]
+    if not (scale_in > 0 and scale_out > 0):
+        raise ValueError("requantize scales must be positive")
+    scaled = np.asarray(acc, dtype=np.float64) * (scale_in / scale_out)
+    q = np.clip(np.rint(scaled), -qmax, qmax)
+    return q, bool(np.array_equal(q, scaled))

@@ -73,6 +73,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="reject (HTTP 429 + Retry-After) ensemble "
                              "requests once this many are mid-flight "
                              "(default: unlimited)")
+    parser.add_argument("--precision", default=None,
+                        choices=("float64", "float32", "int8", "int16"),
+                        help="execution precision every served plan is "
+                             "lowered to; int8/int16 run grid-exact weight "
+                             "ops on the integer kernels (default: float64, "
+                             "serve artifacts as stored)")
     parser.add_argument("--auto-restart", action="store_true",
                         help="self-heal the cluster: respawn dead worker "
                              "processes with exponential backoff, opening a "
@@ -118,6 +124,8 @@ def build_backend(args: argparse.Namespace):
         options["max_queue_depth"] = args.max_queue_depth
     if args.max_concurrent_ensembles is not None:
         options["max_concurrent_ensembles"] = args.max_concurrent_ensembles
+    if args.precision is not None:
+        options["precision"] = args.precision
     if args.workers >= 1:
         options["workers"] = args.workers
         if args.auto_restart:
@@ -147,6 +155,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     models = backend.models()
     topology = (f"{args.workers} worker process(es)" if args.workers >= 1
                 else "in-process service")
+    if args.precision is not None:
+        topology += f", {args.precision} execution"
     print(f"serving {len(models)} plan(s) at {server.url} ({topology})")
     for entry in models:
         shard = f"  worker {entry['worker']}" if "worker" in entry else ""

@@ -58,6 +58,7 @@ from repro.runtime.montecarlo import (
     run_plan_samples,
     sample_crossbar_weights,
 )
+from repro.runtime.intkernels import PRECISIONS
 from repro.runtime.plan import InferencePlan
 from repro.serve.registry import PlanKey, PlanRegistry
 from repro.serve.scheduler import MicroBatchScheduler, SchedulerStats
@@ -79,6 +80,7 @@ class InferenceService:
         ensemble_cache_size: int = 8,
         max_queue_depth: Optional[int] = None,
         max_concurrent_ensembles: Optional[int] = None,
+        precision: str = "float64",
     ) -> None:
         if max_queue_depth is not None and max_queue_depth < 0:
             raise ValueError("max_queue_depth must be non-negative or None")
@@ -86,7 +88,15 @@ class InferenceService:
             raise ValueError(
                 "max_concurrent_ensembles must be non-negative or None"
             )
+        if precision not in PRECISIONS:
+            raise ValueError(
+                f"unknown precision {precision!r}; expected one of {PRECISIONS}"
+            )
         self.registry = registry
+        # Execution precision every served plan is lowered to when pinned
+        # (InferencePlan.with_precision).  "float64" serves artifacts as-is —
+        # including pre-lowered integer artifacts a publisher stored.
+        self.precision = precision
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
         # Backpressure threshold: a deterministic request whose scheduler
@@ -149,6 +159,8 @@ class InferenceService:
             plan = self._plans.get(key)
             if plan is None:
                 plan = self.registry.get(key.model, key.bits, key.mapping)
+                if self.precision != "float64":
+                    plan = plan.with_precision(self.precision)
                 self._plans[key] = plan
             return plan
 
@@ -227,7 +239,14 @@ class InferenceService:
         return max(depths.values()) if depths else 0
 
     def stats_summary(self) -> Dict[str, dict]:
-        """The batching statistics as JSON-ready dicts (HTTP ``/v1/stats``)."""
+        """The batching statistics as JSON-ready dicts (HTTP ``/v1/stats``).
+
+        Each pinned model additionally reports its execution-precision
+        counters (``precision_stats``): how many ops run integer kernels and
+        how many batches took the integer path versus the per-batch float
+        fallback — the measured integer-op counts behind any Table-1-style
+        latency/energy claim.
+        """
         summary = {}
         depths = self.queue_depths()
         for name, stats in self.stats.items():
@@ -239,6 +258,10 @@ class InferenceService:
                 "mean_rows_per_batch": stats.mean_rows_per_batch,
                 "queue_depth": depths.get(name, 0),
             }
+        with self._lock:
+            pinned = {key.canonical(): plan for key, plan in self._plans.items()}
+        for name, plan in pinned.items():
+            summary.setdefault(name, {})["precision"] = plan.precision_stats()
         summary["ensemble_cache"] = {
             "hits": self.ensemble_cache_hits,
             "misses": self.ensemble_cache_misses,

@@ -49,6 +49,15 @@ def im2col(
     numpy.ndarray
         Array of shape ``(N * H_out * W_out, C * kh * kw)`` where each row is
         one receptive field laid out channel-major.
+
+    Notes
+    -----
+    The lowering materialises the column buffer exactly once: the patch
+    windows are a zero-copy ``sliding_window_view``, stride selection and
+    the row-major reordering are strided views, and the only data movement
+    is the final ``ascontiguousarray`` that lays the rows out for the GEMM.
+    (The previous implementation copied per kernel offset *and* again at
+    the reshape of its transposed buffer.)
     """
     batch, channels, height, width = images.shape
     kernel_h, kernel_w = kernel_size
@@ -63,16 +72,13 @@ def im2col(
     else:
         padded = images
 
-    columns = np.empty(
-        (batch, channels, kernel_h, kernel_w, out_h, out_w), dtype=images.dtype
+    # (N, C, H', W') -> (N, C, H'-kh+1, W'-kw+1, kh, kw), all views until
+    # the single contiguous copy below.
+    windows = np.lib.stride_tricks.sliding_window_view(
+        padded, (kernel_h, kernel_w), axis=(2, 3)
     )
-    for y in range(kernel_h):
-        y_end = y + stride_h * out_h
-        for x in range(kernel_w):
-            x_end = x + stride_w * out_w
-            columns[:, :, y, x, :, :] = padded[:, :, y:y_end:stride_h, x:x_end:stride_w]
-
-    columns = columns.transpose(0, 4, 5, 1, 2, 3)
+    windows = windows[:, :, ::stride_h, ::stride_w]
+    columns = np.ascontiguousarray(windows.transpose(0, 2, 3, 1, 4, 5))
     return columns.reshape(batch * out_h * out_w, channels * kernel_h * kernel_w)
 
 
@@ -200,7 +206,6 @@ def conv2d_from_matrix(
     out_w = conv_output_size(width, kernel_w, stride[1], padding[1])
 
     columns_np = im2col(inputs.data, (kernel_h, kernel_w), stride, padding)
-    columns = Tensor(columns_np)
     input_shape = inputs.shape
 
     # Route the input gradient through a custom node so col2im is applied.

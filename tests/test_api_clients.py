@@ -182,7 +182,8 @@ class TestConnectTargets:
             assert client.backend.restart_backoff == 0.03
             assert client.backend.max_restart_backoff == 0.5
             assert client.backend.stability_window == 1.5
-            assert client.backend._worker_config[-1] is None  # shm off
+            assert client.backend._worker_config[-1] == "float64"  # precision
+            assert client.backend._worker_config[-2] is None  # shm off
 
     def test_cluster_ensemble_timeout_default_exceeds_predict_timeout(self):
         from repro.api import ClusterClient

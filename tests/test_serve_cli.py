@@ -64,7 +64,8 @@ class TestArgumentParsing:
             assert isinstance(backend, PlanCluster)
             assert backend.auto_restart is True
             assert backend.max_restarts == 7
-            assert backend._worker_config[-1] == 1024  # shm_threshold
+            assert backend._worker_config[-1] == "float64"  # precision
+            assert backend._worker_config[-2] == 1024  # shm_threshold
         finally:
             backend.close()
 
@@ -75,7 +76,7 @@ class TestArgumentParsing:
         ])
         backend = cli.build_backend(args)
         try:
-            assert backend._worker_config[-1] is None
+            assert backend._worker_config[-2] is None
         finally:
             backend.close()
 
