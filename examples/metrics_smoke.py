@@ -1,0 +1,100 @@
+"""Metrics scrape smoke test: a live ``/metrics`` endpoint under traffic.
+
+Publishes one small crossbar-mapped plan, serves it with
+:class:`~repro.serve.PlanServer`, drives a handful of deterministic and
+ensemble requests through the typed HTTP client, then scrapes
+``GET /metrics`` exactly like a Prometheus server would and checks the
+exposition:
+
+* the content type is the text format (version 0.0.4);
+* the serving families are present and typed (``repro_requests_total``,
+  ``repro_request_latency_seconds``, ``repro_http_requests_total``);
+* the request counters actually counted the traffic just sent;
+* every histogram series ends in a ``+Inf`` bucket.
+
+Exits non-zero on any violation, so CI can run it as a one-line smoke
+step:  python examples/metrics_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import urllib.request
+
+import numpy as np
+
+from repro.api import EnsembleRequest, PredictRequest, connect
+from repro.models import make_mlp
+from repro.serve import InferenceService, PlanRegistry, PlanServer
+
+NUM_PREDICTS = 5
+
+
+def scrape(url: str) -> tuple:
+    with urllib.request.urlopen(f"{url}/metrics") as response:
+        return (response.headers.get("Content-Type"),
+                response.read().decode("utf-8"))
+
+
+def check(condition: bool, what: str) -> None:
+    if not condition:
+        print(f"FAIL: {what}")
+        sys.exit(1)
+    print(f"  ok: {what}")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as directory:
+        registry = PlanRegistry(directory)
+        model = make_mlp(input_size=16, hidden_sizes=(6,), mapping="acm",
+                         quantizer_bits=4, seed=0)
+        registry.publish_model(model, "mlp", 4, "acm")
+        service = InferenceService(PlanRegistry(directory), max_batch=16)
+        server = PlanServer(service, own_backend=True).start()
+        try:
+            images = np.random.default_rng(7).normal(size=(4, 16))
+            with connect(server.url) as client:
+                for _ in range(NUM_PREDICTS):
+                    client.predict(PredictRequest(
+                        images=images, model="mlp", mapping="acm", bits=4))
+                client.ensemble(EnsembleRequest(
+                    images=images, model="mlp", mapping="acm", bits=4,
+                    sigma_fraction=0.1, num_samples=5, seed=1))
+
+            content_type, text = scrape(server.url)
+            print(f"scraped {len(text.splitlines())} lines from "
+                  f"{server.url}/metrics")
+            check(content_type == "text/plain; version=0.0.4; charset=utf-8",
+                  f"content type is the text format ({content_type})")
+            check(text.endswith("\n"), "exposition ends with a newline")
+            for family, family_type in (
+                ("repro_requests_total", "counter"),
+                ("repro_http_requests_total", "counter"),
+                ("repro_request_latency_seconds", "histogram"),
+                ("repro_scheduler_queue_depth", "gauge"),
+            ):
+                check(f"# TYPE {family} {family_type}" in text,
+                      f"{family} is exposed as a {family_type}")
+
+            predict_lines = [
+                line for line in text.splitlines()
+                if line.startswith("repro_requests_total")
+                and 'lane="predict"' in line and 'outcome="ok"' in line
+            ]
+            check(len(predict_lines) == 1, "one predict-lane request series")
+            check(float(predict_lines[0].rsplit(" ", 1)[1]) >= NUM_PREDICTS,
+                  f"request counter saw the {NUM_PREDICTS} predicts")
+
+            bucket_lines = [line for line in text.splitlines()
+                            if "_bucket{" in line]
+            check(any('le="+Inf"' in line for line in bucket_lines),
+                  "histograms carry a terminal +Inf bucket")
+        finally:
+            server.close()
+    print("metrics smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,7 @@ modules can depend on it without cycles.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any, Callable
 
 import numpy as np
@@ -25,6 +26,7 @@ from repro.api.types import (
     PredictRequest,
     PredictResult,
 )
+from repro.obs.tracing import ensure_request_id
 
 
 def typed_predict(
@@ -33,11 +35,18 @@ def typed_predict(
     **call_kwargs: Any,
 ) -> PredictResult:
     """Run a legacy ``predict(images, *, model, bits, mapping, ...)`` callable
-    for one typed request, with the shared exception fold."""
+    for one typed request, with the shared exception fold.
+
+    The request's trace id (assigned here when the caller supplied none)
+    is forwarded to the backend callable and stamped onto the result, so
+    every hop below this fold logs under the same id.
+    """
+    request_id = ensure_request_id(request.request_id)
     try:
         logits = predict(
             np.asarray(request.images), model=request.model,
-            bits=request.bits, mapping=request.mapping, **call_kwargs,
+            bits=request.bits, mapping=request.mapping,
+            request_id=request_id, **call_kwargs,
         )
     except ApiError:
         raise
@@ -45,7 +54,7 @@ def typed_predict(
         raise map_exception(error) from error
     return PredictResult(
         model=request.model, bits=request.bits, mapping=request.mapping,
-        logits=np.asarray(logits),
+        logits=np.asarray(logits), request_id=request_id,
     )
 
 
@@ -59,15 +68,17 @@ def typed_ensemble(
 
     The legacy callables already return the shared :class:`EnsembleResult`
     (it is the one ensemble-response type in the system), so no assembly
-    is needed on the way out.
+    is needed on the way out — beyond stamping the trace id when the
+    backend predates tracing.
     """
+    request_id = ensure_request_id(request.request_id)
     try:
         result = ensemble(
             np.asarray(request.images), model=request.model,
             bits=request.bits, mapping=request.mapping,
             sigma_fraction=request.sigma_fraction,
             num_samples=request.num_samples, seed=request.seed,
-            **call_kwargs,
+            request_id=request_id, **call_kwargs,
         )
     except ApiError:
         raise
@@ -77,4 +88,6 @@ def typed_ensemble(
         raise map_exception(TypeError(
             f"backend returned {type(result).__name__}, not EnsembleResult"
         ))
+    if result.request_id != request_id:
+        result = replace(result, request_id=request_id)
     return result

@@ -120,7 +120,18 @@ class _BackendClient:
             raise map_exception(error) from error
 
     def health(self) -> HealthStatus:
-        return HealthStatus(status="ok", models=len(self.models()))
+        models = len(self.models())
+        summarize = getattr(self.backend, "health_summary", None)
+        if callable(summarize):
+            # Cluster backends know about dead shards and open breakers;
+            # report "degraded" with the per-shard detail, exactly like
+            # the HTTP front-end's /healthz.
+            status, detail = summarize()
+            return HealthStatus(
+                status=status, models=models,
+                detail=None if status == "ok" else dict(detail),
+            )
+        return HealthStatus(status="ok", models=models)
 
     def close(self) -> None:
         if self._closed:

@@ -165,12 +165,19 @@ def encode_predict_result(
     result: PredictResult, encoding: str = "b64"
 ) -> Dict[str, Any]:
     """Render a :class:`PredictResult` as the ``/v1/predict`` response body."""
-    return {
+    body = {
         "model": result.model,
         "bits": result.bits,
         "mapping": result.mapping,
         "logits": encode_array(np.asarray(result.logits), encoding=encoding),
     }
+    if result.request_id is not None:
+        body["request_id"] = result.request_id
+    return body
+
+
+def _decode_request_id(value: Any) -> Optional[str]:
+    return str(value) if value is not None else None
 
 
 def decode_predict_result(body: Mapping[str, Any]) -> PredictResult:
@@ -180,6 +187,7 @@ def decode_predict_result(body: Mapping[str, Any]) -> PredictResult:
         bits=_decode_bits(body.get("bits")),
         mapping=str(_require(body, "mapping")),
         logits=_decode_images(_require(body, "logits")),
+        request_id=_decode_request_id(body.get("request_id")),
     )
 
 
@@ -191,7 +199,7 @@ def encode_ensemble_result(
     The integer aggregates are packed as int64 and the confidence as
     float64, matching the in-process dtypes exactly.
     """
-    return {
+    body: Dict[str, Any] = {
         "model": result.model,
         "bits": result.bits,
         "mapping": result.mapping,
@@ -211,6 +219,9 @@ def encode_ensemble_result(
             np.asarray(result.vote_counts, dtype=np.int64), encoding=encoding
         ),
     }
+    if result.request_id is not None:
+        body["request_id"] = result.request_id
+    return body
 
 
 def decode_ensemble_result(body: Mapping[str, Any]) -> EnsembleResult:
@@ -235,6 +246,7 @@ def decode_ensemble_result(body: Mapping[str, Any]) -> EnsembleResult:
         sigma_fraction=float(sigma),
         num_samples=num_samples,
         seed=seed,
+        request_id=_decode_request_id(body.get("request_id")),
     )
 
 

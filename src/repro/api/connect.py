@@ -15,7 +15,9 @@ site:
 ``http://host:port``  (or ``https://``)
     Return an :class:`~repro.api.http_client.HttpClient` for a running
     :class:`~repro.serve.http.PlanServer` (options: ``token``,
-    ``timeout``, ``retries``, ``retry_backoff``, ``encoding``).
+    ``timeout``, ``retries``, ``retry_backoff``, ``encoding``; for
+    ``https://``: ``cafile`` to pin a CA bundle, ``insecure=true`` to
+    skip verification in test rigs).
 ``cluster:plans/?workers=4``
     Spawn a sharded :class:`~repro.serve.cluster.PlanCluster` over the
     directory; returns a :class:`~repro.api.client.ClusterClient` that
@@ -26,6 +28,8 @@ site:
     (shared-memory array transport; ``off`` disables), and
     ``worker_died_retries`` / ``worker_died_backoff`` for the client's
     transparent retry of requests a dying worker stranded.
+    ``log_dir=PATH`` writes one logfmt file per worker
+    (``worker-N.log``) carrying every request's trace id.
     ``precision=int8`` lowers plans inside every worker, exactly like the
     ``local:`` knob.
 
@@ -98,6 +102,7 @@ _CLUSTER_PARAMS: Dict[str, Callable[[str], Any]] = {
     "worker_died_retries": int,
     "worker_died_backoff": float,
     "worker_died_backoff_cap": float,
+    "log_dir": str,
 }
 _HTTP_PARAMS: Dict[str, Callable[[str], Any]] = {
     "token": str,
@@ -105,6 +110,8 @@ _HTTP_PARAMS: Dict[str, Callable[[str], Any]] = {
     "retries": int,
     "retry_backoff": float,
     "encoding": str,
+    "cafile": str,
+    "insecure": _parse_bool,
 }
 
 

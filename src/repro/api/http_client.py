@@ -30,8 +30,11 @@ from __future__ import annotations
 
 import http.client
 import json
+import ssl
+import threading
 import time
 import urllib.parse
+from dataclasses import replace
 from types import TracebackType
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Type
 
@@ -51,6 +54,7 @@ from repro.api.types import (
     PredictRequest,
     PredictResult,
 )
+from repro.obs.tracing import REQUEST_ID_HEADER, ensure_request_id
 
 #: Transport-level failures worth a retry: the request may never have
 #: reached the server, or the (idempotent) response was lost in flight.
@@ -77,6 +81,17 @@ class HttpClient:
     encoding:
         Response array form requested from the server: ``"b64"`` (exact
         bits, compact) or ``"list"`` (human-readable JSON).
+    cafile:
+        For ``https://`` endpoints: a PEM bundle to verify the server
+        certificate against (e.g. a self-signed deployment's own cert).
+        Defaults to the system trust store.
+    insecure:
+        Skip certificate verification entirely (test rigs only).
+
+    Every request carries an ``X-Request-Id`` (the request dataclass's, or
+    client-minted) so client, edge, and worker logs line up; transport
+    retries and timeouts are counted in :meth:`client_stats` so a retry
+    storm is visible from the caller's side too.
     """
 
     def __init__(
@@ -87,6 +102,8 @@ class HttpClient:
         retries: int = 2,
         retry_backoff: float = 0.05,
         encoding: str = "b64",
+        cafile: Optional[str] = None,
+        insecure: bool = False,
     ) -> None:
         parts = urllib.parse.urlsplit(base_url)
         if parts.scheme not in ("http", "https"):
@@ -110,6 +127,38 @@ class HttpClient:
         self._host: str = host
         self._port = parts.port or (443 if parts.scheme == "https" else 80)
         self._prefix = parts.path.rstrip("/")
+        self._ssl_context: Optional[ssl.SSLContext] = None
+        if parts.scheme == "https":
+            if insecure:
+                context = ssl.SSLContext(ssl.PROTOCOL_TLS_CLIENT)
+                context.check_hostname = False
+                context.verify_mode = ssl.CERT_NONE
+            else:
+                context = ssl.create_default_context(cafile=cafile)
+            self._ssl_context = context
+        # Per-call request id, carried thread-locally so _attempt keeps
+        # its (method, path, payload) seam for tests and subclasses.
+        self._call_context = threading.local()
+        # Client-side transport counters (thread-safe): how this client
+        # experienced the wire, independent of what the server recorded.
+        self._stats_lock = threading.Lock()
+        self._transport_stats = {
+            "requests": 0,
+            "responses": 0,
+            "retries": 0,
+            "timeouts": 0,
+            "connection_failures": 0,
+            "http_errors": 0,
+        }
+
+    def _count(self, event: str, amount: int = 1) -> None:
+        with self._stats_lock:
+            self._transport_stats[event] += amount
+
+    def client_stats(self) -> Dict[str, int]:
+        """This client's transport counters (requests, retries, timeouts...)."""
+        with self._stats_lock:
+            return dict(self._transport_stats)
 
     # ------------------------------------------------------------------ #
     # Transport
@@ -117,19 +166,26 @@ class HttpClient:
     def _connection(self) -> http.client.HTTPConnection:
         if self._scheme == "https":
             return http.client.HTTPSConnection(
-                self._host, self._port, timeout=self.timeout
+                self._host, self._port, timeout=self.timeout,
+                context=self._ssl_context,
             )
         return http.client.HTTPConnection(
             self._host, self._port, timeout=self.timeout
         )
 
     def _attempt(
-        self, method: str, path: str, payload: Optional[bytes]
+        self,
+        method: str,
+        path: str,
+        payload: Optional[bytes],
     ) -> Tuple[int, Dict[str, str], Any]:
         """One request over a fresh connection; returns (status, headers, body)."""
         headers = {"Content-Type": "application/json"}
         if self.token is not None:
             headers["Authorization"] = f"Bearer {self.token}"
+        request_id = getattr(self._call_context, "request_id", None)
+        if request_id is not None:
+            headers[REQUEST_ID_HEADER] = request_id
         connection = self._connection()
         try:
             connection.request(
@@ -148,7 +204,12 @@ class HttpClient:
         return status, header_map, body
 
     def _call(
-        self, method: str, path: str, body: Optional[Mapping[str, Any]] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[Mapping[str, Any]] = None,
+        request_id: Optional[str] = None,
+        ok_statuses: Tuple[int, ...] = (200,),
     ) -> Any:
         """Issue one API call, retrying transport failures; typed errors out."""
         payload = (
@@ -156,9 +217,12 @@ class HttpClient:
             else json.dumps(body, allow_nan=False).encode("utf-8")
         )
         last_error: Optional[BaseException] = None
+        self._call_context.request_id = request_id
         for attempt in range(self.retries + 1):
             if attempt:
+                self._count("retries")
                 time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+            self._count("requests")
             try:
                 status, headers, parsed = self._attempt(method, path, payload)
             except TimeoutError as error:
@@ -167,15 +231,19 @@ class HttpClient:
                 # server load without helping, and the typed contract maps
                 # timeouts to ApiTimeout everywhere.  Caught before
                 # _RETRYABLE: TimeoutError is an OSError subclass.
+                self._count("timeouts")
                 raise ApiTimeout(
                     f"{method} {path} against {self.base_url} timed out "
                     f"after {self.timeout}s"
                 ) from error
             except _RETRYABLE as error:
+                self._count("connection_failures")
                 last_error = error
                 continue
-            if status == 200:
+            self._count("responses")
+            if status in ok_statuses:
                 return parsed
+            self._count("http_errors")
             retry_after: Optional[float] = None
             header = headers.get("retry-after")
             if header is not None:
@@ -193,22 +261,32 @@ class HttpClient:
     # Client protocol
     # ------------------------------------------------------------------ #
     def predict(self, request: PredictRequest) -> PredictResult:
+        request_id = ensure_request_id(request.request_id)
         body = self._call(
             "POST", "/v1/predict",
             encode_predict_request(request, encoding=self.encoding),
+            request_id=request_id,
         )
         if not isinstance(body, Mapping):
             raise InvalidRequest(f"malformed predict response: {body!r}")
-        return decode_predict_result(body)
+        result = decode_predict_result(body)
+        if result.request_id is None:  # pre-tracing server
+            result = replace(result, request_id=request_id)
+        return result
 
     def ensemble(self, request: EnsembleRequest) -> EnsembleResult:
+        request_id = ensure_request_id(request.request_id)
         body = self._call(
             "POST", "/v1/predict_under_variation",
             encode_ensemble_request(request, encoding=self.encoding),
+            request_id=request_id,
         )
         if not isinstance(body, Mapping):
             raise InvalidRequest(f"malformed ensemble response: {body!r}")
-        return decode_ensemble_result(body)
+        result = decode_ensemble_result(body)
+        if result.request_id is None:  # pre-tracing server
+            result = replace(result, request_id=request_id)
+        return result
 
     def models(self) -> List[ModelInfo]:
         body = self._call("GET", "/v1/models")
@@ -218,10 +296,16 @@ class HttpClient:
     def stats(self) -> Dict[str, Any]:
         body = self._call("GET", "/v1/stats")
         stats = body.get("stats", {}) if isinstance(body, Mapping) else {}
-        return dict(stats)
+        stats = dict(stats)
+        # The caller's view of the wire, alongside the server's counters.
+        stats["client"] = self.client_stats()
+        return stats
 
     def health(self) -> HealthStatus:
-        body = self._call("GET", "/healthz")
+        # A degraded or draining server answers the probe with 503 plus a
+        # diagnostic body — that is a *successful* health check reporting
+        # an unhealthy service, not a transport error.
+        body = self._call("GET", "/healthz", ok_statuses=(200, 503))
         if not isinstance(body, Mapping):
             raise InvalidRequest(f"malformed health response: {body!r}")
         return HealthStatus.from_wire(body)

@@ -49,6 +49,15 @@ def canonical_name(model: str, bits: Optional[int], mapping: str) -> str:
     return f"{model}__{bits_token(bits)}__{mapping}"
 
 
+def _validate_request_id(request_id: object) -> None:
+    if request_id is None:
+        return
+    from repro.obs.tracing import valid_request_id
+
+    if not valid_request_id(request_id):
+        raise InvalidRequest(f"invalid request_id {request_id!r}")
+
+
 def _validate_key_fields(model: object, mapping: object, bits: object) -> None:
     if not isinstance(model, str) or not model:
         raise InvalidRequest(f"model must be a non-empty string, not {model!r}")
@@ -73,9 +82,11 @@ class PredictRequest:
     model: str
     mapping: str
     bits: Optional[int] = None
+    request_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         _validate_key_fields(self.model, self.mapping, self.bits)
+        _validate_request_id(self.request_id)
 
     @property
     def name(self) -> str:
@@ -99,9 +110,11 @@ class EnsembleRequest:
     sigma_fraction: float = 0.1
     num_samples: int = 25
     seed: int = 0
+    request_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         _validate_key_fields(self.model, self.mapping, self.bits)
+        _validate_request_id(self.request_id)
         sigma = self.sigma_fraction
         if (
             isinstance(sigma, bool)
@@ -144,6 +157,7 @@ class PredictResult:
     bits: Optional[int]
     mapping: str
     logits: np.ndarray
+    request_id: Optional[str] = None
 
 
 @dataclass(frozen=True, eq=False)
@@ -164,6 +178,9 @@ class EnsembleResult:
         Per-class vote counts, ``(batch, classes)``.
     sigma_fraction, num_samples, seed:
         The request parameters, echoed for reproducibility.
+    request_id:
+        The trace id this response was served under (echoed from the
+        request, or server-assigned when the request carried none).
     """
 
     model: str
@@ -176,6 +193,7 @@ class EnsembleResult:
     sigma_fraction: float
     num_samples: int
     seed: int
+    request_id: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -230,22 +248,34 @@ class ModelInfo:
 
 @dataclass(frozen=True)
 class HealthStatus:
-    """Liveness probe result: backend status and catalogue size."""
+    """Liveness probe result: backend status and catalogue size.
+
+    ``status`` is ``"ok"`` when every shard is serving, ``"degraded"``
+    when a cluster worker is dead or its breaker is open, ``"draining"``
+    while the server refuses new work.  For non-ok statuses ``detail``
+    carries the per-shard breakdown (the ``workers`` key on the wire).
+    """
 
     status: str
     models: int
+    detail: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
         return self.status == "ok"
 
     def to_wire(self) -> Dict[str, Any]:
-        return {"status": self.status, "models": self.models}
+        body: Dict[str, Any] = {"status": self.status, "models": self.models}
+        if self.detail is not None:
+            body["workers"] = self.detail
+        return body
 
     @classmethod
     def from_wire(cls, body: Mapping[str, Any]) -> "HealthStatus":
+        workers = body.get("workers")
         return cls(status=str(body.get("status", "unknown")),
-                   models=int(body.get("models", 0)))
+                   models=int(body.get("models", 0)),
+                   detail=None if workers is None else dict(workers))
 
 
 # Explicit names help `from repro.api.types import *` stay intentional and

@@ -1,0 +1,64 @@
+"""``repro.obs`` — the stdlib-only observability layer of the serving stack.
+
+Three small, dependency-free modules that the serve and api layers thread
+through every process boundary:
+
+* :mod:`repro.obs.metrics` — a lock-safe registry of counters, gauges, and
+  fixed-bucket histograms with Prometheus text exposition
+  (:func:`render`).  Metric families are plain frozen dataclasses, so a
+  cluster worker can :meth:`MetricsRegistry.collect` its registry and ship
+  the samples across the pickle boundary for the parent to merge
+  (:func:`relabel` tags them with the worker index) into one
+  ``GET /metrics`` page.
+* :mod:`repro.obs.tracing` — per-request ids: client-generated or
+  server-assigned, carried in the ``X-Request-Id`` header over HTTP and in
+  the ``request_id`` field of the typed request/response dataclasses over
+  every other transport, so one grep reconstructs a request's path across
+  process hops.
+* :mod:`repro.obs.logfmt` — structured (logfmt-style) log records via
+  stdlib ``logging``: :func:`log_event` renders ``key=value`` pairs, and
+  :class:`LogfmtFormatter` prefixes records with ``ts=/level=/logger=`` so
+  worker log files are machine-greppable line protocols.
+
+The package is deliberately import-pure (stdlib only, not even NumPy), so
+every layer — including the strictly typed ``repro.api`` — may depend on
+it without cycles, and it passes ``mypy --strict`` in full.
+"""
+
+from repro.obs.logfmt import LogfmtFormatter, log_event, logfmt
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    Sample,
+    relabel,
+    render,
+)
+from repro.obs.tracing import (
+    REQUEST_ID_HEADER,
+    ensure_request_id,
+    new_request_id,
+    valid_request_id,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "LogfmtFormatter",
+    "MetricFamily",
+    "MetricsRegistry",
+    "REQUEST_ID_HEADER",
+    "Sample",
+    "ensure_request_id",
+    "log_event",
+    "logfmt",
+    "new_request_id",
+    "relabel",
+    "render",
+    "valid_request_id",
+]

@@ -1,0 +1,75 @@
+"""Structured (logfmt-style) logging on top of stdlib ``logging``.
+
+Two pieces:
+
+* :func:`log_event` — emit one event as ``event=predict request_id=...
+  model=... latency_ms=...`` through an ordinary :class:`logging.Logger`,
+  so handlers, levels, and propagation all behave as usual;
+* :class:`LogfmtFormatter` — a formatter that prefixes every record with
+  ``ts=<iso8601> level=<level> logger=<name>``, so a worker's log file is
+  a machine-greppable line protocol end to end.
+
+Values are rendered with :func:`logfmt`: bare when they contain no
+whitespace or quotes, double-quoted with ``\\`` escaping otherwise;
+``None`` renders as empty, booleans lowercase, floats compactly.
+"""
+
+from __future__ import annotations
+
+import datetime
+import logging
+from typing import Mapping, Optional
+
+_NEEDS_QUOTING = (" ", "\t", "\n", '"', "=")
+
+
+def _render_value(value: object) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        text = f"{value:.6g}"
+    else:
+        text = str(value)
+    if text == "" or any(ch in text for ch in _NEEDS_QUOTING):
+        escaped = text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        return f'"{escaped}"'
+    return text
+
+
+def logfmt(fields: Mapping[str, object]) -> str:
+    """Render a mapping as one logfmt line fragment (``k=v k2=v2 ...``)."""
+    return " ".join(f"{key}={_render_value(value)}" for key, value in fields.items())
+
+
+def log_event(
+    logger: logging.Logger,
+    event: str,
+    level: int = logging.INFO,
+    **fields: object,
+) -> None:
+    """Log one structured event; the ``event=`` pair always leads."""
+    if not logger.isEnabledFor(level):
+        return
+    parts = {"event": event}
+    parts.update(fields)
+    logger.log(level, "%s", logfmt(parts))
+
+
+class LogfmtFormatter(logging.Formatter):
+    """Prefix every record with ``ts= level= logger=`` logfmt pairs."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        ts = datetime.datetime.fromtimestamp(
+            record.created, tz=datetime.timezone.utc
+        ).isoformat(timespec="milliseconds")
+        prefix = logfmt(
+            {"ts": ts, "level": record.levelname.lower(), "logger": record.name}
+        )
+        message = record.getMessage()
+        if record.exc_info and record.exc_info[0] is not None:
+            exc: Optional[str] = self.formatException(record.exc_info)
+            if exc:
+                message = f"{message} exc={_render_value(exc)}"
+        return f"{prefix} {message}"

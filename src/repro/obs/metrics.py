@@ -1,0 +1,484 @@
+"""Lock-safe metric instruments with Prometheus text exposition.
+
+A :class:`MetricsRegistry` owns a namespace of instruments — monotonic
+:class:`Counter`\\ s, :class:`Gauge`\\ s, and fixed-bucket
+:class:`Histogram`\\ s — each optionally labelled.  Instruments are
+get-or-create (re-requesting the same name returns the existing one, a
+conflicting redefinition raises), so components can declare their
+instruments independently against one shared registry.
+
+Exposition is two-phase so it survives process boundaries:
+
+* :meth:`MetricsRegistry.collect` snapshots every instrument into plain
+  frozen :class:`MetricFamily` dataclasses (picklable — a cluster worker
+  ships its families over the pipe for the parent to merge);
+* :func:`render` turns any iterable of families into the Prometheus text
+  format (version 0.0.4): ``# HELP`` / ``# TYPE`` headers, label escaping,
+  histogram ``_bucket``/``_sum``/``_count`` series with a terminal
+  ``+Inf`` bucket.
+
+Live values that already have an owner (a queue depth, an in-flight
+count) are exported via *callbacks* registered with
+:meth:`MetricsRegistry.register_callback`: the callable is invoked at
+collect time and returns ``(labels, value)`` pairs, so the registry never
+duplicates state — ``stats_summary()`` and ``/metrics`` read the same
+source of truth.
+
+Everything is stdlib-only and thread-safe (one small lock per instrument,
+one registry lock for the namespace; callbacks run outside both).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Sequence,
+    Tuple,
+    Type,
+    TypeVar,
+    cast,
+)
+
+#: Latency histogram buckets (seconds): sub-millisecond to 10 s, roughly
+#: logarithmic — the range micro-batched NumPy inference actually spans.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: The types :func:`render` knows how to head a family with.
+_FAMILY_TYPES = ("counter", "gauge", "histogram", "untyped")
+
+LabelPairs = Tuple[Tuple[str, str], ...]
+#: A callback yields ``(labels, value)`` pairs at collect time.
+CallbackFn = Callable[[], Sequence[Tuple[Mapping[str, str], float]]]
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One exposition line: sample name, label pairs, value."""
+
+    name: str
+    labels: LabelPairs
+    value: float
+
+
+@dataclass(frozen=True)
+class MetricFamily:
+    """One metric and its samples — plain data, picklable across processes."""
+
+    name: str
+    type: str
+    help: str
+    samples: Tuple[Sample, ...]
+
+
+def _check_metric_name(name: str) -> str:
+    if not _METRIC_NAME.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _check_label_names(labels: Sequence[str]) -> Tuple[str, ...]:
+    for label in labels:
+        if not _LABEL_NAME.match(label) or label.startswith("__"):
+            raise ValueError(f"invalid label name {label!r}")
+    if len(set(labels)) != len(labels):
+        raise ValueError(f"duplicate label names in {labels!r}")
+    return tuple(labels)
+
+
+def format_value(value: float) -> str:
+    """Render one sample value the way Prometheus expects.
+
+    Integral values print without a fraction (``17``, not ``17.0``);
+    infinities print as ``+Inf`` / ``-Inf``; NaN as ``NaN``.
+    """
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _render_labels(labels: LabelPairs) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in labels
+    )
+    return "{" + inner + "}"
+
+
+class _Instrument:
+    """Shared base: a named, optionally labelled family of child series."""
+
+    metric_type = "untyped"
+
+    def __init__(self, name: str, help: str, label_names: Tuple[str, ...]) -> None:  # noqa: A002
+        self.name = _check_metric_name(name)
+        self.help = help
+        self.label_names = _check_label_names(label_names)
+        self._lock = threading.Lock()
+
+    def _label_values(self, labels: Mapping[str, str]) -> Tuple[str, ...]:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.label_names)
+
+    def _pairs(self, values: Tuple[str, ...]) -> LabelPairs:
+        return tuple(zip(self.label_names, values))
+
+    def collect(self) -> MetricFamily:
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    """A monotonically increasing value (optionally per label set)."""
+
+    metric_type = "counter"
+
+    def __init__(self, name: str, help: str, label_names: Tuple[str, ...]) -> None:  # noqa: A002
+        super().__init__(name, help, label_names)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        key = self._label_values(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        key = self._label_values(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def collect(self) -> MetricFamily:
+        with self._lock:
+            items = sorted(self._values.items())
+        samples = tuple(
+            Sample(self.name, self._pairs(values), value)
+            for values, value in items
+        )
+        if not self.label_names and not samples:
+            samples = (Sample(self.name, (), 0.0),)
+        return MetricFamily(self.name, self.metric_type, self.help, samples)
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down (optionally per label set)."""
+
+    metric_type = "gauge"
+
+    def __init__(self, name: str, help: str, label_names: Tuple[str, ...]) -> None:  # noqa: A002
+        super().__init__(name, help, label_names)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        key = self._label_values(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = self._label_values(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        key = self._label_values(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def collect(self) -> MetricFamily:
+        with self._lock:
+            items = sorted(self._values.items())
+        samples = tuple(
+            Sample(self.name, self._pairs(values), value)
+            for values, value in items
+        )
+        if not self.label_names and not samples:
+            samples = (Sample(self.name, (), 0.0),)
+        return MetricFamily(self.name, self.metric_type, self.help, samples)
+
+
+class _HistogramChild:
+    __slots__ = ("counts", "total", "count")
+
+    def __init__(self, num_buckets: int) -> None:
+        self.counts = [0] * num_buckets
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket distribution: cumulative ``le`` buckets + sum + count."""
+
+    metric_type = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,  # noqa: A002 - prometheus vocabulary
+        label_names: Tuple[str, ...],
+        buckets: Tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, label_names)
+        if "le" in self.label_names:
+            raise ValueError("'le' is reserved for histogram buckets")
+        if not buckets:
+            raise ValueError("a histogram needs at least one finite bucket")
+        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
+            raise ValueError(f"buckets must be strictly increasing: {buckets!r}")
+        if math.isinf(buckets[-1]):
+            buckets = buckets[:-1]  # +Inf is implicit, always present
+        self.buckets = tuple(float(bound) for bound in buckets)
+        self._children: Dict[Tuple[str, ...], _HistogramChild] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = self._label_values(labels)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = _HistogramChild(len(self.buckets))
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    child.counts[index] += 1
+                    break
+            child.total += value
+            child.count += 1
+
+    def count(self, **labels: str) -> int:
+        key = self._label_values(labels)
+        with self._lock:
+            child = self._children.get(key)
+            return child.count if child is not None else 0
+
+    def collect(self) -> MetricFamily:
+        with self._lock:
+            snapshot = [
+                (values, list(child.counts), child.total, child.count)
+                for values, child in sorted(self._children.items())
+            ]
+        samples: List[Sample] = []
+        for values, counts, total, count in snapshot:
+            pairs = self._pairs(values)
+            cumulative = 0
+            for bound, bucket_count in zip(self.buckets, counts):
+                cumulative += bucket_count
+                samples.append(Sample(
+                    f"{self.name}_bucket",
+                    pairs + (("le", format_value(bound)),),
+                    float(cumulative),
+                ))
+            samples.append(Sample(
+                f"{self.name}_bucket", pairs + (("le", "+Inf"),), float(count)
+            ))
+            samples.append(Sample(f"{self.name}_sum", pairs, total))
+            samples.append(Sample(f"{self.name}_count", pairs, float(count)))
+        return MetricFamily(self.name, self.metric_type, self.help, tuple(samples))
+
+
+@dataclass(frozen=True)
+class _Callback:
+    name: str
+    type: str
+    help: str
+    fn: CallbackFn
+
+
+_I = TypeVar("_I", bound=_Instrument)
+
+
+class MetricsRegistry:
+    """One namespace of instruments plus collect-time callbacks."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, _Instrument] = {}
+        self._callbacks: Dict[str, _Callback] = {}
+
+    # ------------------------------------------------------------------ #
+    # Declaration (get-or-create; conflicting redefinitions raise)
+    # ------------------------------------------------------------------ #
+    def _get_or_create(
+        self,
+        cls: Type[_I],
+        name: str,
+        labels: Sequence[str],
+        factory: Callable[[], _I],
+    ) -> _I:
+        with self._lock:
+            if name in self._callbacks:
+                raise ValueError(f"{name!r} is already a callback metric")
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if type(existing) is not cls or existing.label_names != tuple(labels):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}{existing.label_names}"
+                    )
+                return cast(_I, existing)
+            instrument = factory()
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(
+        self, name: str, help: str = "", labels: Sequence[str] = ()  # noqa: A002
+    ) -> Counter:
+        return self._get_or_create(
+            Counter, name, labels, lambda: Counter(name, help, tuple(labels))
+        )
+
+    def gauge(
+        self, name: str, help: str = "", labels: Sequence[str] = ()  # noqa: A002
+    ) -> Gauge:
+        return self._get_or_create(
+            Gauge, name, labels, lambda: Gauge(name, help, tuple(labels))
+        )
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",  # noqa: A002
+        labels: Sequence[str] = (),
+        buckets: Tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram,
+            name,
+            labels,
+            lambda: Histogram(name, help, tuple(labels), buckets=buckets),
+        )
+
+    def register_callback(
+        self, name: str, type: str, help: str, fn: CallbackFn  # noqa: A002
+    ) -> None:
+        """Export live state owned elsewhere: ``fn`` runs at collect time
+        and returns ``(labels, value)`` pairs (a failing callback collects
+        as an empty family rather than breaking the scrape)."""
+        _check_metric_name(name)
+        if type not in _FAMILY_TYPES:
+            raise ValueError(f"unknown metric type {type!r}")
+        with self._lock:
+            if name in self._instruments or name in self._callbacks:
+                raise ValueError(f"metric {name!r} is already registered")
+            self._callbacks[name] = _Callback(name, type, help, fn)
+
+    # ------------------------------------------------------------------ #
+    # Collection
+    # ------------------------------------------------------------------ #
+    def collect(self) -> List[MetricFamily]:
+        """Snapshot every instrument and callback into plain families."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+            callbacks = list(self._callbacks.values())
+        families = [instrument.collect() for instrument in instruments]
+        for callback in callbacks:
+            samples: Tuple[Sample, ...]
+            try:
+                samples = tuple(
+                    Sample(callback.name,
+                           tuple((str(k), str(v)) for k, v in labels.items()),
+                           float(value))
+                    for labels, value in callback.fn()
+                )
+            except Exception:  # noqa: BLE001 - a scrape must never fail
+                samples = ()
+            families.append(MetricFamily(
+                callback.name, callback.type, callback.help, samples
+            ))
+        return families
+
+    def expose(self) -> str:
+        """This registry's instruments as Prometheus text."""
+        return render(self.collect())
+
+
+def relabel(
+    families: Iterable[MetricFamily], label: str, value: str
+) -> List[MetricFamily]:
+    """Add one label pair to every sample (e.g. tag a worker's families).
+
+    An existing pair with the same label name is replaced, so re-tagging
+    is idempotent.
+    """
+    if not _LABEL_NAME.match(label):
+        raise ValueError(f"invalid label name {label!r}")
+    out: List[MetricFamily] = []
+    for family in families:
+        samples = tuple(
+            Sample(
+                sample.name,
+                tuple(pair for pair in sample.labels if pair[0] != label)
+                + ((label, str(value)),),
+                sample.value,
+            )
+            for sample in family.samples
+        )
+        out.append(MetricFamily(family.name, family.type, family.help, samples))
+    return out
+
+
+def render(families: Iterable[MetricFamily]) -> str:
+    """Prometheus text format (version 0.0.4) for an iterable of families.
+
+    Families with the same name (e.g. one per cluster worker) merge under
+    one ``# HELP``/``# TYPE`` header; the first family's metadata wins.
+    Histogram bucket samples keep their family-relative order, so bucket
+    cumulative counts stay monotonic per series.
+    """
+    merged: Dict[str, MetricFamily] = {}
+    order: List[str] = []
+    for family in families:
+        _check_metric_name(family.name)
+        existing = merged.get(family.name)
+        if existing is None:
+            merged[family.name] = family
+            order.append(family.name)
+        else:
+            merged[family.name] = MetricFamily(
+                existing.name, existing.type, existing.help,
+                existing.samples + family.samples,
+            )
+    lines: List[str] = []
+    for name in order:
+        family = merged[name]
+        if family.help:
+            lines.append(f"# HELP {name} {_escape_help(family.help)}")
+        family_type = family.type if family.type in _FAMILY_TYPES else "untyped"
+        lines.append(f"# TYPE {name} {family_type}")
+        for sample in family.samples:
+            lines.append(
+                f"{sample.name}{_render_labels(sample.labels)} "
+                f"{format_value(sample.value)}"
+            )
+    return "\n".join(lines) + "\n" if lines else ""

@@ -95,7 +95,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "backend only)")
     parser.add_argument("--auth-token", default=None, metavar="TOKEN",
                         help="require 'Authorization: Bearer TOKEN' on every "
-                             "route except /healthz (default: open)")
+                             "route except /healthz and /metrics "
+                             "(default: open)")
+    parser.add_argument("--tls-cert", default=None, metavar="PEM",
+                        help="serve HTTPS with this certificate chain "
+                             "(requires --tls-key)")
+    parser.add_argument("--tls-key", default=None, metavar="PEM",
+                        help="private key for --tls-cert")
+    parser.add_argument("--log-dir", default=None, metavar="DIR",
+                        help="write one logfmt file per worker process "
+                             "(worker-N.log) carrying every request's trace "
+                             "id (cluster backend only)")
     parser.add_argument("--run-for", type=float, default=None,
                         help="serve for N seconds then exit (default: forever)")
     parser.add_argument("--quiet", action="store_true",
@@ -135,6 +145,8 @@ def build_backend(args: argparse.Namespace):
             options["shm_threshold"] = (
                 None if args.shm_threshold < 0 else args.shm_threshold
             )
+        if args.log_dir is not None:
+            options["log_dir"] = args.log_dir
     return connect(build_target(args), **options).backend
 
 
@@ -146,10 +158,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         signal.signal(signal.SIGTERM, lambda signum, frame: _stop.set())
     except ValueError:
         pass  # not the main thread (in-process tests drive _stop directly)
+    if (args.tls_cert is None) != (args.tls_key is None):
+        build_parser().error("--tls-cert and --tls-key must be given together")
     backend = build_backend(args)
     server = PlanServer(
         backend, host=args.host, port=args.port, verbose=not args.quiet,
         auth_token=args.auth_token,
+        tls_cert=args.tls_cert, tls_key=args.tls_key,
     )
     server.start()
     models = backend.models()
@@ -162,10 +177,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         shard = f"  worker {entry['worker']}" if "worker" in entry else ""
         print(f"  {entry['name']:32s} digest={entry['digest'][:12]}{shard}")
     print("endpoints: POST /v1/predict  POST /v1/predict_under_variation  "
-          "GET /v1/models  GET /v1/stats  GET /healthz")
+          "GET /v1/models  GET /v1/stats  GET /healthz  GET /metrics  "
+          "GET /admin/workers  POST /admin/restart_worker  POST /admin/drain")
     guards = []
     if args.auth_token is not None:
         guards.append("bearer-token auth")
+    if server.tls:
+        guards.append("TLS")
     if args.max_queue_depth is not None:
         guards.append(f"429 backpressure past queue depth {args.max_queue_depth}")
     if args.max_concurrent_ensembles is not None:

@@ -64,17 +64,25 @@ from __future__ import annotations
 
 import hashlib
 import itertools
+import logging
 import multiprocessing
 import os
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.api.backend import typed_ensemble, typed_predict
 from repro.api.errors import WorkerDied
+from repro.obs import (
+    LogfmtFormatter,
+    MetricFamily,
+    MetricsRegistry,
+    log_event,
+    relabel,
+)
 from repro.runtime.intkernels import PRECISIONS
 from repro.api.types import (
     EnsembleRequest,
@@ -94,6 +102,8 @@ from repro.serve.shm import (
 )
 
 _SHUTDOWN = None
+
+_LOG = logging.getLogger("repro.serve.cluster")
 
 #: Distinguishes the shared-memory prefixes of clusters living in one
 #: parent process (tests routinely run several clusters per process).
@@ -128,6 +138,8 @@ def _worker_main(
     shm_threshold: Optional[int] = None,
     precision: str = "float64",
     shm_prefix: str = "",
+    worker_index: int = 0,
+    log_path: Optional[str] = None,
 ) -> None:
     """Serve requests from the pipe until the shutdown sentinel arrives.
 
@@ -139,13 +151,25 @@ def _worker_main(
     above ``shm_threshold`` arrive and leave as shared-memory descriptors
     (consumed destructively on receipt), named under ``shm_prefix`` so the
     parent can sweep anything this process leaves behind if it dies.
+
+    With ``log_path`` set, every ``repro.*`` logger in this process writes
+    logfmt lines there — each served request logs its trace id, model,
+    shard, and latency, so one grep over the worker files reconstructs a
+    request's cross-process path.
     """
+    if log_path is not None:
+        handler = logging.FileHandler(log_path, encoding="utf-8")
+        handler.setFormatter(LogfmtFormatter())
+        root = logging.getLogger("repro")
+        root.addHandler(handler)
+        root.setLevel(logging.INFO)
     registry = PlanRegistry(directory, capacity=capacity)
     service = InferenceService(registry, max_batch=max_batch,
                                max_wait_ms=max_wait_ms,
                                max_queue_depth=max_queue_depth,
                                max_concurrent_ensembles=max_concurrent_ensembles,
-                               precision=precision)
+                               precision=precision,
+                               shard=worker_index)
     send_lock = threading.Lock()
     segment_seq = itertools.count()
 
@@ -189,6 +213,10 @@ def _worker_main(
             return service.models()
         if kind == "stats":
             return service.stats_summary()
+        if kind == "metrics":
+            # Families are frozen tuples of str/float — they cross the
+            # pickle boundary as-is for the parent to merge and relabel.
+            return service.metrics_families()
         if kind == "ping":
             return "pong"
         raise ValueError(f"unknown request kind {kind!r}")
@@ -231,10 +259,17 @@ class _WorkerClient:
                  max_concurrent_ensembles: Optional[int] = None,
                  shm_threshold: Optional[int] = None,
                  precision: str = "float64",
-                 shm_base: str = "", incarnation: int = 0) -> None:
+                 shm_base: str = "", incarnation: int = 0,
+                 log_dir: Optional[str] = None) -> None:
         self.index = index
         self.incarnation = incarnation
         self.shm_threshold = shm_threshold
+        # One log file per shard, shared by every incarnation (append
+        # mode), so restarts do not fragment a shard's request trace.
+        log_path = (
+            os.path.join(log_dir, f"worker-{index}.log")
+            if log_dir is not None else None
+        )
         # Segment names are per-(worker, incarnation): "...p..." segments
         # are created by the parent for this worker, "...w..." segments by
         # the worker itself.  Both prefixes are swept when the process dies
@@ -248,7 +283,8 @@ class _WorkerClient:
             target=_worker_main,
             args=(child_conn, directory, capacity, max_batch, max_wait_ms,
                   handler_threads, max_queue_depth, max_concurrent_ensembles,
-                  shm_threshold, precision, self._worker_prefix),
+                  shm_threshold, precision, self._worker_prefix,
+                  index, log_path),
             name=f"plan-worker-{index}",
             daemon=True,
         )
@@ -457,6 +493,7 @@ class PlanCluster:
         restart_backoff: float = 0.05,
         max_restart_backoff: float = 2.0,
         stability_window: float = 2.0,
+        log_dir: Optional[str] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be at least 1")
@@ -485,6 +522,10 @@ class PlanCluster:
         # cleanup_prefix for cluster 1 can never match cluster 11's
         # segments in the same process.
         self._shm_base = f"rps{os.getpid():x}c{next(_CLUSTER_IDS)}_"
+        # Per-shard structured log files (worker-N.log, logfmt) when set.
+        self._log_dir = str(log_dir) if log_dir is not None else None
+        if self._log_dir is not None:
+            os.makedirs(self._log_dir, exist_ok=True)
         # Kept so worker restarts can spawn identically configured
         # replacements for a dead shard.
         self._worker_config = (str(self.catalogue.directory), capacity,
@@ -508,6 +549,11 @@ class PlanCluster:
         self._last_restart: List[Optional[float]] = [None] * num_workers
         self._incarnations = [0] * num_workers
         self._sup_stop = threading.Event()
+        # Parent-side registry: worker liveness, breaker/restart state, and
+        # shm transport ledgers, all exported live via callbacks (the same
+        # state stats_summary() reports).
+        self.metrics = MetricsRegistry()
+        self._build_instruments()
         self._supervisor: Optional[threading.Thread] = None
         if self.auto_restart:
             self._supervisor = threading.Thread(
@@ -520,7 +566,168 @@ class PlanCluster:
         return _WorkerClient(
             self._context, index, *self._worker_config,
             shm_base=self._shm_base, incarnation=incarnation,
+            log_dir=self._log_dir,
         )
+
+    # ------------------------------------------------------------------ #
+    # Observability (parent side)
+    # ------------------------------------------------------------------ #
+    def _build_instruments(self) -> None:
+        metrics = self.metrics
+        metrics.register_callback(
+            "repro_cluster_worker_up", "gauge",
+            "1 while the shard's worker process is alive, else 0.",
+            lambda: [
+                ({"worker": str(worker.index)}, 0.0 if worker.dead else 1.0)
+                for worker in list(self._workers)
+            ],
+        )
+        metrics.register_callback(
+            "repro_cluster_breaker_open", "gauge",
+            "1 while the shard's circuit breaker is open.",
+            self._collect_breakers,
+        )
+        metrics.register_callback(
+            "repro_cluster_worker_restarts_total", "counter",
+            "Times each shard's worker has been replaced.",
+            self._collect_restarts,
+        )
+        metrics.register_callback(
+            "repro_cluster_worker_consecutive_crashes", "gauge",
+            "Current crash streak per shard (resets after stability_window).",
+            self._collect_crash_streaks,
+        )
+        metrics.register_callback(
+            "repro_cluster_shm_segments_total", "counter",
+            "Shared-memory segments by lifecycle event (created/consumed/"
+            "cleaned), per shard, parent side.",
+            lambda: self._collect_shm("segments"),
+        )
+        metrics.register_callback(
+            "repro_cluster_shm_bytes_total", "counter",
+            "Bytes moved through shared memory per shard and direction, "
+            "parent side.",
+            lambda: self._collect_shm("bytes"),
+        )
+        metrics.register_callback(
+            "repro_cluster_shm_active_segments", "gauge",
+            "Parent-created segments currently in flight per shard.",
+            lambda: [
+                ({"worker": str(worker.index)}, float(worker.active_segments()))
+                for worker in list(self._workers)
+            ],
+        )
+
+    def _collect_breakers(self) -> Sequence[Tuple[Mapping[str, str], float]]:
+        with self._sup_lock:
+            flags = list(self._breaker)
+        return [({"worker": str(i)}, 1.0 if flag else 0.0)
+                for i, flag in enumerate(flags)]
+
+    def _collect_restarts(self) -> Sequence[Tuple[Mapping[str, str], float]]:
+        with self._sup_lock:
+            counts = list(self._restarts)
+        return [({"worker": str(i)}, float(count))
+                for i, count in enumerate(counts)]
+
+    def _collect_crash_streaks(
+        self,
+    ) -> Sequence[Tuple[Mapping[str, str], float]]:
+        with self._sup_lock:
+            streaks = list(self._consecutive)
+        return [({"worker": str(i)}, float(streak))
+                for i, streak in enumerate(streaks)]
+
+    def _collect_shm(self, which: str):
+        samples = []
+        for worker in list(self._workers):
+            snapshot = worker.transport.snapshot()
+            label = str(worker.index)
+            if which == "segments":
+                for event in ("created", "consumed", "cleaned"):
+                    samples.append((
+                        {"worker": label, "event": event},
+                        float(snapshot.get(f"segments_{event}", 0)),
+                    ))
+            else:
+                for direction in ("sent", "received"):
+                    samples.append((
+                        {"worker": label, "direction": direction},
+                        float(snapshot.get(f"bytes_{direction}", 0)),
+                    ))
+        return samples
+
+    def metrics_families(self, timeout: Optional[float] = 5.0) -> List[MetricFamily]:
+        """Parent instruments plus every live worker's families.
+
+        Worker families are fetched over the pipe (each worker snapshots
+        its own registry) and tagged ``worker="N"``; dead or unresponsive
+        workers are skipped rather than failing the scrape — the parent's
+        ``repro_cluster_worker_up`` gauge reports them.
+        """
+        families = self.metrics.collect()
+        futures: List[Tuple[int, Future]] = []
+        for worker in list(self._workers):
+            if worker.dead:
+                continue
+            try:
+                futures.append((worker.index, worker.submit("metrics", None)))
+            except (WorkerDied, RuntimeError):
+                continue
+        for index, future in futures:
+            try:
+                worker_families = future.result(timeout=timeout)
+            except Exception:  # noqa: BLE001 - a scrape must never fail
+                continue
+            families.extend(relabel(worker_families, "worker", str(index)))
+        return families
+
+    def health_summary(self) -> Tuple[str, Dict[str, Dict[str, object]]]:
+        """(status, per-shard detail) for the health endpoint.
+
+        ``"degraded"`` as soon as any worker is dead or its breaker is
+        open — the signal a load balancer acts on — else ``"ok"``.
+        """
+        detail: Dict[str, Dict[str, object]] = {}
+        degraded = False
+        with self._sup_lock:
+            breakers = list(self._breaker)
+            restarts = list(self._restarts)
+        for worker in list(self._workers):
+            index = worker.index
+            alive = not worker.dead
+            breaker_open = breakers[index] if index < len(breakers) else False
+            if not alive or breaker_open:
+                degraded = True
+            detail[f"worker-{index}"] = {
+                "alive": alive,
+                "breaker_open": breaker_open,
+                "restarts": restarts[index] if index < len(restarts) else 0,
+            }
+        return ("degraded" if degraded else "ok"), detail
+
+    def describe_workers(self) -> List[Dict[str, object]]:
+        """JSON-ready per-shard process detail (the ``/admin/workers`` body)."""
+        with self._sup_lock:
+            breakers = list(self._breaker)
+            restarts = list(self._restarts)
+            streaks = list(self._consecutive)
+        described: List[Dict[str, object]] = []
+        for worker in list(self._workers):
+            index = worker.index
+            described.append({
+                "index": index,
+                "alive": not worker.dead,
+                "pid": worker.process.pid,
+                "incarnation": worker.incarnation,
+                "restarts": restarts[index] if index < len(restarts) else 0,
+                "consecutive_crashes":
+                    streaks[index] if index < len(streaks) else 0,
+                "breaker_open":
+                    breakers[index] if index < len(breakers) else False,
+                "active_segments": worker.active_segments(),
+            })
+        return described
 
     # ------------------------------------------------------------------ #
     # Routing
@@ -608,6 +815,8 @@ class PlanCluster:
                 # of burning CPU respawning a shard that cannot stay up.
                 self._breaker[index] = True
                 self._restart_due[index] = None
+                log_event(_LOG, "breaker_open", level=logging.WARNING,
+                          worker=index, crashes=self._consecutive[index])
                 return
             due = self._restart_due[index]
             if due is None:
@@ -644,6 +853,8 @@ class PlanCluster:
                 self._restarts[index] += 1
                 self._last_restart[index] = time.monotonic()
             self._workers[index] = replacement
+            log_event(_LOG, "worker_respawned", worker=index,
+                      incarnation=incarnation, pid=replacement.process.pid)
 
     def restart_worker(self, index: int) -> None:
         """Replace one worker process, re-admitting its shard.
@@ -679,6 +890,9 @@ class PlanCluster:
                 self._last_restart[index] = time.monotonic()
                 incarnation = self._incarnations[index]
             self._workers[index] = self._spawn_worker(index, incarnation)
+            log_event(_LOG, "worker_restarted", worker=index,
+                      incarnation=incarnation,
+                      pid=self._workers[index].process.pid)
 
     # ------------------------------------------------------------------ #
     # Requests
@@ -690,11 +904,16 @@ class PlanCluster:
         model: str,
         mapping: str,
         bits: Optional[int] = None,
+        request_id: Optional[str] = None,
     ) -> Future:
-        """Submit a deterministic request to its shard; resolves to logits."""
+        """Submit a deterministic request to its shard; resolves to logits.
+
+        ``request_id`` crosses the pipe inside the payload, so the worker's
+        service logs the same trace id the caller holds.
+        """
         worker = self._route(model, bits, mapping)
         payload = {"images": np.asarray(images), "model": model, "bits": bits,
-                   "mapping": mapping}
+                   "mapping": mapping, "request_id": request_id}
         return worker.submit("predict", payload)
 
     def predict(
@@ -705,10 +924,12 @@ class PlanCluster:
         mapping: str,
         bits: Optional[int] = None,
         timeout: Optional[float] = 60.0,
+        request_id: Optional[str] = None,
     ) -> np.ndarray:
         """Deterministic logits from the worker that owns this model."""
         return self.predict_async(
-            images, model=model, bits=bits, mapping=mapping
+            images, model=model, bits=bits, mapping=mapping,
+            request_id=request_id,
         ).result(timeout=timeout)
 
     def predict_under_variation(
@@ -722,6 +943,7 @@ class PlanCluster:
         num_samples: int = 25,
         seed: int = 0,
         timeout: Optional[float] = 120.0,
+        request_id: Optional[str] = None,
     ) -> VariationPrediction:
         """Seeded Monte-Carlo ensemble request, served by the model's shard."""
         worker = self._route(model, bits, mapping)
@@ -729,6 +951,7 @@ class PlanCluster:
             "images": np.asarray(images), "model": model, "bits": bits,
             "mapping": mapping, "sigma_fraction": sigma_fraction,
             "num_samples": num_samples, "seed": seed,
+            "request_id": request_id,
         }
         return worker.submit("ensemble", payload).result(timeout=timeout)
 

@@ -21,7 +21,22 @@ from other processes and languages.  The wire protocol:
 ``GET /v1/stats``
     Per-model micro-batching statistics.
 ``GET /healthz``
-    Liveness probe.
+    Liveness probe: ``"ok"``, ``"degraded"`` (a cluster shard is dead or
+    its breaker is open; 503 with per-shard detail), or ``"draining"``.
+``GET /metrics``
+    Prometheus text exposition (no auth, like ``/healthz``): the server's
+    edge instruments merged with the backend's — per-worker families
+    tagged ``worker="N"`` for a cluster backend.
+``GET /admin/workers`` / ``POST /admin/restart_worker`` / ``POST /admin/drain``
+    The operator surface (bearer auth required): per-shard process detail,
+    rolling restart of one worker (body ``{"worker": N}``; also the
+    breaker re-admission path), and pausing/resuming new prediction work
+    (optional body ``{"drain": false}`` resumes).
+
+Every response echoes an ``X-Request-Id`` header — the client's, when it
+sent a valid one, else server-assigned — and the same id is threaded into
+the typed request the backend serves, so worker-side structured logs line
+up with the HTTP exchange.
 
 Malformed requests are mapped to proper 4xx responses (400 bad payloads,
 404 unknown models/paths, 405 wrong method, 413 oversized body) with a JSON
@@ -49,8 +64,12 @@ from __future__ import annotations
 
 import hmac
 import json
+import logging
 import math
+import ssl
 import threading
+import time
+from dataclasses import replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
@@ -62,6 +81,19 @@ from repro.api.codec import (
     encode_predict_result,
 )
 from repro.api.errors import ApiAuthError, ApiBackpressure, map_exception
+from repro.obs import (
+    REQUEST_ID_HEADER,
+    MetricsRegistry,
+    log_event,
+    new_request_id,
+    render,
+    valid_request_id,
+)
+
+_LOG = logging.getLogger("repro.serve.http")
+
+#: Content type of the Prometheus text exposition format.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: Hard cap on request body size; a request over this answers 413 before
 #: any bytes are read.
@@ -74,6 +106,7 @@ _PROTOCOL_CODES = {
     404: "not_found",
     405: "method_not_allowed",
     413: "payload_too_large",
+    503: "unavailable",
 }
 
 
@@ -126,19 +159,33 @@ class _Handler(BaseHTTPRequestHandler):
         if self.server.verbose:  # pragma: no cover - disabled in tests
             super().log_message(format, *args)
 
-    def _send_json(
-        self, status: int, body: dict, headers: Optional[Dict[str, str]] = None
+    def _send_payload(
+        self,
+        status: int,
+        payload: bytes,
+        content_type: str,
+        headers: Optional[Dict[str, str]] = None,
     ) -> None:
-        payload = json.dumps(body, allow_nan=False).encode("utf-8")
+        self._last_status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
+        request_id = getattr(self, "_request_id", None)
+        if request_id is not None:
+            # Every response — success or error — echoes the trace id.
+            self.send_header(REQUEST_ID_HEADER, request_id)
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         if self.close_connection:
             self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(payload)
+
+    def _send_json(
+        self, status: int, body: dict, headers: Optional[Dict[str, str]] = None
+    ) -> None:
+        payload = json.dumps(body, allow_nan=False).encode("utf-8")
+        self._send_payload(status, payload, "application/json", headers)
 
     def _send_error_json(self, status: int, error: BaseException) -> None:
         # Several error paths (unknown route, 405, 413, bad Content-Length)
@@ -177,6 +224,13 @@ class _Handler(BaseHTTPRequestHandler):
             raise RequestError(400, "request body must be a JSON object")
         return body
 
+    def _read_optional_body(self) -> dict:
+        """Like :meth:`_read_request_body`, but a body-less POST is ``{}``
+        (the admin routes take their arguments as optional)."""
+        if self.headers.get("Content-Length") is None:
+            return {}
+        return self._read_request_body()
+
     def _check_auth(self) -> None:
         """Enforce the optional shared bearer token (constant-time compare)."""
         token = self.server.auth_token
@@ -207,17 +261,30 @@ class _Handler(BaseHTTPRequestHandler):
     def _dispatch(self, method: str) -> None:
         routes = {
             ("GET", "/healthz"): self._handle_health,
+            ("GET", "/metrics"): self._handle_metrics,
             ("GET", "/v1/models"): self._handle_models,
             ("GET", "/v1/stats"): self._handle_stats,
             ("POST", "/v1/predict"): self._handle_predict,
             ("POST", "/v1/predict_under_variation"): self._handle_ensemble,
+            ("GET", "/admin/workers"): self._handle_admin_workers,
+            ("POST", "/admin/restart_worker"): self._handle_admin_restart,
+            ("POST", "/admin/drain"): self._handle_admin_drain,
         }
         path = self.path.split("?", 1)[0]
+        # The trace id of this exchange: the client's (echoed) when it sent
+        # a valid X-Request-Id, otherwise server-assigned here.
+        supplied = self.headers.get(REQUEST_ID_HEADER)
+        self._request_id = (
+            supplied if valid_request_id(supplied) else new_request_id()
+        )
+        self._last_status = 0
+        started = time.monotonic()
         self.server.request_started()
         try:
-            # The liveness probe stays open so orchestrators can health-check
-            # without holding the secret; everything else requires the token.
-            if path != "/healthz":
+            # The liveness probe and metrics scrape stay open so
+            # orchestrators and scrapers can poll without holding the
+            # secret; everything else requires the token.
+            if path not in ("/healthz", "/metrics"):
                 self._check_auth()
             handler = routes.get((method, path))
             if handler is None:
@@ -233,12 +300,77 @@ class _Handler(BaseHTTPRequestHandler):
                 pass
         finally:
             self.server.request_finished()
+            elapsed = time.monotonic() - started
+            # Unknown paths collapse onto one label value so a scanner
+            # cannot grow the metric cardinality without bound.
+            known_paths = {route_path for _, route_path in routes}
+            route = path if path in known_paths else "unknown"
+            self.server.observe_request(route, method, self._last_status,
+                                        elapsed)
+            log_event(_LOG, "http_request", request_id=self._request_id,
+                      route=route, method=method, status=self._last_status,
+                      latency_ms=elapsed * 1000.0)
 
     def _handle_health(self) -> None:
-        self._send_json(200, {
-            "status": "ok",
-            "models": len(self.server.backend.models()),
-        })
+        models = len(self.server.backend.models())
+        status = "ok"
+        detail = None
+        if self.server.draining:
+            status = "draining"
+        else:
+            summarize = getattr(self.server.backend, "health_summary", None)
+            if callable(summarize):
+                status, detail = summarize()
+        if status == "ok":
+            self._send_json(200, {"status": "ok", "models": models})
+            return
+        body: dict = {"status": status, "models": models}
+        if detail is not None:
+            body["workers"] = detail
+        # 503 so load balancers eject the endpoint on their health probe
+        # alone; the body still carries the per-shard specifics.
+        self._send_json(503, body)
+
+    def _handle_metrics(self) -> None:
+        families = list(self.server.metrics.collect())
+        collect = getattr(self.server.backend, "metrics_families", None)
+        if callable(collect):
+            families.extend(collect())
+        payload = render(families).encode("utf-8")
+        self._send_payload(200, payload, METRICS_CONTENT_TYPE)
+
+    def _handle_admin_workers(self) -> None:
+        describe = getattr(self.server.backend, "describe_workers", None)
+        if not callable(describe):
+            raise RequestError(
+                404, "backend has no worker processes to describe"
+            )
+        self._send_json(200, {"workers": describe()})
+
+    def _handle_admin_restart(self) -> None:
+        restart = getattr(self.server.backend, "restart_worker", None)
+        if not callable(restart):
+            raise RequestError(
+                404, "backend has no worker processes to restart"
+            )
+        body = self._read_request_body()
+        worker = body.get("worker")
+        if isinstance(worker, bool) or not isinstance(worker, int):
+            raise RequestError(400, "body must carry an integer 'worker'")
+        restart(worker)
+        log_event(_LOG, "admin_restart_worker", request_id=self._request_id,
+                  worker=worker)
+        self._send_json(200, {"restarted": worker})
+
+    def _handle_admin_drain(self) -> None:
+        body = self._read_optional_body()
+        drain = body.get("drain", True)
+        if not isinstance(drain, bool):
+            raise RequestError(400, "'drain' must be a boolean")
+        self.server.draining = drain
+        log_event(_LOG, "admin_drain", request_id=self._request_id,
+                  draining=drain)
+        self._send_json(200, {"draining": drain})
 
     def _handle_models(self) -> None:
         self._send_json(200, {"models": self.server.backend.models()})
@@ -251,13 +383,23 @@ class _Handler(BaseHTTPRequestHandler):
     # result dataclass -> JSON body.  All validation lives in the codec
     # and the dataclasses themselves, so every transport applies it
     # identically.
+    def _reject_if_draining(self) -> None:
+        if self.server.draining:
+            raise RequestError(
+                503, "server is draining; no new prediction work is accepted"
+            )
+
     def _handle_predict(self) -> None:
+        self._reject_if_draining()
         request, encoding = decode_predict_request(self._read_request_body())
+        request = replace(request, request_id=self._request_id)
         result = self.server.backend.predict_request(request)
         self._send_json(200, encode_predict_result(result, encoding=encoding))
 
     def _handle_ensemble(self) -> None:
+        self._reject_if_draining()
         request, encoding = decode_ensemble_request(self._read_request_body())
+        request = replace(request, request_id=self._request_id)
         result = self.server.backend.ensemble_request(request)
         self._send_json(200, encode_ensemble_result(result, encoding=encoding))
 
@@ -277,9 +419,40 @@ class _PlanHTTPServer(ThreadingHTTPServer):
         self.backend = backend
         self.verbose = verbose
         self.auth_token = auth_token
+        # While True, prediction routes answer 503 and /healthz reports
+        # "draining"; flipped by POST /admin/drain (bool writes are atomic
+        # under the GIL, so no lock).
+        self.draining = False
+        # Edge-level instruments; /metrics merges these with the backend's.
+        self.metrics = MetricsRegistry()
+        self._m_requests = self.metrics.counter(
+            "repro_http_requests_total",
+            "HTTP exchanges by route, method, and status code.",
+            labels=("route", "method", "status"),
+        )
+        self._m_latency = self.metrics.histogram(
+            "repro_http_request_latency_seconds",
+            "HTTP exchange latency by route.",
+            labels=("route",),
+        )
+        self.metrics.register_callback(
+            "repro_http_inflight_requests", "gauge",
+            "Requests currently mid-handling.",
+            lambda: [({}, float(self._inflight))],
+        )
         self._inflight = 0
         self._inflight_cv = threading.Condition()
         super().__init__(address, _Handler)
+
+    def observe_request(
+        self, route: str, method: str, status: int, elapsed: float
+    ) -> None:
+        try:
+            self._m_requests.inc(route=route, method=method,
+                                 status=str(status))
+            self._m_latency.observe(elapsed, route=route)
+        except Exception:  # noqa: BLE001 - telemetry must never fail a request
+            pass
 
     def request_started(self) -> None:
         with self._inflight_cv:
@@ -306,9 +479,13 @@ class PlanServer:
     :meth:`start`).  With ``own_backend=True`` (default) closing the server
     also closes the backend, draining its in-flight micro-batches.
     ``auth_token`` turns on shared-token auth: every route except
-    ``/healthz`` requires ``Authorization: Bearer <token>`` and answers
-    401 otherwise (clients: ``HttpClient(url, token=...)`` or
-    ``repro.api.connect(url, token=...)``).
+    ``/healthz`` and ``/metrics`` requires ``Authorization: Bearer
+    <token>`` and answers 401 otherwise (clients: ``HttpClient(url,
+    token=...)`` or ``repro.api.connect(url, token=...)``).
+
+    ``tls_cert``/``tls_key`` (both or neither) terminate TLS on the
+    listening socket; :attr:`url` turns ``https://`` and clients verify
+    with ``HttpClient(url, cafile=...)``.
     """
 
     def __init__(
@@ -319,13 +496,36 @@ class PlanServer:
         own_backend: bool = True,
         verbose: bool = False,
         auth_token: Optional[str] = None,
+        tls_cert: Optional[str] = None,
+        tls_key: Optional[str] = None,
     ) -> None:
+        if (tls_cert is None) != (tls_key is None):
+            raise ValueError(
+                "tls_cert and tls_key must be provided together"
+            )
         self.backend = backend
         self.own_backend = own_backend
         self._httpd = _PlanHTTPServer((host, port), backend, verbose,
                                       auth_token=auth_token)
+        self.tls = tls_cert is not None
+        if tls_cert is not None and tls_key is not None:
+            context = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+            context.load_cert_chain(certfile=tls_cert, keyfile=tls_key)
+            self._httpd.socket = context.wrap_socket(
+                self._httpd.socket, server_side=True
+            )
         self._thread: Optional[threading.Thread] = None
         self._closed = False
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The server's edge-level metric registry (merged into /metrics)."""
+        return self._httpd.metrics
+
+    @property
+    def draining(self) -> bool:
+        """True while POST /admin/drain has paused new prediction work."""
+        return self._httpd.draining
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -336,7 +536,8 @@ class PlanServer:
     @property
     def url(self) -> str:
         host, port = self.address
-        return f"http://{host}:{port}"
+        scheme = "https" if self.tls else "http"
+        return f"{scheme}://{host}:{port}"
 
     def start(self) -> "PlanServer":
         """Begin serving on a background thread; returns ``self``."""

@@ -86,6 +86,7 @@ class MicroBatchScheduler:
         max_batch: int = 64,
         max_wait_ms: float = 5.0,
         name: str = "microbatch",
+        on_batch: Optional[Callable[[int, int, float], None]] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
@@ -95,6 +96,11 @@ class MicroBatchScheduler:
         self.max_batch = max_batch
         self.max_wait = max_wait_ms / 1000.0
         self.stats = SchedulerStats()
+        # Observability hook: called once per executed micro-batch with
+        # (num_requests, num_rows, coalesce_wait_seconds) from the worker
+        # thread.  Exceptions are swallowed — telemetry must never fail a
+        # batch.
+        self.on_batch = on_batch
         # SimpleQueue is C-implemented and roughly 4x cheaper per item than
         # queue.Queue; at ~50us per micro-batched request that is the
         # difference between amortising the batching win and eating it.
@@ -188,7 +194,7 @@ class MicroBatchScheduler:
             rows += item[0].shape[0]
         return batch, held, stop
 
-    def _execute(self, batch: list) -> None:
+    def _execute(self, batch: list, wait: float = 0.0) -> None:
         arrays = [array for array, _ in batch]
         futures = [future for _, future in batch]
         if len(arrays) > 1:
@@ -199,12 +205,17 @@ class MicroBatchScheduler:
                 # execution; degrade to per-request runs so the offending
                 # request fails alone instead of poisoning its batch-mates.
                 for item in batch:
-                    self._execute([item])
+                    self._execute([item], wait=wait)
                 return
         else:
             stacked = arrays[0]
         sizes = [array.shape[0] for array in arrays]
         self.stats.record(len(batch), sum(sizes))
+        if self.on_batch is not None:
+            try:
+                self.on_batch(len(batch), sum(sizes), wait)
+            except Exception:  # noqa: BLE001 - telemetry must never fail a batch
+                pass
         try:
             result = self._runner(stacked)
         except BaseException as error:  # noqa: BLE001 - forwarded to callers
@@ -225,8 +236,9 @@ class MicroBatchScheduler:
                 item = self._queue.get()
                 if item is _SHUTDOWN:
                     break
+            batch_started = time.monotonic()
             batch, held, stop = self._collect(item)
-            self._execute(batch)
+            self._execute(batch, wait=time.monotonic() - batch_started)
         if held is not None:
             self._execute([held])
         # Flush anything enqueued before the shutdown marker that _collect

@@ -38,10 +38,12 @@ is rejected the same typed way before any sampling happens.
 
 from __future__ import annotations
 
+import logging
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import Future
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -53,6 +55,7 @@ from repro.api.types import (
     PredictRequest,
     PredictResult,
 )
+from repro.obs import MetricFamily, MetricsRegistry, log_event
 from repro.runtime.montecarlo import (
     _prepare,
     run_plan_samples,
@@ -68,6 +71,12 @@ from repro.serve.scheduler import MicroBatchScheduler, SchedulerStats
 #: the identical type (it crosses the cluster's pickle boundary verbatim).
 VariationPrediction = EnsembleResult
 
+_LOG = logging.getLogger("repro.serve.service")
+
+#: Batch-size histogram bounds: powers of two up to the default max_batch
+#: ceiling, so the exported distribution reads as "how full were batches".
+_BATCH_ROW_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
 
 class InferenceService:
     """Multi-model serving façade over a :class:`PlanRegistry`."""
@@ -81,6 +90,8 @@ class InferenceService:
         max_queue_depth: Optional[int] = None,
         max_concurrent_ensembles: Optional[int] = None,
         precision: str = "float64",
+        metrics: Optional[MetricsRegistry] = None,
+        shard: Optional[int] = None,
     ) -> None:
         if max_queue_depth is not None and max_queue_depth < 0:
             raise ValueError("max_queue_depth must be non-negative or None")
@@ -111,7 +122,6 @@ class InferenceService:
         # executor (None disables).
         self.max_concurrent_ensembles = max_concurrent_ensembles
         self._ensembles_in_flight = 0
-        self.ensembles_rejected = 0
         self._schedulers: Dict[PlanKey, MicroBatchScheduler] = {}
         # Plans pinned per active scheduler: request handling must not pay a
         # registry LRU miss (a full .npz deserialisation) per request, and a
@@ -131,10 +141,148 @@ class InferenceService:
             OrderedDict()
         )
         self.ensemble_cache_size = ensemble_cache_size
-        self.ensemble_cache_hits = 0
-        self.ensemble_cache_misses = 0
         self._lock = threading.Lock()
         self._closed = False
+        # Shard index when this service runs inside a cluster worker
+        # (attached to every structured log line); None single-process.
+        self.shard = shard
+        # All ad-hoc counters live in a MetricsRegistry, so stats_summary()
+        # and Prometheus exposition read the same source of truth.  A shared
+        # registry may be injected (the HTTP layer merges it into one
+        # /metrics page); each registry holds at most one service's
+        # callbacks.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._build_instruments()
+
+    def _build_instruments(self) -> None:
+        metrics = self.metrics
+        self._m_latency = metrics.histogram(
+            "repro_request_latency_seconds",
+            "End-to-end request latency by model and lane.",
+            labels=("model", "lane"),
+        )
+        self._m_requests = metrics.counter(
+            "repro_requests_total",
+            "Requests served by model, lane, and outcome (ok/error).",
+            labels=("model", "lane", "outcome"),
+        )
+        self._m_batches = metrics.counter(
+            "repro_scheduler_batches_total",
+            "Micro-batches executed per model.",
+            labels=("model",),
+        )
+        self._m_batch_rows = metrics.histogram(
+            "repro_scheduler_batch_rows",
+            "Rows coalesced into each micro-batch.",
+            labels=("model",),
+            buckets=_BATCH_ROW_BUCKETS,
+        )
+        self._m_batch_wait = metrics.histogram(
+            "repro_scheduler_batch_wait_seconds",
+            "Coalescing wait from first request to batch execution.",
+            labels=("model",),
+        )
+        self._m_cache_hits = metrics.counter(
+            "repro_ensemble_cache_hits_total",
+            "Ensemble weight-stack cache hits.",
+        )
+        self._m_cache_misses = metrics.counter(
+            "repro_ensemble_cache_misses_total",
+            "Ensemble weight-stack cache misses (cold draws).",
+        )
+        self._m_ens_rejected = metrics.counter(
+            "repro_ensembles_rejected_total",
+            "Ensemble requests rejected by the concurrency cap.",
+        )
+        metrics.register_callback(
+            "repro_scheduler_queue_depth", "gauge",
+            "Requests waiting in each model's micro-batch queue.",
+            self._collect_queue_depths,
+        )
+        metrics.register_callback(
+            "repro_ensembles_in_flight", "gauge",
+            "Ensemble requests currently executing.",
+            lambda: [({}, float(self._ensembles_in_flight))],
+        )
+        metrics.register_callback(
+            "repro_ensemble_cache_entries", "gauge",
+            "Entries resident in the ensemble weight-stack cache.",
+            lambda: [({}, float(len(self._ensemble_cache)))],
+        )
+        metrics.register_callback(
+            "repro_precision_ops_total", "counter",
+            "Plan ops executed per model by kernel path (int/float).",
+            self._collect_precision_ops,
+        )
+        metrics.register_callback(
+            "repro_precision_batches_total", "counter",
+            "Executed batches per model by precision path "
+            "(int vs per-batch float fallback).",
+            self._collect_precision_batches,
+        )
+
+    # Collect-time callbacks: exported live, never double-counted.
+    def _collect_queue_depths(
+        self,
+    ) -> Sequence[Tuple[Mapping[str, str], float]]:
+        return [
+            ({"model": name}, float(depth))
+            for name, depth in sorted(self.queue_depths().items())
+        ]
+
+    def _pinned_precision_stats(self) -> List[Tuple[str, Dict[str, int]]]:
+        with self._lock:
+            pinned = [
+                (key.canonical(), plan) for key, plan in self._plans.items()
+            ]
+        return sorted((name, plan.precision_stats()) for name, plan in pinned)
+
+    def _collect_precision_ops(
+        self,
+    ) -> Sequence[Tuple[Mapping[str, str], float]]:
+        samples: List[Tuple[Mapping[str, str], float]] = []
+        for name, stats in self._pinned_precision_stats():
+            samples.append((
+                {"model": name, "path": "int"}, float(stats.get("int_ops", 0))
+            ))
+            samples.append((
+                {"model": name, "path": "float"},
+                float(stats.get("float_ops", 0)),
+            ))
+        return samples
+
+    def _collect_precision_batches(
+        self,
+    ) -> Sequence[Tuple[Mapping[str, str], float]]:
+        samples: List[Tuple[Mapping[str, str], float]] = []
+        for name, stats in self._pinned_precision_stats():
+            samples.append((
+                {"model": name, "path": "int"},
+                float(stats.get("int_batches", 0)),
+            ))
+            samples.append((
+                {"model": name, "path": "fallback"},
+                float(stats.get("fallback_batches", 0)),
+            ))
+        return samples
+
+    # Legacy counter attributes, now registry-backed (same names, same
+    # semantics — stats_summary() keeps its exact shape).
+    @property
+    def ensemble_cache_hits(self) -> int:
+        return int(self._m_cache_hits.value())
+
+    @property
+    def ensemble_cache_misses(self) -> int:
+        return int(self._m_cache_misses.value())
+
+    @property
+    def ensembles_rejected(self) -> int:
+        return int(self._m_ens_rejected.value())
+
+    def metrics_families(self) -> List[MetricFamily]:
+        """Snapshot this service's metric families (picklable)."""
+        return self.metrics.collect()
 
     # ------------------------------------------------------------------ #
     # Plumbing
@@ -171,11 +319,21 @@ class InferenceService:
                 raise RuntimeError("service is closed")
             scheduler = self._schedulers.get(key)
             if scheduler is None:
+                canonical = key.canonical()
+
+                def _on_batch(
+                    requests: int, rows: int, wait: float, _name: str = canonical
+                ) -> None:
+                    self._m_batches.inc(model=_name)
+                    self._m_batch_rows.observe(float(rows), model=_name)
+                    self._m_batch_wait.observe(wait, model=_name)
+
                 scheduler = MicroBatchScheduler(
                     plan.run,
                     max_batch=self.max_batch,
                     max_wait_ms=self.max_wait_ms,
-                    name=key.canonical(),
+                    name=canonical,
+                    on_batch=_on_batch,
                 )
                 self._schedulers[key] = scheduler
             return scheduler, plan
@@ -337,6 +495,29 @@ class InferenceService:
         future.add_done_callback(_unwrap)
         return unwrapped
 
+    def _observe(
+        self,
+        name: str,
+        lane: str,
+        started: float,
+        request_id: Optional[str],
+        error: Optional[BaseException] = None,
+    ) -> None:
+        """Record one request's latency/outcome and its structured log line."""
+        elapsed = time.monotonic() - started
+        outcome = "ok" if error is None else "error"
+        self._m_latency.observe(elapsed, model=name, lane=lane)
+        self._m_requests.inc(model=name, lane=lane, outcome=outcome)
+        log_event(
+            _LOG,
+            lane,
+            request_id=request_id,
+            model=name,
+            shard=self.shard,
+            latency_ms=elapsed * 1000.0,
+            status=outcome if error is None else type(error).__name__,
+        )
+
     def predict(
         self,
         images: np.ndarray,
@@ -345,11 +526,20 @@ class InferenceService:
         mapping: str,
         bits: Optional[int] = None,
         timeout: Optional[float] = 60.0,
+        request_id: Optional[str] = None,
     ) -> np.ndarray:
         """Deterministic logits, micro-batched with concurrent requests."""
-        return self.predict_async(
-            images, model=model, bits=bits, mapping=mapping
-        ).result(timeout=timeout)
+        name = PlanKey(model, bits, mapping).canonical()
+        started = time.monotonic()
+        try:
+            logits = self.predict_async(
+                images, model=model, bits=bits, mapping=mapping
+            ).result(timeout=timeout)
+        except BaseException as error:
+            self._observe(name, "predict", started, request_id, error)
+            raise
+        self._observe(name, "predict", started, request_id)
+        return logits
 
     # ------------------------------------------------------------------ #
     # Typed entry points (the repro.api backend contract)
@@ -382,7 +572,7 @@ class InferenceService:
             return
         with self._lock:
             if self._ensembles_in_flight >= self.max_concurrent_ensembles:
-                self.ensembles_rejected += 1
+                self._m_ens_rejected.inc()
                 raise ApiBackpressure(
                     f"{self._ensembles_in_flight} ensemble request(s) already "
                     f"in flight for this service, at or over the "
@@ -421,7 +611,7 @@ class InferenceService:
         with self._lock:
             cached = self._ensemble_cache.get(cache_key)
             if cached is not None:
-                self.ensemble_cache_hits += 1
+                self._m_cache_hits.inc()
                 self._ensemble_cache.move_to_end(cache_key)
                 return cached
         # Sample outside the lock: a cold draw is the expensive path and
@@ -432,7 +622,7 @@ class InferenceService:
         sampled = sample_crossbar_weights(plan, sigma_fraction, num_samples, rng=rng)
         exec_plan, sampled = _prepare(plan, sampled, dtype)
         with self._lock:
-            self.ensemble_cache_misses += 1
+            self._m_cache_misses.inc()
             self._ensemble_cache[cache_key] = (exec_plan, sampled)
             self._ensemble_cache.move_to_end(cache_key)
             while len(self._ensemble_cache) > self.ensemble_cache_size:
@@ -450,6 +640,7 @@ class InferenceService:
         num_samples: int = 25,
         seed: int = 0,
         dtype=np.float64,
+        request_id: Optional[str] = None,
     ) -> VariationPrediction:
         """Seeded Monte-Carlo ensemble prediction under device variation.
 
@@ -462,21 +653,28 @@ class InferenceService:
         if num_samples < 1:
             raise ValueError("num_samples must be at least 1")
         key = PlanKey(model, bits, mapping)
-        plan = self._pinned_plan(key)
-        array, single = self._normalize(plan, images)
-        # Backpressure gates the expensive part only: validation above
-        # fails a malformed request with its real typed error even when the
-        # lane is saturated.
-        self._acquire_ensemble_slot(key)
+        started = time.monotonic()
         try:
-            exec_plan, sampled = self._sampled_stacks(
-                key, plan, float(sigma_fraction), int(num_samples), int(seed),
-                dtype,
-            )
-            logits = run_plan_samples(exec_plan, array, sampled, num_samples,
-                                      dtype=dtype)
-        finally:
-            self._release_ensemble_slot()
+            plan = self._pinned_plan(key)
+            array, single = self._normalize(plan, images)
+            # Backpressure gates the expensive part only: validation above
+            # fails a malformed request with its real typed error even when
+            # the lane is saturated.
+            self._acquire_ensemble_slot(key)
+            try:
+                exec_plan, sampled = self._sampled_stacks(
+                    key, plan, float(sigma_fraction), int(num_samples),
+                    int(seed), dtype,
+                )
+                logits = run_plan_samples(exec_plan, array, sampled,
+                                          num_samples, dtype=dtype)
+            finally:
+                self._release_ensemble_slot()
+        except BaseException as error:
+            self._observe(key.canonical(), "ensemble", started, request_id,
+                          error)
+            raise
+        self._observe(key.canonical(), "ensemble", started, request_id)
         mean_logits = logits.mean(axis=0)
         votes = logits.argmax(axis=-1)  # (num_samples, batch)
         num_classes = logits.shape[-1]
@@ -499,4 +697,5 @@ class InferenceService:
             sigma_fraction=float(sigma_fraction),
             num_samples=int(num_samples),
             seed=int(seed),
+            request_id=request_id,
         )

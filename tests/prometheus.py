@@ -1,0 +1,295 @@
+"""A minimal Prometheus text-format (0.0.4) parser for the test suite.
+
+Deliberately strict where the real Prometheus scraper is strict — this is
+a *validator*, not a lenient reader.  :func:`parse` turns an exposition
+into ``{metric_name: Family}``; :func:`validate` additionally enforces
+the structural invariants a scrape must satisfy:
+
+* metric and label names match the Prometheus grammars;
+* every sample belongs to a declared family (for histograms, the
+  ``_bucket`` / ``_sum`` / ``_count`` suffix series);
+* no duplicate series (same sample name + label set twice);
+* per histogram series: ``le`` bucket counts are cumulative
+  (non-decreasing in ``le`` order), a terminal ``+Inf`` bucket exists and
+  equals the ``_count`` sample, and ``_sum`` / ``_count`` are present.
+
+:func:`assert_counters_monotonic` compares two scrapes taken from the
+same process and fails if any counter series went backwards.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+Labels = Tuple[Tuple[str, str], ...]
+
+
+@dataclass
+class ParsedSample:
+    name: str
+    labels: Dict[str, str]
+    value: float
+
+
+@dataclass
+class Family:
+    name: str
+    type: str = "untyped"
+    help: Optional[str] = None
+    samples: List[ParsedSample] = field(default_factory=list)
+
+
+class PrometheusFormatError(AssertionError):
+    """The exposition violates the text format or its invariants."""
+
+
+def _parse_value(text: str, line: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        raise PrometheusFormatError(f"bad sample value in line {line!r}")
+
+
+def _parse_labels(text: str, line: str) -> Dict[str, str]:
+    """Parse the ``name="value",...`` inside one ``{...}`` label block."""
+    labels: Dict[str, str] = {}
+    index = 0
+    while index < len(text):
+        match = re.match(r'([a-zA-Z_][a-zA-Z0-9_]*)="', text[index:])
+        if not match:
+            raise PrometheusFormatError(f"bad label block in line {line!r}")
+        name = match.group(1)
+        index += match.end()
+        value_chars: List[str] = []
+        while True:
+            if index >= len(text):
+                raise PrometheusFormatError(
+                    f"unterminated label value in line {line!r}"
+                )
+            char = text[index]
+            if char == "\\":
+                if index + 1 >= len(text):
+                    raise PrometheusFormatError(
+                        f"dangling escape in line {line!r}"
+                    )
+                escape = text[index + 1]
+                if escape == "n":
+                    value_chars.append("\n")
+                elif escape in ("\\", '"'):
+                    value_chars.append(escape)
+                else:
+                    raise PrometheusFormatError(
+                        f"unknown escape \\{escape} in line {line!r}"
+                    )
+                index += 2
+                continue
+            if char == '"':
+                index += 1
+                break
+            value_chars.append(char)
+            index += 1
+        if name in labels:
+            raise PrometheusFormatError(
+                f"duplicate label {name!r} in line {line!r}"
+            )
+        labels[name] = "".join(value_chars)
+        if index < len(text):
+            if text[index] != ",":
+                raise PrometheusFormatError(
+                    f"expected ',' between labels in line {line!r}"
+                )
+            index += 1
+    return labels
+
+
+def _base_name(sample_name: str, families: Dict[str, Family]) -> str:
+    """The family a sample line belongs to (histogram suffixes resolved)."""
+    if sample_name in families:
+        return sample_name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            candidate = sample_name[: -len(suffix)]
+            family = families.get(candidate)
+            if family is not None and family.type == "histogram":
+                return candidate
+    return sample_name
+
+
+def parse(text: str) -> Dict[str, Family]:
+    """Parse one exposition into ``{metric_name: Family}`` (order kept)."""
+    if text and not text.endswith("\n"):
+        raise PrometheusFormatError("exposition must end with a newline")
+    families: Dict[str, Family] = {}
+
+    def family_for(name: str) -> Family:
+        if not METRIC_NAME.match(name):
+            raise PrometheusFormatError(f"invalid metric name {name!r}")
+        return families.setdefault(name, Family(name))
+
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP "):].split(" ", 1)
+            family = family_for(parts[0])
+            if family.help is not None:
+                raise PrometheusFormatError(f"duplicate HELP for {parts[0]!r}")
+            family.help = parts[1] if len(parts) > 1 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE "):].split(" ")
+            if len(parts) != 2:
+                raise PrometheusFormatError(f"malformed TYPE line {line!r}")
+            name, family_type = parts
+            if family_type not in ("counter", "gauge", "histogram",
+                                   "summary", "untyped"):
+                raise PrometheusFormatError(
+                    f"unknown metric type {family_type!r}"
+                )
+            family = family_for(name)
+            if family.type != "untyped" or family.samples:
+                raise PrometheusFormatError(
+                    f"TYPE for {name!r} duplicated or after samples"
+                )
+            family.type = family_type
+            continue
+        if line.startswith("#"):
+            continue  # plain comment
+        match = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})? (\S+)$", line)
+        if not match:
+            raise PrometheusFormatError(f"unparseable sample line {line!r}")
+        sample_name, _, label_block, value_text = match.groups()
+        labels = _parse_labels(label_block, line) if label_block else {}
+        for label in labels:
+            if not LABEL_NAME.match(label):
+                raise PrometheusFormatError(f"invalid label name {label!r}")
+        base = _base_name(sample_name, families)
+        family_for(base).samples.append(
+            ParsedSample(sample_name, labels, _parse_value(value_text, line))
+        )
+    return families
+
+
+def _series_key(sample: ParsedSample) -> Tuple[str, Labels]:
+    return sample.name, tuple(sorted(sample.labels.items()))
+
+
+def _validate_histogram(family: Family) -> None:
+    by_series: Dict[Labels, List[Tuple[float, float]]] = {}
+    sums: Dict[Labels, float] = {}
+    counts: Dict[Labels, float] = {}
+    for sample in family.samples:
+        if sample.name == f"{family.name}_bucket":
+            if "le" not in sample.labels:
+                raise PrometheusFormatError(
+                    f"{family.name}: bucket sample without 'le'"
+                )
+            rest = tuple(sorted(
+                (k, v) for k, v in sample.labels.items() if k != "le"
+            ))
+            le = _parse_value(sample.labels["le"], repr(sample))
+            by_series.setdefault(rest, []).append((le, sample.value))
+        elif sample.name == f"{family.name}_sum":
+            sums[tuple(sorted(sample.labels.items()))] = sample.value
+        elif sample.name == f"{family.name}_count":
+            counts[tuple(sorted(sample.labels.items()))] = sample.value
+        else:
+            raise PrometheusFormatError(
+                f"{family.name}: unexpected histogram sample {sample.name!r}"
+            )
+    for series, buckets in by_series.items():
+        les = [le for le, _ in buckets]
+        if les != sorted(les):
+            raise PrometheusFormatError(
+                f"{family.name}{dict(series)}: 'le' bounds out of order"
+            )
+        values = [value for _, value in buckets]
+        if any(b < a for a, b in zip(values, values[1:])):
+            raise PrometheusFormatError(
+                f"{family.name}{dict(series)}: bucket counts not cumulative"
+            )
+        if not les or not math.isinf(les[-1]):
+            raise PrometheusFormatError(
+                f"{family.name}{dict(series)}: missing terminal +Inf bucket"
+            )
+        if series not in counts:
+            raise PrometheusFormatError(
+                f"{family.name}{dict(series)}: missing _count sample"
+            )
+        if series not in sums:
+            raise PrometheusFormatError(
+                f"{family.name}{dict(series)}: missing _sum sample"
+            )
+        if values[-1] != counts[series]:
+            raise PrometheusFormatError(
+                f"{family.name}{dict(series)}: +Inf bucket {values[-1]} "
+                f"!= _count {counts[series]}"
+            )
+
+
+def validate(text: str) -> Dict[str, Family]:
+    """Parse *and* enforce the structural invariants of a scrape."""
+    families = parse(text)
+    seen: set = set()
+    for family in families.values():
+        for sample in family.samples:
+            key = _series_key(sample)
+            if key in seen:
+                raise PrometheusFormatError(f"duplicate series {key!r}")
+            seen.add(key)
+        if family.type == "histogram":
+            _validate_histogram(family)
+        elif family.type == "counter":
+            for sample in family.samples:
+                if sample.name != family.name:
+                    raise PrometheusFormatError(
+                        f"counter {family.name!r} has stray sample "
+                        f"{sample.name!r}"
+                    )
+                if sample.value < 0:
+                    raise PrometheusFormatError(
+                        f"counter {family.name!r} is negative"
+                    )
+    return families
+
+
+def counter_values(
+    families: Dict[str, Family], name: str
+) -> Dict[Labels, float]:
+    """Every series of one counter family as ``{sorted_labels: value}``."""
+    family = families.get(name)
+    if family is None:
+        return {}
+    return {
+        tuple(sorted(sample.labels.items())): sample.value
+        for sample in family.samples
+    }
+
+
+def assert_counters_monotonic(
+    before: Dict[str, Family], after: Dict[str, Family]
+) -> None:
+    """No counter series present in both scrapes may go backwards."""
+    for name, family in before.items():
+        if family.type != "counter":
+            continue
+        earlier = counter_values(before, name)
+        later = counter_values(after, name)
+        for series, value in earlier.items():
+            if series in later and later[series] < value:
+                raise PrometheusFormatError(
+                    f"counter {name}{dict(series)} went backwards: "
+                    f"{value} -> {later[series]}"
+                )

@@ -1,0 +1,351 @@
+"""Unit tests for the observability toolkit (``repro.obs``).
+
+Covers the metric instruments and Prometheus exposition, the logfmt
+structured-logging helpers, and the request-id grammar — plus a
+self-check that the exposition our registry renders survives the strict
+parser the end-to-end tests scrape ``/metrics`` with.
+"""
+
+from __future__ import annotations
+
+import io
+import logging
+import math
+import pickle
+
+import pytest
+
+import prometheus
+from repro.obs import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS,
+    LogfmtFormatter,
+    MetricFamily,
+    MetricsRegistry,
+    Sample,
+    ensure_request_id,
+    log_event,
+    logfmt,
+    new_request_id,
+    relabel,
+    render,
+    valid_request_id,
+)
+from repro.obs.metrics import format_value
+
+
+# ---------------------------------------------------------------------- #
+# Instruments
+# ---------------------------------------------------------------------- #
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = MetricsRegistry().counter("c_total", "help")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("c_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_labeled_series_are_independent(self):
+        counter = MetricsRegistry().counter("req_total", labels=("lane",))
+        counter.inc(lane="batch")
+        counter.inc(3, lane="ensemble")
+        assert counter.value(lane="batch") == 1
+        assert counter.value(lane="ensemble") == 3
+
+    def test_wrong_label_set_rejected(self):
+        counter = MetricsRegistry().counter("req_total", labels=("lane",))
+        with pytest.raises(ValueError):
+            counter.inc(model="mlp")
+        with pytest.raises(ValueError):
+            counter.inc()
+
+    def test_unlabeled_counter_collects_zero_sample(self):
+        family = MetricsRegistry().counter("c_total").collect()
+        assert family.samples == (Sample("c_total", (), 0.0),)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge.value() == 7
+
+
+class TestHistogram:
+    def test_collect_is_cumulative_with_terminal_inf(self):
+        histogram = MetricsRegistry().histogram(
+            "lat_seconds", buckets=(0.1, 1.0)
+        )
+        for value in (0.05, 0.5, 0.7, 5.0):
+            histogram.observe(value)
+        samples = {
+            (s.name, s.labels): s.value for s in histogram.collect().samples
+        }
+        assert samples[("lat_seconds_bucket", (("le", "0.1"),))] == 1
+        assert samples[("lat_seconds_bucket", (("le", "1"),))] == 3
+        assert samples[("lat_seconds_bucket", (("le", "+Inf"),))] == 4
+        assert samples[("lat_seconds_count", ())] == 4
+        assert samples[("lat_seconds_sum", ())] == pytest.approx(6.25)
+
+    def test_default_buckets_span_latency_range(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] <= 0.001
+        assert DEFAULT_LATENCY_BUCKETS[-1] >= 10.0
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+    def test_trailing_inf_bucket_is_stripped(self):
+        histogram = MetricsRegistry().histogram(
+            "h_seconds", buckets=(1.0, math.inf)
+        )
+        assert histogram.buckets == (1.0,)
+
+    def test_le_label_reserved_and_bad_buckets_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("h1", labels=("le",))
+        with pytest.raises(ValueError):
+            registry.histogram("h2", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            registry.histogram("h3", buckets=())
+
+
+# ---------------------------------------------------------------------- #
+# Registry semantics
+# ---------------------------------------------------------------------- #
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", "help", labels=("a",))
+        second = registry.counter("c_total", labels=("a",))
+        assert first is second
+
+    def test_conflicting_redefinition_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("m_total")
+        with pytest.raises(ValueError):
+            registry.gauge("m_total")
+        with pytest.raises(ValueError):
+            registry.counter("m_total", labels=("x",))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("0bad")
+        with pytest.raises(ValueError):
+            registry.counter("ok_total", labels=("0bad",))
+        with pytest.raises(ValueError):
+            registry.counter("ok_total", labels=("__reserved",))
+
+    def test_callback_collects_live_values(self):
+        registry = MetricsRegistry()
+        registry.register_callback(
+            "depth", "gauge", "live queue depth",
+            lambda: [({"lane": "batch"}, 7.0)],
+        )
+        (family,) = registry.collect()
+        assert family.type == "gauge"
+        assert family.samples == (Sample("depth", (("lane", "batch"),), 7.0),)
+
+    def test_failing_callback_collects_empty_not_raises(self):
+        registry = MetricsRegistry()
+        registry.register_callback(
+            "broken", "gauge", "", lambda: 1 / 0
+        )
+        (family,) = registry.collect()
+        assert family.samples == ()
+        assert "broken" in registry.expose()  # TYPE header still present
+
+    def test_callback_name_collisions_raise(self):
+        registry = MetricsRegistry()
+        registry.counter("taken")
+        with pytest.raises(ValueError):
+            registry.register_callback("taken", "gauge", "", lambda: [])
+        registry.register_callback("cb", "gauge", "", lambda: [])
+        with pytest.raises(ValueError):
+            registry.counter("cb")
+        with pytest.raises(ValueError):
+            registry.register_callback("cb2", "nonsense", "", lambda: [])
+
+    def test_families_are_picklable(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "help", labels=("x",)).inc(x="1")
+        families = registry.collect()
+        assert pickle.loads(pickle.dumps(families)) == families
+
+
+# ---------------------------------------------------------------------- #
+# Exposition
+# ---------------------------------------------------------------------- #
+class TestRender:
+    def test_format_value(self):
+        assert format_value(17.0) == "17"
+        assert format_value(0.5) == "0.5"
+        assert format_value(math.inf) == "+Inf"
+        assert format_value(-math.inf) == "-Inf"
+        assert format_value(math.nan) == "NaN"
+
+    def test_label_values_escaped(self):
+        family = MetricFamily(
+            "m", "gauge", "",
+            (Sample("m", (("k", 'a\\b"c\nd'),), 1.0),),
+        )
+        text = render([family])
+        assert 'k="a\\\\b\\"c\\nd"' in text
+        parsed = prometheus.validate(text)
+        assert parsed["m"].samples[0].labels["k"] == 'a\\b"c\nd'
+
+    def test_help_escaped_and_type_emitted(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "multi\nline \\ help").inc()
+        text = registry.expose()
+        assert "# HELP c_total multi\\nline \\\\ help" in text
+        assert "# TYPE c_total counter" in text
+        assert text.endswith("\n")
+
+    def test_same_name_families_merge_under_one_header(self):
+        worker0 = MetricsRegistry()
+        worker0.counter("c_total", "help", labels=("w",)).inc(w="0")
+        worker1 = MetricsRegistry()
+        worker1.counter("c_total", "help", labels=("w",)).inc(w="1")
+        text = render(worker0.collect() + worker1.collect())
+        assert text.count("# TYPE c_total counter") == 1
+        parsed = prometheus.validate(text)
+        assert len(parsed["c_total"].samples) == 2
+
+    def test_relabel_adds_and_replaces(self):
+        family = MetricFamily(
+            "m", "gauge", "",
+            (Sample("m", (("worker", "stale"), ("lane", "batch")), 1.0),),
+        )
+        (tagged,) = relabel([family], "worker", "3")
+        assert tagged.samples[0].labels == (("lane", "batch"), ("worker", "3"))
+        with pytest.raises(ValueError):
+            relabel([family], "0bad", "x")
+
+    def test_exposition_passes_the_strict_parser(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("req_total", "requests", labels=("lane",))
+        counter.inc(lane="batch")
+        counter.inc(2, lane="ensemble")
+        histogram = registry.histogram(
+            "lat_seconds", "latency", labels=("model",)
+        )
+        for value in (0.002, 0.3, 42.0):
+            histogram.observe(value, model="mlp")
+        registry.gauge("depth", "queue depth").set(3)
+        registry.register_callback(
+            "live", "gauge", "", lambda: [({"x": "1"}, 9.0)]
+        )
+        families = prometheus.validate(registry.expose())
+        assert families["req_total"].type == "counter"
+        assert families["lat_seconds"].type == "histogram"
+        inf_bucket = [
+            s for s in families["lat_seconds"].samples
+            if s.name == "lat_seconds_bucket" and s.labels["le"] == "+Inf"
+        ]
+        assert inf_bucket[0].value == 3
+
+
+# ---------------------------------------------------------------------- #
+# The validator itself must catch broken expositions
+# ---------------------------------------------------------------------- #
+class TestParserRejects:
+    @pytest.mark.parametrize("text", [
+        "m 1",                                          # no trailing newline
+        "0bad 1\n",                                     # bad metric name
+        'm{le="x" 1\n',                                 # unterminated labels
+        "# TYPE h histogram\nh_bucket{le=\"1\"} 2\n"
+        "h_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",  # non-cumulative
+        "# TYPE h histogram\nh_bucket{le=\"1\"} 1\n"
+        "h_sum 1\nh_count 1\n",                         # missing +Inf
+        "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\n"
+        "h_sum 1\nh_count 1\n",                         # +Inf != _count
+        "m 1\nm 2\n",                                   # duplicate series
+        "# TYPE c counter\nc -1\n",                     # negative counter
+    ])
+    def test_rejected(self, text):
+        with pytest.raises(prometheus.PrometheusFormatError):
+            prometheus.validate(text)
+
+    def test_counter_regression_detected(self):
+        before = prometheus.validate("# TYPE c counter\nc 5\n")
+        after = prometheus.validate("# TYPE c counter\nc 4\n")
+        with pytest.raises(prometheus.PrometheusFormatError):
+            prometheus.assert_counters_monotonic(before, after)
+        prometheus.assert_counters_monotonic(before, before)
+
+
+# ---------------------------------------------------------------------- #
+# logfmt
+# ---------------------------------------------------------------------- #
+class TestLogfmt:
+    def test_value_rendering(self):
+        line = logfmt({
+            "s": "bare", "q": "has space", "b": True, "n": None,
+            "f": 0.123456789, "eq": "a=b",
+        })
+        assert line == 's=bare q="has space" b=true n= f=0.123457 eq="a=b"'
+
+    def test_log_event_leads_with_event(self):
+        logger = logging.getLogger("test.obs.logfmt")
+        logger.setLevel(logging.INFO)
+        stream = io.StringIO()
+        handler = logging.StreamHandler(stream)
+        handler.setFormatter(LogfmtFormatter())
+        logger.addHandler(handler)
+        try:
+            log_event(logger, "predict", request_id="abc", latency_ms=1.5)
+        finally:
+            logger.removeHandler(handler)
+        line = stream.getvalue().strip()
+        assert "event=predict request_id=abc latency_ms=1.5" in line
+        assert line.startswith("ts=")
+        assert "level=info" in line
+        assert "logger=test.obs.logfmt" in line
+
+    def test_log_event_respects_level(self):
+        logger = logging.getLogger("test.obs.disabled")
+        logger.setLevel(logging.ERROR)
+        stream = io.StringIO()
+        handler = logging.StreamHandler(stream)
+        logger.addHandler(handler)
+        try:
+            log_event(logger, "suppressed", level=logging.DEBUG)
+        finally:
+            logger.removeHandler(handler)
+        assert stream.getvalue() == ""
+
+
+# ---------------------------------------------------------------------- #
+# Request ids
+# ---------------------------------------------------------------------- #
+class TestRequestIds:
+    def test_new_ids_are_valid_and_unique(self):
+        ids = {new_request_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(valid_request_id(i) for i in ids)
+
+    @pytest.mark.parametrize("good", [
+        "a", "A1", "req-123", "trace.0:span.1", "x" * 128,
+    ])
+    def test_grammar_accepts(self, good):
+        assert valid_request_id(good)
+
+    @pytest.mark.parametrize("bad", [
+        "", " lead", "has space", "-lead", ".lead", "x" * 129,
+        "new\nline", 'quote"', None, 17, b"bytes",
+    ])
+    def test_grammar_rejects(self, bad):
+        assert not valid_request_id(bad)
+
+    def test_ensure_passes_valid_and_replaces_invalid(self):
+        assert ensure_request_id("keep-me") == "keep-me"
+        minted = ensure_request_id(None)
+        assert valid_request_id(minted)
+        replaced = ensure_request_id("has space")
+        assert replaced != "has space" and valid_request_id(replaced)

@@ -66,7 +66,8 @@ class TestPublicAPI:
 
 class TestExamples:
     @pytest.mark.parametrize("script", ["quickstart.py", "low_precision_training.py",
-                                        "variation_resilience.py", "serving.py"])
+                                        "variation_resilience.py", "serving.py",
+                                        "metrics_smoke.py"])
     def test_example_scripts_compile(self, script):
         path = EXAMPLES_DIR / script
         assert path.exists(), f"example {script} is missing"
