@@ -187,22 +187,28 @@ class LocalClient(_BackendClient):
 
 
 class ClusterClient(_BackendClient):
-    """Sharded multi-process backend: one worker process per model shard.
+    """Replicated multi-process backend: each model on R ring workers.
 
-    ``connect("cluster:plans/?workers=4")`` spawns the cluster and returns
-    one of these with ``own_backend=True``.
+    ``connect("cluster:plans/?workers=4&replicas=2")`` spawns the cluster
+    and returns one of these with ``own_backend=True``.
 
-    Worker death is handled, not surfaced: every protocol request is
-    idempotent/deterministic (the same argument that makes
+    Worker death is handled, not surfaced — in two layers.  First the
+    cluster itself: every model has ``replicas`` owners on the
+    consistent-hash ring, so a request stranded by a dead (or
+    breaker-open) worker fails over to the next live replica *inside* the
+    backend, and with R >= 2 this client usually never sees the death at
+    all.  Then this client: every protocol request is idempotent/
+    deterministic (the same argument that makes
     :class:`~repro.api.http_client.HttpClient` retry lost responses), so a
-    request that failed with :class:`~repro.api.errors.WorkerDied` against
-    a *self-healing* cluster (``auto_restart=True``) is transparently
-    retried with exponential backoff while the supervisor respawns the
-    shard — up to ``worker_died_retries`` attempts.  ``WorkerDied``
-    surfaces only when retrying cannot help: the shard's circuit breaker
-    is open (``error.breaker_open``), the cluster does not auto-restart
+    request that still failed with :class:`~repro.api.errors.WorkerDied` —
+    every owner down at once — against a *self-healing* cluster
+    (``auto_restart=True``) is transparently retried with exponential
+    backoff while the supervisor respawns workers, up to
+    ``worker_died_retries`` attempts.  ``WorkerDied`` surfaces only when
+    retrying cannot help: every owner's circuit breaker is open
+    (``error.breaker_open``), the cluster does not auto-restart
     (``client.backend.restart_worker(i)`` re-admits manually), or the
-    retry budget is exhausted while the shard is still down.
+    retry budget is exhausted while the owners are still down.
     """
 
     def __init__(

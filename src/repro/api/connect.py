@@ -18,10 +18,13 @@ site:
     ``timeout``, ``retries``, ``retry_backoff``, ``encoding``; for
     ``https://``: ``cafile`` to pin a CA bundle, ``insecure=true`` to
     skip verification in test rigs).
-``cluster:plans/?workers=4``
-    Spawn a sharded :class:`~repro.serve.cluster.PlanCluster` over the
+``cluster:plans/?workers=4&replicas=2``
+    Spawn a replicated :class:`~repro.serve.cluster.PlanCluster` over the
     directory; returns a :class:`~repro.api.client.ClusterClient` that
-    owns it.  Self-healing and transport knobs ride along:
+    owns it.  ``replicas`` is the consistent-hash ring's replication
+    factor R (default 2, capped by ``workers``; ``replicas=1`` restores
+    single-owner sharding) and ``vnodes`` its virtual nodes per worker.
+    Self-healing and transport knobs ride along:
     ``auto_restart=true`` (supervised respawn of dead workers, with
     ``max_restarts`` / ``restart_backoff`` / ``stability_window``
     shaping the crash-loop circuit breaker), ``shm_threshold=BYTES``
@@ -83,6 +86,8 @@ _LOCAL_PARAMS: Dict[str, Callable[[str], Any]] = {
 }
 _CLUSTER_PARAMS: Dict[str, Callable[[str], Any]] = {
     "workers": int,
+    "replicas": int,
+    "vnodes": int,
     "capacity": int,
     "max_batch": int,
     "max_wait_ms": float,

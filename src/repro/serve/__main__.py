@@ -13,7 +13,8 @@ Examples::
     # Single-process serving of every plan in ./plans on port 8100:
     python -m repro.serve --plan-dir ./plans --port 8100
 
-    # Four serving workers behind the same endpoint (model-key sharding):
+    # Four serving workers behind the same endpoint (consistent-hash ring,
+    # every model served by two replicas):
     python -m repro.serve --plan-dir ./plans --port 8100 --workers 4
 
     # Edge-hardened: bearer-token auth + 429 backpressure past depth 64:
@@ -59,6 +60,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workers", type=int, default=0,
                         help="serving worker processes; 0 serves in-process "
                              "(default: 0)")
+    parser.add_argument("--replicas", type=int, default=2,
+                        help="consistent-hash ring replication factor: each "
+                             "model served by this many distinct workers, "
+                             "capped by --workers; 1 restores single-owner "
+                             "sharding (default: 2, cluster backend only)")
     parser.add_argument("--max-batch", type=int, default=64,
                         help="micro-batch row cap per scheduler (default: 64)")
     parser.add_argument("--max-wait-ms", type=float, default=2.0,
@@ -138,6 +144,7 @@ def build_backend(args: argparse.Namespace):
         options["precision"] = args.precision
     if args.workers >= 1:
         options["workers"] = args.workers
+        options["replicas"] = args.replicas
         if args.auto_restart:
             options["auto_restart"] = True
             options["max_restarts"] = args.max_restarts
@@ -168,8 +175,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     server.start()
     models = backend.models()
-    topology = (f"{args.workers} worker process(es)" if args.workers >= 1
-                else "in-process service")
+    topology = (
+        f"{args.workers} worker process(es), "
+        f"R={min(args.replicas, args.workers)} replication"
+        if args.workers >= 1 else "in-process service"
+    )
     if args.precision is not None:
         topology += f", {args.precision} execution"
     print(f"serving {len(models)} plan(s) at {server.url} ({topology})")

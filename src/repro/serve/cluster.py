@@ -6,15 +6,24 @@ builds its own registry over the shared directory and runs a full
 :class:`~repro.serve.service.InferenceService` (one micro-batching
 scheduler per model it serves); the parent keeps only the catalogue index
 plus one duplex pipe per worker.  Models are partitioned across workers by
-a *stable* hash of their canonical key (:func:`shard_index`), so:
+a consistent-hash ring with virtual nodes (:mod:`repro.serve.ring`): each
+key's ordered owner list is the first ``replicas`` distinct workers
+clockwise from its ring position, so:
 
-* every request for one model always lands on the same worker — its
-  micro-batching scheduler sees the full stream for that model and keeps
-  coalescing;
-* distinct models live in distinct processes, so they execute in true
-  parallel, each behind its own GIL;
-* the partition is a pure function of ``(key, num_workers)`` — any client
-  or router replica computes the same shard without coordination.
+* every model is served by R distinct workers (``replicas``, default 2,
+  capped by ``num_workers``) — one dead or breaker-open shard degrades a
+  model to R-1 replicas instead of taking it offline;
+* requests route to the least-loaded live replica (ties prefer ring
+  order, so an idle model sticks to its primary and its micro-batching
+  scheduler keeps coalescing), and a request stranded by a worker death
+  fails over to the next replica *immediately* instead of waiting for the
+  respawn;
+* the partition is a pure function of ``(key, num_workers, replicas)`` —
+  any client or router replica computes the same owner list without
+  coordination — and adding/removing a worker moves only ~1/N of keys, so
+  :meth:`PlanCluster.restart_worker` is a zero-downtime rolling restart;
+* with ``replicas=1`` the ring degrades to the pre-replication semantics
+  exactly: one owner per key, fail-fast on a dead shard.
 
 The parent/worker protocol is asynchronous: requests carry a correlation
 id down the pipe, a pool of handler threads inside the worker serves them
@@ -46,7 +55,12 @@ fail fast with :class:`~repro.api.errors.WorkerDied` carrying
 breaker is *closed*, every protocol request is idempotent/deterministic,
 so :class:`~repro.api.client.ClusterClient` transparently retries requests
 that failed with ``WorkerDied`` — the combination loses zero requests
-across a worker SIGKILL.
+across a worker SIGKILL.  Under replication (R >= 2) the ring absorbs the
+death *before* the client ever sees it: a breaker-open or dead owner is
+skipped in favour of a live replica (counted by
+``repro_ring_failover_total``), and ``WorkerDied`` reaches the caller only
+when every one of a key's R owners is unavailable — with
+``breaker_open=True`` only when *all* of them are breaker-open.
 
 Shutdown is graceful: :meth:`PlanCluster.close` sends each worker a
 shutdown sentinel; workers stop reading, finish every in-flight request,
@@ -62,7 +76,6 @@ entry points of the ``repro.api`` layer — so
 
 from __future__ import annotations
 
-import hashlib
 import itertools
 import logging
 import multiprocessing
@@ -91,6 +104,12 @@ from repro.api.types import (
     PredictResult,
 )
 from repro.serve.registry import PlanKey, PlanRegistry
+from repro.serve.ring import (
+    DEFAULT_REPLICAS,
+    DEFAULT_VNODES,
+    HashRing,
+    get_ring,
+)
 from repro.serve.service import InferenceService, VariationPrediction
 from repro.serve.shm import (
     DEFAULT_SHM_THRESHOLD,
@@ -111,16 +130,18 @@ _CLUSTER_IDS = itertools.count()
 
 
 def shard_index(key: PlanKey, num_workers: int) -> int:
-    """The worker that serves ``key``: a stable hash of the canonical name.
+    """The primary owner of ``key``: its first worker on the consistent-
+    hash ring (:mod:`repro.serve.ring`).
 
-    Uses SHA-256 rather than Python's ``hash`` so the partition is
-    deterministic across processes and interpreter runs (``hash(str)`` is
-    salted per process).
+    SHA-256-based point hashing keeps the partition deterministic across
+    processes and interpreter runs (``hash(str)`` is salted per process);
+    the ring keeps it *stable under resizing* — changing ``num_workers``
+    by one moves only ~1/N of keys, where the old modulo partition moved
+    nearly all of them.
     """
     if num_workers < 1:
         raise ValueError("num_workers must be at least 1")
-    digest = hashlib.sha256(key.canonical().encode("utf-8")).digest()
-    return int.from_bytes(digest[:8], "big") % num_workers
+    return get_ring(num_workers).primary(key.canonical())
 
 
 # ---------------------------------------------------------------------- #
@@ -209,6 +230,12 @@ def _worker_main(
                 # indexed the directory; re-scan once and retry.
                 registry.refresh()
                 return _run_request(kind, payload)
+        if kind == "refresh":
+            # Parent-broadcast re-scan (a plan was published after this
+            # worker indexed the directory): every replica picks up the
+            # new key, not just the one that happened to hit the KeyError.
+            registry.refresh()
+            return len(registry)
         if kind == "models":
             return service.models()
         if kind == "stats":
@@ -303,6 +330,11 @@ class _WorkerClient:
         # futures get the typed WorkerDied and the shard is excluded until
         # a restart replaces this handle.
         self.dead = False
+        # Set by the cluster just before a rolling restart drains this
+        # handle: the router prefers any other live replica, so with
+        # replicas >= 2 the restart is zero-downtime.  The handle still
+        # serves as a last resort (replicas=1 keeps today's semantics).
+        self.retiring = False
         self._receiver = threading.Thread(
             target=self._receive_loop, name=f"plan-worker-{index}-recv", daemon=True
         )
@@ -315,6 +347,11 @@ class _WorkerClient:
         """Parent-created segments still in flight (0 when drained)."""
         with self._lock:
             return sum(len(names) for _, names in self._pending.values())
+
+    def load(self) -> int:
+        """Requests currently in flight — the router's least-loaded signal."""
+        with self._lock:
+            return len(self._pending)
 
     def transport_stats(self) -> Dict[str, object]:
         """JSON-ready shared-memory transport counters (parent side)."""
@@ -460,6 +497,15 @@ class PlanCluster:
     ``spawn`` default gives workers a clean interpreter regardless of
     parent threads, at the cost of slower startup.
 
+    ``replicas`` is the replication factor R (capped by ``num_workers``):
+    each model's ordered owner list is the first R distinct workers
+    clockwise from its key's position on a consistent-hash ring with
+    ``vnodes`` virtual nodes per worker (:mod:`repro.serve.ring`).
+    Requests go to the least-loaded live owner, fail over to the next on a
+    worker death, and fail fast with ``breaker_open=True`` only when every
+    owner's circuit breaker is open.  ``replicas=1`` reproduces the
+    pre-ring single-shard semantics exactly.
+
     ``shm_threshold`` switches request/response arrays of at least that
     many bytes onto the shared-memory transport (``None`` or a negative
     value keeps everything on the pipe; ``0`` forces every array through
@@ -479,6 +525,8 @@ class PlanCluster:
         self,
         directory,
         num_workers: int = 2,
+        replicas: int = DEFAULT_REPLICAS,
+        vnodes: int = DEFAULT_VNODES,
         capacity: int = 4,
         max_batch: int = 64,
         max_wait_ms: float = 2.0,
@@ -497,6 +545,8 @@ class PlanCluster:
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be at least 1")
+        if replicas < 1:
+            raise ValueError("replicas must be at least 1")
         if handler_threads < 1:
             raise ValueError("handler_threads must be at least 1")
         if max_restarts < 1:
@@ -512,6 +562,10 @@ class PlanCluster:
         # catalogue index used for listings (capacity 1 keeps it tiny).
         self.catalogue = PlanRegistry(directory, capacity=1)
         self.num_workers = num_workers
+        self.replicas = replicas
+        #: R capped by the worker count — what the router actually uses.
+        self.effective_replicas = min(replicas, num_workers)
+        self._ring: HashRing = get_ring(num_workers, vnodes)
         self.auto_restart = bool(auto_restart)
         self.max_restarts = max_restarts
         self.restart_backoff = restart_backoff
@@ -574,6 +628,40 @@ class PlanCluster:
     # ------------------------------------------------------------------ #
     def _build_instruments(self) -> None:
         metrics = self.metrics
+        self._routed_total = metrics.counter(
+            "repro_ring_routed_total",
+            "Requests routed per worker and role (primary = the key's "
+            "first ring owner, replica = any later owner).",
+            labels=("worker", "role"),
+        )
+        self._failover_total = metrics.counter(
+            "repro_ring_failover_total",
+            "Requests routed past an unavailable owner to a live replica, "
+            "by skipped worker and reason.",
+            labels=("worker", "reason"),
+        )
+        self._refresh_broadcasts = metrics.counter(
+            "repro_cluster_registry_refreshes_total",
+            "Registry re-scan broadcasts to every live worker (a plan was "
+            "published after cluster start).",
+        )
+        metrics.register_callback(
+            "repro_ring_replicas", "gauge",
+            "Replication factor: configured R and effective R (capped by "
+            "the worker count).",
+            lambda: [({"kind": "configured"}, float(self.replicas)),
+                     ({"kind": "effective"}, float(self.effective_replicas))],
+        )
+        metrics.register_callback(
+            "repro_ring_vnodes", "gauge",
+            "Virtual nodes per worker on the consistent-hash ring.",
+            lambda: [({}, float(self._ring.vnodes))],
+        )
+        metrics.register_callback(
+            "repro_ring_model_replicas_live", "gauge",
+            "Live (alive, breaker closed) owners per served model key.",
+            self._collect_model_replicas,
+        )
         metrics.register_callback(
             "repro_cluster_worker_up", "gauge",
             "1 while the shard's worker process is alive, else 0.",
@@ -638,6 +726,20 @@ class PlanCluster:
         return [({"worker": str(i)}, float(streak))
                 for i, streak in enumerate(streaks)]
 
+    def _collect_model_replicas(
+        self,
+    ) -> Sequence[Tuple[Mapping[str, str], float]]:
+        workers, breakers, _, _ = self._snapshot_state()
+        available = [not worker.dead and not breakers[worker.index]
+                     for worker in workers]
+        samples = []
+        for key in self.catalogue.keys():
+            owners = self._ring.owners(key.canonical(),
+                                       self.effective_replicas)
+            live = sum(1 for index in owners if available[index])
+            samples.append(({"model": key.canonical()}, float(live)))
+        return samples
+
     def _collect_shm(self, which: str):
         samples = []
         for worker in list(self._workers):
@@ -682,21 +784,41 @@ class PlanCluster:
             families.extend(relabel(worker_families, "worker", str(index)))
         return families
 
+    def _snapshot_state(
+        self,
+    ) -> Tuple[List[_WorkerClient], List[bool], List[int], List[int]]:
+        """One consistent (workers, breakers, restarts, streaks) snapshot.
+
+        Handle swaps during a restart happen under the same lock, so no
+        reader can observe a respawn half-applied — a worker is never
+        counted dead under the old handle while its restart is already in
+        the counters (or vice versa).
+        """
+        with self._sup_lock:
+            return (list(self._workers), list(self._breaker),
+                    list(self._restarts), list(self._consecutive))
+
     def health_summary(self) -> Tuple[str, Dict[str, Dict[str, object]]]:
-        """(status, per-shard detail) for the health endpoint.
+        """(status, detail) for the health endpoint.
 
         ``"degraded"`` as soon as any worker is dead or its breaker is
-        open — the signal a load balancer acts on — else ``"ok"``.
+        open — the signal a load balancer acts on — else ``"ok"``.  The
+        detail maps ``worker-N`` to per-shard liveness and, under the
+        ``"models"`` key, each served model to its replica health:
+        ``{"replicas": R, "live": n, "state": ...}`` where ``state`` is
+        ``"ok"`` (all R owners live), ``"degraded"`` (serving on fewer
+        than R replicas), or ``"down"`` (no live owner — the only case
+        where requests for the model actually fail).
         """
         detail: Dict[str, Dict[str, object]] = {}
         degraded = False
-        with self._sup_lock:
-            breakers = list(self._breaker)
-            restarts = list(self._restarts)
-        for worker in list(self._workers):
+        workers, breakers, restarts, _ = self._snapshot_state()
+        available = [False] * self.num_workers
+        for worker in workers:
             index = worker.index
             alive = not worker.dead
             breaker_open = breakers[index] if index < len(breakers) else False
+            available[index] = alive and not breaker_open
             if not alive or breaker_open:
                 degraded = True
             detail[f"worker-{index}"] = {
@@ -704,20 +826,46 @@ class PlanCluster:
                 "breaker_open": breaker_open,
                 "restarts": restarts[index] if index < len(restarts) else 0,
             }
+        models: Dict[str, Dict[str, object]] = {}
+        for key in self.catalogue.keys():
+            owners = self._ring.owners(key.canonical(),
+                                       self.effective_replicas)
+            live = sum(1 for index in owners if available[index])
+            state = ("ok" if live == len(owners)
+                     else "degraded" if live else "down")
+            models[key.canonical()] = {
+                "replicas": len(owners), "live": live, "state": state,
+            }
+        detail["models"] = models
         return ("degraded" if degraded else "ok"), detail
 
     def describe_workers(self) -> List[Dict[str, object]]:
-        """JSON-ready per-shard process detail (the ``/admin/workers`` body)."""
-        with self._sup_lock:
-            breakers = list(self._breaker)
-            restarts = list(self._restarts)
-            streaks = list(self._consecutive)
+        """JSON-ready per-shard process detail (the ``/admin/workers`` body).
+
+        Besides process liveness, each entry carries the shard's ring
+        placement: every model key the worker owns, split into the keys it
+        is *primary* for (first ring owner) and the keys it backs as a
+        *replica*.
+        """
+        workers, breakers, restarts, streaks = self._snapshot_state()
+        ownership: Dict[int, Dict[str, List[str]]] = {
+            worker.index: {"primary": [], "replica": []}
+            for worker in workers
+        }
+        for key in self.catalogue.keys():
+            owners = self._ring.owners(key.canonical(),
+                                       self.effective_replicas)
+            for position, index in enumerate(owners):
+                if index in ownership:
+                    role = "primary" if position == 0 else "replica"
+                    ownership[index][role].append(key.canonical())
         described: List[Dict[str, object]] = []
-        for worker in list(self._workers):
+        for worker in workers:
             index = worker.index
             described.append({
                 "index": index,
                 "alive": not worker.dead,
+                "retiring": worker.retiring,
                 "pid": worker.process.pid,
                 "incarnation": worker.incarnation,
                 "restarts": restarts[index] if index < len(restarts) else 0,
@@ -726,6 +874,9 @@ class PlanCluster:
                 "breaker_open":
                     breakers[index] if index < len(breakers) else False,
                 "active_segments": worker.active_segments(),
+                "load": worker.load(),
+                "serves": ownership.get(index,
+                                        {"primary": [], "replica": []}),
             })
         return described
 
@@ -733,41 +884,163 @@ class PlanCluster:
     # Routing
     # ------------------------------------------------------------------ #
     def worker_for(self, model: str, bits: Optional[int], mapping: str) -> int:
-        """Index of the worker that serves one plan key."""
-        return shard_index(PlanKey(model, bits, mapping), self.num_workers)
+        """Index of the *primary* worker for one plan key (its first ring
+        owner — where requests land while every replica is idle)."""
+        return self._ring.primary(PlanKey(model, bits, mapping).canonical())
 
-    def _route(self, model: str, bits: Optional[int], mapping: str) -> _WorkerClient:
+    def replicas_for(
+        self, model: str, bits: Optional[int], mapping: str
+    ) -> Tuple[int, ...]:
+        """The key's ordered owner list: primary first, then replicas."""
+        return self._ring.owners(
+            PlanKey(model, bits, mapping).canonical(), self.effective_replicas
+        )
+
+    def _no_replica_error(
+        self, owners: Tuple[int, ...], breakers: List[bool]
+    ) -> WorkerDied:
+        """The typed error when every owner of a key is unavailable.
+
+        ``breaker_open=True`` (the operator-action fail-fast signal) only
+        when *all* owners are breaker-open; any mix that includes a merely
+        dead worker stays retryable.
+        """
+        primary = owners[0]
+        phrase = (f"worker {primary}" if len(owners) == 1
+                  else "all replicas " + "/".join(str(i) for i in owners))
+        if all(breakers[index] for index in owners):
+            return WorkerDied(
+                f"{phrase} crash-looped; the circuit breaker(s) are open "
+                f"and the key stays down until restart_worker() re-admits "
+                f"a replica",
+                worker_index=primary, breaker_open=True,
+            )
+        if self.auto_restart:
+            return WorkerDied(
+                f"{phrase} died and respawns are in progress; the request "
+                f"is safe to retry shortly",
+                worker_index=primary,
+            )
+        return WorkerDied(
+            f"{phrase} has died; the key is excluded until "
+            f"restart_worker() re-admits a replica",
+            worker_index=primary,
+        )
+
+    def _select_worker(
+        self,
+        model: str,
+        bits: Optional[int],
+        mapping: str,
+        excluded: Mapping[int, BaseException],
+    ) -> _WorkerClient:
+        """The least-loaded live owner of a key, failing over in ring
+        order past dead / breaker-open / retiring replicas.
+
+        ``excluded`` maps owner indices this call already tried (the
+        worker died with the request in flight) to the error they raised;
+        when no owner remains the most recent of those errors is re-raised
+        — for ``replicas=1`` that reproduces the single-shard semantics
+        exactly.
+        """
         if self._closed:
             raise RuntimeError("cluster is closed")
-        index = self.worker_for(model, bits, mapping)
-        worker = self._workers[index]
-        if worker.dead:
-            with self._sup_lock:
-                breaker_open = self._breaker[index]
-            if breaker_open:
-                raise WorkerDied(
-                    f"worker {index} crash-looped {self.max_restarts} time(s); "
-                    f"its circuit breaker is open and the shard stays down "
-                    f"until restart_worker({index}) re-admits it",
-                    worker_index=index, breaker_open=True,
-                )
-            if self.auto_restart:
-                raise WorkerDied(
-                    f"worker {index} died and is being respawned; the "
-                    f"request is safe to retry shortly",
-                    worker_index=index,
-                )
-            raise WorkerDied(
-                f"worker {index} has died; its shard is excluded "
-                f"until restart_worker({index})",
-                worker_index=index,
-            )
-        return worker
+        owners = self.replicas_for(model, bits, mapping)
+        workers, breakers, _, _ = self._snapshot_state()
+        candidates: List[Tuple[int, _WorkerClient]] = []
+        retiring: List[Tuple[int, _WorkerClient]] = []
+        skipped: List[Tuple[int, str]] = []
+        for position, index in enumerate(owners):
+            worker = workers[index]
+            if index in excluded:
+                skipped.append((index, "died_in_flight"))
+                continue
+            if worker.dead:
+                skipped.append((index, "dead"))
+                continue
+            if breakers[index]:
+                skipped.append((index, "breaker_open"))
+                continue
+            if worker.retiring:
+                # Draining for a rolling restart: last resort only.
+                retiring.append((position, worker))
+                continue
+            candidates.append((position, worker))
+        if not candidates and retiring:
+            # replicas=1 (or everything else down): ride out the drain the
+            # way the pre-ring cluster did rather than failing the key.
+            candidates = retiring[:1]
+        elif retiring and candidates:
+            skipped.extend((worker.index, "retiring")
+                           for _, worker in retiring)
+        if not candidates:
+            if excluded:
+                # Re-raise what the last attempt actually saw.
+                raise next(reversed(list(excluded.values())))
+            raise self._no_replica_error(owners, breakers)
+        position, chosen = min(
+            candidates, key=lambda entry: (entry[1].load(), entry[0])
+        )
+        for index, reason in skipped:
+            self._failover_total.inc(worker=str(index), reason=reason)
+        self._routed_total.inc(
+            worker=str(chosen.index),
+            role="primary" if chosen.index == owners[0] else "replica",
+        )
+        return chosen
+
+    def _ensure_catalogued(
+        self, model: str, bits: Optional[int], mapping: str
+    ) -> None:
+        """Heal the publish-after-start gap before routing.
+
+        A key missing from the parent catalogue triggers one re-scan; if
+        the scan finds it (the plan was published after cluster start),
+        every live worker is told to re-index too — otherwise only the
+        replica that happened to receive a request would heal via its
+        KeyError path, leaving the other R-1 replicas serving 404s.
+        """
+        key = PlanKey(model, bits, mapping)
+        if key in self.catalogue:
+            return
+        self.catalogue.refresh()
+        if key in self.catalogue:
+            self.refresh_workers()
+
+    def refresh_workers(self, timeout: Optional[float] = 30.0) -> None:
+        """Broadcast a registry re-scan to every live worker.
+
+        Waits for the acknowledgements (bounded by ``timeout``) so that a
+        request routed immediately afterwards cannot hit a stale replica;
+        workers that die mid-broadcast are skipped — their replacement
+        re-indexes the directory on spawn anyway.
+        """
+        futures: List[Future] = []
+        workers, _, _, _ = self._snapshot_state()
+        for worker in workers:
+            if worker.dead:
+                continue
+            try:
+                futures.append(worker.submit("refresh", None))
+            except (WorkerDied, RuntimeError):
+                continue
+        for future in futures:
+            try:
+                future.result(timeout=timeout)
+            except Exception:  # noqa: BLE001 - dead replica heals on respawn
+                continue
+        self._refresh_broadcasts.inc()
 
     @property
     def dead_workers(self) -> List[int]:
-        """Indices of workers whose process has died (shards excluded)."""
-        return [worker.index for worker in list(self._workers) if worker.dead]
+        """Indices of workers whose process has died (shards excluded).
+
+        Read through the same snapshot the restart path writes, so a
+        respawning worker can never appear dead here while its restart is
+        already counted elsewhere.
+        """
+        workers, _, _, _ = self._snapshot_state()
+        return [worker.index for worker in workers if worker.dead]
 
     @property
     def open_breakers(self) -> List[int]:
@@ -841,6 +1114,7 @@ class PlanCluster:
             old = self._workers[index]
             if not old.dead:  # raced with a manual restart_worker
                 return
+            old.retiring = True
             old.close(timeout=10.0)
             with self._sup_lock:
                 incarnation = self._incarnations[index] + 1
@@ -848,11 +1122,14 @@ class PlanCluster:
             # success so a failed attempt is retried (with backoff) rather
             # than recorded as a restart.
             replacement = self._spawn_worker(index, incarnation)
+            # Counters and the handle swap commit atomically: no reader
+            # can see the restart counted while the dead handle still
+            # routes (or the new handle live with a stale streak).
             with self._sup_lock:
                 self._incarnations[index] = incarnation
                 self._restarts[index] += 1
                 self._last_restart[index] = time.monotonic()
-            self._workers[index] = replacement
+                self._workers[index] = replacement
             log_event(_LOG, "worker_respawned", worker=index,
                       incarnation=incarnation, pid=replacement.process.pid)
 
@@ -860,13 +1137,16 @@ class PlanCluster:
         """Replace one worker process, re-admitting its shard.
 
         Safe for both dead and live workers (a live one is drained and
-        shut down first), so it doubles as a rolling-restart primitive.
+        shut down first), so it doubles as a rolling-restart primitive —
+        and with ``replicas >= 2`` a *zero-downtime* one: the handle is
+        marked retiring before the drain, so new requests for its keys
+        route to their other live owners for the whole restart window.
         A manual restart also resets the shard's crash streak and closes
         its circuit breaker — this is the operator's re-admission path
         after a crash-loop.  The replacement rebuilds its registry over
-        the shared directory and serves the exact same shard — the
-        partition is a pure function of ``(key, num_workers)``, so no
-        other worker is disturbed.
+        the shared directory and serves the exact same ring positions —
+        the partition is a pure function of ``(key, num_workers,
+        replicas)``, so no other worker is disturbed.
         """
         if self._closed:
             raise RuntimeError("cluster is closed")
@@ -878,25 +1158,89 @@ class PlanCluster:
             if self._closed:
                 raise RuntimeError("cluster is closed")
             old = self._workers[index]
+            # Route new work to the other replicas before draining; with
+            # replicas=1 the router still uses the retiring handle as the
+            # last resort, preserving the pre-ring behavior.
+            old.retiring = True
             # For a dead worker this just reaps the corpse and fails any
             # straggler futures; for a live one it is the graceful drain.
             old.close(timeout=30.0)
             with self._sup_lock:
-                self._incarnations[index] += 1
+                incarnation = self._incarnations[index] + 1
+            replacement = self._spawn_worker(index, incarnation)
+            # Swap and counters commit atomically (see _respawn).
+            with self._sup_lock:
+                self._incarnations[index] = incarnation
                 self._restarts[index] += 1
                 self._consecutive[index] = 0
                 self._breaker[index] = False
                 self._restart_due[index] = None
                 self._last_restart[index] = time.monotonic()
-                incarnation = self._incarnations[index]
-            self._workers[index] = self._spawn_worker(index, incarnation)
+                self._workers[index] = replacement
             log_event(_LOG, "worker_restarted", worker=index,
                       incarnation=incarnation,
-                      pid=self._workers[index].process.pid)
+                      pid=replacement.process.pid)
 
     # ------------------------------------------------------------------ #
     # Requests
     # ------------------------------------------------------------------ #
+    def _submit_routed(
+        self,
+        kind: str,
+        payload: Dict[str, object],
+        model: str,
+        bits: Optional[int],
+        mapping: str,
+        excluded: Dict[int, BaseException],
+    ) -> Tuple[_WorkerClient, Future]:
+        """Select an owner and submit, failing over on submit-time races.
+
+        A worker that dies between selection and the pipe send (or a
+        handle drained for a rolling restart) is recorded in ``excluded``
+        and the next owner is tried at once; ``_select_worker`` raises the
+        recorded error when the key has no owner left.
+        """
+        while True:
+            worker = self._select_worker(model, bits, mapping, excluded)
+            try:
+                return worker, worker.submit(kind, payload)
+            except WorkerDied as error:
+                excluded[worker.index] = error
+            except RuntimeError as error:
+                if self._closed:
+                    raise
+                excluded[worker.index] = error
+
+    def _request(
+        self,
+        kind: str,
+        payload: Dict[str, object],
+        model: str,
+        bits: Optional[int],
+        mapping: str,
+        timeout: Optional[float],
+    ):
+        """One synchronous request with immediate replica failover.
+
+        A ``WorkerDied`` from an in-flight request does not wait for the
+        supervisor's respawn: the same (idempotent, deterministic) payload
+        is resubmitted to the key's next live owner right away.  Only when
+        every owner has been tried or is unavailable does the typed error
+        surface to the caller — at which point ``ClusterClient``'s
+        backoff-retry loop takes over (or, for ``breaker_open=True``, the
+        caller fails fast).
+        """
+        self._ensure_catalogued(model, bits, mapping)
+        excluded: Dict[int, BaseException] = {}
+        while True:
+            worker, future = self._submit_routed(
+                kind, payload, model, bits, mapping, excluded
+            )
+            try:
+                return future.result(timeout=timeout)
+            except WorkerDied as error:
+                excluded[worker.index] = error
+
     def predict_async(
         self,
         images: np.ndarray,
@@ -906,15 +1250,21 @@ class PlanCluster:
         bits: Optional[int] = None,
         request_id: Optional[str] = None,
     ) -> Future:
-        """Submit a deterministic request to its shard; resolves to logits.
+        """Submit a deterministic request to a live owner; resolves to logits.
 
         ``request_id`` crosses the pipe inside the payload, so the worker's
-        service logs the same trace id the caller holds.
+        service logs the same trace id the caller holds.  Submit-time
+        failover applies, but once the future is handed out the request is
+        pinned to its worker — a death after that surfaces as
+        ``WorkerDied`` on the future (callers wanting transparent failover
+        use :meth:`predict`).
         """
-        worker = self._route(model, bits, mapping)
+        self._ensure_catalogued(model, bits, mapping)
         payload = {"images": np.asarray(images), "model": model, "bits": bits,
                    "mapping": mapping, "request_id": request_id}
-        return worker.submit("predict", payload)
+        _, future = self._submit_routed("predict", payload, model, bits,
+                                        mapping, {})
+        return future
 
     def predict(
         self,
@@ -926,11 +1276,11 @@ class PlanCluster:
         timeout: Optional[float] = 60.0,
         request_id: Optional[str] = None,
     ) -> np.ndarray:
-        """Deterministic logits from the worker that owns this model."""
-        return self.predict_async(
-            images, model=model, bits=bits, mapping=mapping,
-            request_id=request_id,
-        ).result(timeout=timeout)
+        """Deterministic logits from a live owner of this model."""
+        payload = {"images": np.asarray(images), "model": model, "bits": bits,
+                   "mapping": mapping, "request_id": request_id}
+        return self._request("predict", payload, model, bits, mapping,
+                             timeout)
 
     def predict_under_variation(
         self,
@@ -945,15 +1295,19 @@ class PlanCluster:
         timeout: Optional[float] = 120.0,
         request_id: Optional[str] = None,
     ) -> VariationPrediction:
-        """Seeded Monte-Carlo ensemble request, served by the model's shard."""
-        worker = self._route(model, bits, mapping)
+        """Seeded Monte-Carlo ensemble request, served by a live owner.
+
+        Ensemble sampling is a pure function of the request (model digest,
+        sigma, samples, seed), so failover between replicas is bit-exact.
+        """
         payload = {
             "images": np.asarray(images), "model": model, "bits": bits,
             "mapping": mapping, "sigma_fraction": sigma_fraction,
             "num_samples": num_samples, "seed": seed,
             "request_id": request_id,
         }
-        return worker.submit("ensemble", payload).result(timeout=timeout)
+        return self._request("ensemble", payload, model, bits, mapping,
+                             timeout)
 
     # ------------------------------------------------------------------ #
     # Typed entry points (the repro.api backend contract)
@@ -982,23 +1336,17 @@ class PlanCluster:
     # Introspection
     # ------------------------------------------------------------------ #
     def models(self) -> List[dict]:
-        """The shared catalogue with digests, annotated with each shard."""
+        """The shared catalogue with digests, annotated with each key's
+        primary worker and full replica list."""
         self.catalogue.refresh()
         described = self.catalogue.describe()
         for entry in described:
-            entry["worker"] = self.worker_for(
+            owners = self.replicas_for(
                 entry["model"], entry["bits"], entry["mapping"]
             )
+            entry["worker"] = owners[0]
+            entry["replicas"] = list(owners)
         return described
-
-    def _supervisor_stats(self, index: int) -> Dict[str, object]:
-        with self._sup_lock:
-            return {
-                "auto_restart": self.auto_restart,
-                "restarts": self._restarts[index],
-                "consecutive_crashes": self._consecutive[index],
-                "breaker_open": self._breaker[index],
-            }
 
     def stats_summary(self, timeout: Optional[float] = 10.0) -> Dict[str, dict]:
         """Per-worker serving statistics (JSON-ready), keyed ``worker-N``.
@@ -1008,11 +1356,14 @@ class PlanCluster:
         segment gauge) and a ``supervisor`` block (restart counts, crash
         streak, breaker state).  A dead worker reports ``{"status":
         {"dead": True}}`` instead of failing the whole listing, so
-        monitoring keeps working while a shard is down.
+        monitoring keeps working while a shard is down.  Liveness and
+        supervisor counters come from one state snapshot, so this listing,
+        ``dead_workers``, and ``/admin/workers`` agree at every point of a
+        rolling restart.
         """
         if self._closed:
             raise RuntimeError("cluster is closed")
-        workers = list(self._workers)
+        workers, breakers, restarts, streaks = self._snapshot_state()
         futures: Dict[int, Future] = {}
         for worker in workers:
             if worker.dead:
@@ -1032,7 +1383,12 @@ class PlanCluster:
             except WorkerDied:
                 stats = {"status": {"dead": True}}
             stats["transport"] = worker.transport_stats()
-            stats["supervisor"] = self._supervisor_stats(worker.index)
+            stats["supervisor"] = {
+                "auto_restart": self.auto_restart,
+                "restarts": restarts[worker.index],
+                "consecutive_crashes": streaks[worker.index],
+                "breaker_open": breakers[worker.index],
+            }
             summary[f"worker-{worker.index}"] = stats
         return summary
 

@@ -22,7 +22,10 @@ from other processes and languages.  The wire protocol:
     Per-model micro-batching statistics.
 ``GET /healthz``
     Liveness probe: ``"ok"``, ``"degraded"`` (a cluster shard is dead or
-    its breaker is open; 503 with per-shard detail), or ``"draining"``.
+    its breaker is open; 503 with per-shard detail under ``workers`` and —
+    for a replicated cluster — per-model replica health under
+    ``replication``, distinguishing a model *down* from one degraded to
+    R-1 live replicas), or ``"draining"``.
 ``GET /metrics``
     Prometheus text exposition (no auth, like ``/healthz``): the server's
     edge instruments merged with the backend's — per-worker families
@@ -326,7 +329,14 @@ class _Handler(BaseHTTPRequestHandler):
             return
         body: dict = {"status": status, "models": models}
         if detail is not None:
+            detail = dict(detail)
+            # A replicated cluster reports per-model replica health under
+            # "models"; surfaced separately so operators can tell a model
+            # *down* (no live replica) from one degraded to R-1 replicas.
+            replication = detail.pop("models", None)
             body["workers"] = detail
+            if replication is not None:
+                body["replication"] = replication
         # 503 so load balancers eject the endpoint on their health probe
         # alone; the body still carries the per-shard specifics.
         self._send_json(503, body)

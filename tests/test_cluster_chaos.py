@@ -244,6 +244,196 @@ class TestChaosMixedLoad:
         assert list_segments(shm_base) == []
 
 
+class TestRingReplication:
+    """The ring leg: with R=2, a SIGKILL'd replica is *invisible*.
+
+    Stronger than the headline run's "zero lost requests": the client is
+    built with ``worker_died_retries=0``, so the cluster's internal
+    replica failover must absorb the death on its own — any ``WorkerDied``
+    reaching the client (which the HTTP edge would turn into a 503) fails
+    the test.  Zero 503s, bit-identical responses, zero leaked segments.
+    """
+
+    def _run_mixed_load(self, chaos_env, client, disruption):
+        """Drive the standard 4-thread mixed load; fire ``disruption(progress)``
+        from a side thread; return (results, failures)."""
+        results = {}
+        failures = []
+        progress = [0]
+        progress_lock = threading.Lock()
+
+        def load(thread_index):
+            rng = np.random.default_rng(CHAOS_SEED + 1 + thread_index)
+            name = MODELS[thread_index]
+            for j in range(REQUESTS_PER_THREAD):
+                start = int(rng.integers(0, 24))
+                rows = int(rng.integers(1, 9))
+                batch = chaos_env.images[start:start + rows]
+                try:
+                    if rng.random() < 0.25:
+                        seed = int(rng.integers(0, 32))
+                        out = client.ensemble(EnsembleRequest(
+                            images=batch, model=name, mapping="acm",
+                            bits=4, sigma_fraction=0.1, num_samples=5,
+                            seed=seed))
+                        results[(thread_index, j)] = (
+                            "ensemble", name, start, rows, seed,
+                            out.mean_logits, out.predictions,
+                            out.vote_counts,
+                        )
+                    else:
+                        out = client.predict(PredictRequest(
+                            images=batch, model=name, mapping="acm",
+                            bits=4))
+                        results[(thread_index, j)] = (
+                            "predict", name, start, rows, None, out.logits,
+                        )
+                except Exception as error:  # noqa: BLE001 - recorded
+                    failures.append(((thread_index, j), error))
+                finally:
+                    with progress_lock:
+                        progress[0] += 1
+
+        def read_progress():
+            with progress_lock:
+                return progress[0]
+
+        threads = [threading.Thread(target=load, args=(i,))
+                   for i in range(LOAD_THREADS)]
+        disruptor = threading.Thread(target=disruption,
+                                     args=(read_progress,))
+        for thread in threads:
+            thread.start()
+        disruptor.start()
+        for thread in threads:
+            thread.join(timeout=600)
+            assert not thread.is_alive(), "load thread hung"
+        disruptor.join(timeout=120)
+        assert not disruptor.is_alive(), "disruption thread hung"
+        return results, failures
+
+    def _assert_bit_exact(self, chaos_env, results):
+        for key, record in results.items():
+            kind, name, start, rows, seed = record[:5]
+            batch = chaos_env.images[start:start + rows]
+            if kind == "predict":
+                np.testing.assert_array_equal(
+                    record[5], chaos_env.plans[name].run(batch),
+                    err_msg=f"request {key} not bit-identical",
+                )
+            else:
+                expected = chaos_env.reference.predict_under_variation(
+                    batch, model=name, bits=4, mapping="acm",
+                    sigma_fraction=0.1, num_samples=5, seed=seed,
+                )
+                np.testing.assert_array_equal(record[5],
+                                              expected.mean_logits)
+                np.testing.assert_array_equal(record[6],
+                                              expected.predictions)
+                np.testing.assert_array_equal(record[7],
+                                              expected.vote_counts)
+
+    def test_zero_503s_while_one_replica_is_sigkilled(self, chaos_env):
+        cluster = PlanCluster(
+            chaos_env.directory, num_workers=2, replicas=2,
+            handler_threads=4, max_batch=16, max_wait_ms=1.0,
+            auto_restart=True, max_restarts=50,
+            restart_backoff=0.05, stability_window=0.5,
+            shm_threshold=1024,
+        )
+        shm_base = cluster._shm_base
+        client = ClusterClient(cluster, own_backend=True,
+                               worker_died_retries=0)
+        kills_done = []
+        try:
+            cluster.wait_ready(timeout=180)
+            total = LOAD_THREADS * REQUESTS_PER_THREAD
+            rng = np.random.default_rng(CHAOS_SEED)
+            victim = int(rng.integers(2))
+
+            def kill_one_replica(read_progress):
+                while read_progress() < total // 3:
+                    time.sleep(0.005)
+                time.sleep(float(rng.uniform(0.0, 0.03)))
+                cluster._workers[victim].process.kill()
+                kills_done.append(victim)
+
+            results, failures = self._run_mixed_load(
+                chaos_env, client, kill_one_replica
+            )
+            assert kills_done, "the killer never fired"
+            # THE claim: no request failed, although the client was
+            # forbidden to retry — failover inside the ring absorbed the
+            # dead replica.
+            assert failures == [], (
+                f"{len(failures)} request(s) surfaced an error (would be "
+                f"503s at the HTTP edge); first: {failures[0]!r}"
+            )
+            assert len(results) == total
+            self._assert_bit_exact(chaos_env, results)
+            _wait_for(
+                lambda: not cluster.dead_workers,
+                timeout=60, what="the supervisor to respawn the victim",
+            )
+            summary = cluster.stats_summary()
+            for i in range(cluster.num_workers):
+                assert summary[f"worker-{i}"]["transport"][
+                    "active_segments"] == 0
+            # The failover counter recorded the routed-around death.
+            families = {f.name: f for f in cluster.metrics.collect()}
+            failovers = sum(
+                s.value
+                for s in families["repro_ring_failover_total"].samples
+            )
+            assert failovers >= 1
+        finally:
+            client.close()
+        assert list_segments(shm_base) == []
+
+    def test_rolling_restart_under_load_is_zero_downtime(self, chaos_env):
+        cluster = PlanCluster(
+            chaos_env.directory, num_workers=2, replicas=2,
+            handler_threads=4, max_batch=16, max_wait_ms=1.0,
+            shm_threshold=1024,
+        )
+        shm_base = cluster._shm_base
+        client = ClusterClient(cluster, own_backend=True,
+                               worker_died_retries=0)
+        restarted = []
+        try:
+            cluster.wait_ready(timeout=180)
+            total = LOAD_THREADS * REQUESTS_PER_THREAD
+
+            def rolling_restart(read_progress):
+                # One worker at a time, anchored to load progress so
+                # requests are guaranteed in flight around each restart.
+                for index, milestone in enumerate((total // 4,
+                                                   total // 2)):
+                    while read_progress() < milestone:
+                        time.sleep(0.005)
+                    cluster.restart_worker(index)
+                    restarted.append(index)
+
+            results, failures = self._run_mixed_load(
+                chaos_env, client, rolling_restart
+            )
+            assert restarted == [0, 1], "the rolling restart never ran"
+            assert failures == [], (
+                f"rolling restart surfaced {len(failures)} error(s); "
+                f"first: {failures[0]!r}"
+            )
+            assert len(results) == total
+            self._assert_bit_exact(chaos_env, results)
+            assert cluster.dead_workers == []
+            summary = cluster.stats_summary()
+            for i in range(cluster.num_workers):
+                supervisor = summary[f"worker-{i}"]["supervisor"]
+                assert supervisor["restarts"] == 1
+        finally:
+            client.close()
+        assert list_segments(shm_base) == []
+
+
 class TestKillPoints:
     """Targeted kill points: pre-submit, mid-batch, and mid-response."""
 

@@ -1,0 +1,114 @@
+"""Scrape-validation of the committed Grafana dashboard.
+
+``dashboards/grafana-repro-serving.json`` is an exemplar, but it must not
+rot: every ``repro_*`` name a panel expression references has to exist in
+an actual ``/metrics`` exposition.  The catalogue of valid names is built
+*live* — by constructing the real components (in-process service, HTTP
+edge, one-worker cluster) and collecting their metric families — so a
+metric rename that forgets the dashboard fails here, not on a silently
+empty Grafana panel.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Set
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import InferenceService, PlanCluster, PlanRegistry
+from repro.serve.http import PlanServer
+
+DASHBOARD = (Path(__file__).resolve().parent.parent
+             / "dashboards" / "grafana-repro-serving.json")
+
+#: Metric-name tokens inside a PromQL expression.  Function names, label
+#: names, and durations never start with ``repro_``, so this is exact.
+METRIC_NAME = re.compile(r"\brepro_[a-z0-9_]+")
+
+
+def _family_names(registry: MetricsRegistry) -> Set[str]:
+    names = set()
+    for family in registry.collect():
+        names.add(family.name)
+        if family.type == "histogram":
+            # The exposition renders histograms as these three series;
+            # PromQL queries (histogram_quantile, averages) target them.
+            names.update(f"{family.name}_{suffix}"
+                         for suffix in ("bucket", "sum", "count"))
+    return names
+
+
+@pytest.fixture(scope="module")
+def exported_names(tmp_path_factory):
+    """Every metric name the stack actually exports, scraped live."""
+    directory = tmp_path_factory.mktemp("plans")
+    service = InferenceService(PlanRegistry(directory))
+    server = PlanServer(service, own_backend=False)
+    cluster = PlanCluster(directory, num_workers=1)
+    try:
+        return (_family_names(service.metrics)
+                | _family_names(server.metrics)
+                | _family_names(cluster.metrics))
+    finally:
+        cluster.close()
+        server.close()
+        service.close()
+
+
+@pytest.fixture(scope="module")
+def dashboard():
+    with DASHBOARD.open() as handle:
+        return json.load(handle)
+
+
+def _expressions(dashboard):
+    for panel in dashboard["panels"]:
+        for target in panel.get("targets", ()):
+            yield panel["title"], target["expr"]
+
+
+class TestDashboard:
+    def test_panels_exist_and_rows_are_well_formed(self, dashboard):
+        panels = dashboard["panels"]
+        assert panels, "dashboard has no panels"
+        ids = [panel["id"] for panel in panels]
+        assert len(ids) == len(set(ids)), "panel ids must be unique"
+        graph_panels = [p for p in panels if p["type"] != "row"]
+        assert len(graph_panels) >= 10
+        for panel in graph_panels:
+            assert panel.get("targets"), f"panel {panel['title']!r} is empty"
+            for target in panel["targets"]:
+                assert target["expr"].strip()
+
+    def test_every_expression_references_a_real_metric(
+        self, dashboard, exported_names
+    ):
+        missing = []
+        seen_any = False
+        for title, expr in _expressions(dashboard):
+            names = METRIC_NAME.findall(expr)
+            assert names, f"panel {title!r} expr references no repro_ metric"
+            seen_any = True
+            for name in names:
+                if name not in exported_names:
+                    missing.append((title, name))
+        assert seen_any
+        assert not missing, (
+            "dashboard references metrics the stack does not export "
+            f"(renamed or misspelled): {missing}"
+        )
+
+    def test_ring_replication_metrics_are_charted(self, dashboard):
+        # The replication story must be observable out of the box: the
+        # dashboard charts the replica gauges and the failover counter.
+        referenced = {name
+                      for _, expr in _expressions(dashboard)
+                      for name in METRIC_NAME.findall(expr)}
+        assert {"repro_ring_replicas",
+                "repro_ring_model_replicas_live",
+                "repro_ring_failover_total",
+                "repro_ring_routed_total"} <= referenced

@@ -233,7 +233,12 @@ class TestClusterLifecycle:
 
 
 class TestWorkerDeath:
-    """A dead worker strands nothing: typed failures, shard exclusion, restart."""
+    """A dead worker strands nothing: typed failures, shard exclusion, restart.
+
+    Pinned to ``replicas=1``: these tests certify the single-owner
+    fail-fast semantics the ring must degrade to (with R >= 2 a dead
+    shard fails over instead — covered by ``TestReplicatedDeath``).
+    """
 
     @pytest.fixture
     def death_env(self, tmp_path):
@@ -247,7 +252,8 @@ class TestWorkerDeath:
         small = make_mlp(input_size=16, hidden_sizes=(4,), mapping="acm",
                          quantizer_bits=4, seed=1)
         registry.publish_model(small, "small", 4, "acm")
-        cluster = PlanCluster(directory, num_workers=2, handler_threads=2)
+        cluster = PlanCluster(directory, num_workers=2, replicas=1,
+                              handler_threads=2)
         cluster.wait_ready(timeout=120)
         yield SimpleNamespace(cluster=cluster, directory=directory,
                               plans={"big": compile_model(model),
@@ -331,3 +337,139 @@ class TestWorkerDeath:
     def test_restart_worker_validates_index(self, death_env):
         with pytest.raises(ValueError):
             death_env.cluster.restart_worker(99)
+
+
+class TestReplicatedDeath:
+    """With replicas >= 2, a dead shard degrades a model, never downs it."""
+
+    @pytest.fixture
+    def replica_env(self, tmp_path):
+        directory = tmp_path / "plans"
+        registry = PlanRegistry(directory)
+        plans = {}
+        for seed, name in enumerate(("rep-a", "rep-b")):
+            model = make_mlp(input_size=16, hidden_sizes=(4,), mapping="acm",
+                             quantizer_bits=4, seed=seed)
+            registry.publish_model(model, name, 4, "acm")
+            plans[name] = compile_model(model)
+        cluster = PlanCluster(directory, num_workers=2, replicas=2,
+                              handler_threads=2)
+        cluster.wait_ready(timeout=120)
+        yield SimpleNamespace(cluster=cluster, registry=registry, plans=plans)
+        cluster.close()
+
+    @staticmethod
+    def _kill_and_wait(cluster, index, timeout=30.0):
+        import time
+
+        worker = cluster._workers[index]
+        worker.process.kill()
+        worker.process.join(timeout=timeout)
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if cluster._workers[index].dead:
+                return
+            time.sleep(0.01)
+        raise AssertionError(f"worker {index} never marked dead")
+
+    def test_every_model_survives_one_dead_worker_bit_exact(self, replica_env):
+        cluster = replica_env.cluster
+        for name in replica_env.plans:
+            assert cluster.replicas_for(name, 4, "acm") in ((0, 1), (1, 0))
+        self._kill_and_wait(cluster, 0)
+        images = np.random.default_rng(7).normal(size=(5, 16))
+        for name, plan in replica_env.plans.items():
+            np.testing.assert_array_equal(
+                cluster.predict(images, model=name, bits=4, mapping="acm"),
+                plan.run(images),
+            )
+        # The skips are visible on the failover counter for models whose
+        # primary was the dead worker.
+        families = {f.name: f for f in cluster.metrics.collect()}
+        failovers = sum(s.value for s in
+                        families["repro_ring_failover_total"].samples)
+        primaries = [name for name in replica_env.plans
+                     if cluster.worker_for(name, 4, "acm") == 0]
+        if primaries:
+            assert failovers >= len(primaries)
+
+    def test_health_distinguishes_degraded_from_down(self, replica_env):
+        cluster = replica_env.cluster
+        status, detail = cluster.health_summary()
+        assert status == "ok"
+        for info in detail["models"].values():
+            assert info == {"replicas": 2, "live": 2, "state": "ok"}
+        self._kill_and_wait(cluster, 0)
+        status, detail = cluster.health_summary()
+        assert status == "degraded"
+        assert detail["worker-0"]["alive"] is False
+        # One replica down: every model degraded to R-1, none down.
+        for info in detail["models"].values():
+            assert info == {"replicas": 2, "live": 1, "state": "degraded"}
+        self._kill_and_wait(cluster, 1)
+        _, detail = cluster.health_summary()
+        for info in detail["models"].values():
+            assert info == {"replicas": 2, "live": 0, "state": "down"}
+
+    def test_all_replicas_dead_surfaces_typed_error(self, replica_env):
+        from repro.api.errors import WorkerDied
+
+        cluster = replica_env.cluster
+        self._kill_and_wait(cluster, 0)
+        self._kill_and_wait(cluster, 1)
+        images = np.random.default_rng(8).normal(size=(2, 16))
+        with pytest.raises(WorkerDied) as excinfo:
+            cluster.predict(images, model="rep-a", bits=4, mapping="acm")
+        assert excinfo.value.breaker_open is False
+
+    def test_rolling_restart_is_zero_downtime(self, replica_env):
+        cluster = replica_env.cluster
+        images = np.random.default_rng(9).normal(size=(3, 16))
+        for index in range(cluster.num_workers):
+            cluster.restart_worker(index)
+            # Immediately after each restart every model answers exactly —
+            # no dead window, no WorkerDied, no stale registry.
+            for name, plan in replica_env.plans.items():
+                np.testing.assert_array_equal(
+                    cluster.predict(images, model=name, bits=4,
+                                    mapping="acm"),
+                    plan.run(images),
+                )
+        assert cluster.dead_workers == []
+        summary = cluster.stats_summary()
+        for index in range(cluster.num_workers):
+            assert summary[f"worker-{index}"]["supervisor"]["restarts"] == 1
+
+    def test_replica_routing_counters_and_admin_detail(self, replica_env):
+        cluster = replica_env.cluster
+        images = np.random.default_rng(10).normal(size=(2, 16))
+        cluster.predict(images, model="rep-a", bits=4, mapping="acm")
+        families = {f.name: f for f in cluster.metrics.collect()}
+        routed = {dict(s.labels)["role"]: s.value
+                  for s in families["repro_ring_routed_total"].samples}
+        assert routed.get("primary", 0) >= 1
+        replicas = {dict(s.labels)["kind"]: s.value
+                    for s in families["repro_ring_replicas"].samples}
+        assert replicas == {"configured": 2.0, "effective": 2.0}
+        live = {dict(s.labels)["model"]: s.value
+                for s in
+                families["repro_ring_model_replicas_live"].samples}
+        assert set(live) == {"rep-a__4b__acm", "rep-b__4b__acm"}
+        assert all(value == 2.0 for value in live.values())
+        for entry in cluster.describe_workers():
+            assert entry["retiring"] is False
+            served = entry["serves"]
+            assert set(served) == {"primary", "replica"}
+            # R=2 over 2 workers: every worker owns every key in one role.
+            assert len(served["primary"]) + len(served["replica"]) == 2
+
+    def test_replicas_clamped_to_worker_count(self, replica_env):
+        cluster = replica_env.cluster
+        assert cluster.replicas == 2
+        assert cluster.effective_replicas == 2
+        owners = cluster.replicas_for("rep-a", 4, "acm")
+        assert len(owners) == len(set(owners)) == 2
+
+    def test_invalid_replicas_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            PlanCluster(tmp_path, num_workers=1, replicas=0)

@@ -1,0 +1,142 @@
+"""Tests for the consistent-hash ring (:mod:`repro.serve.ring`).
+
+The ring is a pure function of ``(num_workers, vnodes)``, so everything
+here is deterministic: the balance and resharding bounds below are exact
+assertions about the committed layout, not statistical hopes.
+"""
+
+from __future__ import annotations
+
+import collections
+
+import pytest
+
+from repro.serve.cluster import shard_index
+from repro.serve.registry import PlanKey
+from repro.serve.ring import DEFAULT_REPLICAS, HashRing, get_ring
+
+#: A deterministic key population shaped like real registry contents.
+KEYS = [
+    PlanKey(f"model-{index}", bits, mapping).canonical()
+    for index in range(300)
+    for bits in (1, 4, None)
+    for mapping in ("acm", "de", "bc")
+]
+
+
+class TestRingBasics:
+    def test_invalid_topologies_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing(0)
+        with pytest.raises(ValueError):
+            HashRing(2, vnodes=0)
+
+    def test_owners_deterministic_and_in_range(self):
+        ring = HashRing(5)
+        for key in KEYS[:100]:
+            owners = ring.owners(key, 3)
+            assert owners == ring.owners(key, 3)
+            assert all(0 <= index < 5 for index in owners)
+
+    def test_owners_are_distinct_and_ordered_prefixes(self):
+        ring = HashRing(6)
+        for key in KEYS[:100]:
+            full = ring.owners(key, 6)
+            assert len(set(full)) == 6
+            # Asking for fewer owners yields a prefix of the same walk, so
+            # primary and replica roles never shuffle as R changes.
+            for count in range(1, 6):
+                assert ring.owners(key, count) == full[:count]
+
+    def test_count_clamped_to_worker_count(self):
+        ring = HashRing(2)
+        assert len(ring.owners("anything", 10)) == 2
+        assert len(ring.owners("anything", 0)) == 1  # floor at one owner
+
+    def test_single_worker_owns_everything(self):
+        ring = HashRing(1)
+        assert all(ring.owners(key, DEFAULT_REPLICAS) == (0,)
+                   for key in KEYS[:50])
+
+    def test_get_ring_memoizes(self):
+        assert get_ring(4) is get_ring(4)
+        assert get_ring(4) is not get_ring(5)
+
+    def test_shard_index_is_the_ring_primary(self):
+        for workers in (1, 2, 3, 7):
+            ring = get_ring(workers)
+            assert all(
+                shard_index(PlanKey(f"model-{i}", 4, "acm"), workers)
+                == ring.primary(PlanKey(f"model-{i}", 4, "acm").canonical())
+                for i in range(40)
+            )
+
+
+class TestRingBalance:
+    def test_every_worker_owns_a_fair_share(self):
+        # With 64 vnodes the per-worker share stays within 2x of ideal
+        # for the committed layout (measured: well under 1.5x).
+        for workers in (2, 4, 8):
+            counts = collections.Counter(
+                get_ring(workers).primary(key) for key in KEYS
+            )
+            assert set(counts) == set(range(workers))
+            ideal = len(KEYS) / workers
+            assert max(counts.values()) < 2 * ideal
+            assert min(counts.values()) > ideal / 2
+
+    def test_replica_load_spreads_too(self):
+        counts: collections.Counter = collections.Counter()
+        ring = get_ring(4)
+        for key in KEYS:
+            counts.update(ring.owners(key, 2))
+        assert set(counts) == {0, 1, 2, 3}
+        ideal = 2 * len(KEYS) / 4
+        assert max(counts.values()) < 2 * ideal
+
+
+class TestResharding:
+    """The bound that makes rolling restarts cheap: adding one worker
+    moves ~1/N of the keys, not almost all of them (modulo's failure)."""
+
+    @pytest.mark.parametrize("workers", (2, 4, 7))
+    def test_adding_a_worker_moves_about_one_nth(self, workers):
+        before = get_ring(workers)
+        after = get_ring(workers + 1)
+        moved = sum(1 for key in KEYS
+                    if before.primary(key) != after.primary(key))
+        fraction = moved / len(KEYS)
+        expected = 1 / (workers + 1)
+        # The ideal is 1/(N+1); the vnode layout keeps the overshoot
+        # small.  Slack covers the committed layout's measured variance
+        # (~0.02-0.06 absolute across these sizes).
+        assert fraction <= expected + 0.08, (
+            f"{fraction:.3f} of keys moved; consistent hashing promises "
+            f"~{expected:.3f}"
+        )
+        # And it actually reshards — a broken ring that never moves keys
+        # would also pass the upper bound.
+        assert fraction > 0
+
+    def test_every_moved_key_moves_to_the_new_worker(self):
+        # Adding worker N must only *take* keys, never shuffle keys
+        # between the pre-existing workers.
+        workers = 4
+        before = get_ring(workers)
+        after = get_ring(workers + 1)
+        for key in KEYS:
+            old, new = before.primary(key), after.primary(key)
+            if old != new:
+                assert new == workers
+
+    def test_modulo_would_have_moved_most_keys(self):
+        # The motivating contrast, pinned so the advantage stays honest:
+        # under hash % N, growing 4 -> 5 workers remaps ~4/5 of keys.
+        import hashlib
+
+        def modulo(key: str, workers: int) -> int:
+            digest = hashlib.sha256(key.encode()).digest()
+            return int.from_bytes(digest[:8], "big") % workers
+
+        moved = sum(1 for key in KEYS if modulo(key, 4) != modulo(key, 5))
+        assert moved / len(KEYS) > 0.7
