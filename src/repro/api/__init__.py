@@ -24,8 +24,14 @@ implementation detail selected at :func:`connect` time:
   :class:`~repro.serve.cluster.PlanCluster`).
 * **Dispatch** (:mod:`repro.api.connect`) — ``connect("local:plans/")``,
   ``connect("http://host:8100")``, ``connect("cluster:plans/?workers=4")``.
-* **Studies** (:mod:`repro.api.study`) — the Fig. 6 sigma sweep replayed
-  through any client (:func:`variation_sweep_via_client`).
+* **Studies** (:mod:`repro.api.study`, :mod:`repro.serve.jobs`) —
+  asynchronous, checkpointed study jobs: submit a typed
+  :class:`StudySpec` sweep (models × sigmas) via
+  :meth:`Client.submit_study`, poll with :meth:`Client.get_study` /
+  :func:`wait_study`, collect a :class:`StudyResult` that is bit-identical
+  whether the job ran straight through or was killed and resumed.  The
+  Fig. 6 sigma sweep (:func:`variation_sweep_via_client`) is a thin
+  wrapper over one such job.
 
 All three backends return bit-identical float64 predictions for the same
 request; the backend-equivalence test matrix enforces it.
@@ -64,9 +70,16 @@ from repro.api.types import (
     ModelInfo,
     PredictRequest,
     PredictResult,
+    STUDY_STATES,
+    StudyCellResult,
+    StudyModel,
+    StudyResult,
+    StudySpec,
+    StudyStatus,
     bits_token,
     canonical_name,
     parse_bits_token,
+    study_spec,
 )
 
 if TYPE_CHECKING:  # the lazy names, visible to type checkers
@@ -77,6 +90,7 @@ if TYPE_CHECKING:  # the lazy names, visible to type checkers
         ClientSweepResult,
         SigmaPoint,
         variation_sweep_via_client,
+        wait_study,
     )
 
 #: Lazily resolved exports -> defining module.  These modules import the
@@ -91,6 +105,7 @@ _LAZY: Dict[str, str] = {
     "ClientSweepResult": "repro.api.study",
     "SigmaPoint": "repro.api.study",
     "variation_sweep_via_client": "repro.api.study",
+    "wait_study": "repro.api.study",
 }
 
 __all__ = [
@@ -115,7 +130,13 @@ __all__ = [
     "ModelNotFound",
     "PredictRequest",
     "PredictResult",
+    "STUDY_STATES",
     "SigmaPoint",
+    "StudyCellResult",
+    "StudyModel",
+    "StudyResult",
+    "StudySpec",
+    "StudyStatus",
     "WorkerDied",
     "bits_token",
     "canonical_name",
@@ -123,7 +144,9 @@ __all__ = [
     "error_for",
     "map_exception",
     "parse_bits_token",
+    "study_spec",
     "variation_sweep_via_client",
+    "wait_study",
 ]
 
 

@@ -42,8 +42,11 @@ from repro.api.types import (
     ModelInfo,
     PredictRequest,
     PredictResult,
+    StudySpec,
+    StudyStatus,
 )
 from repro.serve.cluster import PlanCluster
+from repro.serve.jobs import JobManager
 from repro.serve.service import InferenceService
 
 
@@ -60,6 +63,14 @@ class Client(Protocol):
 
     def ensemble(self, request: EnsembleRequest) -> EnsembleResult:
         """Seeded Monte-Carlo ensemble prediction under device variation."""
+        ...
+
+    def submit_study(self, spec: StudySpec) -> str:
+        """Submit an asynchronous study job; returns its job id."""
+        ...
+
+    def get_study(self, job_id: str) -> StudyStatus:
+        """Poll a study job: state, progress, and (when done) its result."""
         ...
 
     def models(self) -> List[ModelInfo]:
@@ -97,10 +108,36 @@ _ResultT = TypeVar("_ResultT")
 class _BackendClient:
     """Shared plumbing of the two backend-wrapping clients."""
 
-    def __init__(self, backend: Any, own_backend: bool) -> None:
+    def __init__(
+        self,
+        backend: Any,
+        own_backend: bool,
+        jobs_dir: Optional[str] = None,
+    ) -> None:
         self.backend = backend
         self.own_backend = own_backend
+        self.jobs_dir = jobs_dir
+        self._jobs: Optional[JobManager] = None
         self._closed = False
+
+    @property
+    def jobs(self) -> JobManager:
+        """The lazily created study-job manager of this client.
+
+        Jobs execute through the wrapped backend in this process; with
+        ``jobs_dir`` set they checkpoint there, and interrupted studies
+        found on disk resume the moment the manager is first used.
+        """
+        if self._jobs is None:
+            self._jobs = JobManager(self.backend, checkpoint_dir=self.jobs_dir)
+            self._jobs.resume()
+        return self._jobs
+
+    def submit_study(self, spec: StudySpec) -> str:
+        return self.jobs.submit(spec)
+
+    def get_study(self, job_id: str) -> StudyStatus:
+        return self.jobs.status(job_id)
 
     def models(self) -> List[ModelInfo]:
         try:
@@ -137,6 +174,8 @@ class _BackendClient:
         if self._closed:
             return
         self._closed = True
+        if self._jobs is not None:
+            self._jobs.close()
         if self.own_backend:
             self.backend.close()
 
@@ -166,8 +205,9 @@ class LocalClient(_BackendClient):
         service: InferenceService,
         own_backend: bool = True,
         timeout: Optional[float] = 60.0,
+        jobs_dir: Optional[str] = None,
     ) -> None:
-        super().__init__(service, own_backend)
+        super().__init__(service, own_backend, jobs_dir=jobs_dir)
         self.timeout = timeout
 
     @property
@@ -220,12 +260,13 @@ class ClusterClient(_BackendClient):
         worker_died_retries: int = 10,
         worker_died_backoff: float = 0.05,
         worker_died_backoff_cap: float = 1.0,
+        jobs_dir: Optional[str] = None,
     ) -> None:
         if worker_died_retries < 0:
             raise ValueError("worker_died_retries must be non-negative")
         if worker_died_backoff < 0 or worker_died_backoff_cap < 0:
             raise ValueError("worker_died backoffs must be non-negative")
-        super().__init__(cluster, own_backend)
+        super().__init__(cluster, own_backend, jobs_dir=jobs_dir)
         self.timeout = timeout
         # Ensembles run num_samples stacked passes, so they get the
         # cluster backend's larger default budget rather than inheriting

@@ -16,7 +16,7 @@ client sees is identical whether the decode failed locally or server-side.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -32,6 +32,11 @@ from repro.api.types import (
     EnsembleResult,
     PredictRequest,
     PredictResult,
+    StudyCellResult,
+    StudyModel,
+    StudyResult,
+    StudySpec,
+    StudyStatus,
     parse_bits_token,
 )
 from repro.runtime.wire import decode_array, encode_array
@@ -247,6 +252,204 @@ def decode_ensemble_result(body: Mapping[str, Any]) -> EnsembleResult:
         num_samples=num_samples,
         seed=seed,
         request_id=_decode_request_id(body.get("request_id")),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Studies
+# ---------------------------------------------------------------------- #
+def _int_field(value: Any, field: str) -> int:
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise InvalidRequest(f"{field} must be an int, not {value!r}")
+    return value
+
+
+def _number_field(value: Any, field: str) -> float:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise InvalidRequest(f"{field} must be a number, not {value!r}")
+    return float(value)
+
+
+def encode_study_spec(spec: StudySpec, encoding: str = "b64") -> Dict[str, Any]:
+    """Render a :class:`StudySpec` as a ``POST /v1/studies`` body."""
+    body: Dict[str, Any] = {
+        "models": [
+            {"model": m.model, "bits": m.bits, "mapping": m.mapping}
+            for m in spec.models
+        ],
+        "sigmas": list(spec.sigmas),
+        "num_samples": spec.num_samples,
+        "seed": spec.seed,
+        "images": encode_array(np.asarray(spec.images)),
+        "encoding": encoding,
+    }
+    if spec.labels is not None:
+        body["labels"] = encode_array(np.asarray(spec.labels))
+    if spec.request_id is not None:
+        body["request_id"] = spec.request_id
+    return body
+
+
+def decode_study_spec(body: Mapping[str, Any]) -> Tuple[StudySpec, str]:
+    """Parse a ``POST /v1/studies`` body; returns (spec, response encoding).
+
+    Shape and JSON types are checked here; the value invariants (positive
+    counts, finite sigmas, label alignment) live in :class:`StudySpec`
+    itself — every malformed body, however it is malformed, raises the
+    typed :class:`InvalidRequest` and nothing else.
+    """
+    if not isinstance(body, Mapping):
+        raise InvalidRequest(f"study spec must be an object, not {type(body).__name__}")
+    raw_models = _require(body, "models")
+    if not isinstance(raw_models, (list, tuple)):
+        raise InvalidRequest(
+            f"models must be a list of selectors, not {raw_models!r}"
+        )
+    selectors: List[StudyModel] = []
+    for item in raw_models:
+        if not isinstance(item, Mapping):
+            raise InvalidRequest(
+                f"model selectors must be objects, not {item!r}"
+            )
+        model, bits, mapping = _key_fields(item)
+        selectors.append(StudyModel(model=model, mapping=mapping, bits=bits))
+    labels = body.get("labels")
+    spec = StudySpec(
+        images=_decode_images(_require(body, "images")),
+        models=tuple(selectors),
+        sigmas=body.get("sigmas", (0.0, 0.05, 0.10, 0.15, 0.20, 0.25)),
+        num_samples=body.get("num_samples", 25),
+        seed=body.get("seed", 0),
+        labels=None if labels is None else _decode_images(labels),
+        request_id=_decode_request_id(body.get("request_id")),
+    )
+    return spec, response_encoding(body)
+
+
+def encode_study_cell(
+    cell: StudyCellResult, encoding: str = "b64"
+) -> Dict[str, Any]:
+    """Render one completed study cell (checkpoint / wire form)."""
+    return {
+        "model": cell.model,
+        "bits": cell.bits,
+        "mapping": cell.mapping,
+        "sigma_fraction": cell.sigma_fraction,
+        "mean_logits": encode_array(
+            np.asarray(cell.mean_logits), encoding=encoding
+        ),
+        "predictions": encode_array(
+            np.asarray(cell.predictions, dtype=np.int64), encoding=encoding
+        ),
+        "confidence": encode_array(
+            np.asarray(cell.confidence, dtype=np.float64), encoding=encoding
+        ),
+        "accuracy": cell.accuracy,
+    }
+
+
+def decode_study_cell(body: Mapping[str, Any]) -> StudyCellResult:
+    """Inverse of :func:`encode_study_cell` (bit-exact for b64 arrays)."""
+    if not isinstance(body, Mapping):
+        raise InvalidRequest(f"study cell must be an object, not {type(body).__name__}")
+    model, bits, mapping = _key_fields(body)
+    accuracy = body.get("accuracy")
+    return StudyCellResult(
+        model=model,
+        bits=bits,
+        mapping=mapping,
+        sigma_fraction=_number_field(
+            _require(body, "sigma_fraction"), "sigma_fraction"
+        ),
+        mean_logits=_decode_images(_require(body, "mean_logits")),
+        predictions=_decode_images(_require(body, "predictions")),
+        confidence=_decode_images(_require(body, "confidence")),
+        accuracy=None if accuracy is None
+        else _number_field(accuracy, "accuracy"),
+    )
+
+
+def encode_study_result(
+    result: StudyResult, encoding: str = "b64"
+) -> Dict[str, Any]:
+    """Render a completed :class:`StudyResult`."""
+    return {
+        "job_id": result.job_id,
+        "num_samples": result.num_samples,
+        "seed": result.seed,
+        "cells": [encode_study_cell(cell, encoding) for cell in result.cells],
+    }
+
+
+def decode_study_result(body: Mapping[str, Any]) -> StudyResult:
+    """Inverse of :func:`encode_study_result`."""
+    if not isinstance(body, Mapping):
+        raise InvalidRequest(
+            f"study result must be an object, not {type(body).__name__}"
+        )
+    cells = _require(body, "cells")
+    if not isinstance(cells, (list, tuple)):
+        raise InvalidRequest(f"cells must be a list, not {cells!r}")
+    job_id = _require(body, "job_id")
+    if not isinstance(job_id, str) or not job_id:
+        raise InvalidRequest(f"job_id must be a non-empty string, not {job_id!r}")
+    return StudyResult(
+        job_id=job_id,
+        cells=tuple(decode_study_cell(cell) for cell in cells),
+        num_samples=_int_field(_require(body, "num_samples"), "num_samples"),
+        seed=_int_field(_require(body, "seed"), "seed"),
+    )
+
+
+def encode_study_status(
+    status: StudyStatus, encoding: str = "b64"
+) -> Dict[str, Any]:
+    """Render a :class:`StudyStatus` as the ``GET /v1/studies/{id}`` body."""
+    body: Dict[str, Any] = {
+        "job_id": status.job_id,
+        "state": status.state,
+        "cells_total": status.cells_total,
+        "cells_done": status.cells_done,
+        "retries": status.retries,
+    }
+    if status.error_code is not None:
+        body["error_code"] = status.error_code
+        body["error_message"] = status.error_message
+    if status.result is not None:
+        body["result"] = encode_study_result(status.result, encoding)
+    return body
+
+
+def decode_study_status(body: Mapping[str, Any]) -> StudyStatus:
+    """Inverse of :func:`encode_study_status`."""
+    if not isinstance(body, Mapping):
+        raise InvalidRequest(
+            f"study status must be an object, not {type(body).__name__}"
+        )
+    job_id = _require(body, "job_id")
+    if not isinstance(job_id, str) or not job_id:
+        raise InvalidRequest(f"job_id must be a non-empty string, not {job_id!r}")
+    state = _require(body, "state")
+    if not isinstance(state, str):
+        raise InvalidRequest(f"state must be a string, not {state!r}")
+    error_code = body.get("error_code")
+    error_message = body.get("error_message")
+    if error_code is not None and not isinstance(error_code, str):
+        raise InvalidRequest(f"error_code must be a string, not {error_code!r}")
+    if error_message is not None and not isinstance(error_message, str):
+        raise InvalidRequest(
+            f"error_message must be a string, not {error_message!r}"
+        )
+    result = body.get("result")
+    return StudyStatus(
+        job_id=job_id,
+        state=state,
+        cells_total=_int_field(_require(body, "cells_total"), "cells_total"),
+        cells_done=_int_field(_require(body, "cells_done"), "cells_done"),
+        retries=_int_field(body.get("retries", 0), "retries"),
+        error_code=error_code,
+        error_message=error_message,
+        result=None if result is None else decode_study_result(result),
     )
 
 

@@ -11,7 +11,9 @@ site:
     returns a :class:`~repro.api.client.LocalClient` that owns both.
     ``precision=int8`` (or ``int16``/``float32``) serves every plan through
     :meth:`~repro.runtime.plan.InferencePlan.with_precision` — grid-exact
-    weight ops run on the integer kernels.
+    weight ops run on the integer kernels.  ``max_batch=auto`` turns on the
+    adaptive micro-batch cap; ``jobs_dir=PATH`` makes study jobs
+    (``client.submit_study``) checkpoint and resume there.
 ``http://host:port``  (or ``https://``)
     Return an :class:`~repro.api.http_client.HttpClient` for a running
     :class:`~repro.serve.http.PlanServer` (options: ``token``,
@@ -53,6 +55,14 @@ from repro.serve.cluster import PlanCluster
 from repro.serve.registry import PlanRegistry
 from repro.serve.service import InferenceService
 
+def _parse_max_batch(text: str) -> Any:
+    """``max_batch`` query value: an int cap, or ``auto`` for the adaptive
+    probe-don't-tune cap (:class:`~repro.serve.scheduler.AdaptiveMaxBatch`)."""
+    if text.strip().lower() == "auto":
+        return "auto"
+    return int(text)
+
+
 def _parse_bool(text: str) -> bool:
     """Parse a query-string boolean (``auto_restart=true`` and friends)."""
     lowered = text.strip().lower()
@@ -76,20 +86,21 @@ def _parse_shm_threshold(text: str) -> Any:
 #: parser applied to the (string) query value.
 _LOCAL_PARAMS: Dict[str, Callable[[str], Any]] = {
     "capacity": int,
-    "max_batch": int,
+    "max_batch": _parse_max_batch,
     "max_wait_ms": float,
     "max_queue_depth": int,
     "max_concurrent_ensembles": int,
     "ensemble_cache_size": int,
     "precision": str,
     "timeout": float,
+    "jobs_dir": str,
 }
 _CLUSTER_PARAMS: Dict[str, Callable[[str], Any]] = {
     "workers": int,
     "replicas": int,
     "vnodes": int,
     "capacity": int,
-    "max_batch": int,
+    "max_batch": _parse_max_batch,
     "max_wait_ms": float,
     "max_queue_depth": int,
     "max_concurrent_ensembles": int,
@@ -108,6 +119,7 @@ _CLUSTER_PARAMS: Dict[str, Callable[[str], Any]] = {
     "worker_died_backoff": float,
     "worker_died_backoff_cap": float,
     "log_dir": str,
+    "jobs_dir": str,
 }
 _HTTP_PARAMS: Dict[str, Callable[[str], Any]] = {
     "token": str,
@@ -185,9 +197,11 @@ def connect(target: str, **options: Any) -> Client:
         )
         timeout = params.pop("timeout", 60.0)
         capacity = params.pop("capacity", 4)
+        jobs_dir = params.pop("jobs_dir", None)
         registry = PlanRegistry(path, capacity=capacity)
         service = InferenceService(registry, **params)
-        return LocalClient(service, own_backend=True, timeout=timeout)
+        return LocalClient(service, own_backend=True, timeout=timeout,
+                           jobs_dir=jobs_dir)
 
     if scheme == "cluster":
         path, params = _parse_directory_target(
@@ -195,6 +209,7 @@ def connect(target: str, **options: Any) -> Client:
         )
         timeout = params.pop("timeout", 60.0)
         ensemble_timeout = params.pop("ensemble_timeout", 120.0)
+        jobs_dir = params.pop("jobs_dir", None)
         client_options = {
             key: params.pop(key)
             for key in ("worker_died_retries", "worker_died_backoff",
@@ -205,7 +220,7 @@ def connect(target: str, **options: Any) -> Client:
         cluster = PlanCluster(path, **params)
         return ClusterClient(cluster, own_backend=True, timeout=timeout,
                              ensemble_timeout=ensemble_timeout,
-                             **client_options)
+                             jobs_dir=jobs_dir, **client_options)
 
     raise ValueError(
         f"unrecognised connect target {target!r}; expected 'local:DIR', "

@@ -42,8 +42,10 @@ from repro.api.codec import (
     decode_ensemble_result,
     decode_error,
     decode_predict_result,
+    decode_study_status,
     encode_ensemble_request,
     encode_predict_request,
+    encode_study_spec,
 )
 from repro.api.errors import ApiConnectionError, ApiTimeout, InvalidRequest
 from repro.api.types import (
@@ -53,6 +55,8 @@ from repro.api.types import (
     ModelInfo,
     PredictRequest,
     PredictResult,
+    StudySpec,
+    StudyStatus,
 )
 from repro.obs.tracing import REQUEST_ID_HEADER, ensure_request_id
 
@@ -287,6 +291,33 @@ class HttpClient:
         if result.request_id is None:  # pre-tracing server
             result = replace(result, request_id=request_id)
         return result
+
+    def submit_study(self, spec: StudySpec) -> str:
+        """Submit a study job to the server; returns its job id.
+
+        Submission is idempotent on the server side only at the cell
+        level; the POST itself is retried like every other call because a
+        resubmitted study merely starts a second job computing identical
+        (deterministic, seeded) results.
+        """
+        request_id = ensure_request_id(spec.request_id)
+        body = self._call(
+            "POST", "/v1/studies",
+            encode_study_spec(spec, encoding=self.encoding),
+            request_id=request_id,
+        )
+        if not isinstance(body, Mapping):
+            raise InvalidRequest(f"malformed study response: {body!r}")
+        return decode_study_status(body).job_id
+
+    def get_study(self, job_id: str) -> StudyStatus:
+        """Poll one study job: state, progress, result when done."""
+        if not isinstance(job_id, str) or not job_id:
+            raise InvalidRequest("job_id must be a non-empty string")
+        body = self._call("GET", f"/v1/studies/{job_id}")
+        if not isinstance(body, Mapping):
+            raise InvalidRequest(f"malformed study response: {body!r}")
+        return decode_study_status(body)
 
     def models(self) -> List[ModelInfo]:
         body = self._call("GET", "/v1/models")

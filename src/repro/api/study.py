@@ -2,11 +2,18 @@
 
 :func:`variation_sweep_via_client` replays the paper's device-variation
 protocol — accuracy versus sigma, averaged over seeded Monte-Carlo draws —
-as a sequence of :class:`~repro.api.types.EnsembleRequest` calls against
-*any* :class:`~repro.api.client.Client`.  Because every backend returns
-bit-identical ensembles for the same seeded request, the sweep result is
-the same whether it ran in-process, over HTTP, or against a cluster —
-which turns the study itself into a serving-equivalence certificate.
+against *any* :class:`~repro.api.client.Client`.  It is now a thin wrapper
+over the asynchronous study-job subsystem (:mod:`repro.serve.jobs`): the
+sweep is submitted as one :class:`~repro.api.types.StudySpec`, executed as
+checkpointed, resumable cells, and folded back into the same
+:class:`ClientSweepResult` rows as before.  Because every cell is a pure
+function of the seeded request, the sweep result is bit-identical whether
+it ran in-process, over HTTP, or against a cluster — and whether the job
+ran straight through or was killed and resumed half-way.
+
+:func:`wait_study` is the blocking half of the async pair: poll a
+submitted job until it finishes and return its typed
+:class:`~repro.api.types.StudyResult` (or resurrect the job's typed error).
 
 (The training side of Fig. 6 still lives in
 :func:`repro.experiments.fig6.run_variation_study` /
@@ -16,13 +23,15 @@ which turns the study itself into a serving-equivalence certificate.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.api.client import Client
-from repro.api.types import EnsembleRequest
+from repro.api.errors import ApiTimeout, error_for
+from repro.api.types import StudyResult, StudySpec, study_spec
 
 
 @dataclass(frozen=True)
@@ -65,6 +74,41 @@ class ClientSweepResult:
         ]
 
 
+def wait_study(
+    client: Client,
+    job_id: str,
+    timeout: Optional[float] = 120.0,
+    poll_interval: float = 0.05,
+) -> StudyResult:
+    """Poll ``job_id`` on ``client`` until it finishes; typed result out.
+
+    A failed job resurrects its typed error (the same
+    :class:`~repro.api.errors.ApiError` subclass the failing cell raised);
+    a job still running at ``timeout`` raises
+    :class:`~repro.api.errors.ApiTimeout` — the job itself keeps running
+    (and checkpointing), so a later :meth:`Client.get_study` can still
+    collect it.
+    """
+    deadline = (
+        None if timeout is None else time.monotonic() + float(timeout)
+    )
+    while True:
+        status = client.get_study(job_id)
+        if status.failed:
+            raise error_for(
+                status.error_code or "server_error", 500,
+                status.error_message or f"study job {job_id!r} failed",
+            )
+        if status.done and status.result is not None:
+            return status.result
+        if deadline is not None and time.monotonic() >= deadline:
+            raise ApiTimeout(
+                f"study job {job_id!r} still running after {timeout}s "
+                f"({status.cells_done}/{status.cells_total} cells done)"
+            )
+        time.sleep(poll_interval)
+
+
 def variation_sweep_via_client(
     client: Client,
     images: Any,
@@ -76,13 +120,17 @@ def variation_sweep_via_client(
     sigmas: Sequence[float] = (0.0, 0.05, 0.10, 0.15, 0.20, 0.25),
     num_samples: int = 25,
     seed: int = 0,
+    timeout: Optional[float] = 600.0,
 ) -> ClientSweepResult:
     """Sweep ensemble accuracy over ``sigmas`` for one published plan.
 
-    For each sigma, one seeded :class:`EnsembleRequest` covers the whole
-    evaluation batch; accuracy scores the majority-vote predictions against
-    ``labels``, and the confidence statistics summarise how stable the
-    votes are under that much device variation.
+    The sweep is one single-model :class:`StudySpec` submitted through
+    :meth:`Client.submit_study`: each sigma becomes one checkpointed cell,
+    accuracy scores the majority-vote predictions against ``labels``, and
+    the confidence statistics summarise how stable the votes are under
+    that much device variation.  Cells are seeded and idempotent, so the
+    rows are bit-identical to issuing the ensembles synchronously — and
+    survive a worker or manager death mid-sweep.
     """
     image_array = np.asarray(images)
     label_array = np.asarray(labels)
@@ -91,22 +139,29 @@ def variation_sweep_via_client(
             f"labels must be one per image; got images {image_array.shape} "
             f"and labels {label_array.shape}"
         )
+    spec: StudySpec = study_spec(
+        images=image_array,
+        models=[(model, mapping, bits)],
+        sigmas=[float(sigma) for sigma in sigmas],
+        num_samples=num_samples,
+        seed=seed,
+        labels=label_array,
+    )
+    job_id = client.submit_study(spec)
+    result = wait_study(client, job_id, timeout=timeout)
     points: List[SigmaPoint] = []
-    for sigma in sigmas:
-        result = client.ensemble(EnsembleRequest(
-            images=image_array,
-            model=model,
-            mapping=mapping,
-            bits=bits,
-            sigma_fraction=float(sigma),
-            num_samples=num_samples,
-            seed=seed,
-        ))
-        predictions = np.asarray(result.predictions)
-        confidence = np.asarray(result.confidence, dtype=np.float64)
+    for cell in result.cells:
+        confidence = np.asarray(cell.confidence, dtype=np.float64)
+        accuracy = (
+            cell.accuracy
+            if cell.accuracy is not None
+            else float(
+                (np.asarray(cell.predictions) == label_array).mean()
+            )
+        )
         points.append(SigmaPoint(
-            sigma_fraction=float(sigma),
-            accuracy=float((predictions == label_array).mean()),
+            sigma_fraction=float(cell.sigma_fraction),
+            accuracy=float(accuracy),
             mean_confidence=float(confidence.mean()),
             stable_fraction=float((confidence == 1.0).mean()),
         ))

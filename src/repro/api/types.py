@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -201,7 +201,8 @@ class ModelInfo:
     """One catalogue entry: a published plan and its content digest.
 
     ``worker`` is the owning shard index when the listing came from a
-    cluster backend; ``None`` for single-process backends.
+    cluster backend; ``None`` for single-process backends.  ``version`` is
+    the plan's rollout version (1 = the original, unsuffixed artifact).
     """
 
     model: str
@@ -211,6 +212,7 @@ class ModelInfo:
     digest: str
     size_bytes: int
     worker: Optional[int] = None
+    version: int = 1
 
     @classmethod
     def from_wire(cls, entry: Mapping[str, Any]) -> "ModelInfo":
@@ -225,6 +227,7 @@ class ModelInfo:
                 size_bytes=int(entry["size_bytes"]),
                 worker=None if entry.get("worker") is None
                 else int(entry["worker"]),
+                version=int(entry.get("version", 1)),
             )
         except (KeyError, TypeError, ValueError) as error:
             raise InvalidRequest(
@@ -237,6 +240,7 @@ class ModelInfo:
             "model": self.model,
             "bits": self.bits,
             "mapping": self.mapping,
+            "version": self.version,
             "name": self.name,
             "digest": self.digest,
             "size_bytes": self.size_bytes,
@@ -278,6 +282,248 @@ class HealthStatus:
                    detail=None if workers is None else dict(workers))
 
 
+@dataclass(frozen=True)
+class StudyModel:
+    """One plan selector inside a :class:`StudySpec` (a model/mapping/bits
+    triple — the same addressing vocabulary as the per-request types)."""
+
+    model: str
+    mapping: str
+    bits: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _validate_key_fields(self.model, self.mapping, self.bits)
+
+    @property
+    def name(self) -> str:
+        """Canonical name of the plan this selector addresses."""
+        return canonical_name(self.model, self.bits, self.mapping)
+
+
+@dataclass(frozen=True, eq=False)
+class StudySpec:
+    """A typed sweep specification: model selectors × sigma grid × ensemble
+    parameters, submitted as one asynchronous study job.
+
+    The job decomposes into ``len(models) * len(sigmas)`` *cells*, one
+    seeded :class:`EnsembleRequest` each — idempotent pure functions of the
+    spec, which is what makes checkpoint/resume bit-exact.  When ``labels``
+    is given (one int per image), every cell also scores majority-vote
+    accuracy against it.
+    """
+
+    images: np.ndarray
+    models: Tuple[StudyModel, ...]
+    sigmas: Tuple[float, ...] = (0.0, 0.05, 0.10, 0.15, 0.20, 0.25)
+    num_samples: int = 25
+    seed: int = 0
+    labels: Optional[np.ndarray] = None
+    request_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        images = np.asarray(self.images)
+        if images.ndim < 1 or images.shape[0] < 1:
+            raise InvalidRequest(
+                f"images must have a non-empty leading batch axis, "
+                f"got shape {images.shape}"
+            )
+        object.__setattr__(self, "images", images)
+        models = tuple(self.models) if isinstance(
+            self.models, (tuple, list)
+        ) else None
+        if not models:
+            raise InvalidRequest(
+                f"models must be a non-empty sequence of StudyModel, "
+                f"not {self.models!r}"
+            )
+        for selector in models:
+            if not isinstance(selector, StudyModel):
+                raise InvalidRequest(
+                    f"models entries must be StudyModel, not {selector!r}"
+                )
+        object.__setattr__(self, "models", models)
+        sigmas = tuple(self.sigmas) if isinstance(
+            self.sigmas, (tuple, list)
+        ) else None
+        if not sigmas:
+            raise InvalidRequest(
+                f"sigmas must be a non-empty sequence of numbers, "
+                f"not {self.sigmas!r}"
+            )
+        cleaned: List[float] = []
+        for sigma in sigmas:
+            if (
+                isinstance(sigma, bool)
+                or not isinstance(sigma, (int, float))
+                or not math.isfinite(sigma)
+                or sigma < 0
+            ):
+                raise InvalidRequest(
+                    f"sigmas must be non-negative finite numbers, got {sigma!r}"
+                )
+            cleaned.append(float(sigma))
+        object.__setattr__(self, "sigmas", tuple(cleaned))
+        if isinstance(self.num_samples, bool) or not isinstance(
+            self.num_samples, int
+        ) or self.num_samples < 1:
+            raise InvalidRequest(
+                f"num_samples must be a positive integer, not {self.num_samples!r}"
+            )
+        if isinstance(self.seed, bool) or not isinstance(self.seed, int) \
+                or self.seed < 0:
+            raise InvalidRequest(
+                f"seed must be a non-negative integer, not {self.seed!r}"
+            )
+        if self.labels is not None:
+            labels = np.asarray(self.labels)
+            if labels.ndim != 1 or labels.shape[0] != images.shape[0]:
+                raise InvalidRequest(
+                    f"labels must be one per image; got images "
+                    f"{images.shape} and labels {labels.shape}"
+                )
+            object.__setattr__(self, "labels", labels)
+        _validate_request_id(self.request_id)
+
+    @property
+    def cell_count(self) -> int:
+        """Total cells this spec decomposes into (model-major order)."""
+        return len(self.models) * len(self.sigmas)
+
+    def cell(self, index: int) -> Tuple[StudyModel, float]:
+        """The (selector, sigma) pair of cell ``index`` (model-major)."""
+        if not 0 <= index < self.cell_count:
+            raise InvalidRequest(
+                f"cell index {index} out of range for {self.cell_count} cells"
+            )
+        return (
+            self.models[index // len(self.sigmas)],
+            self.sigmas[index % len(self.sigmas)],
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class StudyCellResult:
+    """One completed cell: the ensemble aggregates for (selector, sigma).
+
+    ``accuracy`` is the majority-vote accuracy against the spec's labels,
+    or ``None`` when the study ran unlabelled.
+    """
+
+    model: str
+    bits: Optional[int]
+    mapping: str
+    sigma_fraction: float
+    mean_logits: np.ndarray
+    predictions: np.ndarray
+    confidence: np.ndarray
+    accuracy: Optional[float] = None
+
+    @property
+    def name(self) -> str:
+        return canonical_name(self.model, self.bits, self.mapping)
+
+
+@dataclass(frozen=True, eq=False)
+class StudyResult:
+    """The completed study: every cell, model-major then sigma-minor —
+    exactly the spec's decomposition order, independent of the order cells
+    actually finished (or were resumed) in."""
+
+    job_id: str
+    cells: Tuple[StudyCellResult, ...]
+    num_samples: int
+    seed: int
+
+    def for_model(self, model: str, mapping: str,
+                  bits: Optional[int] = None) -> Tuple[StudyCellResult, ...]:
+        """The cells of one selector, in sigma order."""
+        name = canonical_name(model, bits, mapping)
+        return tuple(cell for cell in self.cells if cell.name == name)
+
+
+#: The three states a study job can be in.
+STUDY_STATES = ("running", "done", "failed")
+
+
+@dataclass(frozen=True, eq=False)
+class StudyStatus:
+    """Progress snapshot of one study job (``GET /v1/studies/{id}``).
+
+    ``retries`` counts transient-failure re-executions (worker deaths,
+    timeouts) — informational only; it never appears inside
+    :class:`StudyResult`, which stays bit-identical whether or not the run
+    was interrupted.  ``result`` is populated once ``state == "done"``;
+    ``error_code``/``error_message`` once ``state == "failed"``.
+    """
+
+    job_id: str
+    state: str
+    cells_total: int
+    cells_done: int
+    retries: int = 0
+    error_code: Optional[str] = None
+    error_message: Optional[str] = None
+    result: Optional[StudyResult] = None
+
+    def __post_init__(self) -> None:
+        if self.state not in STUDY_STATES:
+            raise InvalidRequest(
+                f"state must be one of {STUDY_STATES}, not {self.state!r}"
+            )
+
+    @property
+    def done(self) -> bool:
+        return self.state == "done"
+
+    @property
+    def failed(self) -> bool:
+        return self.state == "failed"
+
+
+def study_spec(
+    images: Any,
+    models: Sequence[Any],
+    *,
+    sigmas: Sequence[float] = (0.0, 0.05, 0.10, 0.15, 0.20, 0.25),
+    num_samples: int = 25,
+    seed: int = 0,
+    labels: Optional[Any] = None,
+    request_id: Optional[str] = None,
+) -> StudySpec:
+    """Convenience constructor: accepts ``(model, mapping)`` /
+    ``(model, mapping, bits)`` tuples or dicts alongside
+    :class:`StudyModel` instances."""
+    selectors: List[StudyModel] = []
+    for item in models:
+        if isinstance(item, StudyModel):
+            selectors.append(item)
+        elif isinstance(item, Mapping):
+            selectors.append(StudyModel(
+                model=item.get("model"),  # type: ignore[arg-type]
+                mapping=item.get("mapping"),  # type: ignore[arg-type]
+                bits=item.get("bits"),
+            ))
+        elif isinstance(item, Sequence) and not isinstance(item, str) \
+                and len(item) in (2, 3):
+            bits = item[2] if len(item) == 3 else None
+            selectors.append(StudyModel(model=item[0], mapping=item[1],
+                                        bits=bits))
+        else:
+            raise InvalidRequest(
+                f"cannot interpret model selector {item!r}; pass a "
+                f"StudyModel, a (model, mapping[, bits]) tuple, or a dict"
+            )
+    return StudySpec(
+        images=np.asarray(images),
+        models=tuple(selectors),
+        sigmas=tuple(sigmas),
+        num_samples=num_samples,
+        seed=seed,
+        labels=None if labels is None else np.asarray(labels),
+        request_id=request_id,
+    )
+
+
 # Explicit names help `from repro.api.types import *` stay intentional and
 # give the lazily re-exporting package __init__ one list to mirror.
 __all__ = [
@@ -287,7 +533,14 @@ __all__ = [
     "ModelInfo",
     "PredictRequest",
     "PredictResult",
+    "STUDY_STATES",
+    "StudyCellResult",
+    "StudyModel",
+    "StudyResult",
+    "StudySpec",
+    "StudyStatus",
     "bits_token",
     "canonical_name",
     "parse_bits_token",
+    "study_spec",
 ]

@@ -31,6 +31,15 @@ such plans to concurrent clients over the network":
 * :func:`run_variation_study_parallel` (:mod:`repro.serve.pool`) — the
   Fig. 6 study fanned out over a process pool, one worker per independent
   (bits, mapping) training cell.
+* :class:`JobManager` (:mod:`repro.serve.jobs`) — asynchronous study jobs:
+  a typed sweep spec decomposed into idempotent cells, executed through
+  any typed backend, checkpointed to disk after every cell
+  (write-rename), and resumed after a worker or manager death with zero
+  lost cells.
+* Versioned rollout (:mod:`repro.serve.registry`) — ``__vN`` plan
+  artifacts published alongside v1, a deterministic per-request-id canary
+  split (:func:`canary_bucket`), and atomic promote/rollback without a
+  restart.
 
 ``python -m repro.serve --plan-dir DIR [--workers N]`` starts the HTTP
 endpoint over either backend (:mod:`repro.serve.__main__`).
@@ -48,18 +57,29 @@ from repro.serve.registry import (
     PlanEntry,
     PlanKey,
     PlanRegistry,
+    RolloutEntry,
+    canary_bucket,
     parse_bits,
 )
-from repro.serve.scheduler import MicroBatchScheduler, SchedulerStats
+from repro.serve.scheduler import (
+    AUTO_MAX_BATCH,
+    AdaptiveMaxBatch,
+    MicroBatchScheduler,
+    SchedulerStats,
+)
 from repro.serve.service import InferenceService, VariationPrediction
 from repro.serve.http import PlanServer, RequestError
 from repro.serve.cluster import PlanCluster, shard_index
 from repro.serve.shm import DEFAULT_SHM_THRESHOLD, ShmRef
+from repro.serve.jobs import JobManager
 from repro.serve.pool import StudyCell, run_study_cell, run_variation_study_parallel
 
 __all__ = [
+    "AUTO_MAX_BATCH",
+    "AdaptiveMaxBatch",
     "DEFAULT_SHM_THRESHOLD",
     "InferenceService",
+    "JobManager",
     "MicroBatchScheduler",
     "PlanArtifactError",
     "PlanCluster",
@@ -68,10 +88,12 @@ __all__ = [
     "PlanRegistry",
     "PlanServer",
     "RequestError",
+    "RolloutEntry",
     "SchedulerStats",
     "ShmRef",
     "StudyCell",
     "VariationPrediction",
+    "canary_bucket",
     "parse_bits",
     "run_study_cell",
     "run_variation_study_parallel",

@@ -65,8 +65,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "model served by this many distinct workers, "
                              "capped by --workers; 1 restores single-owner "
                              "sharding (default: 2, cluster backend only)")
-    parser.add_argument("--max-batch", type=int, default=64,
-                        help="micro-batch row cap per scheduler (default: 64)")
+    parser.add_argument("--max-batch", default="64",
+                        help="micro-batch row cap per scheduler, or 'auto' "
+                             "for the adaptive probe-don't-tune cap "
+                             "(default: 64)")
     parser.add_argument("--max-wait-ms", type=float, default=2.0,
                         help="micro-batch coalescing window (default: 2.0)")
     parser.add_argument("--capacity", type=int, default=4,
@@ -112,6 +114,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write one logfmt file per worker process "
                              "(worker-N.log) carrying every request's trace "
                              "id (cluster backend only)")
+    parser.add_argument("--jobs-dir", default=None, metavar="DIR",
+                        help="checkpoint study jobs (POST /v1/studies) here "
+                             "so interrupted studies resume on restart "
+                             "(default: in-memory only)")
     parser.add_argument("--run-for", type=float, default=None,
                         help="serve for N seconds then exit (default: forever)")
     parser.add_argument("--quiet", action="store_true",
@@ -131,9 +137,13 @@ def build_backend(args: argparse.Namespace):
     Routed through :func:`repro.api.connect` so the CLI, the examples, and
     library consumers all construct backends the exact same way.
     """
+    max_batch = (
+        "auto" if str(args.max_batch).strip().lower() == "auto"
+        else int(args.max_batch)
+    )
     options = {
         "capacity": args.capacity,
-        "max_batch": args.max_batch,
+        "max_batch": max_batch,
         "max_wait_ms": args.max_wait_ms,
     }
     if args.max_queue_depth is not None:
@@ -172,6 +182,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         backend, host=args.host, port=args.port, verbose=not args.quiet,
         auth_token=args.auth_token,
         tls_cert=args.tls_cert, tls_key=args.tls_key,
+        jobs_dir=args.jobs_dir,
     )
     server.start()
     models = backend.models()
@@ -187,8 +198,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         shard = f"  worker {entry['worker']}" if "worker" in entry else ""
         print(f"  {entry['name']:32s} digest={entry['digest'][:12]}{shard}")
     print("endpoints: POST /v1/predict  POST /v1/predict_under_variation  "
+          "POST /v1/studies  GET /v1/studies/{id}  "
           "GET /v1/models  GET /v1/stats  GET /healthz  GET /metrics  "
-          "GET /admin/workers  POST /admin/restart_worker  POST /admin/drain")
+          "GET /admin/workers  POST /admin/restart_worker  POST /admin/drain  "
+          "GET /admin/rollout  POST /admin/canary  POST /admin/promote  "
+          "POST /admin/rollback")
     guards = []
     if args.auth_token is not None:
         guards.append("bearer-token auth")

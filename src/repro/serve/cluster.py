@@ -83,7 +83,7 @@ import os
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -151,7 +151,7 @@ def _worker_main(
     conn,
     directory: str,
     capacity: int,
-    max_batch: int,
+    max_batch: Union[int, str],
     max_wait_ms: float,
     handler_threads: int,
     max_queue_depth: Optional[int] = None,
@@ -281,7 +281,8 @@ class _WorkerClient:
     """One worker process: pipe, pending-future table, receiver thread."""
 
     def __init__(self, context, index: int, directory: str, capacity: int,
-                 max_batch: int, max_wait_ms: float, handler_threads: int,
+                 max_batch: Union[int, str], max_wait_ms: float,
+                 handler_threads: int,
                  max_queue_depth: Optional[int] = None,
                  max_concurrent_ensembles: Optional[int] = None,
                  shm_threshold: Optional[int] = None,
@@ -528,7 +529,7 @@ class PlanCluster:
         replicas: int = DEFAULT_REPLICAS,
         vnodes: int = DEFAULT_VNODES,
         capacity: int = 4,
-        max_batch: int = 64,
+        max_batch: Union[int, str] = 64,
         max_wait_ms: float = 2.0,
         handler_threads: int = 4,
         start_method: str = "spawn",
@@ -733,11 +734,14 @@ class PlanCluster:
         available = [not worker.dead and not breakers[worker.index]
                      for worker in workers]
         samples = []
-        for key in self.catalogue.keys():
-            owners = self._ring.owners(key.canonical(),
-                                       self.effective_replicas)
+        # Ring placement is version-blind: a __v2 artifact lives on the same
+        # shards as its base model, so requests routed by base key can be
+        # canaried onto it inside the worker without re-routing.
+        for base in dict.fromkeys(k.base_canonical()
+                                  for k in self.catalogue.keys()):
+            owners = self._ring.owners(base, self.effective_replicas)
             live = sum(1 for index in owners if available[index])
-            samples.append(({"model": key.canonical()}, float(live)))
+            samples.append(({"model": base}, float(live)))
         return samples
 
     def _collect_shm(self, which: str):
@@ -827,13 +831,15 @@ class PlanCluster:
                 "restarts": restarts[index] if index < len(restarts) else 0,
             }
         models: Dict[str, Dict[str, object]] = {}
-        for key in self.catalogue.keys():
-            owners = self._ring.owners(key.canonical(),
-                                       self.effective_replicas)
+        # Version-blind placement: all versions of a model share the base
+        # stem's ring owners, so health is reported once per base model.
+        for base in dict.fromkeys(k.base_canonical()
+                                  for k in self.catalogue.keys()):
+            owners = self._ring.owners(base, self.effective_replicas)
             live = sum(1 for index in owners if available[index])
             state = ("ok" if live == len(owners)
                      else "degraded" if live else "down")
-            models[key.canonical()] = {
+            models[base] = {
                 "replicas": len(owners), "live": live, "state": state,
             }
         detail["models"] = models
@@ -852,13 +858,13 @@ class PlanCluster:
             worker.index: {"primary": [], "replica": []}
             for worker in workers
         }
-        for key in self.catalogue.keys():
-            owners = self._ring.owners(key.canonical(),
-                                       self.effective_replicas)
+        for base in dict.fromkeys(k.base_canonical()
+                                  for k in self.catalogue.keys()):
+            owners = self._ring.owners(base, self.effective_replicas)
             for position, index in enumerate(owners):
                 if index in ownership:
                     role = "primary" if position == 0 else "replica"
-                    ownership[index][role].append(key.canonical())
+                    ownership[index][role].append(base)
         described: List[Dict[str, object]] = []
         for worker in workers:
             index = worker.index
@@ -1030,6 +1036,60 @@ class PlanCluster:
             except Exception:  # noqa: BLE001 - dead replica heals on respawn
                 continue
         self._refresh_broadcasts.inc()
+
+    # ------------------------------------------------------------------ #
+    # Versioned rollout (admin surface; the shared plan directory is the
+    # source of truth, so one `_rollout.json` write is seen by every
+    # worker's registry on its next stat of the file)
+    # ------------------------------------------------------------------ #
+    def set_canary(
+        self,
+        model: str,
+        bits: Optional[int],
+        mapping: str,
+        version: int,
+        fraction: float,
+    ) -> Dict[str, Any]:
+        """Canary ``fraction`` of traffic onto ``version``, cluster-wide.
+
+        The refresh broadcast makes every replica index the versioned
+        artifact *before* the first canaried request can route to it —
+        without it only the replica that happened to take the first
+        request would heal via its KeyError path.
+        """
+        state = self.catalogue.set_canary(model, bits, mapping, version,
+                                          fraction)
+        self.refresh_workers()
+        log_event(_LOG, "rollout_canary", model=model, mapping=mapping,
+                  bits=bits, version=version, fraction=fraction)
+        return state
+
+    def promote(
+        self,
+        model: str,
+        bits: Optional[int],
+        mapping: str,
+        version: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Atomically make ``version`` (default: the canary) active."""
+        state = self.catalogue.promote(model, bits, mapping, version)
+        self.refresh_workers()
+        log_event(_LOG, "rollout_promote", model=model, mapping=mapping,
+                  bits=bits, active=state.get("active"))
+        return state
+
+    def rollback(
+        self, model: str, bits: Optional[int], mapping: str
+    ) -> Dict[str, Any]:
+        """Atomically revert to the previously active version."""
+        state = self.catalogue.rollback(model, bits, mapping)
+        log_event(_LOG, "rollout_rollback", model=model, mapping=mapping,
+                  bits=bits, active=state.get("active"))
+        return state
+
+    def rollout_status(self) -> Dict[str, Dict[str, Any]]:
+        """The rollout table as JSON-ready dicts."""
+        return self.catalogue.rollout_status()
 
     @property
     def dead_workers(self) -> List[int]:

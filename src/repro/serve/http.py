@@ -20,6 +20,12 @@ from other processes and languages.  The wire protocol:
     The registry catalogue with content digests.
 ``GET /v1/stats``
     Per-model micro-batching statistics.
+``POST /v1/studies`` / ``GET /v1/studies/{id}``
+    Asynchronous study jobs (:mod:`repro.serve.jobs`): submit a typed
+    sweep spec (models × sigmas), poll for the checkpointed, resumable
+    :class:`~repro.api.types.StudyResult`.  Submission answers
+    immediately with the job's status document; polling survives server
+    restarts when the server was given a ``jobs_dir``.
 ``GET /healthz``
     Liveness probe: ``"ok"``, ``"degraded"`` (a cluster shard is dead or
     its breaker is open; 503 with per-shard detail under ``workers`` and —
@@ -35,6 +41,12 @@ from other processes and languages.  The wire protocol:
     rolling restart of one worker (body ``{"worker": N}``; also the
     breaker re-admission path), and pausing/resuming new prediction work
     (optional body ``{"drain": false}`` resumes).
+``GET /admin/rollout`` / ``POST /admin/canary`` / ``POST /admin/promote``
+/ ``POST /admin/rollback``
+    Versioned plan rollout: inspect the rollout table, canary a traffic
+    fraction onto a published ``__vN`` artifact (body ``{"model",
+    "mapping", "bits"?, "version", "fraction"}``), then promote it to
+    active or revert — all without a restart.
 
 Every response echoes an ``X-Request-Id`` header — the client's, when it
 sent a valid one, else server-assigned — and the same id is threaded into
@@ -77,13 +89,17 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
 from repro.api.codec import (
+    _key_fields,
     decode_ensemble_request,
     decode_predict_request,
+    decode_study_spec,
     encode_ensemble_result,
     encode_error,
     encode_predict_result,
+    encode_study_status,
 )
 from repro.api.errors import ApiAuthError, ApiBackpressure, map_exception
+from repro.serve.jobs import JobManager
 from repro.obs import (
     REQUEST_ID_HEADER,
     MetricsRegistry,
@@ -269,11 +285,21 @@ class _Handler(BaseHTTPRequestHandler):
             ("GET", "/v1/stats"): self._handle_stats,
             ("POST", "/v1/predict"): self._handle_predict,
             ("POST", "/v1/predict_under_variation"): self._handle_ensemble,
+            ("POST", "/v1/studies"): self._handle_study_submit,
             ("GET", "/admin/workers"): self._handle_admin_workers,
             ("POST", "/admin/restart_worker"): self._handle_admin_restart,
             ("POST", "/admin/drain"): self._handle_admin_drain,
+            ("GET", "/admin/rollout"): self._handle_admin_rollout,
+            ("POST", "/admin/canary"): self._handle_admin_canary,
+            ("POST", "/admin/promote"): self._handle_admin_promote,
+            ("POST", "/admin/rollback"): self._handle_admin_rollback,
         }
         path = self.path.split("?", 1)[0]
+        # GET /v1/studies/{id} is the one parameterised route; it collapses
+        # onto a single metrics label so job ids cannot grow cardinality.
+        study_id: Optional[str] = None
+        if path.startswith("/v1/studies/"):
+            study_id = path[len("/v1/studies/"):]
         # The trace id of this exchange: the client's (echoed) when it sent
         # a valid X-Request-Id, otherwise server-assigned here.
         supplied = self.headers.get(REQUEST_ID_HEADER)
@@ -289,13 +315,22 @@ class _Handler(BaseHTTPRequestHandler):
             # secret; everything else requires the token.
             if path not in ("/healthz", "/metrics"):
                 self._check_auth()
-            handler = routes.get((method, path))
-            if handler is None:
-                known_paths = {route_path for _, route_path in routes}
-                if path in known_paths:
-                    raise RequestError(405, f"{method} is not allowed on {path}")
-                raise RequestError(404, f"unknown path {path!r}")
-            handler()
+            if study_id is not None:
+                if method != "GET":
+                    raise RequestError(
+                        405, f"{method} is not allowed on {path}"
+                    )
+                self._handle_study_get(study_id)
+            else:
+                handler = routes.get((method, path))
+                if handler is None:
+                    known_paths = {route_path for _, route_path in routes}
+                    if path in known_paths:
+                        raise RequestError(
+                            405, f"{method} is not allowed on {path}"
+                        )
+                    raise RequestError(404, f"unknown path {path!r}")
+                handler()
         except Exception as error:  # noqa: BLE001 - every failure becomes JSON
             try:
                 self._send_error_json(_status_for(error), error)
@@ -307,7 +342,10 @@ class _Handler(BaseHTTPRequestHandler):
             # Unknown paths collapse onto one label value so a scanner
             # cannot grow the metric cardinality without bound.
             known_paths = {route_path for _, route_path in routes}
-            route = path if path in known_paths else "unknown"
+            if study_id is not None:
+                route = "/v1/studies/{id}"
+            else:
+                route = path if path in known_paths else "unknown"
             self.server.observe_request(route, method, self._last_status,
                                         elapsed)
             log_event(_LOG, "http_request", request_id=self._request_id,
@@ -413,6 +451,74 @@ class _Handler(BaseHTTPRequestHandler):
         result = self.server.backend.ensemble_request(request)
         self._send_json(200, encode_ensemble_result(result, encoding=encoding))
 
+    # -------------------------------------------------------------- #
+    # Study jobs
+    # -------------------------------------------------------------- #
+    def _handle_study_submit(self) -> None:
+        self._reject_if_draining()
+        spec, _ = decode_study_spec(self._read_request_body())
+        job_id = self.server.jobs.submit(spec)
+        log_event(_LOG, "study_submitted", request_id=self._request_id,
+                  job_id=job_id, cells=spec.cell_count)
+        self._send_json(200, encode_study_status(self.server.jobs.status(job_id)))
+
+    def _handle_study_get(self, job_id: str) -> None:
+        # Polling stays allowed while draining: a drained server still
+        # finishes and reports the studies it accepted.
+        status = self.server.jobs.status(job_id)
+        self._send_json(200, encode_study_status(status))
+
+    # -------------------------------------------------------------- #
+    # Versioned rollout admin
+    # -------------------------------------------------------------- #
+    def _rollout_backend(self, attr: str):
+        method = getattr(self.server.backend, attr, None)
+        if not callable(method):
+            raise RequestError(404, "backend has no versioned-rollout surface")
+        return method
+
+    def _handle_admin_rollout(self) -> None:
+        status = self._rollout_backend("rollout_status")
+        self._send_json(200, {"rollout": status()})
+
+    def _handle_admin_canary(self) -> None:
+        set_canary = self._rollout_backend("set_canary")
+        body = self._read_request_body()
+        model, bits, mapping = _key_fields(body)
+        version = body.get("version")
+        fraction = body.get("fraction")
+        if isinstance(version, bool) or not isinstance(version, int):
+            raise RequestError(400, "body must carry an integer 'version'")
+        if isinstance(fraction, bool) or not isinstance(fraction, (int, float)):
+            raise RequestError(400, "body must carry a numeric 'fraction'")
+        state = set_canary(model, bits, mapping, version, float(fraction))
+        log_event(_LOG, "admin_canary", request_id=self._request_id,
+                  model=model, version=version, fraction=fraction)
+        self._send_json(200, {"rollout": state})
+
+    def _handle_admin_promote(self) -> None:
+        promote = self._rollout_backend("promote")
+        body = self._read_request_body()
+        model, bits, mapping = _key_fields(body)
+        version = body.get("version")
+        if version is not None and (
+            isinstance(version, bool) or not isinstance(version, int)
+        ):
+            raise RequestError(400, "'version' must be an integer when given")
+        state = promote(model, bits, mapping, version)
+        log_event(_LOG, "admin_promote", request_id=self._request_id,
+                  model=model, active=state.get("active"))
+        self._send_json(200, {"rollout": state})
+
+    def _handle_admin_rollback(self) -> None:
+        rollback = self._rollout_backend("rollback")
+        body = self._read_request_body()
+        model, bits, mapping = _key_fields(body)
+        state = rollback(model, bits, mapping)
+        log_event(_LOG, "admin_rollback", request_id=self._request_id,
+                  model=model, active=state.get("active"))
+        self._send_json(200, {"rollout": state})
+
 
 class _PlanHTTPServer(ThreadingHTTPServer):
     """Threaded HTTP server carrying the backend and in-flight accounting."""
@@ -425,7 +531,8 @@ class _PlanHTTPServer(ThreadingHTTPServer):
     block_on_close = False
 
     def __init__(self, address, backend, verbose: bool,
-                 auth_token: Optional[str] = None) -> None:
+                 auth_token: Optional[str] = None,
+                 jobs_dir: Optional[str] = None) -> None:
         self.backend = backend
         self.verbose = verbose
         self.auth_token = auth_token
@@ -452,6 +559,14 @@ class _PlanHTTPServer(ThreadingHTTPServer):
         )
         self._inflight = 0
         self._inflight_cv = threading.Condition()
+        # The study-job subsystem rides on the edge registry so /metrics
+        # exports its counters; with a checkpoint directory, interrupted
+        # studies found on disk resume before the first request arrives.
+        self.jobs = JobManager(backend, checkpoint_dir=jobs_dir,
+                               metrics=self.metrics)
+        resumed = self.jobs.resume()
+        if resumed:
+            log_event(_LOG, "studies_resumed", jobs=len(resumed))
         super().__init__(address, _Handler)
 
     def observe_request(
@@ -508,6 +623,7 @@ class PlanServer:
         auth_token: Optional[str] = None,
         tls_cert: Optional[str] = None,
         tls_key: Optional[str] = None,
+        jobs_dir: Optional[str] = None,
     ) -> None:
         if (tls_cert is None) != (tls_key is None):
             raise ValueError(
@@ -516,7 +632,8 @@ class PlanServer:
         self.backend = backend
         self.own_backend = own_backend
         self._httpd = _PlanHTTPServer((host, port), backend, verbose,
-                                      auth_token=auth_token)
+                                      auth_token=auth_token,
+                                      jobs_dir=jobs_dir)
         self.tls = tls_cert is not None
         if tls_cert is not None and tls_key is not None:
             context = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
@@ -531,6 +648,11 @@ class PlanServer:
     def metrics(self) -> MetricsRegistry:
         """The server's edge-level metric registry (merged into /metrics)."""
         return self._httpd.metrics
+
+    @property
+    def jobs(self) -> JobManager:
+        """The study-job manager behind ``POST /v1/studies``."""
+        return self._httpd.jobs
 
     @property
     def draining(self) -> bool:
@@ -571,6 +693,9 @@ class PlanServer:
             self._httpd.shutdown()
             self._thread.join(timeout=timeout)
         self._httpd.drain(timeout)
+        # Jobs close before the backend they execute through; an unfinished
+        # study stays checkpointed on disk and resumes on the next start.
+        self._httpd.jobs.close()
         if self.own_backend:
             self.backend.close()
         self._httpd.server_close()

@@ -13,12 +13,24 @@ cached against the file's stat signature.  Digests give deployments an
 integrity/version handle: a client can pin ``get_by_digest(digest)`` and be
 served exactly the artifact it validated, independent of what key it is
 published under.
+
+Keys additionally carry a *plan version* for staged rollout: publishing
+``version=2`` writes ``{model}__{bits}__{mapping}__v2.npz`` alongside the
+original artifact, and a per-directory rollout table (``_rollout.json``,
+written atomically) decides which version serves live traffic.  A canary
+fraction routes a deterministic, request-id-keyed slice of requests to the
+candidate version; ``promote``/``rollback`` flip the active version
+atomically, without restarting anything that reads the directory.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
+import os
+import re
 import threading
+import uuid
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -57,14 +69,66 @@ def parse_bits(token: str) -> Optional[int]:
 
 _parse_bits = parse_bits
 
+#: Rollout-state file kept next to the artifacts (never matches ``*.npz``).
+ROLLOUT_FILENAME = "_rollout.json"
+
+#: Canonical version suffix token: ``v2``, ``v3``, ... (``v1`` is implicit —
+#: a version-1 key canonicalises to the bare 3-part stem, so an explicit
+#: ``__v1`` suffix would alias it and is rejected by :meth:`PlanKey.parse`).
+_VERSION_TOKEN = re.compile(r"^v([1-9][0-9]*)$")
+
+
+def canary_bucket(request_id: str) -> float:
+    """Deterministic position of a request id in ``[0, 1)``.
+
+    SHA-256 of the id, first 8 bytes as an unsigned big-endian integer,
+    scaled to the unit interval — stable across processes and runs, so a
+    canary split is exactly reproducible: the same request id always lands
+    on the same side of the fraction.
+    """
+    digest = hashlib.sha256(request_id.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class RolloutEntry:
+    """Rollout state for one base key: active version + optional canary."""
+
+    active: int = 1
+    canary_version: Optional[int] = None
+    canary_fraction: float = 0.0
+    previous: Optional[int] = None
+
+    def resolve(self, request_id: Optional[str]) -> int:
+        """The version this request serves from (deterministic per id)."""
+        if (
+            self.canary_version is None
+            or self.canary_fraction <= 0.0
+            or request_id is None
+        ):
+            return self.active
+        if canary_bucket(request_id) < self.canary_fraction:
+            return self.canary_version
+        return self.active
+
+    def to_wire(self) -> Dict[str, object]:
+        return {
+            "active": self.active,
+            "canary_version": self.canary_version,
+            "canary_fraction": self.canary_fraction,
+            "previous": self.previous,
+        }
+
 
 @dataclass(frozen=True)
 class PlanKey:
-    """Identity of one served model: (model name, device bits, mapping)."""
+    """Identity of one served model: (model name, device bits, mapping)
+    plus a rollout ``version`` (1 = the original, unsuffixed artifact)."""
 
     model: str
     bits: Optional[int]
     mapping: str
+    version: int = 1
 
     def __post_init__(self) -> None:
         # Names must survive the canonical round trip: a model called
@@ -92,19 +156,58 @@ class PlanKey:
             or self.bits < 1
         ):
             raise ValueError(f"bits must be a positive int or None, got {self.bits!r}")
+        if (
+            isinstance(self.version, bool)
+            or not isinstance(self.version, int)
+            or self.version < 1
+        ):
+            raise ValueError(
+                f"version must be a positive int, got {self.version!r}"
+            )
+
+    def base_canonical(self) -> str:
+        """The version-blind stem — rollout state and ring routing key."""
+        return f"{self.model}__{_bits_token(self.bits)}__{self.mapping}"
 
     def canonical(self) -> str:
-        """Filesystem-safe canonical stem, e.g. ``lenet__4b__acm``."""
-        return f"{self.model}__{_bits_token(self.bits)}__{self.mapping}"
+        """Filesystem-safe canonical stem, e.g. ``lenet__4b__acm`` (version
+        1) or ``lenet__4b__acm__v2`` (later rollout versions)."""
+        base = self.base_canonical()
+        return base if self.version == 1 else f"{base}__v{self.version}"
+
+    def base_key(self) -> "PlanKey":
+        """This key at version 1 (identity for unversioned keys)."""
+        if self.version == 1:
+            return self
+        return PlanKey(model=self.model, bits=self.bits, mapping=self.mapping)
 
     @classmethod
     def parse(cls, stem: str) -> Optional["PlanKey"]:
-        """Inverse of :meth:`canonical`; None for foreign file names."""
+        """Inverse of :meth:`canonical`; None for foreign file names.
+
+        A 4-part stem must end in a ``v{N}`` token with ``N >= 2`` and no
+        leading zeros — ``__v1`` (which would alias the bare 3-part stem)
+        and malformed tokens like ``v02`` are foreign, so every accepted
+        stem round-trips exactly: ``parse(stem).canonical() == stem``.
+        """
         parts = stem.split("__")
-        if len(parts) != 3:
+        version = 1
+        if len(parts) == 4:
+            match = _VERSION_TOKEN.match(parts[3])
+            if match is None:
+                return None
+            version = int(match.group(1))
+            if version < 2:
+                return None
+        elif len(parts) != 3:
             return None
         try:
-            return cls(model=parts[0], bits=_parse_bits(parts[1]), mapping=parts[2])
+            return cls(
+                model=parts[0],
+                bits=_parse_bits(parts[1]),
+                mapping=parts[2],
+                version=version,
+            )
         except ValueError:
             return None
 
@@ -146,6 +249,10 @@ class PlanRegistry:
         self._entries: Dict[PlanKey, PlanEntry] = {}
         self._loaded: "OrderedDict[PlanKey, InferencePlan]" = OrderedDict()
         self._lock = threading.RLock()
+        # Rollout table cache: (stat signature of _rollout.json, entries).
+        self._rollout_cache: Tuple[
+            Optional[Tuple[int, int]], Dict[str, RolloutEntry]
+        ] = (None, {})
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -197,10 +304,15 @@ class PlanRegistry:
     # Publishing
     # ------------------------------------------------------------------ #
     def publish(
-        self, plan: InferencePlan, model: str, bits: Optional[int], mapping: str
+        self,
+        plan: InferencePlan,
+        model: str,
+        bits: Optional[int],
+        mapping: str,
+        version: int = 1,
     ) -> PlanEntry:
         """Save ``plan`` under its canonical name and index it (hot in LRU)."""
-        key = PlanKey(model=model, bits=bits, mapping=mapping)
+        key = PlanKey(model=model, bits=bits, mapping=mapping, version=version)
         path = self.directory / f"{key.canonical()}.npz"
         plan.save(path)
         with self._lock:
@@ -238,9 +350,15 @@ class PlanRegistry:
     # ------------------------------------------------------------------ #
     # Lookup
     # ------------------------------------------------------------------ #
-    def get(self, model: str, bits: Optional[int], mapping: str) -> InferencePlan:
+    def get(
+        self,
+        model: str,
+        bits: Optional[int],
+        mapping: str,
+        version: int = 1,
+    ) -> InferencePlan:
         """The plan for ``(model, bits, mapping)``, loading it if evicted."""
-        key = PlanKey(model=model, bits=bits, mapping=mapping)
+        key = PlanKey(model=model, bits=bits, mapping=mapping, version=version)
         with self._lock:
             plan = self._loaded.get(key)
             if plan is not None:
@@ -301,23 +419,36 @@ class PlanRegistry:
                 "model": entry.key.model,
                 "bits": entry.key.bits,
                 "mapping": entry.key.mapping,
+                "version": entry.key.version,
                 "name": entry.key.canonical(),
                 "digest": digest,
                 "size_bytes": stat_size,
             })
         return described
 
-    def entry(self, model: str, bits: Optional[int], mapping: str) -> PlanEntry:
-        key = PlanKey(model=model, bits=bits, mapping=mapping)
+    def entry(
+        self,
+        model: str,
+        bits: Optional[int],
+        mapping: str,
+        version: int = 1,
+    ) -> PlanEntry:
+        key = PlanKey(model=model, bits=bits, mapping=mapping, version=version)
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 raise KeyError(f"no plan published for {key.canonical()!r}")
             return entry
 
-    def digest(self, model: str, bits: Optional[int], mapping: str) -> str:
+    def digest(
+        self,
+        model: str,
+        bits: Optional[int],
+        mapping: str,
+        version: int = 1,
+    ) -> str:
         """Content digest of the artifact behind one key."""
-        return self.entry(model, bits, mapping).digest()
+        return self.entry(model, bits, mapping, version=version).digest()
 
     def get_by_digest(self, digest: str) -> InferencePlan:
         """Resolve a plan by (a prefix of) its content digest.
@@ -337,9 +468,214 @@ class PlanRegistry:
         if len(matches) > 1:
             raise KeyError(f"digest prefix {digest!r} is ambiguous")
         key = matches[0].key
-        return self.get(key.model, key.bits, key.mapping)
+        # The full key (version included) — a digest naming a __v2 artifact
+        # must load that artifact, never its version-1 sibling.
+        return self.get(key.model, key.bits, key.mapping, version=key.version)
 
     def _evict_over_capacity(self) -> None:
         while len(self._loaded) > self.capacity:
             self._loaded.popitem(last=False)
             self.evictions += 1
+
+    # ------------------------------------------------------------------ #
+    # Versioned rollout
+    # ------------------------------------------------------------------ #
+    @property
+    def rollout_path(self) -> Path:
+        return self.directory / ROLLOUT_FILENAME
+
+    def rollout_entries(self) -> Dict[str, RolloutEntry]:
+        """The directory's rollout table, keyed by base-canonical stem.
+
+        Re-read only when ``_rollout.json``'s stat signature changes, so
+        per-request resolution costs one ``stat()``.  Because writers
+        replace the file atomically (tmp + ``os.replace``), every reader —
+        including cluster workers sharing the directory — sees either the
+        old table or the new one, never a torn state.
+        """
+        path = self.rollout_path
+        try:
+            stat = path.stat()
+        except OSError:
+            with self._lock:
+                self._rollout_cache = (None, {})
+            return {}
+        signature = (stat.st_size, stat.st_mtime_ns)
+        with self._lock:
+            cached_signature, cached = self._rollout_cache
+            if cached_signature == signature:
+                return cached
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            # Mid-replace on a non-atomic filesystem or a hand-edited file;
+            # keep serving the last good table rather than dropping state.
+            return self._rollout_cache[1]
+        entries: Dict[str, RolloutEntry] = {}
+        if isinstance(raw, dict):
+            for base, state in raw.items():
+                if not isinstance(state, dict):
+                    continue
+                try:
+                    entries[base] = RolloutEntry(
+                        active=int(state.get("active", 1)),
+                        canary_version=(
+                            None if state.get("canary_version") is None
+                            else int(state["canary_version"])
+                        ),
+                        canary_fraction=float(state.get("canary_fraction", 0.0)),
+                        previous=(
+                            None if state.get("previous") is None
+                            else int(state["previous"])
+                        ),
+                    )
+                except (TypeError, ValueError):
+                    continue
+        with self._lock:
+            self._rollout_cache = (signature, entries)
+        return entries
+
+    def rollout_entry(self, base_canonical: str) -> Optional[RolloutEntry]:
+        return self.rollout_entries().get(base_canonical)
+
+    def rollout_status(self) -> Dict[str, Dict[str, object]]:
+        """The rollout table as JSON-ready dicts (``GET /admin/rollout``)."""
+        return {
+            base: entry.to_wire()
+            for base, entry in sorted(self.rollout_entries().items())
+        }
+
+    def resolve_key(
+        self, key: PlanKey, request_id: Optional[str] = None
+    ) -> PlanKey:
+        """Apply the rollout table to an unversioned key.
+
+        Explicitly versioned keys pass through untouched (a pinned version
+        is a pinned version); version-1 keys with a rollout entry route to
+        the active version, or to the canary version for the deterministic
+        ``canary_fraction`` slice of request ids.
+        """
+        if key.version != 1:
+            return key
+        entry = self.rollout_entries().get(key.canonical())
+        if entry is None:
+            return key
+        version = entry.resolve(request_id)
+        if version == key.version:
+            return key
+        return PlanKey(
+            model=key.model, bits=key.bits, mapping=key.mapping, version=version
+        )
+
+    def _write_rollout(self, entries: Dict[str, RolloutEntry]) -> None:
+        """Atomically replace the rollout table (write-rename)."""
+        payload = json.dumps(
+            {base: entry.to_wire() for base, entry in sorted(entries.items())},
+            indent=2,
+            sort_keys=True,
+        )
+        path = self.rollout_path
+        tmp = path.with_name(f".{path.name}.{uuid.uuid4().hex}.tmp")
+        tmp.write_text(payload, encoding="utf-8")
+        os.replace(tmp, path)
+        stat = path.stat()
+        with self._lock:
+            self._rollout_cache = ((stat.st_size, stat.st_mtime_ns), dict(entries))
+
+    def _require_version(
+        self, model: str, bits: Optional[int], mapping: str, version: int
+    ) -> PlanKey:
+        key = PlanKey(model=model, bits=bits, mapping=mapping, version=version)
+        self.refresh()
+        with self._lock:
+            if key not in self._entries:
+                raise KeyError(
+                    f"no plan published for {key.canonical()!r}; "
+                    f"publish the artifact before rolling it out"
+                )
+        return key
+
+    def set_canary(
+        self,
+        model: str,
+        bits: Optional[int],
+        mapping: str,
+        version: int,
+        fraction: float,
+    ) -> Dict[str, object]:
+        """Route ``fraction`` of request-id-bearing traffic to ``version``.
+
+        ``fraction`` must be in ``[0, 1]``; the candidate artifact must
+        already be published.  Returns the updated rollout entry.
+        """
+        fraction = float(fraction)
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(
+                f"canary fraction must be within [0, 1], got {fraction!r}"
+            )
+        key = self._require_version(model, bits, mapping, version)
+        base = key.base_canonical()
+        with self._lock:
+            entries = dict(self.rollout_entries())
+            current = entries.get(base, RolloutEntry())
+            entries[base] = RolloutEntry(
+                active=current.active,
+                canary_version=key.version,
+                canary_fraction=fraction,
+                previous=current.previous,
+            )
+            self._write_rollout(entries)
+            return entries[base].to_wire()
+
+    def promote(
+        self,
+        model: str,
+        bits: Optional[int],
+        mapping: str,
+        version: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """Make ``version`` (default: the canary) the active version.
+
+        One atomic table write: the old active version is retained as
+        ``previous`` (the rollback target) and any canary split is cleared.
+        """
+        base_key = PlanKey(model=model, bits=bits, mapping=mapping)
+        base = base_key.canonical()
+        with self._lock:
+            entries = dict(self.rollout_entries())
+            current = entries.get(base, RolloutEntry())
+            if version is None:
+                if current.canary_version is None:
+                    raise ValueError(
+                        f"no canary in flight for {base!r}; "
+                        f"pass an explicit version to promote"
+                    )
+                version = current.canary_version
+            key = self._require_version(model, bits, mapping, version)
+            entries[base] = RolloutEntry(
+                active=key.version,
+                canary_version=None,
+                canary_fraction=0.0,
+                previous=current.active,
+            )
+            self._write_rollout(entries)
+            return entries[base].to_wire()
+
+    def rollback(
+        self, model: str, bits: Optional[int], mapping: str
+    ) -> Dict[str, object]:
+        """Revert to the version the last promote replaced (atomic flip)."""
+        base = PlanKey(model=model, bits=bits, mapping=mapping).canonical()
+        with self._lock:
+            entries = dict(self.rollout_entries())
+            current = entries.get(base)
+            if current is None or current.previous is None:
+                raise ValueError(f"nothing to roll back for {base!r}")
+            entries[base] = RolloutEntry(
+                active=current.previous,
+                canary_version=None,
+                canary_fraction=0.0,
+                previous=current.active,
+            )
+            self._write_rollout(entries)
+            return entries[base].to_wire()

@@ -25,21 +25,103 @@ The scheduler is model-agnostic: ``runner`` is any callable mapping a
 stacked ``(rows, ...)`` array to a ``(rows, ...)`` result (for serving,
 ``InferencePlan.run``).  A runner exception fails every future in the
 affected batch; later batches are unaffected.
+
+An optional *adaptive* cap (``max_batch="auto"``) probes for the latency
+knee instead of trusting a hand-picked constant: the worker times every
+near-full batch, and an :class:`AdaptiveMaxBatch` controller doubles the
+cap while the median per-row latency holds, then settles at the last cap
+before it degraded — the same probe-don't-tune philosophy as
+``stacked_image_target``.  Probing happens once; a settled cap never
+oscillates under noisy traffic.
 """
 
 from __future__ import annotations
 
+import math
 import queue
 import threading
 import time
 from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Optional, Tuple
+from typing import Callable, Deque, List, Optional, Tuple, Union
 
 import numpy as np
 
 _SHUTDOWN = object()
+
+#: The ``max_batch`` sentinel that opts a scheduler into adaptive capping.
+AUTO_MAX_BATCH = "auto"
+
+
+class AdaptiveMaxBatch:
+    """Probe-for-the-knee micro-batch cap controller.
+
+    Starts at ``start`` rows and doubles toward ``limit`` while growing
+    keeps the *median per-row* execution latency within ``tolerance`` of
+    the best cap seen; the first cap that degrades past the tolerance ends
+    the probe, reverting to the best cap permanently.  Only near-full
+    batches (at least half the current cap) count as probes — a lone
+    straggler flushed by the wait deadline says nothing about the cap.
+
+    All methods are thread-safe; :attr:`cap` is read lock-free on the
+    collect path (a stale read costs one slightly-off batch, nothing more).
+    """
+
+    def __init__(
+        self,
+        start: int = 8,
+        limit: int = 256,
+        window: int = 8,
+        tolerance: float = 1.25,
+    ) -> None:
+        if start < 1 or limit < start:
+            raise ValueError("need 1 <= start <= limit")
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        if tolerance < 1.0:
+            raise ValueError("tolerance must be at least 1.0")
+        self.cap = start
+        self.limit = limit
+        self.window = window
+        self.tolerance = tolerance
+        self._samples: List[float] = []
+        self._best_cap = start
+        self._best_per_row = math.inf
+        self._settled = False
+        self._lock = threading.Lock()
+
+    @property
+    def settled(self) -> bool:
+        """True once the probe finished and the cap is final."""
+        return self._settled
+
+    def record(self, rows: int, seconds: float) -> None:
+        """Feed one executed batch's size and wall-clock execution time."""
+        if rows < 1 or seconds < 0:
+            return
+        with self._lock:
+            if self._settled or rows * 2 < self.cap:
+                return
+            self._samples.append(seconds / rows)
+            if len(self._samples) < self.window:
+                return
+            ordered = sorted(self._samples)
+            per_row = ordered[len(ordered) // 2]
+            self._samples = []
+            if per_row <= self._best_per_row * self.tolerance:
+                if per_row < self._best_per_row:
+                    self._best_per_row = per_row
+                    self._best_cap = self.cap
+                if self.cap >= self.limit:
+                    self.cap = self._best_cap
+                    self._settled = True
+                else:
+                    self.cap = min(self.cap * 2, self.limit)
+            else:
+                # Growing made per-row latency worse: past the knee.
+                self.cap = self._best_cap
+                self._settled = True
 
 #: How many per-batch (requests, rows) samples ``SchedulerStats`` retains for
 #: inspection; the aggregate counters cover the full process lifetime.
@@ -83,17 +165,29 @@ class MicroBatchScheduler:
     def __init__(
         self,
         runner: Callable[[np.ndarray], np.ndarray],
-        max_batch: int = 64,
+        max_batch: Union[int, str, AdaptiveMaxBatch] = 64,
         max_wait_ms: float = 5.0,
         name: str = "microbatch",
         on_batch: Optional[Callable[[int, int, float], None]] = None,
     ) -> None:
-        if max_batch < 1:
+        self._adaptive: Optional[AdaptiveMaxBatch]
+        self._max_batch = 0
+        if isinstance(max_batch, AdaptiveMaxBatch):
+            self._adaptive = max_batch
+        elif max_batch == AUTO_MAX_BATCH:
+            self._adaptive = AdaptiveMaxBatch()
+        elif isinstance(max_batch, bool) or not isinstance(max_batch, int):
+            raise ValueError(
+                f"max_batch must be an int or 'auto', got {max_batch!r}"
+            )
+        elif max_batch < 1:
             raise ValueError("max_batch must be at least 1")
+        else:
+            self._adaptive = None
+            self._max_batch = max_batch
         if max_wait_ms < 0:
             raise ValueError("max_wait_ms must be non-negative")
         self._runner = runner
-        self.max_batch = max_batch
         self.max_wait = max_wait_ms / 1000.0
         self.stats = SchedulerStats()
         # Observability hook: called once per executed micro-batch with
@@ -114,6 +208,19 @@ class MicroBatchScheduler:
             target=self._loop, name=f"{name}-worker", daemon=True
         )
         self._worker.start()
+
+    @property
+    def max_batch(self) -> int:
+        """The batch-row cap: fixed, or the adaptive controller's current
+        cap while it probes for the knee (``max_batch="auto"``)."""
+        if self._adaptive is not None:
+            return self._adaptive.cap
+        return self._max_batch
+
+    @property
+    def adaptive(self) -> Optional[AdaptiveMaxBatch]:
+        """The adaptive cap controller, or None for a fixed cap."""
+        return self._adaptive
 
     # ------------------------------------------------------------------ #
     # Client side
@@ -216,12 +323,15 @@ class MicroBatchScheduler:
                 self.on_batch(len(batch), sum(sizes), wait)
             except Exception:  # noqa: BLE001 - telemetry must never fail a batch
                 pass
+        run_started = time.monotonic()
         try:
             result = self._runner(stacked)
         except BaseException as error:  # noqa: BLE001 - forwarded to callers
             for future in futures:
                 future.set_exception(error)
             return
+        if self._adaptive is not None:
+            self._adaptive.record(sum(sizes), time.monotonic() - run_started)
         offsets = np.cumsum(sizes[:-1])
         for future, piece in zip(futures, np.split(result, offsets, axis=0)):
             future.set_result(piece)

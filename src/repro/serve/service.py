@@ -43,7 +43,7 @@ import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import Future
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -64,7 +64,11 @@ from repro.runtime.montecarlo import (
 from repro.runtime.intkernels import PRECISIONS
 from repro.runtime.plan import InferencePlan
 from repro.serve.registry import PlanKey, PlanRegistry
-from repro.serve.scheduler import MicroBatchScheduler, SchedulerStats
+from repro.serve.scheduler import (
+    AUTO_MAX_BATCH,
+    MicroBatchScheduler,
+    SchedulerStats,
+)
 
 #: Backwards-compatible name: the ensemble response *is* the shared API
 #: dataclass now, so service, cluster, HTTP, and clients all hand around
@@ -84,7 +88,7 @@ class InferenceService:
     def __init__(
         self,
         registry: PlanRegistry,
-        max_batch: int = 64,
+        max_batch: Union[int, str] = 64,
         max_wait_ms: float = 2.0,
         ensemble_cache_size: int = 8,
         max_queue_depth: Optional[int] = None,
@@ -102,6 +106,14 @@ class InferenceService:
         if precision not in PRECISIONS:
             raise ValueError(
                 f"unknown precision {precision!r}; expected one of {PRECISIONS}"
+            )
+        if max_batch != AUTO_MAX_BATCH and (
+            isinstance(max_batch, bool)
+            or not isinstance(max_batch, int)
+            or max_batch < 1
+        ):
+            raise ValueError(
+                f"max_batch must be a positive int or 'auto', got {max_batch!r}"
             )
         self.registry = registry
         # Execution precision every served plan is lowered to when pinned
@@ -194,6 +206,27 @@ class InferenceService:
             "repro_ensembles_rejected_total",
             "Ensemble requests rejected by the concurrency cap.",
         )
+        self._m_canary = metrics.counter(
+            "repro_canary_requests_total",
+            "Requests resolved through the versioned-rollout table, by base "
+            "model and the version that actually served them.",
+            labels=("model", "version"),
+        )
+        self._m_rollout_flips = metrics.counter(
+            "repro_rollout_flips_total",
+            "Rollout table mutations (canary/promote/rollback).",
+            labels=("action",),
+        )
+        metrics.register_callback(
+            "repro_rollout_active_version", "gauge",
+            "Active plan version per base model (from the rollout table).",
+            self._collect_rollout_versions,
+        )
+        metrics.register_callback(
+            "repro_rollout_canary_fraction", "gauge",
+            "Traffic fraction routed to the canary version per base model.",
+            self._collect_canary_fractions,
+        )
         metrics.register_callback(
             "repro_scheduler_queue_depth", "gauge",
             "Requests waiting in each model's micro-batch queue.",
@@ -222,6 +255,22 @@ class InferenceService:
         )
 
     # Collect-time callbacks: exported live, never double-counted.
+    def _collect_rollout_versions(
+        self,
+    ) -> Sequence[Tuple[Mapping[str, str], float]]:
+        return [
+            ({"model": base}, float(entry.active))
+            for base, entry in sorted(self.registry.rollout_entries().items())
+        ]
+
+    def _collect_canary_fractions(
+        self,
+    ) -> Sequence[Tuple[Mapping[str, str], float]]:
+        return [
+            ({"model": base}, float(entry.canary_fraction))
+            for base, entry in sorted(self.registry.rollout_entries().items())
+        ]
+
     def _collect_queue_depths(
         self,
     ) -> Sequence[Tuple[Mapping[str, str], float]]:
@@ -294,6 +343,28 @@ class InferenceService:
         scheduler, _ = self._serving_pair(PlanKey(model, bits, mapping))
         return scheduler
 
+    def _routed_key(self, key: PlanKey, request_id: Optional[str]) -> PlanKey:
+        """Apply the registry's rollout table to an unversioned request key.
+
+        Explicit versions pass through; version-1 keys with a rollout entry
+        serve the active version, or the canary version for the
+        deterministic ``canary_fraction`` slice of request ids.  Each
+        resolved version gets its own scheduler/plan pin/ensemble-cache
+        identity downstream, so versions never share state.
+        """
+        if key.version != 1:
+            return key
+        entry = self.registry.rollout_entries().get(key.canonical())
+        if entry is None:
+            return key
+        version = entry.resolve(request_id)
+        self._m_canary.inc(model=key.canonical(), version=f"v{version}")
+        if version == key.version:
+            return key
+        return PlanKey(
+            model=key.model, bits=key.bits, mapping=key.mapping, version=version
+        )
+
     def _pinned_plan(self, key: PlanKey) -> InferencePlan:
         """The plan this service serves for ``key``, pinned on first use.
 
@@ -306,11 +377,60 @@ class InferenceService:
                 raise RuntimeError("service is closed")
             plan = self._plans.get(key)
             if plan is None:
-                plan = self.registry.get(key.model, key.bits, key.mapping)
+                plan = self.registry.get(
+                    key.model, key.bits, key.mapping, version=key.version
+                )
                 if self.precision != "float64":
                     plan = plan.with_precision(self.precision)
                 self._plans[key] = plan
             return plan
+
+    # ------------------------------------------------------------------ #
+    # Versioned rollout (admin surface; delegates to the registry)
+    # ------------------------------------------------------------------ #
+    def set_canary(
+        self,
+        model: str,
+        bits: Optional[int],
+        mapping: str,
+        version: int,
+        fraction: float,
+    ) -> Dict[str, Any]:
+        """Canary ``fraction`` of request-id traffic onto ``version``."""
+        state = self.registry.set_canary(model, bits, mapping, version, fraction)
+        self._m_rollout_flips.inc(action="canary")
+        log_event(_LOG, "rollout_canary", model=model, mapping=mapping,
+                  bits=bits, version=version, fraction=fraction,
+                  shard=self.shard)
+        return state
+
+    def promote(
+        self,
+        model: str,
+        bits: Optional[int],
+        mapping: str,
+        version: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Atomically make ``version`` (default: the canary) active."""
+        state = self.registry.promote(model, bits, mapping, version)
+        self._m_rollout_flips.inc(action="promote")
+        log_event(_LOG, "rollout_promote", model=model, mapping=mapping,
+                  bits=bits, active=state.get("active"), shard=self.shard)
+        return state
+
+    def rollback(
+        self, model: str, bits: Optional[int], mapping: str
+    ) -> Dict[str, Any]:
+        """Atomically revert to the previously active version."""
+        state = self.registry.rollback(model, bits, mapping)
+        self._m_rollout_flips.inc(action="rollback")
+        log_event(_LOG, "rollout_rollback", model=model, mapping=mapping,
+                  bits=bits, active=state.get("active"), shard=self.shard)
+        return state
+
+    def rollout_status(self) -> Dict[str, Dict[str, Any]]:
+        """The rollout table as JSON-ready dicts."""
+        return self.registry.rollout_status()
 
     def _serving_pair(self, key: PlanKey):
         plan = self._pinned_plan(key)
@@ -407,6 +527,11 @@ class InferenceService:
         """
         summary = {}
         depths = self.queue_depths()
+        with self._lock:
+            caps = {
+                key.canonical(): scheduler.max_batch
+                for key, scheduler in self._schedulers.items()
+            }
         for name, stats in self.stats.items():
             summary[name] = {
                 "num_batches": stats.num_batches,
@@ -415,6 +540,7 @@ class InferenceService:
                 "max_rows_per_batch": stats.max_rows_per_batch,
                 "mean_rows_per_batch": stats.mean_rows_per_batch,
                 "queue_depth": depths.get(name, 0),
+                "max_batch": caps.get(name),
             }
         with self._lock:
             pinned = {key.canonical(): plan for key, plan in self._plans.items()}
@@ -459,14 +585,16 @@ class InferenceService:
         model: str,
         mapping: str,
         bits: Optional[int] = None,
+        request_id: Optional[str] = None,
     ) -> Future:
         """Submit a deterministic request; resolves to the logits ndarray.
 
         ``images`` may be a single sample (the plan's input shape) or a
         pre-batched array; the future's result matches — single samples
-        resolve to ``(classes,)`` logits.
+        resolve to ``(classes,)`` logits.  ``request_id`` selects the served
+        plan version when a canary rollout is configured for the model.
         """
-        key = PlanKey(model, bits, mapping)
+        key = self._routed_key(PlanKey(model, bits, mapping), request_id)
         scheduler, plan = self._serving_pair(key)
         array, single = self._normalize(plan, images)
         if self.max_queue_depth is not None:
@@ -533,7 +661,8 @@ class InferenceService:
         started = time.monotonic()
         try:
             logits = self.predict_async(
-                images, model=model, bits=bits, mapping=mapping
+                images, model=model, bits=bits, mapping=mapping,
+                request_id=request_id,
             ).result(timeout=timeout)
         except BaseException as error:
             self._observe(name, "predict", started, request_id, error)
@@ -652,7 +781,11 @@ class InferenceService:
         """
         if num_samples < 1:
             raise ValueError("num_samples must be at least 1")
-        key = PlanKey(model, bits, mapping)
+        base = PlanKey(model, bits, mapping)
+        # Metrics/log labels stay base-canonical; the served version is
+        # visible separately via repro_canary_requests_total.
+        name = base.canonical()
+        key = self._routed_key(base, request_id)
         started = time.monotonic()
         try:
             plan = self._pinned_plan(key)
@@ -671,10 +804,9 @@ class InferenceService:
             finally:
                 self._release_ensemble_slot()
         except BaseException as error:
-            self._observe(key.canonical(), "ensemble", started, request_id,
-                          error)
+            self._observe(name, "ensemble", started, request_id, error)
             raise
-        self._observe(key.canonical(), "ensemble", started, request_id)
+        self._observe(name, "ensemble", started, request_id)
         mean_logits = logits.mean(axis=0)
         votes = logits.argmax(axis=-1)  # (num_samples, batch)
         num_classes = logits.shape[-1]

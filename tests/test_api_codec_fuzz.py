@@ -33,6 +33,10 @@ from repro.api.codec import (
     encode_ensemble_result,
     encode_predict_request,
     encode_predict_result,
+    decode_study_spec,
+    decode_study_status,
+    encode_study_spec,
+    encode_study_status,
 )
 from repro.api.errors import ApiError, InvalidRequest
 from repro.api.types import (
@@ -40,6 +44,9 @@ from repro.api.types import (
     EnsembleResult,
     PredictRequest,
     PredictResult,
+    StudyModel,
+    StudySpec,
+    StudyStatus,
 )
 
 # ---------------------------------------------------------------------- #
@@ -260,3 +267,102 @@ class TestMalformedPayloads:
         error = decode_error(body, status, retry_after=retry_after)
         assert isinstance(error, ApiError)
         assert isinstance(error.code, str) and error.code
+
+
+# ---------------------------------------------------------------------- #
+# Study codec: the POST /v1/studies wire surface
+# ---------------------------------------------------------------------- #
+_study_decoders = [decode_study_spec, decode_study_status]
+
+_study_images = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=4),
+    elements=st.floats(allow_nan=False, allow_infinity=False, width=64),
+)
+
+
+class TestStudyCodec:
+    @given(images=_study_images, model=_names, mapping=_names, bits=_bits,
+           sigmas=st.lists(st.floats(0, 5, allow_nan=False), min_size=1,
+                           max_size=4),
+           num_samples=st.integers(1, 99), seed=st.integers(0, 2**31),
+           with_labels=st.booleans())
+    @settings(max_examples=120, deadline=None)
+    def test_study_spec_round_trips_exact(self, images, model, mapping, bits,
+                                          sigmas, num_samples, seed,
+                                          with_labels):
+        labels = (
+            np.arange(images.shape[0], dtype=np.int64) if with_labels
+            else None
+        )
+        spec = StudySpec(
+            images=images,
+            models=(StudyModel(model=model, bits=bits, mapping=mapping),),
+            sigmas=tuple(sigmas), num_samples=num_samples, seed=seed,
+            labels=labels,
+        )
+        decoded, encoding = decode_study_spec(
+            _json_hop(encode_study_spec(spec))
+        )
+        assert encoding == "b64"
+        assert decoded.models == spec.models
+        assert decoded.sigmas == spec.sigmas
+        assert (decoded.num_samples, decoded.seed) == (num_samples, seed)
+        assert decoded.images.dtype == images.dtype
+        np.testing.assert_array_equal(decoded.images, images)
+        if labels is None:
+            assert decoded.labels is None
+        else:
+            np.testing.assert_array_equal(decoded.labels, labels)
+
+    @given(body=_json_objects)
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_study_objects_map_to_invalid_request(self, body):
+        for decoder in _study_decoders:
+            try:
+                decoder(body)
+            except InvalidRequest:
+                pass  # the typed rejection every transport shares
+
+    @given(body=_json_values)
+    @settings(max_examples=150, deadline=None)
+    def test_non_object_study_bodies_map_to_invalid_request(self, body):
+        for decoder in _study_decoders:
+            try:
+                decoder(body)
+            except InvalidRequest:
+                pass
+
+    @given(field=st.sampled_from(["images", "models", "sigmas",
+                                  "num_samples", "seed", "labels",
+                                  "request_id", "encoding"]),
+           junk=_json_values)
+    @settings(max_examples=200, deadline=None)
+    def test_mutated_study_spec_fields_never_crash(self, field, junk):
+        body = encode_study_spec(StudySpec(
+            images=np.zeros((2, 3)),
+            models=(StudyModel(model="m", bits=4, mapping="acm"),),
+            sigmas=(0.0, 0.1), num_samples=3,
+        ))
+        body[field] = junk
+        try:
+            spec, _ = decode_study_spec(body)
+        except InvalidRequest:
+            return
+        assert isinstance(spec, StudySpec)
+
+    @given(field=st.sampled_from(["job_id", "state", "cells_total",
+                                  "cells_done", "retries", "error_code",
+                                  "result"]),
+           junk=_json_values)
+    @settings(max_examples=200, deadline=None)
+    def test_mutated_study_status_fields_never_crash(self, field, junk):
+        body = encode_study_status(StudyStatus(
+            job_id="j", state="running", cells_total=4, cells_done=1,
+        ))
+        body[field] = junk
+        try:
+            status = decode_study_status(body)
+        except InvalidRequest:
+            return
+        assert isinstance(status, StudyStatus)

@@ -125,6 +125,51 @@ class TestBitEquivalence:
                     err_msg=f"{backend}:{key} is not bit-identical",
                 )
 
+    def test_same_study_spec_identical_through_every_backend(self, matrix):
+        """The async study path: one spec, four backends, identical bits.
+
+        Submits the *same* multi-model :class:`StudySpec` through
+        ``submit_study`` on every backend — the local in-process manager,
+        the HTTP server's manager, and both cluster transports — and the
+        collected :class:`StudyResult` cells must agree to the last bit,
+        accuracy scoring included.
+        """
+        from repro.api import study_spec, wait_study
+
+        spec = study_spec(
+            images=matrix.images,
+            models=[(name, mapping, bits) for name, bits, mapping in MODELS],
+            sigmas=(0.0, 0.1),
+            num_samples=5,
+            seed=13,
+            labels=matrix.labels,
+        )
+        results = {}
+        for backend in BACKENDS:
+            client = matrix.clients[backend]
+            job_id = client.submit_study(spec)
+            results[backend] = wait_study(client, job_id, timeout=300.0)
+        reference = results["local"]
+        assert len(reference.cells) == spec.cell_count
+        for backend in BACKENDS[1:]:
+            result = results[backend]
+            assert len(result.cells) == len(reference.cells), backend
+            for cell, expected in zip(result.cells, reference.cells):
+                assert (cell.model, cell.bits, cell.mapping,
+                        cell.sigma_fraction) == (
+                    expected.model, expected.bits, expected.mapping,
+                    expected.sigma_fraction), backend
+                np.testing.assert_array_equal(
+                    cell.mean_logits, expected.mean_logits,
+                    err_msg=f"{backend}: mean_logits not bit-identical")
+                np.testing.assert_array_equal(
+                    cell.predictions, expected.predictions,
+                    err_msg=f"{backend}: predictions not bit-identical")
+                np.testing.assert_array_equal(
+                    cell.confidence, expected.confidence,
+                    err_msg=f"{backend}: confidence not bit-identical")
+                assert cell.accuracy == expected.accuracy, backend
+
     def test_float64_is_preserved_end_to_end(self, matrix):
         for backend in BACKENDS:
             logits = matrix.clients[backend].predict(PredictRequest(

@@ -32,10 +32,12 @@ import numpy as np
 import pytest
 from types import SimpleNamespace
 
-from repro.api import ClusterClient, EnsembleRequest, PredictRequest, WorkerDied
+from repro.api import (ClusterClient, EnsembleRequest, PredictRequest,
+                       WorkerDied, study_spec)
 from repro.models import make_mlp
 from repro.runtime import compile_model
-from repro.serve import InferenceService, PlanCluster, PlanRegistry
+from repro.serve import (InferenceService, JobManager, PlanCluster,
+                         PlanRegistry)
 from repro.serve.shm import list_segments
 
 #: Fixed seeds — the whole suite replays deterministically from these.
@@ -617,3 +619,105 @@ class TestCircuitBreaker:
             assert time.monotonic() - start < 5.0
         finally:
             client.close()
+
+
+class TestStudyChaos:
+    """The experiment-as-a-service leg: a study survives every death mode.
+
+    One run exercises both failure domains of the job subsystem at once:
+    a SIGKILL'd replica mid-study (the cluster heals, the cell retries —
+    never a lost cell) *and* a manager death mid-study (the successor
+    re-indexes the checkpoint directory and re-enqueues only the missing
+    cells).  The resumed :class:`StudyResult` must be bit-identical to an
+    uninterrupted single-process run of the same spec, with zero leaked
+    shared-memory segments afterwards.
+    """
+
+    def test_study_survives_replica_sigkill_and_manager_restart(
+        self, chaos_env, tmp_path
+    ):
+        rng = np.random.default_rng(CHAOS_SEED + 99)
+        images = chaos_env.images[:8]
+        spec = study_spec(
+            images=images,
+            models=[(name, "acm", 4) for name in MODELS],
+            sigmas=(0.0, 0.1, 0.2),
+            num_samples=6,
+            seed=11,
+            labels=rng.integers(0, 10, size=images.shape[0]),
+        )
+        # The uninterrupted oracle: the same spec through a JobManager over
+        # the single-process reference service (cells are pure functions of
+        # the seeded request, so backend and interruptions must not matter).
+        oracle_manager = JobManager(chaos_env.reference)
+        oracle = oracle_manager.wait(
+            oracle_manager.submit(spec), timeout=300
+        ).result
+        oracle_manager.close()
+
+        cluster = PlanCluster(
+            chaos_env.directory, num_workers=2, handler_threads=4,
+            max_batch=16, max_wait_ms=1.0,
+            auto_restart=True, max_restarts=50,
+            restart_backoff=0.02, stability_window=0.5,
+            shm_threshold=1024,
+        )
+        shm_base = cluster._shm_base
+        client = ClusterClient(cluster, own_backend=True,
+                               worker_died_retries=20,
+                               worker_died_backoff=0.05)
+        jobs_dir = tmp_path / "jobs"
+        try:
+            cluster.wait_ready(timeout=180)
+            manager = JobManager(client, checkpoint_dir=jobs_dir,
+                                 max_workers=2, retry_backoff=0.02)
+            job_id = manager.submit(spec)
+            # Mid-study — some cells checkpointed, more in flight — SIGKILL
+            # one of the R=2 replicas.  Every model stays served by the
+            # survivor, so the study keeps progressing while the
+            # supervisor respawns the corpse.
+            _wait_for(lambda: manager.status(job_id).cells_done >= 2,
+                      timeout=240, what="mid-study progress before the kill")
+            alive = _alive_worker_indices(cluster)
+            assert alive, "no live worker to kill"
+            cluster._workers[alive[0]].process.kill()
+            # Then kill the *manager* too (drain its pool and drop it) —
+            # the worst case: both the executor and a replica died.
+            _wait_for(lambda: manager.status(job_id).cells_done >= 4,
+                      timeout=240, what="more progress after the kill")
+            manager.close()
+
+            successor = JobManager(client, checkpoint_dir=jobs_dir,
+                                   max_workers=2, retry_backoff=0.02)
+            successor.resume()
+            status = successor.wait(job_id, timeout=300)
+            counts = successor.execution_counts(job_id)
+            successor.close()
+        finally:
+            client.close()
+
+        assert status.state == "done"
+        assert status.cells_done == status.cells_total == spec.cell_count
+        # Zero lost cells, zero double-executions: every cell was either
+        # restored verbatim from the checkpoint or executed exactly once by
+        # the successor.
+        assert counts["resumed"] + counts["executed"] == spec.cell_count
+        assert counts["resumed"] >= 4  # the pre-close checkpoint survived
+        # The headline property: interrupted-and-resumed == uninterrupted,
+        # to the last bit, accuracy scoring included.
+        result = status.result
+        assert result is not None and len(result.cells) == len(oracle.cells)
+        for resumed_cell, oracle_cell in zip(result.cells, oracle.cells):
+            assert (resumed_cell.model, resumed_cell.bits,
+                    resumed_cell.mapping, resumed_cell.sigma_fraction) == (
+                oracle_cell.model, oracle_cell.bits,
+                oracle_cell.mapping, oracle_cell.sigma_fraction)
+            np.testing.assert_array_equal(resumed_cell.mean_logits,
+                                          oracle_cell.mean_logits)
+            np.testing.assert_array_equal(resumed_cell.predictions,
+                                          oracle_cell.predictions)
+            np.testing.assert_array_equal(resumed_cell.confidence,
+                                          oracle_cell.confidence)
+            assert resumed_cell.accuracy == oracle_cell.accuracy
+        # No residue: chaos plus clean shutdown leaves no shm segment.
+        assert list_segments(shm_base) == []

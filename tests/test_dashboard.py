@@ -112,3 +112,19 @@ class TestDashboard:
                 "repro_ring_model_replicas_live",
                 "repro_ring_failover_total",
                 "repro_ring_routed_total"} <= referenced
+
+    def test_study_and_rollout_metrics_are_charted(self, dashboard):
+        # The experiment-as-a-service plane must be observable out of the
+        # box: cell throughput/retries, job states, checkpoint writes, and
+        # the canary/rollout routing counters all get panels.
+        referenced = {name
+                      for _, expr in _expressions(dashboard)
+                      for name in METRIC_NAME.findall(expr)}
+        assert {"repro_study_cells_total",
+                "repro_study_cell_retries_total",
+                "repro_study_checkpoint_writes_total",
+                "repro_study_jobs",
+                "repro_canary_requests_total",
+                "repro_rollout_flips_total",
+                "repro_rollout_active_version",
+                "repro_rollout_canary_fraction"} <= referenced
