@@ -14,16 +14,20 @@ implementation detail selected at :func:`connect` time:
   ``invalid_request``, ``backpressure``, ``auth_failed``, ``worker_died``,
   ...); the same malformed request raises the identical typed error
   through every backend.
-* **Clients** (:mod:`repro.api.client`, :mod:`repro.api.http_client`) —
-  the :class:`Client` protocol and its three interchangeable
-  implementations: :class:`LocalClient` (in-process
+* **Clients** (:mod:`repro.api.client`, :mod:`repro.api.http_client`,
+  :mod:`repro.api.aio`) — the :class:`Client` protocol and its three
+  interchangeable implementations: :class:`LocalClient` (in-process
   :class:`~repro.serve.service.InferenceService`), :class:`HttpClient`
-  (wire protocol against :class:`~repro.serve.http.PlanServer`, with
-  idempotent-request retries and bearer-token auth), and
+  (wire protocol against either HTTP edge, with a keep-alive connection
+  pool, idempotent-request retries, and bearer-token auth), and
   :class:`ClusterClient` (sharded
-  :class:`~repro.serve.cluster.PlanCluster`).
+  :class:`~repro.serve.cluster.PlanCluster`) — plus :class:`AsyncClient`,
+  the ``await``-able HTTP client (same dataclasses, same typed errors,
+  pooled ``asyncio`` connections).
 * **Dispatch** (:mod:`repro.api.connect`) — ``connect("local:plans/")``,
-  ``connect("http://host:8100")``, ``connect("cluster:plans/?workers=4")``.
+  ``connect("http://host:8100")``, ``connect("cluster:plans/?workers=4")``;
+  :func:`connect_async` (or ``connect("http://…?async=true")``) for the
+  awaitable client.
 * **Studies** (:mod:`repro.api.study`, :mod:`repro.serve.jobs`) —
   asynchronous, checkpointed study jobs: submit a typed
   :class:`StudySpec` sweep (models × sigmas) via
@@ -83,8 +87,9 @@ from repro.api.types import (
 )
 
 if TYPE_CHECKING:  # the lazy names, visible to type checkers
+    from repro.api.aio import AsyncClient
     from repro.api.client import Client, ClusterClient, LocalClient
-    from repro.api.connect import connect
+    from repro.api.connect import connect, connect_async
     from repro.api.http_client import HttpClient
     from repro.api.study import (
         ClientSweepResult,
@@ -97,11 +102,13 @@ if TYPE_CHECKING:  # the lazy names, visible to type checkers
 #: serve backends, so resolving them eagerly from a serve-internal import
 #: of repro.api.types would cycle.
 _LAZY: Dict[str, str] = {
+    "AsyncClient": "repro.api.aio",
     "Client": "repro.api.client",
     "ClusterClient": "repro.api.client",
     "LocalClient": "repro.api.client",
     "HttpClient": "repro.api.http_client",
     "connect": "repro.api.connect",
+    "connect_async": "repro.api.connect",
     "ClientSweepResult": "repro.api.study",
     "SigmaPoint": "repro.api.study",
     "variation_sweep_via_client": "repro.api.study",
@@ -115,6 +122,7 @@ __all__ = [
     "ApiError",
     "ApiServerError",
     "ApiTimeout",
+    "AsyncClient",
     "BackendClosed",
     "Client",
     "ClientSweepResult",
@@ -141,6 +149,7 @@ __all__ = [
     "bits_token",
     "canonical_name",
     "connect",
+    "connect_async",
     "error_for",
     "map_exception",
     "parse_bits_token",
@@ -154,8 +163,16 @@ def __getattr__(name: str) -> Any:
     module_name = _LAZY.get(name)
     if module_name is None:
         raise AttributeError(f"module 'repro.api' has no attribute {name!r}")
-    value = getattr(importlib.import_module(module_name), name)
-    globals()[name] = value  # cache: subsequent lookups skip this hook
+    module = importlib.import_module(module_name)
+    # Cache every export of the module, not just the requested name: the
+    # import above also binds the *submodule* onto this package (standard
+    # submodule semantics), and for repro.api.connect that binding would
+    # shadow the connect() function — resolving connect_async first must
+    # not turn repro.api.connect into a module object.
+    for export, owner in _LAZY.items():
+        if owner == module_name:
+            globals()[export] = getattr(module, export)
+    value: Any = globals()[name]
     return value
 
 

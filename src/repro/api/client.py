@@ -73,6 +73,10 @@ class Client(Protocol):
         """Poll a study job: state, progress, and (when done) its result."""
         ...
 
+    def cancel_study(self, job_id: str) -> StudyStatus:
+        """Cancel a study job (idempotent); returns the resulting status."""
+        ...
+
     def models(self) -> List[ModelInfo]:
         """The backend's published-plan catalogue (with content digests)."""
         ...
@@ -138,6 +142,9 @@ class _BackendClient:
 
     def get_study(self, job_id: str) -> StudyStatus:
         return self.jobs.status(job_id)
+
+    def cancel_study(self, job_id: str) -> StudyStatus:
+        return self.jobs.cancel(job_id)
 
     def models(self) -> List[ModelInfo]:
         try:

@@ -7,6 +7,16 @@ codecs in :mod:`repro.api.codec`, so requests and responses are the exact
 dataclasses every other backend consumes — base64-packed float64 arrays
 make the results bit-equivalent to in-process execution.
 
+Connections are pooled: up to ``pool_size`` idle keep-alive connections
+are retained (LIFO, so the warmest socket is reused first) and handed back
+after each successful, fully-read exchange.  The pool never retains a
+connection in an ambiguous state — any transport failure, timeout, or
+half-read response closes the socket instead of releasing it, so a
+poisoned connection (stray body bytes that would be misparsed as the next
+response) cannot leak into a later request.  A pooled connection the
+server quietly closed while idle costs one transparent re-issue on a
+fresh socket, not a caller-visible error.
+
 Failure handling:
 
 * HTTP error responses are resolved back to the typed
@@ -24,6 +34,11 @@ Failure handling:
   :class:`~repro.api.errors.ApiTimeout`, matching every other backend.
 * An optional bearer ``token`` is sent as ``Authorization: Bearer ...``;
   a 401 raises :class:`~repro.api.errors.ApiAuthError`.
+
+:class:`~repro.api.aio.AsyncClient` is the ``asyncio`` counterpart —
+same typed surface, ``await``-able methods, the same pooling semantics —
+built on the shared decode helpers below so the two transports cannot
+drift apart.
 """
 
 from __future__ import annotations
@@ -47,7 +62,12 @@ from repro.api.codec import (
     encode_predict_request,
     encode_study_spec,
 )
-from repro.api.errors import ApiConnectionError, ApiTimeout, InvalidRequest
+from repro.api.errors import (
+    ApiConnectionError,
+    ApiError,
+    ApiTimeout,
+    InvalidRequest,
+)
 from repro.api.types import (
     EnsembleRequest,
     EnsembleResult,
@@ -65,8 +85,129 @@ from repro.obs.tracing import REQUEST_ID_HEADER, ensure_request_id
 _RETRYABLE = (ConnectionError, http.client.HTTPException, OSError)
 
 
+# ---------------------------------------------------------------------- #
+# Shared wire helpers (sync HttpClient and async AsyncClient)
+# ---------------------------------------------------------------------- #
+def parse_retry_after(headers: Mapping[str, str]) -> Optional[float]:
+    """The parsed ``Retry-After`` of a (lower-cased) response header map."""
+    header = headers.get("retry-after")
+    if header is None:
+        return None
+    try:
+        return float(header)
+    except ValueError:
+        return None
+
+
+def response_to_error(
+    parsed: Any, status: int, headers: Mapping[str, str]
+) -> ApiError:
+    """Resolve a non-2xx response into its typed :class:`ApiError`."""
+    return decode_error(parsed, status,
+                        retry_after=parse_retry_after(headers))
+
+
+def parse_json_body(raw: bytes) -> Any:
+    """Best-effort JSON parse of a response body (undecodable → ``{}``)."""
+    if not raw:
+        return {}
+    try:
+        return json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return {}
+
+
+def predict_result_from_body(body: Any, request_id: str) -> PredictResult:
+    if not isinstance(body, Mapping):
+        raise InvalidRequest(f"malformed predict response: {body!r}")
+    result = decode_predict_result(body)
+    if result.request_id is None:  # pre-tracing server
+        result = replace(result, request_id=request_id)
+    return result
+
+
+def ensemble_result_from_body(body: Any, request_id: str) -> EnsembleResult:
+    if not isinstance(body, Mapping):
+        raise InvalidRequest(f"malformed ensemble response: {body!r}")
+    result = decode_ensemble_result(body)
+    if result.request_id is None:  # pre-tracing server
+        result = replace(result, request_id=request_id)
+    return result
+
+
+def study_status_from_body(body: Any) -> StudyStatus:
+    if not isinstance(body, Mapping):
+        raise InvalidRequest(f"malformed study response: {body!r}")
+    return decode_study_status(body)
+
+
+def require_job_id(job_id: str) -> None:
+    if not isinstance(job_id, str) or not job_id:
+        raise InvalidRequest("job_id must be a non-empty string")
+
+
+def _close_quietly(connection: http.client.HTTPConnection) -> None:
+    try:
+        connection.close()
+    except Exception:  # noqa: BLE001 - teardown must never raise
+        pass
+
+
+class _ConnectionPool:
+    """Bounded, thread-safe pool of idle keep-alive connections.
+
+    LIFO so the most recently used (warmest, least likely to have been
+    reaped by the server's idle timeout) socket is reused first; entries
+    idle past ``keepalive_timeout`` are closed on acquire instead of being
+    handed out.  Callers must only :meth:`release` a connection whose
+    response was *fully read* on a socket the server will keep open —
+    anything ambiguous gets closed, never pooled.
+    """
+
+    def __init__(self, size: int, keepalive_timeout: float) -> None:
+        self._size = size
+        self._keepalive = keepalive_timeout
+        self._lock = threading.Lock()
+        self._idle: List[Tuple[http.client.HTTPConnection, float]] = []
+        self._closed = False
+
+    def acquire(self) -> Optional[http.client.HTTPConnection]:
+        """An idle pooled connection, or ``None`` (caller dials fresh)."""
+        now = time.monotonic()
+        stale: List[http.client.HTTPConnection] = []
+        taken: Optional[http.client.HTTPConnection] = None
+        with self._lock:
+            while self._idle:
+                connection, stored = self._idle.pop()
+                if now - stored <= self._keepalive:
+                    taken = connection
+                    break
+                stale.append(connection)
+        for connection in stale:
+            _close_quietly(connection)
+        return taken
+
+    def release(self, connection: http.client.HTTPConnection) -> None:
+        with self._lock:
+            if not self._closed and len(self._idle) < self._size:
+                self._idle.append((connection, time.monotonic()))
+                return
+        _close_quietly(connection)
+
+    def close(self) -> None:
+        with self._lock:
+            idle, self._idle = self._idle, []
+            self._closed = True
+        for connection, _ in idle:
+            _close_quietly(connection)
+
+    def idle_count(self) -> int:
+        with self._lock:
+            return len(self._idle)
+
+
 class HttpClient:
-    """Typed client for a :class:`~repro.serve.http.PlanServer` endpoint.
+    """Typed client for a served HTTP endpoint (threaded or async edge).
 
     Parameters
     ----------
@@ -91,11 +232,19 @@ class HttpClient:
         Defaults to the system trust store.
     insecure:
         Skip certificate verification entirely (test rigs only).
+    pool_size:
+        Idle keep-alive connections retained for reuse (``0`` disables
+        pooling and restores one-connection-per-request behaviour).
+    keepalive_timeout:
+        Seconds an idle pooled connection stays eligible for reuse; keep
+        it at or below the server's idle timeout so the pool never hands
+        out a socket the server is about to close.
 
     Every request carries an ``X-Request-Id`` (the request dataclass's, or
     client-minted) so client, edge, and worker logs line up; transport
-    retries and timeouts are counted in :meth:`client_stats` so a retry
-    storm is visible from the caller's side too.
+    retries, timeouts, and connection reuse are counted in
+    :meth:`client_stats` so a retry storm — or a pool that never hits —
+    is visible from the caller's side too.
     """
 
     def __init__(
@@ -108,6 +257,8 @@ class HttpClient:
         encoding: str = "b64",
         cafile: Optional[str] = None,
         insecure: bool = False,
+        pool_size: int = 8,
+        keepalive_timeout: float = 25.0,
     ) -> None:
         parts = urllib.parse.urlsplit(base_url)
         if parts.scheme not in ("http", "https"):
@@ -119,6 +270,10 @@ class HttpClient:
             raise ValueError(f"base_url {base_url!r} has no host")
         if retries < 0:
             raise ValueError("retries must be non-negative")
+        if pool_size < 0:
+            raise ValueError("pool_size must be non-negative")
+        if keepalive_timeout <= 0:
+            raise ValueError("keepalive_timeout must be positive")
         if encoding not in ("b64", "list"):
             raise ValueError(f"encoding must be 'b64' or 'list', not {encoding!r}")
         self.base_url = base_url.rstrip("/")
@@ -127,6 +282,8 @@ class HttpClient:
         self.retries = retries
         self.retry_backoff = retry_backoff
         self.encoding = encoding
+        self.pool_size = pool_size
+        self.keepalive_timeout = keepalive_timeout
         self._scheme = parts.scheme
         self._host: str = host
         self._port = parts.port or (443 if parts.scheme == "https" else 80)
@@ -140,6 +297,7 @@ class HttpClient:
             else:
                 context = ssl.create_default_context(cafile=cafile)
             self._ssl_context = context
+        self._pool = _ConnectionPool(pool_size, keepalive_timeout)
         # Per-call request id, carried thread-locally so _attempt keeps
         # its (method, path, payload) seam for tests and subclasses.
         self._call_context = threading.local()
@@ -153,6 +311,9 @@ class HttpClient:
             "timeouts": 0,
             "connection_failures": 0,
             "http_errors": 0,
+            "connections_reused": 0,
+            "connections_opened": 0,
+            "stale_retries": 0,
         }
 
     def _count(self, event: str, amount: int = 1) -> None:
@@ -160,7 +321,7 @@ class HttpClient:
             self._transport_stats[event] += amount
 
     def client_stats(self) -> Dict[str, int]:
-        """This client's transport counters (requests, retries, timeouts...)."""
+        """This client's transport counters (requests, retries, reuse...)."""
         with self._stats_lock:
             return dict(self._transport_stats)
 
@@ -168,6 +329,7 @@ class HttpClient:
     # Transport
     # ------------------------------------------------------------------ #
     def _connection(self) -> http.client.HTTPConnection:
+        self._count("connections_opened")
         if self._scheme == "https":
             return http.client.HTTPSConnection(
                 self._host, self._port, timeout=self.timeout,
@@ -177,35 +339,92 @@ class HttpClient:
             self._host, self._port, timeout=self.timeout
         )
 
-    def _attempt(
+    def _exchange(
         self,
+        connection: http.client.HTTPConnection,
         method: str,
         path: str,
         payload: Optional[bytes],
-    ) -> Tuple[int, Dict[str, str], Any]:
-        """One request over a fresh connection; returns (status, headers, body)."""
+    ) -> Tuple[int, Dict[str, str], Any, bool]:
+        """One request/response on ``connection``.
+
+        Returns ``(status, headers, body, reusable)`` — ``reusable`` is
+        True only when the response was fully read off a socket the
+        server will keep open, i.e. the connection is provably in a clean
+        between-requests state.  Any exception leaves the connection
+        ambiguous; the *caller* must close it, never pool it.
+        """
         headers = {"Content-Type": "application/json"}
         if self.token is not None:
             headers["Authorization"] = f"Bearer {self.token}"
         request_id = getattr(self._call_context, "request_id", None)
         if request_id is not None:
             headers[REQUEST_ID_HEADER] = request_id
-        connection = self._connection()
+        connection.request(
+            method, self._prefix + path, body=payload, headers=headers
+        )
+        response = connection.getresponse()
+        # read() consumes exactly the declared Content-Length; a peer that
+        # disconnects mid-body raises IncompleteRead (retryable), and the
+        # half-read socket is discarded by the caller — never reused.
+        raw = response.read()
+        status = response.status
+        header_map = {key.lower(): value for key, value in response.getheaders()}
+        reusable = bool(response.isclosed()) and not response.will_close
+        return status, header_map, parse_json_body(raw), reusable
+
+    def _attempt(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[bytes],
+    ) -> Tuple[int, Dict[str, str], Any]:
+        """One request over a pooled or fresh connection.
+
+        Returns ``(status, headers, body)``.  Connection hygiene lives
+        here: a clean, fully-read keep-alive exchange releases the socket
+        back to the pool; every failure path closes it.  A *reused*
+        connection that fails before yielding a response gets one free
+        re-issue on a fresh socket — the server merely closed it while it
+        sat idle — without consuming a caller-visible retry.  Timeouts are
+        excluded from that free pass: the server may be computing, and
+        re-sending would double its load.
+        """
+        connection = self._pool.acquire()
+        reused = connection is not None
+        if connection is None:
+            connection = self._connection()
+        else:
+            self._count("connections_reused")
         try:
-            connection.request(
-                method, self._prefix + path, body=payload, headers=headers
+            status, headers, body, reusable = self._exchange(
+                connection, method, path, payload
             )
-            response = connection.getresponse()
-            raw = response.read()
-            status = response.status
-            header_map = {key.lower(): value for key, value in response.getheaders()}
-        finally:
-            connection.close()
-        try:
-            body = json.loads(raw.decode("utf-8")) if raw else {}
-        except (UnicodeDecodeError, json.JSONDecodeError):
-            body = {}
-        return status, header_map, body
+        except TimeoutError:
+            _close_quietly(connection)
+            raise
+        except _RETRYABLE:
+            _close_quietly(connection)
+            if not reused:
+                raise
+            # Stale pooled socket: re-issue once on a fresh connection.
+            self._count("stale_retries")
+            connection = self._connection()
+            try:
+                status, headers, body, reusable = self._exchange(
+                    connection, method, path, payload
+                )
+            except BaseException:
+                _close_quietly(connection)
+                raise
+        except BaseException:
+            _close_quietly(connection)
+            raise
+        if reusable:
+            self._pool.release(connection)
+        else:
+            _close_quietly(connection)
+        return status, headers, body
 
     def _call(
         self,
@@ -248,14 +467,7 @@ class HttpClient:
             if status in ok_statuses:
                 return parsed
             self._count("http_errors")
-            retry_after: Optional[float] = None
-            header = headers.get("retry-after")
-            if header is not None:
-                try:
-                    retry_after = float(header)
-                except ValueError:
-                    retry_after = None
-            raise decode_error(parsed, status, retry_after=retry_after)
+            raise response_to_error(parsed, status, headers)
         raise ApiConnectionError(
             f"{self.base_url} unreachable after {self.retries + 1} attempt(s): "
             f"{type(last_error).__name__}: {last_error}"
@@ -271,12 +483,7 @@ class HttpClient:
             encode_predict_request(request, encoding=self.encoding),
             request_id=request_id,
         )
-        if not isinstance(body, Mapping):
-            raise InvalidRequest(f"malformed predict response: {body!r}")
-        result = decode_predict_result(body)
-        if result.request_id is None:  # pre-tracing server
-            result = replace(result, request_id=request_id)
-        return result
+        return predict_result_from_body(body, request_id)
 
     def ensemble(self, request: EnsembleRequest) -> EnsembleResult:
         request_id = ensure_request_id(request.request_id)
@@ -285,12 +492,7 @@ class HttpClient:
             encode_ensemble_request(request, encoding=self.encoding),
             request_id=request_id,
         )
-        if not isinstance(body, Mapping):
-            raise InvalidRequest(f"malformed ensemble response: {body!r}")
-        result = decode_ensemble_result(body)
-        if result.request_id is None:  # pre-tracing server
-            result = replace(result, request_id=request_id)
-        return result
+        return ensemble_result_from_body(body, request_id)
 
     def submit_study(self, spec: StudySpec) -> str:
         """Submit a study job to the server; returns its job id.
@@ -306,18 +508,25 @@ class HttpClient:
             encode_study_spec(spec, encoding=self.encoding),
             request_id=request_id,
         )
-        if not isinstance(body, Mapping):
-            raise InvalidRequest(f"malformed study response: {body!r}")
-        return decode_study_status(body).job_id
+        return study_status_from_body(body).job_id
 
     def get_study(self, job_id: str) -> StudyStatus:
         """Poll one study job: state, progress, result when done."""
-        if not isinstance(job_id, str) or not job_id:
-            raise InvalidRequest("job_id must be a non-empty string")
+        require_job_id(job_id)
         body = self._call("GET", f"/v1/studies/{job_id}")
-        if not isinstance(body, Mapping):
-            raise InvalidRequest(f"malformed study response: {body!r}")
-        return decode_study_status(body)
+        return study_status_from_body(body)
+
+    def cancel_study(self, job_id: str) -> StudyStatus:
+        """Cancel one study job (``DELETE /v1/studies/{id}``; idempotent).
+
+        A running job flips to the terminal ``"cancelled"`` state; a job
+        already done/failed/cancelled answers its current status
+        unchanged; an unknown id raises the typed 404
+        (:class:`~repro.api.errors.ModelNotFound`).
+        """
+        require_job_id(job_id)
+        body = self._call("DELETE", f"/v1/studies/{job_id}")
+        return study_status_from_body(body)
 
     def models(self) -> List[ModelInfo]:
         body = self._call("GET", "/v1/models")
@@ -342,7 +551,8 @@ class HttpClient:
         return HealthStatus.from_wire(body)
 
     def close(self) -> None:
-        """Connections are per-request; nothing persistent to release."""
+        """Close the pooled idle connections (in-flight requests finish)."""
+        self._pool.close()
 
     def __enter__(self) -> "HttpClient":
         return self

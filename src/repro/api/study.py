@@ -84,7 +84,10 @@ def wait_study(
 
     A failed job resurrects its typed error (the same
     :class:`~repro.api.errors.ApiError` subclass the failing cell raised);
-    a job still running at ``timeout`` raises
+    a job cancelled server-side (``client.cancel_study`` /
+    ``DELETE /v1/studies/{id}``) raises
+    :class:`~repro.api.errors.BackendClosed` — cancelled is terminal, the
+    result will never arrive; a job still running at ``timeout`` raises
     :class:`~repro.api.errors.ApiTimeout` — the job itself keeps running
     (and checkpointing), so a later :meth:`Client.get_study` can still
     collect it.
@@ -98,6 +101,11 @@ def wait_study(
             raise error_for(
                 status.error_code or "server_error", 500,
                 status.error_message or f"study job {job_id!r} failed",
+            )
+        if status.cancelled:
+            raise error_for(
+                "backend_closed", 503,
+                f"study job {job_id!r} was cancelled",
             )
         if status.done and status.result is not None:
             return status.result

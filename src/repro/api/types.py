@@ -441,8 +441,8 @@ class StudyResult:
         return tuple(cell for cell in self.cells if cell.name == name)
 
 
-#: The three states a study job can be in.
-STUDY_STATES = ("running", "done", "failed")
+#: The states a study job can be in ("cancelled" via DELETE /v1/studies/{id}).
+STUDY_STATES = ("running", "done", "failed", "cancelled")
 
 
 @dataclass(frozen=True, eq=False)
@@ -453,7 +453,10 @@ class StudyStatus:
     timeouts) — informational only; it never appears inside
     :class:`StudyResult`, which stays bit-identical whether or not the run
     was interrupted.  ``result`` is populated once ``state == "done"``;
-    ``error_code``/``error_message`` once ``state == "failed"``.
+    ``error_code``/``error_message`` once ``state == "failed"``.  A job
+    cancelled via ``DELETE /v1/studies/{id}`` reports the terminal
+    ``"cancelled"`` state with its partial ``cells_done`` count and no
+    result.
     """
 
     job_id: str
@@ -478,6 +481,15 @@ class StudyStatus:
     @property
     def failed(self) -> bool:
         return self.state == "failed"
+
+    @property
+    def cancelled(self) -> bool:
+        return self.state == "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        """True once the job can no longer make progress."""
+        return self.state != "running"
 
 
 def study_spec(

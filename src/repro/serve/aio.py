@@ -1,0 +1,471 @@
+"""Asyncio HTTP edge: the event-loop flavour of :class:`PlanServer`.
+
+:class:`AsyncPlanServer` serves the exact protocol of
+:class:`repro.serve.http.PlanServer` — same routes, auth, TLS, drain,
+``/metrics`` — because both edges delegate every parsed request to one
+shared :class:`repro.serve.http.EdgeCore`.  What differs is the
+transport: instead of one handler thread per connection, a single event
+loop accepts connections (``asyncio.start_server``), keeps them alive
+across requests (HTTP/1.1 keep-alive with an idle timeout), parses
+pipelined requests sequentially in arrival order, and bridges each parsed
+request into a bounded thread pool via ``loop.run_in_executor`` — the
+blocking micro-batch schedulers underneath are untouched.  Thousands of
+idle keep-alive connections therefore cost file descriptors, not threads;
+only requests actually mid-dispatch occupy a worker thread.
+
+Connection semantics:
+
+* **Keep-alive** — HTTP/1.1 connections persist across requests (and
+  HTTP/1.0 with ``Connection: keep-alive``); an idle connection closes
+  after ``keepalive_timeout`` seconds, when the client sends
+  ``Connection: close``, or when the server starts draining or shutting
+  down — ``POST /admin/drain`` sheds *idle* connections while requests
+  already in flight complete normally.
+* **Pipelining** — requests buffered behind the current one are parsed
+  and answered strictly in order, one at a time; responses are never
+  interleaved.
+* **Errors close** — like the threaded edge, every error response carries
+  ``Connection: close``, because several error paths answer before the
+  request body was consumed and the unread bytes would corrupt the
+  stream's framing.
+
+Lifecycle mirrors :class:`PlanServer`: ``start()`` spins the event loop
+on a background thread and returns once the socket is bound (``port=0``
+for ephemeral; see :attr:`url`); ``close()`` stops accepting, lets
+in-flight requests finish, closes the study-job manager and (with
+``own_backend=True``) the backend.  Both work as context managers, so the
+two classes are drop-in interchangeable — the CLI flips between them with
+``--async``, and ``repro.api`` clients cannot tell them apart (the
+equivalence matrix enforces bit-identical float64 either way).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import json
+import logging
+import os
+import ssl
+import threading
+import time
+from http import HTTPStatus
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro.serve.http import (
+    EdgeCore,
+    EdgeResponse,
+    RequestError,
+    _error_body,
+    parse_content_length,
+    truncated_body_error,
+)
+
+_LOG = logging.getLogger("repro.serve.aio")
+
+#: Cap on one request's header section (request line + headers), matching
+#: the stdlib ``http.server`` limit the threaded edge inherits.
+MAX_HEADER_BYTES = 65536
+
+#: Cap on the number of header lines in one request.
+MAX_HEADER_COUNT = 128
+
+#: Seconds one body read may stall before the request maps to a 504,
+#: matching the threaded handler's socket timeout.
+BODY_TIMEOUT = 30.0
+
+#: Granularity of the idle-connection poll: how quickly an idle keep-alive
+#: connection notices a drain or shutdown.  Coarse on purpose — with
+#: thousands of idle connections each poll slice is a timer wakeup, so a
+#: tight interval taxes the event loop exactly when fan-in is highest;
+#: shutdown additionally cancels idle waits outright rather than waiting
+#: for a poll tick.
+_IDLE_POLL = 1.0
+
+
+def _default_handler_threads() -> int:
+    # The dispatch pool bounds how many requests block in the micro-batch
+    # schedulers at once; connections beyond this queue in the event loop
+    # (cheap) instead of occupying threads (expensive).  The micro-batcher
+    # *wants* several concurrent callers to coalesce, so size generously.
+    return min(32, (os.cpu_count() or 1) * 8)
+
+
+class _ConnectionClosed(Exception):
+    """The peer went away (EOF / reset) — unwind the connection quietly."""
+
+
+class AsyncPlanServer:
+    """Event-loop HTTP edge over a shared :class:`EdgeCore`.
+
+    Constructor-compatible with :class:`repro.serve.http.PlanServer`,
+    plus:
+
+    ``keepalive_timeout``
+        Seconds an idle keep-alive connection is retained before the
+        server closes it (default 30).
+    ``handler_threads``
+        Size of the bounded dispatch pool bridging the event loop into
+        the blocking schedulers (default scales with CPU count).
+    """
+
+    def __init__(
+        self,
+        backend: Any,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        own_backend: bool = True,
+        verbose: bool = False,
+        auth_token: Optional[str] = None,
+        tls_cert: Optional[str] = None,
+        tls_key: Optional[str] = None,
+        jobs_dir: Optional[str] = None,
+        keepalive_timeout: float = 30.0,
+        handler_threads: Optional[int] = None,
+    ) -> None:
+        if (tls_cert is None) != (tls_key is None):
+            raise ValueError("tls_cert and tls_key must be provided together")
+        if keepalive_timeout <= 0:
+            raise ValueError("keepalive_timeout must be positive")
+        self.backend = backend
+        self.own_backend = own_backend
+        self.verbose = verbose
+        self.keepalive_timeout = float(keepalive_timeout)
+        self.core = EdgeCore(backend, auth_token=auth_token, jobs_dir=jobs_dir)
+        self.tls = tls_cert is not None
+        self._ssl_context: Optional[ssl.SSLContext] = None
+        if tls_cert is not None and tls_key is not None:
+            context = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+            context.load_cert_chain(certfile=tls_cert, keyfile=tls_key)
+            self._ssl_context = context
+        self._host = host
+        self._port = port
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=handler_threads or _default_handler_threads(),
+            thread_name_prefix="aio-edge",
+        )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._tasks: Set["asyncio.Task[None]"] = set()
+        self._address: Optional[Tuple[str, int]] = None
+        self._closing = False
+        self._closed = False
+
+    # -------------------------------------------------------------- #
+    # Lifecycle
+    # -------------------------------------------------------------- #
+    def start(self) -> "AsyncPlanServer":
+        """Bind the socket, spin the event loop; returns once accepting."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="plan-aio-server", daemon=True
+        )
+        self._thread.start()
+        bound = asyncio.run_coroutine_threadsafe(self._bootstrap(), self._loop)
+        # Surfaces bind errors (port in use, bad cert) in the caller.
+        bound.result(timeout=30.0)
+        return self
+
+    def _run_loop(self) -> None:
+        assert self._loop is not None
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.close()
+
+    async def _bootstrap(self) -> None:
+        server = await asyncio.start_server(
+            self._on_connection,
+            host=self._host,
+            port=self._port,
+            ssl=self._ssl_context,
+            # Keep-alive fan-in arrives in bursts; match the threaded
+            # edge's deep listen backlog so neither drops SYNs first.
+            backlog=1024,
+        )
+        self._server = server
+        sockname = server.sockets[0].getsockname()
+        self._address = (sockname[0], sockname[1])
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` pair."""
+        if self._address is None:
+            raise RuntimeError("server not started")
+        return self._address
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        scheme = "https" if self.tls else "http"
+        return f"{scheme}://{host}:{port}"
+
+    @property
+    def metrics(self) -> Any:
+        """The edge-level metric registry (merged into /metrics)."""
+        return self.core.metrics
+
+    @property
+    def jobs(self) -> Any:
+        """The study-job manager behind ``POST /v1/studies``."""
+        return self.core.jobs
+
+    @property
+    def draining(self) -> bool:
+        """True while POST /admin/drain has paused new prediction work."""
+        return bool(self.core.draining)
+
+    def close(self, timeout: Optional[float] = 10.0) -> None:
+        """Graceful shutdown: stop accepting, drain in-flight, close backend."""
+        if self._closed:
+            return
+        self._closed = True
+        self._closing = True
+        if self._loop is not None and self._thread is not None:
+            wait = timeout if timeout is not None else 30.0
+            done = asyncio.run_coroutine_threadsafe(
+                self._shutdown(wait), self._loop
+            )
+            try:
+                done.result(timeout=wait + 5.0)
+            except Exception:  # noqa: BLE001 - best-effort; loop stops below
+                pass
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=wait)
+        self.core.drain(timeout)
+        self._executor.shutdown(wait=False)
+        # Jobs close before the backend they execute through; an unfinished
+        # study stays checkpointed on disk and resumes on the next start.
+        self.core.jobs.close()
+        if self.own_backend:
+            self.backend.close()
+
+    async def _shutdown(self, timeout: float) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        tasks = set(self._tasks)
+        if tasks:
+            # Idle connections notice _closing within one poll interval;
+            # in-flight requests finish their dispatch then see it.
+            await asyncio.wait(tasks, timeout=timeout)
+        leftovers = set(self._tasks)
+        for task in leftovers:
+            task.cancel()
+        if leftovers:
+            await asyncio.wait(leftovers, timeout=1.0)
+
+    def __enter__(self) -> "AsyncPlanServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- #
+    # Connection handling
+    # -------------------------------------------------------------- #
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._tasks.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        except _ConnectionClosed:
+            pass
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        except Exception:  # noqa: BLE001 - connection-local failure
+            _LOG.debug("connection handler failed", exc_info=True)
+        finally:
+            if task is not None:
+                self._tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError, OSError):
+                pass
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            line = await self._await_request_line(reader)
+            if line is None:
+                return  # idle timeout, drain, shutdown, or clean EOF
+            try:
+                method, path, version = self._parse_request_line(line)
+                headers = await self._read_headers(reader)
+            except RequestError as error:
+                await self._write_response(
+                    writer, self._protocol_error(error), close=True
+                )
+                return
+            keep_alive = self._keep_alive(version, headers)
+            body: Optional[bytes] = None
+            body_error: Optional[BaseException] = None
+            length: Optional[int] = None
+            try:
+                length = parse_content_length(headers)
+                if length is not None:
+                    body = await self._read_body(reader, length)
+            except asyncio.IncompleteReadError as error:
+                body_error = truncated_body_error(
+                    len(error.partial), length if length is not None else 0
+                )
+            except Exception as error:  # noqa: BLE001 - mapped by the core
+                body_error = error
+            # The blocking part — auth, routing, the micro-batch scheduler
+            # call — runs on the bounded dispatch pool; the event loop
+            # stays free to accept and parse other connections meanwhile.
+            response = await loop.run_in_executor(
+                self._executor,
+                self.core.handle,
+                method,
+                path,
+                headers,
+                body,
+                body_error,
+            )
+            close = response.close or not keep_alive or self._closing
+            await self._write_response(writer, response, close=close)
+            if close:
+                return
+
+    async def _await_request_line(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[bytes]:
+        """Wait for the next request line on an idle connection.
+
+        Polls in small slices so an idle connection notices a drain or a
+        shutdown promptly; returns ``None`` when the connection should
+        close without an error response (clean EOF, idle timeout, drain,
+        shutdown).  A pipelined request already buffered returns
+        immediately on the first slice.
+        """
+        deadline = time.monotonic() + self.keepalive_timeout
+        while True:
+            if self._closing or self.core.draining:
+                return None
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return None
+            try:
+                line = await asyncio.wait_for(
+                    reader.readline(), timeout=min(_IDLE_POLL, remaining)
+                )
+            except asyncio.TimeoutError:
+                continue
+            except (ConnectionError, OSError):
+                return None
+            if line == b"":
+                return None  # clean EOF: the client hung up between requests
+            if line == b"\r\n" or line == b"\n":
+                continue  # tolerate stray blank lines between requests
+            return line
+
+    def _parse_request_line(self, line: bytes) -> Tuple[str, str, str]:
+        try:
+            text = line.decode("latin-1").rstrip("\r\n")
+            method, path, version = text.split(" ", 2)
+        except ValueError:
+            raise RequestError(400, "malformed HTTP request line")
+        if not version.startswith("HTTP/"):
+            raise RequestError(400, f"malformed HTTP version {version!r}")
+        return method, path, version
+
+    async def _read_headers(
+        self, reader: asyncio.StreamReader
+    ) -> Dict[str, str]:
+        # One timeout guard around the whole header section (rather than a
+        # timer per line): headers almost always arrive in the same packet
+        # as the request line, and per-line timers are measurable overhead
+        # at high request rates.
+        try:
+            return await asyncio.wait_for(
+                self._read_header_lines(reader), timeout=BODY_TIMEOUT
+            )
+        except asyncio.TimeoutError:
+            raise RequestError(400, "timed out reading request headers")
+
+    async def _read_header_lines(
+        self, reader: asyncio.StreamReader
+    ) -> Dict[str, str]:
+        headers: Dict[str, str] = {}
+        total = 0
+        for _ in range(MAX_HEADER_COUNT):
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                return headers
+            total += len(line)
+            if total > MAX_HEADER_BYTES:
+                raise RequestError(400, "request header section too large")
+            try:
+                name, _, value = line.decode("latin-1").partition(":")
+            except UnicodeDecodeError:
+                raise RequestError(400, "undecodable request header")
+            if not _:
+                raise RequestError(400, f"malformed header line {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        raise RequestError(400, "too many request headers")
+
+    def _keep_alive(self, version: str, headers: Dict[str, str]) -> bool:
+        connection = headers.get("connection", "").lower()
+        if version == "HTTP/1.1":
+            return connection != "close"
+        return connection == "keep-alive"
+
+    async def _read_body(
+        self, reader: asyncio.StreamReader, length: int
+    ) -> bytes:
+        if length == 0:
+            return b""
+        try:
+            return await asyncio.wait_for(
+                reader.readexactly(length), timeout=BODY_TIMEOUT
+            )
+        except asyncio.TimeoutError:
+            # Maps to the typed 504, matching the threaded edge's socket
+            # timeout on a stalled body.
+            raise TimeoutError("timed out reading request body")
+
+    def _protocol_error(self, error: RequestError) -> EdgeResponse:
+        # Failures before a request exists (bad request line, oversized
+        # headers) cannot go through EdgeCore.handle — there is no route
+        # to dispatch or meter — but reuse the same error body shape.
+        payload = json.dumps(
+            _error_body(error.status, error), allow_nan=False
+        ).encode("utf-8")
+        self.core.observe_request("unknown", "BAD", error.status, 0.0)
+        return EdgeResponse(status=error.status, payload=payload, close=True)
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        response: EdgeResponse,
+        close: bool,
+    ) -> None:
+        try:
+            reason = HTTPStatus(response.status).phrase
+        except ValueError:
+            reason = "Unknown"
+        lines = [
+            f"HTTP/1.1 {response.status} {reason}",
+            f"Content-Type: {response.content_type}",
+            f"Content-Length: {len(response.payload)}",
+        ]
+        for name, value in response.headers.items():
+            lines.append(f"{name}: {value}")
+        lines.append("Connection: close" if close else "Connection: keep-alive")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        try:
+            writer.write(head + response.payload)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            raise _ConnectionClosed()

@@ -1,10 +1,18 @@
 """HTTP front-end: the serving stack as a stdlib JSON-over-HTTP endpoint.
 
-:class:`PlanServer` exposes a *backend* — an in-process
-:class:`~repro.serve.service.InferenceService` or a multi-process
-:class:`~repro.serve.cluster.PlanCluster` — over a threaded
-``http.server`` endpoint, making the registry + scheduler stack reachable
-from other processes and languages.  The wire protocol:
+Two interchangeable edges serve the same protocol:
+
+* :class:`PlanServer` — the threaded ``http.server`` edge (one handler
+  thread per connection);
+* :class:`~repro.serve.aio.AsyncPlanServer` — the ``asyncio`` edge
+  (event-loop accept, keep-alive reuse, pipelined parsing, bounded
+  executor into the same micro-batch schedulers).
+
+Both delegate every parsed request to one shared :class:`EdgeCore` — the
+transport-agnostic route table, auth check, drain flag, study-job
+manager, and metrics registry — so the two edges *cannot* diverge: a new
+route, a changed error mapping, or an auth tweak lands in both at once.
+The wire protocol:
 
 ``POST /v1/predict``
     ``{"model", "mapping", "bits", "images", "encoding"?}`` → deterministic
@@ -20,12 +28,16 @@ from other processes and languages.  The wire protocol:
     The registry catalogue with content digests.
 ``GET /v1/stats``
     Per-model micro-batching statistics.
-``POST /v1/studies`` / ``GET /v1/studies/{id}``
+``POST /v1/studies`` / ``GET /v1/studies/{id}`` / ``DELETE /v1/studies/{id}``
     Asynchronous study jobs (:mod:`repro.serve.jobs`): submit a typed
     sweep spec (models × sigmas), poll for the checkpointed, resumable
-    :class:`~repro.api.types.StudyResult`.  Submission answers
-    immediately with the job's status document; polling survives server
-    restarts when the server was given a ``jobs_dir``.
+    :class:`~repro.api.types.StudyResult`, or cancel a running job.
+    Submission answers immediately with the job's status document;
+    polling survives server restarts when the server was given a
+    ``jobs_dir``.  ``DELETE`` is idempotent — cancelling a finished or
+    already-cancelled job answers 200 with its unchanged status — and an
+    unknown id answers the typed 404 (``model_not_found``), exactly like
+    ``GET``.
 ``GET /healthz``
     Liveness probe: ``"ok"``, ``"degraded"`` (a cluster shard is dead or
     its breaker is open; 503 with per-shard detail under ``workers`` and —
@@ -60,8 +72,12 @@ error body carrying the stable machine-readable ``code`` of the typed
 scheduler queue past the backend's ``max_queue_depth`` answers 429 with a
 ``Retry-After`` header, and (with ``auth_token`` set) a request without
 the matching ``Authorization: Bearer`` token answers 401 — the token
-compare is constant-time.  Responses carried base64-packed as float64 are
-bit-equivalent to in-process results.
+compare is constant-time.  A request body shorter than its declared
+``Content-Length`` (the client died or lied) answers 400 with an explicit
+"truncated" message instead of a misleading JSON-parse failure — the body
+is read in a loop until the declared length or EOF, so a slow client
+dribbling its body in segments is served normally.  Responses carried
+base64-packed as float64 are bit-equivalent to in-process results.
 
 Shutdown is graceful: :meth:`PlanServer.close` stops accepting
 connections, waits for in-flight requests to finish, and then closes the
@@ -84,9 +100,9 @@ import math
 import ssl
 import threading
 import time
-from dataclasses import replace
+from dataclasses import dataclass, field, replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Mapping, Optional, Tuple
 
 from repro.api.codec import (
     _key_fields,
@@ -118,6 +134,9 @@ METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 #: any bytes are read.
 MAX_BODY_BYTES = 1 << 30
 
+#: Largest chunk one body-read loop iteration asks the transport for.
+_READ_CHUNK = 1 << 20
+
 #: Machine-readable codes for the protocol-level failures that are not
 #: typed API errors (they never reach a backend).
 _PROTOCOL_CODES = {
@@ -127,6 +146,9 @@ _PROTOCOL_CODES = {
     413: "payload_too_large",
     503: "unavailable",
 }
+
+#: Lower-cased header key the trace id travels under.
+_REQUEST_ID_KEY = REQUEST_ID_HEADER.lower()
 
 
 class RequestError(ValueError):
@@ -162,379 +184,104 @@ def _error_body(status: int, error: BaseException) -> dict:
     return encode_error(error, status=status)
 
 
-class _Handler(BaseHTTPRequestHandler):
-    """Route table + JSON plumbing; state lives on the server object."""
+# ---------------------------------------------------------------------- #
+# Shared body plumbing (used by both the threaded and the asyncio edge)
+# ---------------------------------------------------------------------- #
+def parse_content_length(headers: Mapping[str, str]) -> Optional[int]:
+    """Validate a (lower-cased) header map's ``Content-Length``.
 
-    protocol_version = "HTTP/1.1"
-    # Idle keep-alive connections drop after this long, so they can never
-    # hold the server open across a shutdown.
-    timeout = 30.0
-    server_version = "repro-serve/1.0"
+    Returns ``None`` when the header is absent (a body-less request),
+    the parsed length otherwise; raises :class:`RequestError` 400 for an
+    unparseable or negative value and 413 past :data:`MAX_BODY_BYTES` —
+    *before* any body byte is read.
+    """
+    length_header = headers.get("content-length")
+    if length_header is None:
+        return None
+    try:
+        length = int(length_header)
+    except ValueError:
+        raise RequestError(400, f"invalid Content-Length {length_header!r}")
+    if length < 0:
+        raise RequestError(400, "Content-Length must be non-negative")
+    if length > MAX_BODY_BYTES:
+        raise RequestError(413, f"request body over {MAX_BODY_BYTES} bytes")
+    return length
 
-    # -------------------------------------------------------------- #
-    # Plumbing
-    # -------------------------------------------------------------- #
-    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
-        if self.server.verbose:  # pragma: no cover - disabled in tests
-            super().log_message(format, *args)
 
-    def _send_payload(
+def truncated_body_error(got: int, expected: int) -> RequestError:
+    """The 400 a body shorter than its declared Content-Length maps to.
+
+    One constructor for both edges, so the sync and async servers answer
+    a truncating client with the identical message.
+    """
+    return RequestError(
+        400,
+        f"request body truncated: expected {expected} bytes, got {got}",
+    )
+
+
+def read_exact(read: Callable[[int], bytes], length: int) -> bytes:
+    """Read exactly ``length`` bytes from a blocking ``read`` callable.
+
+    A single ``read(length)`` may legally return fewer bytes (a slow or
+    segmented client); this loops until the declared length arrives, and
+    a genuine EOF short of it raises the explicit truncation 400 instead
+    of letting the partial body surface as a misleading JSON error.
+    """
+    if length == 0:
+        return b""
+    chunks = []
+    remaining = length
+    while remaining > 0:
+        chunk = read(min(remaining, _READ_CHUNK))
+        if not chunk:
+            break
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    data = b"".join(chunks)
+    if len(data) < length:
+        raise truncated_body_error(len(data), length)
+    return data
+
+
+@dataclass
+class EdgeResponse:
+    """One rendered HTTP response, transport-agnostic.
+
+    ``close`` asks the transport to drop the connection after writing —
+    set on every error response, because several error paths respond
+    before the request body was consumed and the unread bytes would be
+    parsed as the next request line under keep-alive.
+    """
+
+    status: int
+    payload: bytes
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+    close: bool = False
+
+
+class EdgeCore:
+    """The transport-agnostic core of the HTTP edge.
+
+    Owns everything about the protocol that is not socket plumbing: the
+    route table, bearer-token auth (constant-time compare), the drain
+    flag, the study-job manager, the edge metrics registry, and in-flight
+    request accounting.  A transport parses one request off its
+    connection (method, path, lower-cased headers, raw body bytes) and
+    calls :meth:`handle`; everything after that — dispatch, typed-error
+    mapping, metrics, structured logging — happens here, identically for
+    the threaded and the asyncio edge.
+    """
+
+    def __init__(
         self,
-        status: int,
-        payload: bytes,
-        content_type: str,
-        headers: Optional[Dict[str, str]] = None,
+        backend,
+        auth_token: Optional[str] = None,
+        jobs_dir: Optional[str] = None,
     ) -> None:
-        self._last_status = status
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(payload)))
-        request_id = getattr(self, "_request_id", None)
-        if request_id is not None:
-            # Every response — success or error — echoes the trace id.
-            self.send_header(REQUEST_ID_HEADER, request_id)
-        for name, value in (headers or {}).items():
-            self.send_header(name, value)
-        if self.close_connection:
-            self.send_header("Connection", "close")
-        self.end_headers()
-        self.wfile.write(payload)
-
-    def _send_json(
-        self, status: int, body: dict, headers: Optional[Dict[str, str]] = None
-    ) -> None:
-        payload = json.dumps(body, allow_nan=False).encode("utf-8")
-        self._send_payload(status, payload, "application/json", headers)
-
-    def _send_error_json(self, status: int, error: BaseException) -> None:
-        # Several error paths (unknown route, 405, 413, bad Content-Length)
-        # respond before the request body was read; under HTTP/1.1
-        # keep-alive the unread bytes would be parsed as the next request
-        # line, corrupting every later exchange on the connection.  Closing
-        # after any error keeps the stream unambiguous.
-        self.close_connection = True
-        headers: Dict[str, str] = {}
-        if isinstance(error, ApiBackpressure):
-            # Retry-After is integral seconds per RFC 9110; round up so the
-            # hint is never shorter than the backend asked for.
-            headers["Retry-After"] = str(max(1, math.ceil(error.retry_after)))
-        if isinstance(error, ApiAuthError):
-            headers["WWW-Authenticate"] = "Bearer"
-        self._send_json(status, _error_body(status, error), headers)
-
-    def _read_request_body(self) -> dict:
-        length_header = self.headers.get("Content-Length")
-        if length_header is None:
-            raise RequestError(400, "Content-Length header is required")
-        try:
-            length = int(length_header)
-        except ValueError:
-            raise RequestError(400, f"invalid Content-Length {length_header!r}")
-        if length < 0:
-            raise RequestError(400, "Content-Length must be non-negative")
-        if length > MAX_BODY_BYTES:
-            raise RequestError(413, f"request body over {MAX_BODY_BYTES} bytes")
-        raw = self.rfile.read(length)
-        try:
-            body = json.loads(raw.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as error:
-            raise RequestError(400, f"request body is not valid JSON: {error}")
-        if not isinstance(body, dict):
-            raise RequestError(400, "request body must be a JSON object")
-        return body
-
-    def _read_optional_body(self) -> dict:
-        """Like :meth:`_read_request_body`, but a body-less POST is ``{}``
-        (the admin routes take their arguments as optional)."""
-        if self.headers.get("Content-Length") is None:
-            return {}
-        return self._read_request_body()
-
-    def _check_auth(self) -> None:
-        """Enforce the optional shared bearer token (constant-time compare)."""
-        token = self.server.auth_token
-        if token is None:
-            return
-        supplied = self.headers.get("Authorization", "")
-        expected = f"Bearer {token}"
-        # hmac.compare_digest keeps the comparison constant-time in the
-        # length-equal case, so the token cannot be recovered byte-by-byte
-        # from response timing.
-        if not hmac.compare_digest(
-            supplied.encode("utf-8"), expected.encode("utf-8")
-        ):
-            raise ApiAuthError(
-                "missing or invalid bearer token; send "
-                "'Authorization: Bearer <token>'"
-            )
-
-    # -------------------------------------------------------------- #
-    # Routes
-    # -------------------------------------------------------------- #
-    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        self._dispatch("GET")
-
-    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        self._dispatch("POST")
-
-    def _dispatch(self, method: str) -> None:
-        routes = {
-            ("GET", "/healthz"): self._handle_health,
-            ("GET", "/metrics"): self._handle_metrics,
-            ("GET", "/v1/models"): self._handle_models,
-            ("GET", "/v1/stats"): self._handle_stats,
-            ("POST", "/v1/predict"): self._handle_predict,
-            ("POST", "/v1/predict_under_variation"): self._handle_ensemble,
-            ("POST", "/v1/studies"): self._handle_study_submit,
-            ("GET", "/admin/workers"): self._handle_admin_workers,
-            ("POST", "/admin/restart_worker"): self._handle_admin_restart,
-            ("POST", "/admin/drain"): self._handle_admin_drain,
-            ("GET", "/admin/rollout"): self._handle_admin_rollout,
-            ("POST", "/admin/canary"): self._handle_admin_canary,
-            ("POST", "/admin/promote"): self._handle_admin_promote,
-            ("POST", "/admin/rollback"): self._handle_admin_rollback,
-        }
-        path = self.path.split("?", 1)[0]
-        # GET /v1/studies/{id} is the one parameterised route; it collapses
-        # onto a single metrics label so job ids cannot grow cardinality.
-        study_id: Optional[str] = None
-        if path.startswith("/v1/studies/"):
-            study_id = path[len("/v1/studies/"):]
-        # The trace id of this exchange: the client's (echoed) when it sent
-        # a valid X-Request-Id, otherwise server-assigned here.
-        supplied = self.headers.get(REQUEST_ID_HEADER)
-        self._request_id = (
-            supplied if valid_request_id(supplied) else new_request_id()
-        )
-        self._last_status = 0
-        started = time.monotonic()
-        self.server.request_started()
-        try:
-            # The liveness probe and metrics scrape stay open so
-            # orchestrators and scrapers can poll without holding the
-            # secret; everything else requires the token.
-            if path not in ("/healthz", "/metrics"):
-                self._check_auth()
-            if study_id is not None:
-                if method != "GET":
-                    raise RequestError(
-                        405, f"{method} is not allowed on {path}"
-                    )
-                self._handle_study_get(study_id)
-            else:
-                handler = routes.get((method, path))
-                if handler is None:
-                    known_paths = {route_path for _, route_path in routes}
-                    if path in known_paths:
-                        raise RequestError(
-                            405, f"{method} is not allowed on {path}"
-                        )
-                    raise RequestError(404, f"unknown path {path!r}")
-                handler()
-        except Exception as error:  # noqa: BLE001 - every failure becomes JSON
-            try:
-                self._send_error_json(_status_for(error), error)
-            except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
-                pass
-        finally:
-            self.server.request_finished()
-            elapsed = time.monotonic() - started
-            # Unknown paths collapse onto one label value so a scanner
-            # cannot grow the metric cardinality without bound.
-            known_paths = {route_path for _, route_path in routes}
-            if study_id is not None:
-                route = "/v1/studies/{id}"
-            else:
-                route = path if path in known_paths else "unknown"
-            self.server.observe_request(route, method, self._last_status,
-                                        elapsed)
-            log_event(_LOG, "http_request", request_id=self._request_id,
-                      route=route, method=method, status=self._last_status,
-                      latency_ms=elapsed * 1000.0)
-
-    def _handle_health(self) -> None:
-        models = len(self.server.backend.models())
-        status = "ok"
-        detail = None
-        if self.server.draining:
-            status = "draining"
-        else:
-            summarize = getattr(self.server.backend, "health_summary", None)
-            if callable(summarize):
-                status, detail = summarize()
-        if status == "ok":
-            self._send_json(200, {"status": "ok", "models": models})
-            return
-        body: dict = {"status": status, "models": models}
-        if detail is not None:
-            detail = dict(detail)
-            # A replicated cluster reports per-model replica health under
-            # "models"; surfaced separately so operators can tell a model
-            # *down* (no live replica) from one degraded to R-1 replicas.
-            replication = detail.pop("models", None)
-            body["workers"] = detail
-            if replication is not None:
-                body["replication"] = replication
-        # 503 so load balancers eject the endpoint on their health probe
-        # alone; the body still carries the per-shard specifics.
-        self._send_json(503, body)
-
-    def _handle_metrics(self) -> None:
-        families = list(self.server.metrics.collect())
-        collect = getattr(self.server.backend, "metrics_families", None)
-        if callable(collect):
-            families.extend(collect())
-        payload = render(families).encode("utf-8")
-        self._send_payload(200, payload, METRICS_CONTENT_TYPE)
-
-    def _handle_admin_workers(self) -> None:
-        describe = getattr(self.server.backend, "describe_workers", None)
-        if not callable(describe):
-            raise RequestError(
-                404, "backend has no worker processes to describe"
-            )
-        self._send_json(200, {"workers": describe()})
-
-    def _handle_admin_restart(self) -> None:
-        restart = getattr(self.server.backend, "restart_worker", None)
-        if not callable(restart):
-            raise RequestError(
-                404, "backend has no worker processes to restart"
-            )
-        body = self._read_request_body()
-        worker = body.get("worker")
-        if isinstance(worker, bool) or not isinstance(worker, int):
-            raise RequestError(400, "body must carry an integer 'worker'")
-        restart(worker)
-        log_event(_LOG, "admin_restart_worker", request_id=self._request_id,
-                  worker=worker)
-        self._send_json(200, {"restarted": worker})
-
-    def _handle_admin_drain(self) -> None:
-        body = self._read_optional_body()
-        drain = body.get("drain", True)
-        if not isinstance(drain, bool):
-            raise RequestError(400, "'drain' must be a boolean")
-        self.server.draining = drain
-        log_event(_LOG, "admin_drain", request_id=self._request_id,
-                  draining=drain)
-        self._send_json(200, {"draining": drain})
-
-    def _handle_models(self) -> None:
-        self._send_json(200, {"models": self.server.backend.models()})
-
-    def _handle_stats(self) -> None:
-        self._send_json(200, {"stats": self.server.backend.stats_summary()})
-
-    # The two prediction routes are nothing but codec shells: JSON body ->
-    # shared request dataclass -> typed backend entry point -> shared
-    # result dataclass -> JSON body.  All validation lives in the codec
-    # and the dataclasses themselves, so every transport applies it
-    # identically.
-    def _reject_if_draining(self) -> None:
-        if self.server.draining:
-            raise RequestError(
-                503, "server is draining; no new prediction work is accepted"
-            )
-
-    def _handle_predict(self) -> None:
-        self._reject_if_draining()
-        request, encoding = decode_predict_request(self._read_request_body())
-        request = replace(request, request_id=self._request_id)
-        result = self.server.backend.predict_request(request)
-        self._send_json(200, encode_predict_result(result, encoding=encoding))
-
-    def _handle_ensemble(self) -> None:
-        self._reject_if_draining()
-        request, encoding = decode_ensemble_request(self._read_request_body())
-        request = replace(request, request_id=self._request_id)
-        result = self.server.backend.ensemble_request(request)
-        self._send_json(200, encode_ensemble_result(result, encoding=encoding))
-
-    # -------------------------------------------------------------- #
-    # Study jobs
-    # -------------------------------------------------------------- #
-    def _handle_study_submit(self) -> None:
-        self._reject_if_draining()
-        spec, _ = decode_study_spec(self._read_request_body())
-        job_id = self.server.jobs.submit(spec)
-        log_event(_LOG, "study_submitted", request_id=self._request_id,
-                  job_id=job_id, cells=spec.cell_count)
-        self._send_json(200, encode_study_status(self.server.jobs.status(job_id)))
-
-    def _handle_study_get(self, job_id: str) -> None:
-        # Polling stays allowed while draining: a drained server still
-        # finishes and reports the studies it accepted.
-        status = self.server.jobs.status(job_id)
-        self._send_json(200, encode_study_status(status))
-
-    # -------------------------------------------------------------- #
-    # Versioned rollout admin
-    # -------------------------------------------------------------- #
-    def _rollout_backend(self, attr: str):
-        method = getattr(self.server.backend, attr, None)
-        if not callable(method):
-            raise RequestError(404, "backend has no versioned-rollout surface")
-        return method
-
-    def _handle_admin_rollout(self) -> None:
-        status = self._rollout_backend("rollout_status")
-        self._send_json(200, {"rollout": status()})
-
-    def _handle_admin_canary(self) -> None:
-        set_canary = self._rollout_backend("set_canary")
-        body = self._read_request_body()
-        model, bits, mapping = _key_fields(body)
-        version = body.get("version")
-        fraction = body.get("fraction")
-        if isinstance(version, bool) or not isinstance(version, int):
-            raise RequestError(400, "body must carry an integer 'version'")
-        if isinstance(fraction, bool) or not isinstance(fraction, (int, float)):
-            raise RequestError(400, "body must carry a numeric 'fraction'")
-        state = set_canary(model, bits, mapping, version, float(fraction))
-        log_event(_LOG, "admin_canary", request_id=self._request_id,
-                  model=model, version=version, fraction=fraction)
-        self._send_json(200, {"rollout": state})
-
-    def _handle_admin_promote(self) -> None:
-        promote = self._rollout_backend("promote")
-        body = self._read_request_body()
-        model, bits, mapping = _key_fields(body)
-        version = body.get("version")
-        if version is not None and (
-            isinstance(version, bool) or not isinstance(version, int)
-        ):
-            raise RequestError(400, "'version' must be an integer when given")
-        state = promote(model, bits, mapping, version)
-        log_event(_LOG, "admin_promote", request_id=self._request_id,
-                  model=model, active=state.get("active"))
-        self._send_json(200, {"rollout": state})
-
-    def _handle_admin_rollback(self) -> None:
-        rollback = self._rollout_backend("rollback")
-        body = self._read_request_body()
-        model, bits, mapping = _key_fields(body)
-        state = rollback(model, bits, mapping)
-        log_event(_LOG, "admin_rollback", request_id=self._request_id,
-                  model=model, active=state.get("active"))
-        self._send_json(200, {"rollout": state})
-
-
-class _PlanHTTPServer(ThreadingHTTPServer):
-    """Threaded HTTP server carrying the backend and in-flight accounting."""
-
-    # Handler threads are daemonic: an idle keep-alive connection must not
-    # block shutdown.  In-flight *requests* are tracked explicitly instead,
-    # so close() can drain real work and ignore idle sockets.
-    daemon_threads = True
-    # With daemon threads there is nothing for server_close() to join.
-    block_on_close = False
-
-    def __init__(self, address, backend, verbose: bool,
-                 auth_token: Optional[str] = None,
-                 jobs_dir: Optional[str] = None) -> None:
         self.backend = backend
-        self.verbose = verbose
         self.auth_token = auth_token
         # While True, prediction routes answer 503 and /healthz reports
         # "draining"; flipped by POST /admin/drain (bool writes are atomic
@@ -567,18 +314,27 @@ class _PlanHTTPServer(ThreadingHTTPServer):
         resumed = self.jobs.resume()
         if resumed:
             log_event(_LOG, "studies_resumed", jobs=len(resumed))
-        super().__init__(address, _Handler)
+        self._routes: Dict[Tuple[str, str], Callable[..., EdgeResponse]] = {
+            ("GET", "/healthz"): self._handle_health,
+            ("GET", "/metrics"): self._handle_metrics,
+            ("GET", "/v1/models"): self._handle_models,
+            ("GET", "/v1/stats"): self._handle_stats,
+            ("POST", "/v1/predict"): self._handle_predict,
+            ("POST", "/v1/predict_under_variation"): self._handle_ensemble,
+            ("POST", "/v1/studies"): self._handle_study_submit,
+            ("GET", "/admin/workers"): self._handle_admin_workers,
+            ("POST", "/admin/restart_worker"): self._handle_admin_restart,
+            ("POST", "/admin/drain"): self._handle_admin_drain,
+            ("GET", "/admin/rollout"): self._handle_admin_rollout,
+            ("POST", "/admin/canary"): self._handle_admin_canary,
+            ("POST", "/admin/promote"): self._handle_admin_promote,
+            ("POST", "/admin/rollback"): self._handle_admin_rollback,
+        }
+        self._route_paths = {path for _, path in self._routes}
 
-    def observe_request(
-        self, route: str, method: str, status: int, elapsed: float
-    ) -> None:
-        try:
-            self._m_requests.inc(route=route, method=method,
-                                 status=str(status))
-            self._m_latency.observe(elapsed, route=route)
-        except Exception:  # noqa: BLE001 - telemetry must never fail a request
-            pass
-
+    # -------------------------------------------------------------- #
+    # In-flight accounting (drain support for both transports)
+    # -------------------------------------------------------------- #
     def request_started(self) -> None:
         with self._inflight_cv:
             self._inflight += 1
@@ -596,6 +352,457 @@ class _PlanHTTPServer(ThreadingHTTPServer):
                 lambda: self._inflight == 0, timeout=timeout
             )
 
+    # -------------------------------------------------------------- #
+    # Dispatch
+    # -------------------------------------------------------------- #
+    def handle(
+        self,
+        method: str,
+        path: str,
+        headers: Mapping[str, str],
+        body: Optional[bytes] = None,
+        body_error: Optional[BaseException] = None,
+    ) -> EdgeResponse:
+        """One parsed request in, one rendered response out.
+
+        ``headers`` must carry lower-cased keys.  ``body`` is the raw
+        request body (``None`` when the request had no ``Content-Length``).
+        A transport that failed to obtain the body (bad or oversized
+        Content-Length, truncation, a read timeout) passes the failure as
+        ``body_error`` instead; it is raised *after* the auth check so the
+        status precedence matches the pre-split behaviour (401 before
+        400/413), then mapped like every other error.
+        """
+        path = path.split("?", 1)[0]
+        # The two parameterised routes collapse onto a single metrics
+        # label so job ids cannot grow cardinality.
+        study_id: Optional[str] = None
+        if path.startswith("/v1/studies/"):
+            study_id = path[len("/v1/studies/"):]
+        # The trace id of this exchange: the client's (echoed) when it
+        # sent a valid X-Request-Id, otherwise server-assigned here.
+        supplied = headers.get(_REQUEST_ID_KEY)
+        request_id = (
+            supplied if valid_request_id(supplied) else new_request_id()
+        )
+        status = 0
+        started = time.monotonic()
+        self.request_started()
+        try:
+            try:
+                # The liveness probe and metrics scrape stay open so
+                # orchestrators and scrapers can poll without holding the
+                # secret; everything else requires the token.
+                if path not in ("/healthz", "/metrics"):
+                    self._check_auth(headers)
+                if body_error is not None:
+                    raise body_error
+                if study_id is not None:
+                    if method == "GET":
+                        response = self._handle_study_get(study_id, request_id)
+                    elif method == "DELETE":
+                        response = self._handle_study_cancel(study_id,
+                                                             request_id)
+                    else:
+                        raise RequestError(
+                            405, f"{method} is not allowed on {path}"
+                        )
+                else:
+                    handler = self._routes.get((method, path))
+                    if handler is None:
+                        if path in self._route_paths:
+                            raise RequestError(
+                                405, f"{method} is not allowed on {path}"
+                            )
+                        raise RequestError(404, f"unknown path {path!r}")
+                    response = handler(body, request_id)
+            except Exception as error:  # noqa: BLE001 - becomes JSON
+                response = self._error_response(error, request_id)
+            status = response.status
+            return response
+        finally:
+            self.request_finished()
+            elapsed = time.monotonic() - started
+            # Unknown paths collapse onto one label value so a scanner
+            # cannot grow the metric cardinality without bound.
+            if study_id is not None:
+                route = "/v1/studies/{id}"
+            else:
+                route = path if path in self._route_paths else "unknown"
+            self.observe_request(route, method, status, elapsed)
+            log_event(_LOG, "http_request", request_id=request_id,
+                      route=route, method=method, status=status,
+                      latency_ms=elapsed * 1000.0)
+
+    def observe_request(
+        self, route: str, method: str, status: int, elapsed: float
+    ) -> None:
+        try:
+            self._m_requests.inc(route=route, method=method,
+                                 status=str(status))
+            self._m_latency.observe(elapsed, route=route)
+        except Exception:  # noqa: BLE001 - telemetry must never fail a request
+            pass
+
+    # -------------------------------------------------------------- #
+    # Response construction
+    # -------------------------------------------------------------- #
+    def _payload_response(
+        self,
+        status: int,
+        payload: bytes,
+        request_id: str,
+        content_type: str = "application/json",
+        headers: Optional[Dict[str, str]] = None,
+        close: bool = False,
+    ) -> EdgeResponse:
+        merged = dict(headers or {})
+        # Every response — success or error — echoes the trace id.
+        merged[REQUEST_ID_HEADER] = request_id
+        return EdgeResponse(status=status, payload=payload,
+                            content_type=content_type, headers=merged,
+                            close=close)
+
+    def _json(
+        self,
+        status: int,
+        body: dict,
+        request_id: str,
+        headers: Optional[Dict[str, str]] = None,
+        close: bool = False,
+    ) -> EdgeResponse:
+        payload = json.dumps(body, allow_nan=False).encode("utf-8")
+        return self._payload_response(status, payload, request_id,
+                                      headers=headers, close=close)
+
+    def _error_response(
+        self, error: BaseException, request_id: str
+    ) -> EdgeResponse:
+        # Several error paths (unknown route, 405, 413, bad Content-Length)
+        # respond before the request body was read; under HTTP/1.1
+        # keep-alive the unread bytes would be parsed as the next request
+        # line, corrupting every later exchange on the connection.  Closing
+        # after any error keeps the stream unambiguous.
+        status = _status_for(error)
+        headers: Dict[str, str] = {}
+        if isinstance(error, ApiBackpressure):
+            # Retry-After is integral seconds per RFC 9110; round up so the
+            # hint is never shorter than the backend asked for.
+            headers["Retry-After"] = str(max(1, math.ceil(error.retry_after)))
+        if isinstance(error, ApiAuthError):
+            headers["WWW-Authenticate"] = "Bearer"
+        return self._json(status, _error_body(status, error), request_id,
+                          headers=headers, close=True)
+
+    # -------------------------------------------------------------- #
+    # Plumbing
+    # -------------------------------------------------------------- #
+    def _check_auth(self, headers: Mapping[str, str]) -> None:
+        """Enforce the optional shared bearer token (constant-time compare)."""
+        token = self.auth_token
+        if token is None:
+            return
+        supplied = headers.get("authorization", "")
+        expected = f"Bearer {token}"
+        # hmac.compare_digest keeps the comparison constant-time in the
+        # length-equal case, so the token cannot be recovered byte-by-byte
+        # from response timing.
+        if not hmac.compare_digest(
+            supplied.encode("utf-8"), expected.encode("utf-8")
+        ):
+            raise ApiAuthError(
+                "missing or invalid bearer token; send "
+                "'Authorization: Bearer <token>'"
+            )
+
+    def _json_body(self, body: Optional[bytes]) -> dict:
+        if body is None:
+            raise RequestError(400, "Content-Length header is required")
+        try:
+            parsed = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise RequestError(400, f"request body is not valid JSON: {error}")
+        if not isinstance(parsed, dict):
+            raise RequestError(400, "request body must be a JSON object")
+        return parsed
+
+    def _optional_json_body(self, body: Optional[bytes]) -> dict:
+        """Like :meth:`_json_body`, but a body-less request is ``{}``
+        (the admin routes take their arguments as optional)."""
+        if body is None:
+            return {}
+        return self._json_body(body)
+
+    # -------------------------------------------------------------- #
+    # Routes
+    # -------------------------------------------------------------- #
+    def _handle_health(self, body: Optional[bytes],
+                       request_id: str) -> EdgeResponse:
+        models = len(self.backend.models())
+        status = "ok"
+        detail = None
+        if self.draining:
+            status = "draining"
+        else:
+            summarize = getattr(self.backend, "health_summary", None)
+            if callable(summarize):
+                status, detail = summarize()
+        if status == "ok":
+            return self._json(200, {"status": "ok", "models": models},
+                              request_id)
+        doc: dict = {"status": status, "models": models}
+        if detail is not None:
+            detail = dict(detail)
+            # A replicated cluster reports per-model replica health under
+            # "models"; surfaced separately so operators can tell a model
+            # *down* (no live replica) from one degraded to R-1 replicas.
+            replication = detail.pop("models", None)
+            doc["workers"] = detail
+            if replication is not None:
+                doc["replication"] = replication
+        # 503 so load balancers eject the endpoint on their health probe
+        # alone; the body still carries the per-shard specifics.
+        return self._json(503, doc, request_id)
+
+    def _handle_metrics(self, body: Optional[bytes],
+                        request_id: str) -> EdgeResponse:
+        families = list(self.metrics.collect())
+        collect = getattr(self.backend, "metrics_families", None)
+        if callable(collect):
+            families.extend(collect())
+        payload = render(families).encode("utf-8")
+        return self._payload_response(200, payload, request_id,
+                                      content_type=METRICS_CONTENT_TYPE)
+
+    def _handle_admin_workers(self, body: Optional[bytes],
+                              request_id: str) -> EdgeResponse:
+        describe = getattr(self.backend, "describe_workers", None)
+        if not callable(describe):
+            raise RequestError(
+                404, "backend has no worker processes to describe"
+            )
+        return self._json(200, {"workers": describe()}, request_id)
+
+    def _handle_admin_restart(self, body: Optional[bytes],
+                              request_id: str) -> EdgeResponse:
+        restart = getattr(self.backend, "restart_worker", None)
+        if not callable(restart):
+            raise RequestError(
+                404, "backend has no worker processes to restart"
+            )
+        parsed = self._json_body(body)
+        worker = parsed.get("worker")
+        if isinstance(worker, bool) or not isinstance(worker, int):
+            raise RequestError(400, "body must carry an integer 'worker'")
+        restart(worker)
+        log_event(_LOG, "admin_restart_worker", request_id=request_id,
+                  worker=worker)
+        return self._json(200, {"restarted": worker}, request_id)
+
+    def _handle_admin_drain(self, body: Optional[bytes],
+                            request_id: str) -> EdgeResponse:
+        parsed = self._optional_json_body(body)
+        drain = parsed.get("drain", True)
+        if not isinstance(drain, bool):
+            raise RequestError(400, "'drain' must be a boolean")
+        self.draining = drain
+        log_event(_LOG, "admin_drain", request_id=request_id,
+                  draining=drain)
+        return self._json(200, {"draining": drain}, request_id)
+
+    def _handle_models(self, body: Optional[bytes],
+                       request_id: str) -> EdgeResponse:
+        return self._json(200, {"models": self.backend.models()}, request_id)
+
+    def _handle_stats(self, body: Optional[bytes],
+                      request_id: str) -> EdgeResponse:
+        return self._json(200, {"stats": self.backend.stats_summary()},
+                          request_id)
+
+    # The two prediction routes are nothing but codec shells: JSON body ->
+    # shared request dataclass -> typed backend entry point -> shared
+    # result dataclass -> JSON body.  All validation lives in the codec
+    # and the dataclasses themselves, so every transport applies it
+    # identically.
+    def _reject_if_draining(self) -> None:
+        if self.draining:
+            raise RequestError(
+                503, "server is draining; no new prediction work is accepted"
+            )
+
+    def _handle_predict(self, body: Optional[bytes],
+                        request_id: str) -> EdgeResponse:
+        self._reject_if_draining()
+        request, encoding = decode_predict_request(self._json_body(body))
+        request = replace(request, request_id=request_id)
+        result = self.backend.predict_request(request)
+        return self._json(200, encode_predict_result(result,
+                                                     encoding=encoding),
+                          request_id)
+
+    def _handle_ensemble(self, body: Optional[bytes],
+                         request_id: str) -> EdgeResponse:
+        self._reject_if_draining()
+        request, encoding = decode_ensemble_request(self._json_body(body))
+        request = replace(request, request_id=request_id)
+        result = self.backend.ensemble_request(request)
+        return self._json(200, encode_ensemble_result(result,
+                                                      encoding=encoding),
+                          request_id)
+
+    # -------------------------------------------------------------- #
+    # Study jobs
+    # -------------------------------------------------------------- #
+    def _handle_study_submit(self, body: Optional[bytes],
+                             request_id: str) -> EdgeResponse:
+        self._reject_if_draining()
+        spec, _ = decode_study_spec(self._json_body(body))
+        job_id = self.jobs.submit(spec)
+        log_event(_LOG, "study_submitted", request_id=request_id,
+                  job_id=job_id, cells=spec.cell_count)
+        return self._json(200, encode_study_status(self.jobs.status(job_id)),
+                          request_id)
+
+    def _handle_study_get(self, job_id: str, request_id: str) -> EdgeResponse:
+        # Polling stays allowed while draining: a drained server still
+        # finishes and reports the studies it accepted.
+        status = self.jobs.status(job_id)
+        return self._json(200, encode_study_status(status), request_id)
+
+    def _handle_study_cancel(self, job_id: str,
+                             request_id: str) -> EdgeResponse:
+        # Cancellation is idempotent and allowed while draining (it only
+        # sheds work); an unknown id raises the typed 404 from the manager.
+        status = self.jobs.cancel(job_id)
+        log_event(_LOG, "study_cancel", request_id=request_id,
+                  job_id=job_id, state=status.state)
+        return self._json(200, encode_study_status(status), request_id)
+
+    # -------------------------------------------------------------- #
+    # Versioned rollout admin
+    # -------------------------------------------------------------- #
+    def _rollout_backend(self, attr: str):
+        method = getattr(self.backend, attr, None)
+        if not callable(method):
+            raise RequestError(404, "backend has no versioned-rollout surface")
+        return method
+
+    def _handle_admin_rollout(self, body: Optional[bytes],
+                              request_id: str) -> EdgeResponse:
+        status = self._rollout_backend("rollout_status")
+        return self._json(200, {"rollout": status()}, request_id)
+
+    def _handle_admin_canary(self, body: Optional[bytes],
+                             request_id: str) -> EdgeResponse:
+        set_canary = self._rollout_backend("set_canary")
+        parsed = self._json_body(body)
+        model, bits, mapping = _key_fields(parsed)
+        version = parsed.get("version")
+        fraction = parsed.get("fraction")
+        if isinstance(version, bool) or not isinstance(version, int):
+            raise RequestError(400, "body must carry an integer 'version'")
+        if isinstance(fraction, bool) or not isinstance(fraction, (int, float)):
+            raise RequestError(400, "body must carry a numeric 'fraction'")
+        state = set_canary(model, bits, mapping, version, float(fraction))
+        log_event(_LOG, "admin_canary", request_id=request_id,
+                  model=model, version=version, fraction=fraction)
+        return self._json(200, {"rollout": state}, request_id)
+
+    def _handle_admin_promote(self, body: Optional[bytes],
+                              request_id: str) -> EdgeResponse:
+        promote = self._rollout_backend("promote")
+        parsed = self._json_body(body)
+        model, bits, mapping = _key_fields(parsed)
+        version = parsed.get("version")
+        if version is not None and (
+            isinstance(version, bool) or not isinstance(version, int)
+        ):
+            raise RequestError(400, "'version' must be an integer when given")
+        state = promote(model, bits, mapping, version)
+        log_event(_LOG, "admin_promote", request_id=request_id,
+                  model=model, active=state.get("active"))
+        return self._json(200, {"rollout": state}, request_id)
+
+    def _handle_admin_rollback(self, body: Optional[bytes],
+                               request_id: str) -> EdgeResponse:
+        rollback = self._rollout_backend("rollback")
+        parsed = self._json_body(body)
+        model, bits, mapping = _key_fields(parsed)
+        state = rollback(model, bits, mapping)
+        log_event(_LOG, "admin_rollback", request_id=request_id,
+                  model=model, active=state.get("active"))
+        return self._json(200, {"rollout": state}, request_id)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin transport: socket/body plumbing; the protocol lives in EdgeCore."""
+
+    protocol_version = "HTTP/1.1"
+    # Idle keep-alive connections drop after this long, so they can never
+    # hold the server open across a shutdown.
+    timeout = 30.0
+    server_version = "repro-serve/1.0"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.server.verbose:  # pragma: no cover - disabled in tests
+            super().log_message(format, *args)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("DELETE")
+
+    def _dispatch(self, method: str) -> None:
+        core = self.server.core
+        headers = {key.lower(): value for key, value in self.headers.items()}
+        body: Optional[bytes] = None
+        body_error: Optional[BaseException] = None
+        try:
+            length = parse_content_length(headers)
+            if length is not None:
+                body = read_exact(self.rfile.read, length)
+        except Exception as error:  # noqa: BLE001 - mapped by the core
+            body_error = error
+        response = core.handle(method, self.path, headers, body, body_error)
+        if response.close:
+            self.close_connection = True
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(response.payload)))
+        for name, value in response.headers.items():
+            self.send_header(name, value)
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        try:
+            self.wfile.write(response.payload)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass
+
+
+class _PlanHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server: socket lifecycle around one EdgeCore."""
+
+    # Handler threads are daemonic: an idle keep-alive connection must not
+    # block shutdown.  In-flight *requests* are tracked explicitly instead
+    # (by the core), so close() can drain real work and ignore idle sockets.
+    daemon_threads = True
+    # With daemon threads there is nothing for server_close() to join.
+    block_on_close = False
+    # http.server's default listen backlog (5) drops connection bursts on
+    # the floor — clients stall in SYN retransmit.  An edge accepting
+    # hundreds of keep-alive clients needs a real backlog.
+    request_queue_size = 1024
+
+    def __init__(self, address, core: EdgeCore, verbose: bool) -> None:
+        self.core = core
+        self.verbose = verbose
+        super().__init__(address, _Handler)
+
 
 class PlanServer:
     """Lifecycle wrapper: serve a backend over HTTP until closed.
@@ -611,6 +818,11 @@ class PlanServer:
     ``tls_cert``/``tls_key`` (both or neither) terminate TLS on the
     listening socket; :attr:`url` turns ``https://`` and clients verify
     with ``HttpClient(url, cafile=...)``.
+
+    :class:`~repro.serve.aio.AsyncPlanServer` is the drop-in asyncio
+    flavour of this class — same constructor surface, same routes (they
+    share one :class:`EdgeCore`), event-loop concurrency instead of a
+    thread per connection.
     """
 
     def __init__(
@@ -631,9 +843,9 @@ class PlanServer:
             )
         self.backend = backend
         self.own_backend = own_backend
-        self._httpd = _PlanHTTPServer((host, port), backend, verbose,
-                                      auth_token=auth_token,
-                                      jobs_dir=jobs_dir)
+        self.core = EdgeCore(backend, auth_token=auth_token,
+                             jobs_dir=jobs_dir)
+        self._httpd = _PlanHTTPServer((host, port), self.core, verbose)
         self.tls = tls_cert is not None
         if tls_cert is not None and tls_key is not None:
             context = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
@@ -647,17 +859,17 @@ class PlanServer:
     @property
     def metrics(self) -> MetricsRegistry:
         """The server's edge-level metric registry (merged into /metrics)."""
-        return self._httpd.metrics
+        return self.core.metrics
 
     @property
     def jobs(self) -> JobManager:
         """The study-job manager behind ``POST /v1/studies``."""
-        return self._httpd.jobs
+        return self.core.jobs
 
     @property
     def draining(self) -> bool:
         """True while POST /admin/drain has paused new prediction work."""
-        return self._httpd.draining
+        return self.core.draining
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -692,10 +904,10 @@ class PlanServer:
         if self._thread is not None:
             self._httpd.shutdown()
             self._thread.join(timeout=timeout)
-        self._httpd.drain(timeout)
+        self.core.drain(timeout)
         # Jobs close before the backend they execute through; an unfinished
         # study stays checkpointed on disk and resumes on the next start.
-        self._httpd.jobs.close()
+        self.core.jobs.close()
         if self.own_backend:
             self.backend.close()
         self._httpd.server_close()

@@ -225,7 +225,7 @@ class JobManager:
     def _collect_job_states(self) -> List[Tuple[Mapping[str, str], float]]:
         with self._lock:
             jobs = list(self._jobs.values())
-        counts = {"running": 0, "done": 0, "failed": 0}
+        counts = {"running": 0, "done": 0, "failed": 0, "cancelled": 0}
         for job in jobs:
             with job.lock:
                 counts[job.state] = counts.get(job.state, 0) + 1
@@ -464,6 +464,10 @@ class JobManager:
                     str(error.get("code", "internal")), 500,
                     str(error.get("message", "study failed")),
                 )
+            elif state == "cancelled":
+                # Terminal: a cancelled job never resumes execution, but
+                # its status (and partial cell count) stays queryable.
+                job.state = "cancelled"
             return job
         except Exception as error:  # noqa: BLE001 - skip, don't crash startup
             log_event(_LOG, "study_checkpoint_invalid",
@@ -502,6 +506,32 @@ class JobManager:
                 error_message=None if job.error is None else job.error.message,
                 result=result,
             )
+
+    def cancel(self, job_id: str) -> StudyStatus:
+        """Cancel a running job; idempotent; returns the resulting status.
+
+        A running job flips to the terminal ``"cancelled"`` state: queued
+        and in-flight cells drop out at their next state check (their
+        results are discarded, never recorded), the checkpoint records the
+        terminal state so a restart cannot revive the job, and waiters
+        unblock.  Cancelling a job that is already done, failed, or
+        cancelled changes nothing and answers the current status; an
+        unknown id raises the typed 404
+        (:class:`~repro.api.errors.ModelNotFound`), exactly like
+        :meth:`status`.
+        """
+        job = self._get(job_id)
+        with job.lock:
+            flipped = job.state == "running"
+            if flipped:
+                job.state = "cancelled"
+            done_cells = len(job.cells)
+        if flipped:
+            self._checkpoint(job)
+            job.done_event.set()
+            log_event(_LOG, "study_cancelled", job_id=job.job_id,
+                      done=done_cells, total=job.total)
+        return self.status(job_id)
 
     def job_ids(self) -> List[str]:
         with self._lock:

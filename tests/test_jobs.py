@@ -244,6 +244,136 @@ class TestJobManager:
 
 
 # ---------------------------------------------------------------------- #
+# Cancellation
+# ---------------------------------------------------------------------- #
+class TestCancel:
+    def test_cancel_running_job_unblocks_waiters(self, service, study_inputs):
+        release = threading.Event()
+        started = threading.Event()
+
+        class _Gated:
+            def ensemble_request(self, request):
+                started.set()
+                release.wait(30.0)
+                return service.ensemble_request(request)
+
+        manager = JobManager(_Gated())
+        try:
+            job_id = manager.submit(_spec(study_inputs))
+            assert started.wait(10.0)
+            status = manager.cancel(job_id)
+            assert status.state == "cancelled"
+            assert status.cancelled and status.terminal
+            assert status.result is None
+            # Waiters see the terminal state immediately, not a timeout.
+            assert manager.wait(job_id, timeout=5.0).state == "cancelled"
+            # The in-flight cell finishes after cancellation; its result
+            # is discarded, never recorded.
+            done_before = status.cells_done
+            release.set()
+            time.sleep(0.2)
+            after = manager.status(job_id)
+            assert after.state == "cancelled"
+            assert after.cells_done == done_before
+        finally:
+            release.set()
+            manager.close()
+
+    def test_cancel_is_idempotent_and_terminal_is_a_noop(
+        self, service, study_inputs
+    ):
+        manager = JobManager(service)
+        try:
+            job_id = manager.submit(_spec(study_inputs))
+            done = manager.wait(job_id, timeout=60.0)
+            assert done.state == "done"
+            # Cancelling a finished job reports "done", not "cancelled".
+            assert manager.cancel(job_id).state == "done"
+            assert manager.status(job_id).result is not None
+        finally:
+            manager.close()
+        with pytest.raises(ModelNotFound):
+            manager.cancel("no-such-job")
+
+    def test_cancelled_checkpoint_is_terminal_across_restart(
+        self, service, study_inputs, tmp_path
+    ):
+        release = threading.Event()
+        started = threading.Event()
+
+        class _Gated:
+            def ensemble_request(self, request):
+                started.set()
+                release.wait(30.0)
+                return service.ensemble_request(request)
+
+        first = JobManager(_Gated(), checkpoint_dir=tmp_path)
+        try:
+            job_id = first.submit(_spec(study_inputs))
+            assert started.wait(10.0)
+            assert first.cancel(job_id).state == "cancelled"
+            # Double-cancel stays cancelled.
+            assert first.cancel(job_id).state == "cancelled"
+        finally:
+            release.set()
+            first.close()
+        document = json.loads(
+            (tmp_path / f"{job_id}.json").read_text(encoding="utf-8"))
+        assert document["state"] == "cancelled"
+
+        second = JobManager(service, checkpoint_dir=tmp_path)
+        try:
+            # Terminal: the job is queryable but never re-executes.
+            assert second.resume() == []
+            restored = second.status(job_id)
+            assert restored.state == "cancelled"
+            assert restored.result is None
+            assert second.execution_counts(job_id)["executed"] == 0
+        finally:
+            second.close()
+
+    def test_wait_study_raises_for_cancelled_job(self, service, study_inputs):
+        from repro.api.errors import BackendClosed
+        from repro.api.study import wait_study
+
+        release = threading.Event()
+
+        class _Gated:
+            def ensemble_request(self, request):
+                release.wait(30.0)
+                return service.ensemble_request(request)
+
+        manager = JobManager(_Gated())
+
+        class _Poller:
+            def get_study(self, job_id):
+                return manager.status(job_id)
+
+        try:
+            job_id = manager.submit(_spec(study_inputs))
+            manager.cancel(job_id)
+            with pytest.raises(BackendClosed, match="cancelled"):
+                wait_study(_Poller(), job_id, timeout=10.0)
+        finally:
+            release.set()
+            manager.close()
+
+    def test_cancel_through_the_local_client(self, service, study_inputs):
+        from repro.api import LocalClient
+
+        client = LocalClient(service, own_backend=False)
+        try:
+            job_id = client.submit_study(_spec(study_inputs))
+            deadline = time.monotonic() + 60
+            while not client.get_study(job_id).terminal:
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+            assert client.cancel_study(job_id).state == "done"
+        finally:
+            client.close()
+
+
+# ---------------------------------------------------------------------- #
 # Checkpointing and resume
 # ---------------------------------------------------------------------- #
 class TestCheckpointResume:

@@ -1,0 +1,399 @@
+"""The asyncio HTTP edge: same protocol, event-loop transport.
+
+:class:`~repro.serve.aio.AsyncPlanServer` shares its entire route table
+with the threaded edge through :class:`~repro.serve.http.EdgeCore`, so
+these tests focus on what is *new*: keep-alive connection reuse,
+pipelined request parsing, idle-timeout and drain behaviour, and the
+robust body reading the bugfix sweep hardened.  Route/auth semantics get
+a spot-check to pin the shared core to the async transport.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.models import make_mlp
+from repro.runtime import compile_model
+from repro.runtime.wire import encode_array
+from repro.serve import AsyncPlanServer, InferenceService, PlanRegistry
+
+
+# ---------------------------------------------------------------------- #
+# Raw-socket HTTP plumbing (keep-alive and pipelining need byte control)
+# ---------------------------------------------------------------------- #
+def _raw_request(method, path, body=None, headers=None, version="1.1"):
+    """Serialize one HTTP request to bytes."""
+    payload = b"" if body is None else json.dumps(body).encode("utf-8")
+    lines = [f"{method} {path} HTTP/{version}", "Host: test"]
+    if body is not None:
+        lines.append("Content-Type: application/json")
+        lines.append(f"Content-Length: {len(payload)}")
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + payload
+
+
+def _read_response(reader):
+    """Parse one response off a socket file; (status, headers, json body)."""
+    status_line = reader.readline()
+    if not status_line:
+        raise EOFError("connection closed before a status line")
+    status = int(status_line.split(b" ", 2)[1])
+    headers = {}
+    while True:
+        line = reader.readline()
+        if line in (b"\r\n", b"\n"):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    raw = reader.read(int(headers.get("content-length", 0)))
+    return status, headers, json.loads(raw.decode("utf-8")) if raw else None
+
+
+def _connect(address, timeout=30.0):
+    sock = socket.create_connection(address, timeout=timeout)
+    return sock, sock.makefile("rb")
+
+
+def _request(address, method, path, body=None):
+    """One request on a fresh connection; returns (status, json body)."""
+    connection = http.client.HTTPConnection(*address, timeout=60)
+    try:
+        payload = None if body is None else json.dumps(body).encode("utf-8")
+        connection.request(method, path, body=payload,
+                           headers={"Content-Type": "application/json"})
+        response = connection.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+    finally:
+        connection.close()
+
+
+def _predict_body(images, model="mlp", bits=4, mapping="acm", **extra):
+    return {"model": model, "bits": bits, "mapping": mapping,
+            "images": encode_array(np.asarray(images)), **extra}
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    """A live AsyncPlanServer over one published plan."""
+    directory = tmp_path_factory.mktemp("aio-plans")
+    model = make_mlp(input_size=16, hidden_sizes=(8,), mapping="acm",
+                     quantizer_bits=4, seed=0)
+    registry = PlanRegistry(directory)
+    registry.publish_model(model, "mlp", 4, "acm")
+    service = InferenceService(registry, max_batch=16, max_wait_ms=2.0)
+    server = AsyncPlanServer(service, own_backend=True).start()
+    images = np.random.default_rng(7).normal(size=(4, 16))
+    yield SimpleNamespace(
+        address=server.address, server=server, service=service,
+        images=images, plan=compile_model(model), directory=directory,
+    )
+    server.close()
+
+
+def _fresh_server(directory, **kwargs):
+    service = InferenceService(PlanRegistry(directory), max_batch=16)
+    return AsyncPlanServer(service, own_backend=True, **kwargs).start()
+
+
+# ---------------------------------------------------------------------- #
+# Shared-core routes over the async transport
+# ---------------------------------------------------------------------- #
+class TestRoutes:
+    def test_predict_bit_identical_to_plan(self, served):
+        status, body = _request(served.address, "POST", "/v1/predict",
+                                _predict_body(served.images))
+        assert status == 200
+        from repro.runtime.wire import decode_array
+
+        np.testing.assert_array_equal(decode_array(body["logits"]),
+                                      served.plan.run(served.images))
+
+    def test_healthz_and_models(self, served):
+        status, body = _request(served.address, "GET", "/healthz")
+        assert status == 200 and body["status"] == "ok"
+        status, body = _request(served.address, "GET", "/v1/models")
+        assert status == 200
+        assert [entry["name"] for entry in body["models"]] == ["mlp__4b__acm"]
+
+    def test_unknown_route_404_and_wrong_method_405(self, served):
+        assert _request(served.address, "GET", "/nope")[0] == 404
+        assert _request(served.address, "GET", "/v1/predict")[0] == 405
+        assert _request(served.address, "PUT", "/v1/studies/abc")[0] == 405
+
+    def test_invalid_json_is_400(self, served):
+        sock, reader = _connect(served.address)
+        try:
+            head = (b"POST /v1/predict HTTP/1.1\r\nHost: t\r\n"
+                    b"Content-Type: application/json\r\n"
+                    b"Content-Length: 9\r\n\r\nnot json!")
+            sock.sendall(head)
+            status, _, body = _read_response(reader)
+            assert status == 400
+            assert body["error"]["code"] == "invalid_request"
+        finally:
+            sock.close()
+
+    def test_missing_content_length_is_400(self, served):
+        sock, reader = _connect(served.address)
+        try:
+            sock.sendall(b"POST /v1/predict HTTP/1.1\r\nHost: t\r\n\r\n")
+            status, _, body = _read_response(reader)
+            assert status == 400
+            assert "Content-Length" in body["error"]["message"]
+        finally:
+            sock.close()
+
+    def test_malformed_request_line_is_400(self, served):
+        sock, reader = _connect(served.address)
+        try:
+            sock.sendall(b"WHAT\r\n\r\n")
+            status, _, body = _read_response(reader)
+            assert status == 400
+            assert body["error"]["code"] == "invalid_request"
+        finally:
+            sock.close()
+
+    def test_auth_enforced_with_healthz_open(self, served):
+        server = _fresh_server(served.directory, auth_token="s3cret")
+        try:
+            address = server.address
+            assert _request(address, "GET", "/v1/models")[0] == 401
+            assert _request(address, "GET", "/healthz")[0] == 200
+            connection = http.client.HTTPConnection(*address, timeout=30)
+            try:
+                connection.request("GET", "/v1/models", headers={
+                    "Authorization": "Bearer s3cret"})
+                assert connection.getresponse().status == 200
+            finally:
+                connection.close()
+        finally:
+            server.close()
+
+    def test_request_id_echoed(self, served):
+        connection = http.client.HTTPConnection(*served.address, timeout=30)
+        try:
+            connection.request("GET", "/healthz",
+                               headers={"X-Request-Id": "trace-me-42"})
+            response = connection.getresponse()
+            assert response.getheader("X-Request-Id") == "trace-me-42"
+            response.read()
+        finally:
+            connection.close()
+
+
+# ---------------------------------------------------------------------- #
+# Keep-alive semantics
+# ---------------------------------------------------------------------- #
+class TestKeepAlive:
+    def test_second_request_reuses_the_same_socket(self, served):
+        sock, reader = _connect(served.address)
+        try:
+            for _ in range(2):
+                sock.sendall(_raw_request("POST", "/v1/predict",
+                                          _predict_body(served.images)))
+                status, headers, body = _read_response(reader)
+                assert status == 200
+                assert headers.get("connection") != "close"
+                assert "logits" in body
+        finally:
+            sock.close()
+
+    def test_pipelined_pair_answered_in_order(self, served):
+        # Both requests are on the wire before either response is read.
+        sock, reader = _connect(served.address)
+        try:
+            sock.sendall(_raw_request("GET", "/healthz") +
+                         _raw_request("GET", "/v1/models"))
+            status, _, body = _read_response(reader)
+            assert status == 200 and body["status"] == "ok"
+            status, _, body = _read_response(reader)
+            assert status == 200 and "models" in body
+        finally:
+            sock.close()
+
+    def test_connection_close_header_is_honoured(self, served):
+        sock, reader = _connect(served.address)
+        try:
+            sock.sendall(_raw_request("GET", "/healthz",
+                                      headers={"Connection": "close"}))
+            status, headers, _ = _read_response(reader)
+            assert status == 200
+            assert headers.get("connection") == "close"
+            assert reader.read() == b""  # server hangs up after the response
+        finally:
+            sock.close()
+
+    def test_http10_without_keepalive_closes(self, served):
+        sock, reader = _connect(served.address)
+        try:
+            sock.sendall(_raw_request("GET", "/healthz", version="1.0"))
+            status, headers, _ = _read_response(reader)
+            assert status == 200
+            assert headers.get("connection") == "close"
+            assert reader.read() == b""
+        finally:
+            sock.close()
+
+    def test_error_response_closes_the_connection(self, served):
+        # Errors always close: the request body may sit half-read on the
+        # socket and would corrupt the framing of a follow-up request.
+        sock, reader = _connect(served.address)
+        try:
+            sock.sendall(_raw_request("GET", "/nope"))
+            status, headers, _ = _read_response(reader)
+            assert status == 404
+            assert headers.get("connection") == "close"
+            assert reader.read() == b""
+        finally:
+            sock.close()
+
+    def test_idle_connection_closed_after_keepalive_timeout(self, served):
+        server = _fresh_server(served.directory, keepalive_timeout=0.4)
+        try:
+            sock, reader = _connect(server.address)
+            try:
+                sock.sendall(_raw_request("GET", "/healthz"))
+                assert _read_response(reader)[0] == 200
+                start = time.monotonic()
+                sock.settimeout(10.0)
+                assert reader.read() == b""  # EOF once the idle timer fires
+                assert time.monotonic() - start < 8.0
+            finally:
+                sock.close()
+        finally:
+            server.close()
+
+    def test_close_drains_idle_keepalive_connections(self, served):
+        server = _fresh_server(served.directory)
+        sock, reader = _connect(server.address)
+        try:
+            sock.sendall(_raw_request("GET", "/healthz"))
+            assert _read_response(reader)[0] == 200
+            # The connection is idle mid-keep-alive; a graceful close must
+            # not hang on it, and must hang *it* up.
+            start = time.monotonic()
+            server.close()
+            assert time.monotonic() - start < 8.0
+            sock.settimeout(5.0)
+            assert reader.read() == b""
+        finally:
+            sock.close()
+
+
+# ---------------------------------------------------------------------- #
+# Robust body reading (the bugfix sweep)
+# ---------------------------------------------------------------------- #
+class TestBodyReading:
+    def test_dribbled_body_is_read_to_completion(self, served):
+        # A well-behaved but slow client: the body arrives in single-byte
+        # dribbles.  One read() call would see a short body; the edge must
+        # loop until Content-Length bytes arrived.
+        payload = json.dumps(_predict_body(served.images)).encode("utf-8")
+        head = (f"POST /v1/predict HTTP/1.1\r\nHost: t\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n\r\n").encode("latin-1")
+        sock, reader = _connect(served.address)
+        try:
+            sock.sendall(head)
+            for offset in range(0, len(payload), 256):
+                sock.sendall(payload[offset:offset + 256])
+                time.sleep(0.005)
+            status, _, body = _read_response(reader)
+            assert status == 200 and "logits" in body
+        finally:
+            sock.close()
+
+    def test_truncated_body_is_400_invalid_request(self, served):
+        sock, reader = _connect(served.address)
+        try:
+            sock.sendall(b"POST /v1/predict HTTP/1.1\r\nHost: t\r\n"
+                         b"Content-Type: application/json\r\n"
+                         b"Content-Length: 1000\r\n\r\n{\"model\":")
+            sock.shutdown(socket.SHUT_WR)  # dead client, body never arrives
+            status, headers, body = _read_response(reader)
+            assert status == 400
+            assert body["error"]["code"] == "invalid_request"
+            assert "truncated" in body["error"]["message"]
+            assert headers.get("connection") == "close"
+        finally:
+            sock.close()
+
+    def test_oversized_content_length_is_413(self, served):
+        sock, reader = _connect(served.address)
+        try:
+            sock.sendall(_raw_request(
+                "POST", "/v1/predict",
+                headers={"Content-Length": str(1 << 31)}))
+            status, _, body = _read_response(reader)
+            assert status == 413
+        finally:
+            sock.close()
+
+
+# ---------------------------------------------------------------------- #
+# Study jobs over the async edge (incl. DELETE cancellation)
+# ---------------------------------------------------------------------- #
+class TestStudyRoutes:
+    def test_submit_poll_cancel_lifecycle(self, served):
+        from repro.api.codec import encode_study_spec
+        from repro.api.types import study_spec
+
+        spec = study_spec(images=served.images, models=[("mlp", "acm", 4)],
+                          sigmas=(0.0,), num_samples=3, seed=5)
+        status, body = _request(served.address, "POST", "/v1/studies",
+                                encode_study_spec(spec))
+        assert status == 200
+        job_id = body["job_id"]
+        deadline = time.monotonic() + 60
+        while True:
+            status, body = _request(served.address, "GET",
+                                    f"/v1/studies/{job_id}")
+            assert status == 200
+            if body["state"] != "running":
+                break
+            assert time.monotonic() < deadline, "study never finished"
+            time.sleep(0.05)
+        assert body["state"] == "done"
+        # Cancel after completion: idempotent no-op reporting "done".
+        status, body = _request(served.address, "DELETE",
+                                f"/v1/studies/{job_id}")
+        assert status == 200 and body["state"] == "done"
+
+    def test_cancel_unknown_job_is_typed_404(self, served):
+        status, body = _request(served.address, "DELETE",
+                                "/v1/studies/no-such-job")
+        assert status == 404
+        assert body["error"]["code"] == "model_not_found"
+
+
+# ---------------------------------------------------------------------- #
+# Lifecycle
+# ---------------------------------------------------------------------- #
+class TestLifecycle:
+    def test_double_close_is_safe(self, served):
+        server = _fresh_server(served.directory)
+        server.close()
+        server.close()
+
+    def test_metrics_exposed(self, served):
+        connection = http.client.HTTPConnection(*served.address, timeout=30)
+        try:
+            connection.request("GET", "/metrics")
+            response = connection.getresponse()
+            text = response.read().decode("utf-8")
+            assert response.status == 200
+            assert "repro_http_requests_total" in text
+        finally:
+            connection.close()
+
+    def test_stats_route(self, served):
+        status, body = _request(served.address, "GET", "/v1/stats")
+        assert status == 200 and "stats" in body

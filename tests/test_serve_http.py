@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import socket
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -372,6 +373,101 @@ class TestErrorMapping:
             decode_array(response["logits"]),
             served.lenet_plan.run(served.images[:1])[0],
         )
+
+
+class TestBodyReading:
+    """The request body is read to Content-Length, not in one gulp."""
+
+    def test_dribbled_body_is_read_to_completion(self, served):
+        # Regression: a slow client whose body arrives in small TCP
+        # segments used to lose everything past the first read() return.
+        payload = json.dumps(_predict_body(served.images[:2])).encode("utf-8")
+        head = (f"POST /v1/predict HTTP/1.1\r\nHost: t\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n").encode("latin-1")
+        sock = socket.create_connection(served.address, timeout=30)
+        try:
+            sock.sendall(head)
+            for offset in range(0, len(payload), 512):
+                sock.sendall(payload[offset:offset + 512])
+                time.sleep(0.005)
+            raw = sock.makefile("rb").read()
+        finally:
+            sock.close()
+        status_line, _, rest = raw.partition(b"\r\n")
+        assert b" 200 " in status_line
+        body = json.loads(rest.partition(b"\r\n\r\n")[2])
+        np.testing.assert_array_equal(
+            decode_array(body["logits"]),
+            served.lenet_plan.run(served.images[:2]),
+        )
+
+    def test_truncated_body_is_400_invalid_request(self, served):
+        # The client dies mid-body: the edge must answer with a typed 400,
+        # not feed a short body into the JSON parser.
+        sock = socket.create_connection(served.address, timeout=30)
+        try:
+            sock.sendall(b"POST /v1/predict HTTP/1.1\r\nHost: t\r\n"
+                         b"Content-Type: application/json\r\n"
+                         b"Content-Length: 5000\r\n\r\n{\"model\":")
+            sock.shutdown(socket.SHUT_WR)
+            raw = sock.makefile("rb").read()
+        finally:
+            sock.close()
+        status_line, _, rest = raw.partition(b"\r\n")
+        assert b" 400 " in status_line
+        body = json.loads(rest.partition(b"\r\n\r\n")[2])
+        assert body["error"]["code"] == "invalid_request"
+        assert "truncated" in body["error"]["message"]
+
+    def test_oversized_content_length_is_413(self, served):
+        sock = socket.create_connection(served.address, timeout=30)
+        try:
+            sock.sendall(b"POST /v1/predict HTTP/1.1\r\nHost: t\r\n"
+                         b"Content-Length: 2147483648\r\n\r\n")
+            raw = sock.makefile("rb").read()
+        finally:
+            sock.close()
+        assert b" 413 " in raw.partition(b"\r\n")[0]
+
+
+class TestStudyCancel:
+    """``DELETE /v1/studies/{id}``: idempotent cancellation."""
+
+    def test_cancel_running_study_reports_cancelled(self, served):
+        from repro.api.codec import encode_study_spec
+        from repro.api.types import study_spec
+
+        # A wide sweep with many samples keeps the job running long enough
+        # to cancel it mid-flight on a single-core host.
+        spec = study_spec(images=served.images[:4], models=[("lenet", "acm", 4)],
+                          sigmas=tuple(0.01 * k for k in range(20)),
+                          num_samples=10, seed=5)
+        status, body = _request(served.address, "POST", "/v1/studies",
+                                encode_study_spec(spec))
+        assert status == 200
+        job_id = body["job_id"]
+        status, body = _request(served.address, "DELETE",
+                                f"/v1/studies/{job_id}")
+        assert status == 200
+        assert body["state"] in ("cancelled", "done")  # done if it raced
+        # Idempotent: a second DELETE reports the same terminal state.
+        status, again = _request(served.address, "DELETE",
+                                 f"/v1/studies/{job_id}")
+        assert status == 200 and again["state"] == body["state"]
+        # Polling a cancelled job keeps working and reports no result.
+        status, polled = _request(served.address, "GET",
+                                  f"/v1/studies/{job_id}")
+        assert status == 200 and polled["state"] == body["state"]
+        if polled["state"] == "cancelled":
+            assert "result" not in polled or polled["result"] is None
+
+    def test_cancel_unknown_job_is_typed_404(self, served):
+        status, body = _request(served.address, "DELETE",
+                                "/v1/studies/no-such-job")
+        assert status == 404
+        assert body["error"]["code"] == "model_not_found"
 
 
 class TestKeepAlive:
